@@ -1,0 +1,17 @@
+"""Ablation: BSTC vs the Section 4.2 (MC)²BAR scheme vs auto-arithmetization."""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def _pct(cell):
+    return float(cell.rstrip("%")) if isinstance(cell, str) and cell.endswith("%") else None
+
+
+def test_classifier_family_ablation(benchmark, config):
+    result = run_once(benchmark, run_experiment, "ablation_classifiers", config)
+    print("\n" + result.render())
+    mean_row = result.rows[-1]
+    bstc = _pct(mean_row[1])
+    assert bstc is not None and bstc >= 70.0

@@ -1,0 +1,13 @@
+"""Section 8 ablation: exclusion-list culling speed/accuracy trade-off."""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def test_culling_ablation(benchmark, config):
+    result = run_once(benchmark, run_experiment, "ablation_culling", config)
+    print("\n" + result.render())
+    for row in result.rows:
+        removed = float(row[1].rstrip("%"))
+        assert 0.0 <= removed <= 100.0

@@ -1,0 +1,16 @@
+"""Algorithm 3 ablation: (MC)²BAR mining cost as k grows (stays polynomial)."""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def test_mcmcbar_mining_k_sweep(benchmark, config):
+    result = run_once(benchmark, run_experiment, "ablation_mining", config)
+    print("\n" + result.render())
+    mined = [row[1] for row in result.rows]
+    assert mined == sorted(mined), "rule count must be monotone in k"
+    # Supports are visited largest-first (Theorem 1's top-k guarantee).
+    for row in result.rows:
+        if row[1] > 0:
+            assert row[2] >= row[3]

@@ -1,0 +1,18 @@
+"""Sections 3.1.1/5.3.1: BSTC's polynomial cost, validated empirically."""
+
+import re
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def test_complexity_polynomial(benchmark, config):
+    result = run_once(benchmark, run_experiment, "complexity", config)
+    print("\n" + result.render())
+    match = re.search(r"per-query (-?\d+\.\d+)", result.extra_text)
+    assert match is not None
+    slope = float(match.group(1))
+    # A pruned-exponential search would show a slope growing without bound;
+    # BSTC must stay in low-polynomial territory.
+    assert slope < 4.0

@@ -1,0 +1,14 @@
+"""Figure 4: Lung Cancer cross-validation boxplots — BSTC vs RCBT accuracy."""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig5_lc_cross_validation(benchmark, config):
+    result = run_once(benchmark, run_experiment, "fig5", config)
+    print("\n" + result.render())
+    bstc = [r for r in result.rows if r[1] == "BSTC" and r[2]]
+    assert len(bstc) == 4, "BSTC must finish every training size"
+    # Shape: BSTC's accuracies are in a sane band (paper mean 96%).
+    assert all(r[6] >= 0.5 for r in bstc)

@@ -1,0 +1,17 @@
+"""Figure 6: Prostate Cancer cross-validation boxplots.
+
+Shape check (paper): BSTC finishes all 4 training sizes; BSTC's mean accuracy
+increases monotonically-ish with training size (Section 6.2.3 notes strict
+monotonicity over 40/60/80%).
+"""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig6_pc_cross_validation(benchmark, config):
+    result = run_once(benchmark, run_experiment, "fig6", config)
+    print("\n" + result.render())
+    bstc = {r[0]: r for r in result.rows if r[1] == "BSTC" and r[2]}
+    assert len(bstc) == 4, "BSTC must finish every training size"

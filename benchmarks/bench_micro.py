@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the core primitives (multi-round, statistical).
+
+These complement the one-shot experiment benchmarks: BST construction, the
+two BSTCE engines, Top-k node throughput, and entropy discretization, all on
+the scaled ALL profile's given-training split.
+"""
+
+import pytest
+
+from repro.baselines.topk import TopkMiner
+from repro.bst.table import BST, build_all_bsts
+from repro.core.bstce import bstce
+from repro.core.classifier import BSTClassifier
+from repro.core.fast import FastBSTCEvaluator
+from repro.datasets.discretize import EntropyDiscretizer
+from repro.datasets.profiles import scaled
+from repro.datasets.splits import given_training_split
+from repro.datasets.synthetic import generate_expression_data
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    profile = scaled("ALL")
+    data = generate_expression_data(profile, seed=1)
+    split = given_training_split(data, profile.given_training, seed=0)
+    train = data.subset(split.train_indices)
+    test = data.subset(split.test_indices)
+    disc = EntropyDiscretizer().fit(train)
+    rel_train = disc.transform(train)
+    queries = disc.transform_values(test.values)
+    return train, rel_train, queries
+
+
+def test_bst_construction(benchmark, pipeline):
+    _, rel_train, _ = pipeline
+    bsts = benchmark(build_all_bsts, rel_train)
+    assert len(bsts) == rel_train.n_classes
+
+
+def test_fast_engine_query(benchmark, pipeline):
+    _, rel_train, queries = pipeline
+    evaluator = FastBSTCEvaluator(rel_train)
+    value = benchmark(evaluator.classification_values, queries[0])
+    assert 0.0 <= value.min() <= value.max() <= 1.0
+
+
+def test_reference_engine_query(benchmark, pipeline):
+    _, rel_train, queries = pipeline
+    bst = BST.build(rel_train, 0)
+    value = benchmark(bstce, bst, queries[0])
+    assert 0.0 <= value <= 1.0
+
+
+def test_classifier_fit(benchmark, pipeline):
+    _, rel_train, _ = pipeline
+    clf = benchmark(lambda: BSTClassifier().fit(rel_train))
+    assert clf.dataset is rel_train
+
+
+def test_discretizer_fit(benchmark, pipeline):
+    train, _, _ = pipeline
+    disc = benchmark(lambda: EntropyDiscretizer().fit(train))
+    assert disc.n_kept_genes > 0
+
+
+def test_topk_mining(benchmark, pipeline):
+    _, rel_train, _ = pipeline
+    groups = benchmark(
+        lambda: TopkMiner(rel_train, 0, k=5, min_support=0.8).mine()
+    )
+    assert isinstance(groups, list)

@@ -1,0 +1,25 @@
+"""Figures 1-3: the running example, regenerated and checked against the
+paper's published values."""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def test_fig1_example_bst(benchmark, config):
+    result = run_once(benchmark, run_experiment, "fig1", config)
+    print("\n" + result.render())
+    assert dict(result.rows)["black dots"] == 2
+
+
+def test_fig2_gene_row_bars(benchmark, config):
+    result = run_once(benchmark, run_experiment, "fig2", config)
+    print("\n" + result.render())
+    assert len(result.rows) == 6
+    assert all(row[3] == 1.0 for row in result.rows)
+
+
+def test_fig3_bstce_worked_example(benchmark, config):
+    result = run_once(benchmark, run_experiment, "fig3", config)
+    print("\n" + result.render())
+    assert all(row[3] for row in result.rows), "0.75 / 0.375 must reproduce"

@@ -1,0 +1,17 @@
+"""Section 6.2.4: CAR-mining parameter tuning and scalability.
+
+Shape checks (paper): raising Top-k's support cutoff from 0.7 toward 0.9
+shortens (or at least never lengthens) mining; BSTC's cost grows gently with
+training size while Top-k's grows steeply.
+"""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def test_scaling_support_sweep(benchmark, config):
+    result = run_once(benchmark, run_experiment, "scaling", config)
+    print("\n" + result.render())
+    assert len(result.rows) == 3
+    assert "training-size scaling" in result.extra_text

@@ -1,0 +1,14 @@
+"""Table 2: dataset generation and its summary statistics."""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table2_dataset_summary(benchmark, config):
+    result = run_once(benchmark, run_experiment, "table2", config)
+    print("\n" + result.render())
+    names = [str(row[0]).split("-")[0] for row in result.rows]
+    assert names == ["ALL", "LC", "PC", "OC"]
+    for row in result.rows:
+        assert row[1] > 0 and row[4] > 0 and row[5] > 0

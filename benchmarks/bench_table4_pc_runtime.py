@@ -1,0 +1,34 @@
+"""Table 4: Prostate Cancer average runtimes with the cutoff protocol.
+
+Shape checks (paper): BSTC stays fast at every training size, while the
+Top-k/RCBT pipeline's cost grows steeply with the training-sample count —
+the paper's headline scalability result.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.crossval import paper_training_sizes
+from repro.experiments.registry import run_experiment
+from repro.experiments.study import run_cv_study
+
+
+def test_table4_pc_runtimes(benchmark, config):
+    result = run_once(benchmark, run_experiment, "table4", config)
+    print("\n" + result.render())
+    study = run_cv_study("PC", config)
+    sizes = [s.label for s in paper_training_sizes(config.profile("PC"))]
+
+    bstc_times = [study.mean_phase_seconds("BSTC", s, "bstc") for s in sizes]
+    assert all(t is not None and t < config.topk_cutoff for t in bstc_times), (
+        "BSTC must always finish well under the cutoff"
+    )
+    # The CAR pipeline (topk + rcbt) must cost more than BSTC at the largest
+    # fractional size, by a growing factor.
+    def pipeline_cost(label):
+        topk = study.mean_phase_seconds("RCBT", label, "topk") or 0.0
+        rcbt = study.mean_phase_seconds("RCBT", label, "rcbt") or 0.0
+        return topk + rcbt
+
+    small, large = pipeline_cost("40%"), pipeline_cost("80%")
+    assert large > small, "CAR mining cost must grow with training size"
+    assert large > bstc_times[2], "CAR pipeline slower than BSTC at 80%"

@@ -1,0 +1,18 @@
+"""Table 5: PC mean accuracies over the tests RCBT finished.
+
+Shape check (paper): BSTC's mean accuracy is within a few points of RCBT
+wherever RCBT produces results, and BSTC reports a value for *every*
+training size (RCBT may not).
+"""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def test_table5_pc_accuracies(benchmark, config):
+    result = run_once(benchmark, run_experiment, "table5", config)
+    print("\n" + result.render())
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row[1] != "-", "BSTC must report a mean accuracy everywhere"

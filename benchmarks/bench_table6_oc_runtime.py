@@ -1,0 +1,29 @@
+"""Table 6: Ovarian Cancer average runtimes with the cutoff protocol.
+
+Shape checks (paper): on the largest dataset even Top-k's upper-bound mining
+blows through the cutoff at the larger training sizes, while BSTC finishes
+every test.
+"""
+
+from conftest import run_once
+
+from repro.evaluation.crossval import paper_training_sizes
+from repro.experiments.registry import run_experiment
+from repro.experiments.study import run_cv_study
+
+
+def test_table6_oc_runtimes(benchmark, config):
+    result = run_once(benchmark, run_experiment, "table6", config)
+    print("\n" + result.render())
+    study = run_cv_study("OC", config)
+    sizes = [s.label for s in paper_training_sizes(config.profile("OC"))]
+
+    for label in sizes:
+        bstc = study.mean_phase_seconds("BSTC", label, "bstc")
+        assert bstc is not None and bstc < config.topk_cutoff
+
+    # Top-k DNFs must not decrease as training grows from 40% to 80%.
+    dnf_small, _ = study.dnf_ratio("RCBT", "40%", "topk")
+    dnf_large, attempted = study.dnf_ratio("RCBT", "80%", "topk")
+    assert dnf_large >= dnf_small
+    assert dnf_large > 0, "the exponential search must hit the cutoff at 80%"

@@ -1,0 +1,28 @@
+"""Table 7: OC mean accuracies over the tests RCBT finished.
+
+Shape check (paper): BSTC's accuracy stays within a few points of RCBT on the
+completed tests (the paper reports < 4% gaps beyond 40% training).
+"""
+
+from conftest import run_once
+
+from repro.experiments.registry import run_experiment
+
+
+def _pct(cell):
+    return float(cell.rstrip("%")) if isinstance(cell, str) and cell.endswith("%") else None
+
+
+def test_table7_oc_accuracies(benchmark, config):
+    result = run_once(benchmark, run_experiment, "table7", config)
+    print("\n" + result.render())
+    assert len(result.rows) == 4
+    for row in result.rows:
+        bstc = _pct(row[1])
+        assert bstc is not None and bstc >= 50.0
+        rcbt = _pct(row[2])
+        if rcbt is not None:
+            # Both rule-based classifiers beat the coin flip wherever RCBT
+            # finishes (the paper's few-point gaps need its 25-test studies;
+            # the benchmark default runs far fewer).
+            assert rcbt >= 50.0

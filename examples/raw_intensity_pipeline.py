@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Full pipeline from raw scanner intensities.
+
+The paper's datasets shipped as raw microarray intensities; before the
+entropy partition they need flooring, log transformation, normalization and
+filtering.  This example simulates a raw-scale file (including missing
+spots), runs :class:`repro.datasets.preprocess.PreprocessingPipeline`, and
+feeds the result through discretization into BSTC.
+
+Run:  python examples/raw_intensity_pipeline.py
+"""
+
+import numpy as np
+
+from repro import (
+    BSTClassifier,
+    EntropyDiscretizer,
+    ExpressionMatrix,
+    generate_expression_data,
+    scaled,
+)
+from repro.datasets.preprocess import PreprocessingPipeline
+from repro.datasets.splits import given_training_split
+from repro.evaluation.metrics import accuracy
+
+
+def simulate_raw_scan(seed: int = 21) -> ExpressionMatrix:
+    """A raw-intensity matrix: exponentiated log-scale data with per-array
+    scaling and a sprinkle of missing spots."""
+    profile = scaled("ALL")
+    log_data = generate_expression_data(profile, seed=seed)
+    rng = np.random.default_rng(seed)
+    raw = np.exp2(log_data.values)
+    raw *= rng.uniform(0.6, 1.6, size=(raw.shape[0], 1))  # array scaling
+    missing = rng.random(raw.shape) < 0.01
+    raw[missing] = np.nan
+    return ExpressionMatrix(
+        gene_names=log_data.gene_names,
+        values=raw,
+        labels=log_data.labels,
+        class_names=log_data.class_names,
+        sample_names=log_data.sample_names,
+    )
+
+
+def main() -> None:
+    raw = simulate_raw_scan()
+    n_missing = int(np.isnan(raw.values).sum())
+    print(f"Raw scan: {raw.n_samples} arrays x {raw.n_genes} probes,"
+          f" {n_missing} missing spots,"
+          f" intensity range [{np.nanmin(raw.values):.1f},"
+          f" {np.nanmax(raw.values):.1f}]")
+
+    pipeline = PreprocessingPipeline(floor=1.0, quantile=True, keep_fraction=0.6)
+    processed = pipeline.apply(raw)
+    print(f"After impute -> floor+log2 -> quantile-normalize -> variance"
+          f" filter: {processed.n_genes} genes,"
+          f" range [{processed.values.min():.2f}, {processed.values.max():.2f}]")
+
+    profile = scaled("ALL")
+    split = given_training_split(processed, profile.given_training, seed=0)
+    train = processed.subset(split.train_indices)
+    test = processed.subset(split.test_indices)
+    disc = EntropyDiscretizer().fit(train)
+    clf = BSTClassifier().fit(disc.transform(train))
+    queries = disc.transform_values(test.values)
+    predictions = [clf.predict(q) for q in queries]
+    print(f"\nEntropy discretization kept {disc.n_kept_genes} genes;"
+          f" BSTC accuracy on {test.n_samples} held-out arrays:"
+          f" {accuracy(predictions, test.labels):.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Scalability study: BSTC vs Top-k/RCBT as training sets grow.
+
+A condensed version of the paper's Section 6.2.3/6.2.4 story: for growing
+training fractions of the (scaled) Ovarian Cancer dataset, measure BSTC's
+build+classify time against the CAR pipeline's mining time under a cutoff,
+and print the resulting Table 4/6-style rows.
+
+Run:  python examples/scalability_study.py
+"""
+
+import time
+
+from repro import (
+    Budget,
+    BudgetExceeded,
+    BSTClassifier,
+    generate_expression_data,
+    scaled,
+)
+from repro.baselines.rcbt import RCBTClassifier
+from repro.evaluation.crossval import TrainingSize, make_test
+from repro.evaluation.metrics import accuracy
+
+CUTOFF = 10.0
+
+
+def main() -> None:
+    profile = scaled("OC")
+    data = generate_expression_data(profile, seed=7)
+    print(f"Dataset: {profile.long_name}, {data.n_samples} samples,"
+          f" {data.n_genes} genes; cutoff {CUTOFF:.0f}s per phase\n")
+    header = f"{'training':>10} | {'BSTC (s)':>9} | {'BSTC acc':>8} |" \
+             f" {'Top-k (s)':>10} | {'RCBT (s)':>10}"
+    print(header)
+    print("-" * len(header))
+
+    for fraction in (0.3, 0.4, 0.5, 0.6, 0.8):
+        size = TrainingSize(f"{int(fraction * 100)}%", fraction=fraction)
+        test = make_test(data, size, 0, profile.name)
+
+        start = time.perf_counter()
+        clf = BSTClassifier().fit(test.rel_train)
+        predictions = [clf.predict(q) for q in test.test_queries]
+        bstc_seconds = time.perf_counter() - start
+        bstc_accuracy = accuracy(predictions, test.test_labels)
+
+        rcbt = RCBTClassifier(k=10, min_support=0.7, nl=20)
+        start = time.perf_counter()
+        try:
+            rcbt.mine_rules(test.rel_train, Budget(CUTOFF))
+            topk = f"{time.perf_counter() - start:10.2f}"
+        except BudgetExceeded:
+            topk = f">= {CUTOFF:7.2f}"
+            print(f"{size.label:>10} | {bstc_seconds:9.2f} |"
+                  f" {bstc_accuracy:8.2%} | {topk} | {'(skipped)':>10}")
+            continue
+
+        start = time.perf_counter()
+        try:
+            rcbt.build(Budget(CUTOFF))
+            rcbt_cell = f"{time.perf_counter() - start:10.2f}"
+        except BudgetExceeded:
+            rcbt_cell = f">= {CUTOFF:7.2f}"
+        print(f"{size.label:>10} | {bstc_seconds:9.2f} | {bstc_accuracy:8.2%} |"
+              f" {topk} | {rcbt_cell}")
+
+    print("\nBSTC's polynomial cost grows gently; the pruned-exponential CAR"
+          "\nsearches blow through the cutoff as training sets grow"
+          " (paper Tables 4 and 6).")
+
+
+if __name__ == "__main__":
+    main()

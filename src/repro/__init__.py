@@ -1,0 +1,88 @@
+"""repro — Boolean Structure Table Classification (BSTC).
+
+A complete reproduction of *Scalable Rule-Based Gene Expression Data
+Classification* (Iwen, Lang & Patel, ICDE 2008): the BSTC classifier and its
+BST/BAR machinery, the Top-k/RCBT, CBA, SVM and tree-family baselines it is
+evaluated against, the entropy-MDL discretization pipeline, synthetic
+microarray data generation matching the paper's dataset profiles, and
+drivers regenerating every table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import BSTClassifier, running_example
+
+    dataset = running_example()
+    clf = BSTClassifier().fit(dataset)
+    clf.predict({0, 3, 4})   # -> 0 (Cancer), the paper's Section 5.4 query
+"""
+
+from .bst.mining import mine_mcmcbar, mine_mcmcbar_per_sample
+from .bst.row_bar import StructuredBAR, all_gene_row_bars, gene_row_bar
+from .bst.table import BST, BSTCell, ExclusionList, build_all_bsts
+from .core.bstce import bstce, bstce_detail
+from .core.classifier import BSTClassifier, NotFittedError
+from .core.explain import Explanation, explain_classification
+from .datasets.dataset import (
+    DatasetError,
+    ExpressionMatrix,
+    RelationalDataset,
+    running_example,
+)
+from .datasets.discretize import EntropyDiscretizer, mdlp_cut_points
+from .datasets.profiles import (
+    MULTICLASS_PROFILE,
+    PAPER_PROFILES,
+    DatasetProfile,
+    profile,
+    scaled,
+)
+from .datasets.synthetic import generate_expression_data
+from .evaluation.timing import Budget, BudgetExceeded
+from .experiments.base import ExperimentConfig, ExperimentResult
+from .experiments.registry import experiment_ids, run_experiment
+from .rules.bar import BAR
+from .rules.car import CAR
+from .rules.groups import RuleGroup, closure_of_rows, find_lower_bounds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BAR",
+    "BST",
+    "BSTCell",
+    "BSTClassifier",
+    "Budget",
+    "BudgetExceeded",
+    "CAR",
+    "DatasetError",
+    "DatasetProfile",
+    "EntropyDiscretizer",
+    "ExclusionList",
+    "Explanation",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExpressionMatrix",
+    "MULTICLASS_PROFILE",
+    "NotFittedError",
+    "PAPER_PROFILES",
+    "RelationalDataset",
+    "RuleGroup",
+    "StructuredBAR",
+    "all_gene_row_bars",
+    "bstce",
+    "bstce_detail",
+    "build_all_bsts",
+    "closure_of_rows",
+    "experiment_ids",
+    "explain_classification",
+    "find_lower_bounds",
+    "gene_row_bar",
+    "generate_expression_data",
+    "mdlp_cut_points",
+    "mine_mcmcbar",
+    "mine_mcmcbar_per_sample",
+    "profile",
+    "run_experiment",
+    "running_example",
+    "scaled",
+]

@@ -1,0 +1,21 @@
+"""Baseline classifiers: Top-k/RCBT, CBA, SVM, random forest, tree family."""
+
+from .apriori import apriori_frequent_itemsets, class_association_rules
+from .cba import CBAClassifier
+from .forest import RandomForestClassifier
+from .rcbt import RCBTClassifier
+from .svm import BinarySVC, SVMClassifier
+from .topk import TopkMiner, mine_all_classes, mine_topk_rule_groups
+from .tree import AdaBoostClassifier, BaggingClassifier, DecisionTree
+
+__all__ = [
+    "TopkMiner", "mine_topk_rule_groups", "mine_all_classes",
+    "RCBTClassifier", "CBAClassifier", "SVMClassifier", "BinarySVC",
+    "RandomForestClassifier", "DecisionTree", "BaggingClassifier",
+    "AdaBoostClassifier", "apriori_frequent_itemsets", "class_association_rules",
+]
+
+from .charm import charm_closed_itemsets, closed_itemsets_of_class
+from .irg import IRGClassifier
+
+__all__ += ["charm_closed_itemsets", "closed_itemsets_of_class", "IRGClassifier"]

@@ -1,0 +1,117 @@
+"""Apriori frequent itemset mining (Agrawal & Srikant 1994 — refs [2, 3]).
+
+The level-wise candidate-generation algorithm over boolean transactions;
+substrate for the CBA classifier.  Supports a maximum itemset length (CBA on
+microarray-width data is only tractable with short antecedents) and polls an
+optional budget.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from ..datasets.dataset import RelationalDataset
+from ..evaluation.timing import Budget
+
+
+def apriori_frequent_itemsets(
+    transactions: Sequence[FrozenSet[int]],
+    min_support_count: int,
+    max_len: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> Dict[FrozenSet[int], int]:
+    """All itemsets contained in at least ``min_support_count`` transactions.
+
+    Args:
+        transactions: the item sets to mine.
+        min_support_count: absolute support threshold (>= 1).
+        max_len: stop after this itemset size (None = unbounded).
+        budget: optional cooperative cutoff.
+
+    Returns:
+        Mapping from frequent itemset to its transaction count.
+    """
+    if min_support_count < 1:
+        raise ValueError("min_support_count must be >= 1")
+    counts: Dict[FrozenSet[int], int] = {}
+    singles: Dict[int, int] = {}
+    for t in transactions:
+        for item in t:
+            singles[item] = singles.get(item, 0) + 1
+    current: List[FrozenSet[int]] = []
+    for item, count in singles.items():
+        if count >= min_support_count:
+            key = frozenset((item,))
+            counts[key] = count
+            current.append(key)
+    size = 1
+    while current and (max_len is None or size < max_len):
+        if budget is not None:
+            budget.check()
+        size += 1
+        frequent_prev: Set[FrozenSet[int]] = set(current)
+        # Candidate generation: join (k-1)-sets sharing a (k-2)-prefix, then
+        # prune candidates with an infrequent subset.
+        sorted_prev = sorted(tuple(sorted(s)) for s in current)
+        candidates: Set[FrozenSet[int]] = set()
+        for a, b in combinations(sorted_prev, 2):
+            if a[:-1] == b[:-1]:
+                candidate = frozenset(a) | frozenset(b)
+                if len(candidate) == size and all(
+                    frozenset(sub) in frequent_prev
+                    for sub in combinations(sorted(candidate), size - 1)
+                ):
+                    candidates.add(candidate)
+        if not candidates:
+            break
+        tallies: Dict[FrozenSet[int], int] = {c: 0 for c in candidates}
+        for t in transactions:
+            if budget is not None:
+                budget.check()
+            if len(t) < size:
+                continue
+            for candidate in candidates:
+                if candidate <= t:
+                    tallies[candidate] += 1
+        current = []
+        for candidate, count in tallies.items():
+            if count >= min_support_count:
+                counts[candidate] = count
+                current.append(candidate)
+    return counts
+
+
+def class_association_rules(
+    dataset: RelationalDataset,
+    min_support: float,
+    min_confidence: float,
+    max_len: Optional[int] = 3,
+    budget: Optional[Budget] = None,
+):
+    """Mine CARs ``itemset => class`` with relative support/confidence cutoffs.
+
+    Returns a list of ``(antecedent, consequent, support_count, confidence)``
+    sorted by CBA's total order: confidence desc, support desc, antecedent
+    size asc.
+    """
+    from ..rules.car import CAR  # local import to avoid a cycle
+
+    n = dataset.n_samples
+    min_count = max(1, int(min_support * n + 0.999999))
+    frequent = apriori_frequent_itemsets(
+        dataset.samples, min_count, max_len=max_len, budget=budget
+    )
+    rules = []
+    for itemset, total in frequent.items():
+        per_class = [0] * dataset.n_classes
+        for row in dataset.support_of_itemset(itemset):
+            per_class[dataset.labels[row]] += 1
+        for class_id, count in enumerate(per_class):
+            if count == 0:
+                continue
+            confidence = count / total
+            if confidence >= min_confidence and count >= min_count:
+                rules.append((CAR(itemset, class_id), count, confidence))
+    rules.sort(key=lambda r: (-r[2], -r[1], len(r[0].antecedent)))
+    return rules

@@ -1,0 +1,321 @@
+"""Decision trees and classic ensembles (Weka-comparison baselines).
+
+Section 6.1 compares against Weka 3.2's C4.5-family single tree, bagging and
+boosting.  This module implements, from scratch on numpy:
+
+* :class:`DecisionTree` — binary splits on continuous features, selectable
+  criterion (``gini``, ``entropy``, or C4.5's ``gain_ratio``), optional
+  per-split feature subsampling (which is what the random forest uses);
+* :class:`BaggingClassifier` — bootstrap aggregation of trees;
+* :class:`AdaBoostClassifier` — SAMME multi-class boosting of shallow trees.
+
+All estimators use the ``fit(X, y)`` / ``predict(X)`` convention with dense
+float feature matrices and integer labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: int = 0
+    probabilities: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probs = counts[counts > 0] / total
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probs = counts / total
+    return float(1.0 - (probs**2).sum())
+
+
+class DecisionTree:
+    """A binary decision tree over continuous features.
+
+    Args:
+        criterion: ``gini``, ``entropy``, or ``gain_ratio`` (C4.5-style:
+            information gain divided by split information).
+        max_depth: depth cap (None = unbounded).
+        min_samples_split: do not split nodes smaller than this.
+        max_features: per-split feature subsample size (``None`` = all,
+            ``"sqrt"`` = floor(sqrt(n_features)) — the random-forest rule).
+        rng: numpy Generator used for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        max_features=None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if criterion not in ("gini", "entropy", "gain_ratio"):
+            raise ValueError(f"unknown criterion {criterion!r}")
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.max_features = max_features
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+        self.n_classes = 0
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "DecisionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if sample_weight is None:
+            sample_weight = np.ones(y.size, dtype=np.float64)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+        self.n_classes = int(y.max()) + 1 if y.size else 1
+        self._root = self._grow(X, y, sample_weight, depth=0)
+        return self
+
+    def _n_split_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        return max(1, min(int(self.max_features), n_features))
+
+    def _impurity(self, counts: np.ndarray) -> float:
+        if self.criterion == "gini":
+            return _gini(counts)
+        return _entropy(counts)
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int
+    ) -> _Node:
+        counts = np.zeros(self.n_classes)
+        np.add.at(counts, y, w)
+        node = _Node(
+            prediction=int(np.argmax(counts)),
+            probabilities=counts / counts.sum() if counts.sum() else counts,
+        )
+        if (
+            y.size < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+        split = self._best_split(X, y, w, counts)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if not mask.any() or mask.all():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], w[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, counts: np.ndarray
+    ) -> Optional[Tuple[int, float]]:
+        n_features = X.shape[1]
+        k = self._n_split_features(n_features)
+        if k < n_features:
+            features = self.rng.choice(n_features, size=k, replace=False)
+        else:
+            features = np.arange(n_features)
+        parent_impurity = self._impurity(counts)
+        total_w = w.sum()
+        best_score = -np.inf
+        best: Optional[Tuple[int, float]] = None
+        for feature in features:
+            col = X[:, feature]
+            order = np.argsort(col, kind="mergesort")
+            sv, sy, sw = col[order], y[order], w[order]
+            onehot = np.zeros((y.size, self.n_classes))
+            onehot[np.arange(y.size), sy] = sw
+            prefix = np.cumsum(onehot, axis=0)
+            distinct = np.flatnonzero(sv[1:] > sv[:-1]) + 1
+            if distinct.size == 0:
+                continue
+            left = prefix[distinct - 1]
+            right = counts[None, :] - left
+            wl = left.sum(axis=1)
+            wr = right.sum(axis=1)
+
+            def bulk_impurity(c: np.ndarray) -> np.ndarray:
+                sums = c.sum(axis=1, keepdims=True)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    p = np.where(sums > 0, c / sums, 0.0)
+                    if self.criterion == "gini":
+                        return 1.0 - (p**2).sum(axis=1)
+                    logs = np.where(p > 0, np.log2(p), 0.0)
+                    return -(p * logs).sum(axis=1)
+
+            child = (wl * bulk_impurity(left) + wr * bulk_impurity(right)) / total_w
+            gain = parent_impurity - child
+            if self.criterion == "gain_ratio":
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    pl = wl / total_w
+                    pr = wr / total_w
+                    split_info = -(
+                        np.where(pl > 0, pl * np.log2(pl), 0.0)
+                        + np.where(pr > 0, pr * np.log2(pr), 0.0)
+                    )
+                    score = np.where(split_info > 0, gain / split_info, 0.0)
+                # C4.5 only considers splits with at least average gain.
+                score = np.where(gain >= max(gain.mean(), 1e-12), score, -np.inf)
+            else:
+                score = gain
+            idx = int(np.argmax(score))
+            if score[idx] > best_score and score[idx] > 0:
+                pos = distinct[idx]
+                best_score = float(score[idx])
+                best = (int(feature), float((sv[pos - 1] + sv[pos]) / 2.0))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.array([self._predict_row(row) for row in X], dtype=np.int64)
+
+    def _predict_row(self, row: np.ndarray) -> int:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node.prediction
+
+    def depth(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+
+class BaggingClassifier:
+    """Bootstrap aggregation of decision trees (Weka-style bagging)."""
+
+    def __init__(
+        self,
+        n_estimators: int = 10,
+        criterion: str = "gain_ratio",
+        max_depth: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.seed = seed
+        self._trees: List[DecisionTree] = []
+        self.n_classes = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BaggingClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.n_classes = int(y.max()) + 1
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, y.size, size=y.size)
+            tree = DecisionTree(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                rng=np.random.default_rng(rng.integers(2**31)),
+            )
+            tree.n_classes = self.n_classes
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("classifier is not fitted")
+        votes = np.stack([tree.predict(X) for tree in self._trees])
+        out = []
+        for col in votes.T:
+            counts = np.bincount(col, minlength=self.n_classes)
+            out.append(int(np.argmax(counts)))
+        return np.asarray(out, dtype=np.int64)
+
+
+class AdaBoostClassifier:
+    """SAMME multi-class boosting of depth-limited trees."""
+
+    def __init__(
+        self, n_estimators: int = 20, max_depth: int = 1, seed: int = 0
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+        self._stages: List[Tuple[float, DecisionTree]] = []
+        self.n_classes = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = y.size
+        self.n_classes = int(y.max()) + 1
+        weights = np.full(n, 1.0 / n)
+        rng = np.random.default_rng(self.seed)
+        self._stages = []
+        for _ in range(self.n_estimators):
+            tree = DecisionTree(
+                criterion="entropy",
+                max_depth=self.max_depth,
+                rng=np.random.default_rng(rng.integers(2**31)),
+            )
+            tree.n_classes = self.n_classes
+            tree.fit(X, y, sample_weight=weights)
+            pred = tree.predict(X)
+            wrong = pred != y
+            err = float(weights[wrong].sum())
+            if err >= 1.0 - 1.0 / self.n_classes:
+                break
+            err = max(err, 1e-10)
+            alpha = np.log((1.0 - err) / err) + np.log(self.n_classes - 1.0)
+            self._stages.append((alpha, tree))
+            if err <= 1e-10:
+                break
+            weights *= np.exp(alpha * wrong)
+            weights /= weights.sum()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._stages:
+            raise RuntimeError("classifier is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        scores = np.zeros((X.shape[0], self.n_classes))
+        for alpha, tree in self._stages:
+            pred = tree.predict(X)
+            scores[np.arange(X.shape[0]), pred] += alpha
+        return np.argmax(scores, axis=1).astype(np.int64)

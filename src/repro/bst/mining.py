@@ -1,0 +1,165 @@
+"""(MC)²BAR mining (Section 4.1, Algorithms 3 and 4).
+
+A Maximally Complex 100% (Maximally) Confident BAR — (MC)²BAR — is a
+structured BAR whose CAR portion cannot grow without shrinking its class
+support set; it is the IBRG upper bound for its support set.  Algorithm 3
+visits supportable class-sample subsets from largest to smallest, emitting
+the (MC)²BAR for each: the CAR portion is the closure (item intersection) of
+the support set, and new candidate supports arise by intersecting visited
+supports.  Algorithm 4 repeats the mine restricted to supports containing
+each class sample, guaranteeing per-sample coverage.
+
+Both miners are progressive (results stream into the output list in
+discovery order) and poll an optional :class:`~repro.evaluation.timing.Budget`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..evaluation.timing import Budget
+from .row_bar import StructuredBAR
+from .table import BST
+
+
+def _closure(bst: BST, support: FrozenSet[int]) -> FrozenSet[int]:
+    """Intersection of the supporting samples' item sets — the maximal CAR
+    portion supported by exactly this subset's rows (or a superset)."""
+    ds = bst.dataset
+    result: Optional[FrozenSet[int]] = None
+    for s in support:
+        items = ds.samples[s]
+        result = items if result is None else result & items
+        if not result:
+            break
+    return result if result is not None else frozenset()
+
+
+def _excluded_count(bst: BST, car_items: FrozenSet[int]) -> int:
+    ds = bst.dataset
+    return sum(1 for h in bst.outside if car_items <= ds.samples[h])
+
+
+def _candidate_order_key(
+    bst: BST, support: FrozenSet[int], break_ties_by_confidence: bool
+) -> Tuple:
+    """Sort key: larger supports first; optionally, among equal sizes, fewer
+    excluded outside samples first (the Section 4.1 secondary ordering, which
+    prefers higher-confidence CAR portions)."""
+    if break_ties_by_confidence:
+        excluded = _excluded_count(bst, _closure(bst, support))
+        return (-len(support), excluded, tuple(sorted(support)))
+    return (-len(support), tuple(sorted(support)))
+
+
+def mine_mcmcbar(
+    bst: BST,
+    k: int,
+    budget: Optional[Budget] = None,
+    break_ties_by_confidence: bool = False,
+    must_contain: Optional[int] = None,
+) -> List[StructuredBAR]:
+    """Algorithm 3: mine (MC)²BARs for the top-k supportable class subsets.
+
+    Args:
+        bst: the class's Boolean Structure Table.
+        k: number of rules to mine.
+        budget: optional cooperative wall-clock budget.
+        break_ties_by_confidence: enable the paper's optional secondary
+            ordering among same-sized supports.
+        must_contain: restrict attention to supports containing this class
+            sample (the Algorithm 4 modification).
+
+    Returns:
+        Up to ``k`` (MC)²BARs, largest supports first.  Fewer are returned
+        when the support semilattice is exhausted.
+    """
+    if k <= 0:
+        return []
+
+    def admissible(support: FrozenSet[int]) -> bool:
+        if not support:
+            return False
+        if must_contain is not None and must_contain not in support:
+            return False
+        return True
+
+    # Line 3-6: the gene-row supports seed the candidate set (C_i_SUP).
+    candidates: Set[FrozenSet[int]] = set()
+    for gene in bst.nonblank_genes():
+        support = bst.row_support(gene)
+        if admissible(support):
+            candidates.add(support)
+
+    rules: List[StructuredBAR] = []
+    rule_supports: List[FrozenSet[int]] = []
+    emitted: Set[FrozenSet[int]] = set()
+
+    while candidates and len(rules) < k:
+        if budget is not None:
+            budget.check()
+        # Line 8-9: take every candidate of the (current) largest size.
+        best = max(len(s) for s in candidates)
+        batch = sorted(
+            (s for s in candidates if len(s) == best),
+            key=lambda s: _candidate_order_key(bst, s, break_ties_by_confidence),
+        )
+        for support in batch:
+            if len(rules) >= k:
+                break
+            # Line 10: AND all gene-row rules with support ⊇ S — their CAR
+            # portions union to the closure of S.
+            car_items = _closure(bst, support)
+            rules.append(
+                StructuredBAR(
+                    car_items=car_items,
+                    consequent=bst.class_id,
+                    support=support,
+                )
+            )
+            rule_supports.append(support)
+            emitted.add(support)
+        # Lines 15-20: new candidate supports from pairwise intersections of
+        # this batch with every rule support seen so far.
+        new_supports: Set[FrozenSet[int]] = set()
+        for s1 in batch:
+            for s2 in rule_supports:
+                meet = s1 & s2
+                if admissible(meet) and meet not in emitted:
+                    new_supports.add(meet)
+        # Line 21: drop the processed batch, merge in the new supports.
+        candidates = {
+            s for s in candidates if s not in emitted
+        } | new_supports
+    return rules
+
+
+def mine_mcmcbar_per_sample(
+    bst: BST,
+    k: int,
+    budget: Optional[Budget] = None,
+    break_ties_by_confidence: bool = False,
+) -> List[StructuredBAR]:
+    """Algorithm 4: top-k (MC)²BARs per class sample, merged and deduplicated.
+
+    For every class sample ``c`` the restricted Algorithm 3 finds the k
+    largest supportable subsets containing ``c``; the union (deduplicated by
+    support set, which identifies the (MC)²BAR) is returned, largest supports
+    first.
+    """
+    merged: Dict[FrozenSet[int], StructuredBAR] = {}
+    for c in bst.columns:
+        if budget is not None:
+            budget.check()
+        for rule in mine_mcmcbar(
+            bst,
+            k,
+            budget=budget,
+            break_ties_by_confidence=break_ties_by_confidence,
+            must_contain=c,
+        ):
+            merged.setdefault(rule.support, rule)
+    return sorted(
+        merged.values(),
+        key=lambda r: (-len(r.support), tuple(sorted(r.support))),
+    )

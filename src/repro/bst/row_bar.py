@@ -1,0 +1,164 @@
+"""Structured BST-generable BARs and gene-row BAR construction (Section 3.2).
+
+Every BAR the paper mines from a BST has the special form
+
+    (CAR portion) AND (OR over supporting class samples of
+                       (AND of that sample's exclusion-list clauses))
+
+where the exclusion clauses for a supporting sample ``s`` cover exactly the
+outside samples that express the whole CAR portion (any other outside sample
+already fails the conjunction, which is how black dots let clauses be dropped
+when rules are ANDed — Section 3.2.1's simplification).
+
+:class:`StructuredBAR` captures that form compactly as just the CAR itemset
+plus the class support set; branches and clauses are derived from the BST on
+demand.  Algorithm 2's gene-row BAR is the single-gene case, and ANDing two
+StructuredBARs is itemset union + support intersection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..rules.bar import BAR
+from ..rules.boolexpr import FALSE, TRUE, And, Expr, Or, conjunction
+from ..rules.car import CAR
+from .table import BST, ExclusionList
+
+
+@dataclass(frozen=True)
+class StructuredBAR:
+    """A BST-generable BAR in the paper's special form.
+
+    Attributes:
+        car_items: the CAR portion of the antecedent (non-empty itemset).
+        consequent: class id.
+        support: the class samples supporting the rule (all of which express
+            every CAR item) — the rule is 100% confident by construction.
+    """
+
+    car_items: FrozenSet[int]
+    consequent: int
+    support: FrozenSet[int]
+
+    def excluded_outside(self, bst: BST) -> Tuple[int, ...]:
+        """Outside samples that express the whole CAR portion — exactly the
+        samples the exclusion clauses must "actively exclude" (Theorem 2)."""
+        ds = bst.dataset
+        return tuple(
+            h for h in bst.outside if self.car_items <= ds.samples[h]
+        )
+
+    def branch_clauses(self, bst: BST) -> Dict[int, Tuple[ExclusionList, ...]]:
+        """For each supporting sample, the exclusion lists its branch needs."""
+        threatened = self.excluded_outside(bst)
+        out: Dict[int, Tuple[ExclusionList, ...]] = {}
+        for s in sorted(self.support):
+            clauses = []
+            for h in threatened:
+                elist = bst.pair_exclusion_list(s, h)
+                if elist is None:
+                    # No gene shared between s and h was materialized during
+                    # BST construction; derive the pair list directly.
+                    ds = bst.dataset
+                    negatives = tuple(sorted(ds.samples[h] - ds.samples[s]))
+                    if negatives:
+                        elist = ExclusionList(h, negatives, negated=True)
+                    else:
+                        positives = tuple(sorted(ds.samples[s] - ds.samples[h]))
+                        elist = ExclusionList(h, positives, negated=not positives)
+                clauses.append(elist)
+            out[s] = tuple(clauses)
+        return out
+
+    def expr(self, bst: BST) -> Expr:
+        """The antecedent as a boolean expression over item literals."""
+        car_part = conjunction(sorted(self.car_items))
+        branches = []
+        for _, clauses in self.branch_clauses(bst).items():
+            parts: List[Expr] = [e.clause() for e in clauses]
+            if not parts:
+                branches.append(TRUE)
+            elif len(parts) == 1:
+                branches.append(parts[0])
+            else:
+                branches.append(And(tuple(parts)))
+        if not branches:
+            disjunction: Expr = FALSE
+        elif len(branches) == 1:
+            disjunction = branches[0]
+        else:
+            disjunction = Or(tuple(branches))
+        return (car_part & disjunction).simplify()
+
+    def to_bar(self, bst: BST) -> BAR:
+        return BAR(self.expr(bst), self.consequent)
+
+    def car(self) -> CAR:
+        """Theorem 2's CAR: strip every exclusion clause."""
+        return CAR(self.car_items, self.consequent)
+
+    def and_with(self, other: "StructuredBAR") -> "StructuredBAR":
+        """AND two structured BARs (Section 3.2.1): the CAR portions union
+        and the supports intersect."""
+        if self.consequent != other.consequent:
+            raise ValueError("cannot AND rules with different consequents")
+        return StructuredBAR(
+            car_items=self.car_items | other.car_items,
+            consequent=self.consequent,
+            support=self.support & other.support,
+        )
+
+    @property
+    def complexity(self) -> int:
+        """The number of CAR antecedent genes (Theorem 1's notion)."""
+        return len(self.car_items)
+
+    def describe(self, bst: BST) -> str:
+        ds = bst.dataset
+        items = ",".join(ds.item_names[i] for i in sorted(self.car_items))
+        supp = ",".join(ds.sample_name(s) for s in sorted(self.support))
+        return (
+            f"{{{items}}}+exclusions => {ds.class_names[self.consequent]}"
+            f" (support {{{supp}}})"
+        )
+
+
+def gene_row_bar(bst: BST, gene: int) -> StructuredBAR:
+    """Algorithm 2: the 100%-confident gene-row BAR for one BST row.
+
+    The result is the disjunction of the row's cell rules, conjoined with the
+    gene itself; in structured form that is simply ``car_items = {gene}`` with
+    the row's support set.
+
+    Raises ``ValueError`` when no class sample expresses the gene (the row is
+    blank and there is no rule).
+    """
+    support = bst.row_support(gene)
+    if not support:
+        raise ValueError(
+            f"gene {gene} is expressed by no {bst.class_label} sample"
+        )
+    return StructuredBAR(
+        car_items=frozenset((gene,)),
+        consequent=bst.class_id,
+        support=support,
+    )
+
+
+def all_gene_row_bars(bst: BST) -> List[StructuredBAR]:
+    """Gene-row BARs for every non-blank row, in gene order (Figure 2)."""
+    return [gene_row_bar(bst, gene) for gene in sorted(bst.nonblank_genes())]
+
+
+def is_maximally_complex(bst: BST, rule: StructuredBAR) -> bool:
+    """Section 4.1: no gene can join the CAR portion without shrinking the
+    class support set — i.e. the CAR portion is the closure of the support."""
+    ds = bst.dataset
+    closure: FrozenSet[int] = frozenset()
+    first = True
+    for s in rule.support:
+        closure = ds.samples[s] if first else closure & ds.samples[s]
+        first = False
+    return rule.car_items == closure

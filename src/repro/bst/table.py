@@ -1,0 +1,279 @@
+"""Boolean Structure Tables (Section 3.1, Algorithm 1).
+
+A BST ``T(i)`` for class ``C_i`` is a two-dimensional table ``G x C_i``.  The
+cell ``(g, c)`` is:
+
+* *blank* when sample ``c`` does not express gene ``g``;
+* a *black dot* when ``c`` expresses ``g`` and no sample outside ``C_i``
+  expresses ``g``;
+* otherwise a list of *exclusion lists*, one per outside sample ``h`` that
+  also expresses ``g``.
+
+The exclusion list for a pair ``(c, h)`` is computed once and shared by every
+cell of ``c``'s column that needs it — this is Algorithm 1's pointer scheme
+and what bounds BST space by ``O((|S| - |C_i|) * |G| * |C_i|)``.
+
+A negative list ``(h: -g1, ..., -gn)`` holds the genes ``h`` expresses but
+``c`` does not: a query resembling ``c`` is distinguished from ``h`` by *not*
+expressing at least one of them.  When that set is empty (``h``'s genes are a
+subset of ``c``'s) the fallback positive list ``(h: g1, ..., gn)`` holds the
+genes ``c`` expresses but ``h`` does not.  If both sets are empty the two
+samples express identical gene sets and the list is empty — the corresponding
+cell rule is unsatisfiable (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..datasets.dataset import RelationalDataset
+from ..rules.boolexpr import (
+    FALSE,
+    And,
+    Expr,
+    Var,
+    any_expressed,
+    any_not_expressed,
+)
+
+
+@dataclass(frozen=True)
+class ExclusionList:
+    """One exclusion list ``(h : [-]g1, ..., [-]gn)`` shared along a column.
+
+    Attributes:
+        outside_sample: global index of the excluded outside sample ``h``.
+        items: the gene/item ids in the list, in ascending order.
+        negated: True for a ``(h: -g1...)`` list (satisfied by *not*
+            expressing a listed gene), False for the positive fallback.
+    """
+
+    outside_sample: int
+    items: Tuple[int, ...]
+    negated: bool
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    def satisfied_literals(self, expressed: AbstractSet[int]) -> int:
+        """Number of literals in the list a query satisfies.
+
+        A negative literal ``-g`` is satisfied when the query does not express
+        ``g``; a positive literal when it does (Section 2.1's ``s[-g]``).
+        """
+        hits = sum(1 for item in self.items if item in expressed)
+        if self.negated:
+            return len(self.items) - hits
+        return hits
+
+    def satisfaction(self, expressed: AbstractSet[int]) -> float:
+        """BSTCE's ``V_e``: fraction of the list's literals the query
+        satisfies (Algorithm 5 line 4).  Empty lists are unsatisfiable."""
+        if not self.items:
+            return 0.0
+        return self.satisfied_literals(expressed) / len(self.items)
+
+    def is_satisfied(self, expressed: AbstractSet[int]) -> bool:
+        """Boolean satisfaction: at least one literal holds (the list is a
+        disjunction in the cell rule)."""
+        return self.satisfied_literals(expressed) > 0
+
+    def clause(self) -> Expr:
+        """The boolean clause this list contributes to a cell rule."""
+        if self.negated:
+            return any_not_expressed(self.items)
+        return any_expressed(self.items)
+
+    def render(self, dataset: RelationalDataset) -> str:
+        sign = "-" if self.negated else ""
+        body = ",".join(sign + dataset.item_names[i] for i in self.items)
+        return f"({dataset.sample_name(self.outside_sample)}: {body})"
+
+
+@dataclass(frozen=True)
+class BSTCell:
+    """A non-blank BST cell ``(gene, sample)`` and its atomic cell rule."""
+
+    gene: int
+    sample: int
+    black_dot: bool
+    exclusion_lists: Tuple[ExclusionList, ...]
+
+    def rule_antecedent(self) -> Expr:
+        """The cell rule's antecedent: ``g AND clause_1 AND ... AND clause_m``.
+
+        A black-dot cell's rule is simply ``g`` — the gene alone excludes
+        every outside sample.
+        """
+        parts: List[Expr] = [Var(self.gene)]
+        for elist in self.exclusion_lists:
+            parts.append(elist.clause())
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts)).simplify()
+
+    def is_satisfied(self, expressed: AbstractSet[int]) -> bool:
+        """Exact boolean satisfaction of the cell rule by a query."""
+        if self.gene not in expressed:
+            return False
+        return all(e.is_satisfied(expressed) for e in self.exclusion_lists)
+
+
+class BST:
+    """The Boolean Structure Table for one class of a relational dataset.
+
+    Build with :meth:`BST.build` (Algorithm 1).  Columns are the class's
+    samples in dataset order; rows are genes.  ``cell(gene, sample)`` returns
+    ``None`` for blank cells.
+    """
+
+    def __init__(
+        self,
+        dataset: RelationalDataset,
+        class_id: int,
+        columns: Tuple[int, ...],
+        outside: Tuple[int, ...],
+        cells: Dict[Tuple[int, int], BSTCell],
+        pair_lists: Dict[Tuple[int, int], ExclusionList],
+    ):
+        self.dataset = dataset
+        self.class_id = class_id
+        self.columns = columns
+        self.outside = outside
+        self._cells = cells
+        self._pair_lists = pair_lists
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 1)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(dataset: RelationalDataset, class_id: int) -> "BST":
+        """Create the BST for ``class_id`` per Algorithm 1."""
+        if not 0 <= class_id < dataset.n_classes:
+            raise ValueError(f"unknown class id {class_id}")
+        columns = dataset.class_members(class_id)
+        outside = dataset.outside_members(class_id)
+
+        outside_expressing: Dict[int, List[int]] = {}
+        for h in outside:
+            for item in dataset.samples[h]:
+                outside_expressing.setdefault(item, []).append(h)
+
+        # Algorithm 1 lines 10-20: one shared exclusion list per (c, h) pair.
+        pair_lists: Dict[Tuple[int, int], ExclusionList] = {}
+
+        def pair_list(c: int, h: int) -> ExclusionList:
+            key = (c, h)
+            found = pair_lists.get(key)
+            if found is not None:
+                return found
+            c_items = dataset.samples[c]
+            h_items = dataset.samples[h]
+            negatives = tuple(sorted(h_items - c_items))
+            if negatives:
+                elist = ExclusionList(h, negatives, negated=True)
+            else:
+                positives = tuple(sorted(c_items - h_items))
+                elist = ExclusionList(h, positives, negated=not positives)
+            pair_lists[key] = elist
+            return elist
+
+        cells: Dict[Tuple[int, int], BSTCell] = {}
+        for c in columns:
+            for gene in dataset.samples[c]:
+                expressing = outside_expressing.get(gene)
+                if not expressing:
+                    cells[(gene, c)] = BSTCell(gene, c, True, ())
+                else:
+                    lists = tuple(pair_list(c, h) for h in expressing)
+                    cells[(gene, c)] = BSTCell(gene, c, False, lists)
+        return BST(dataset, class_id, columns, outside, cells, pair_lists)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def class_label(self) -> str:
+        return self.dataset.class_names[self.class_id]
+
+    def cell(self, gene: int, sample: int) -> Optional[BSTCell]:
+        """The cell at ``(gene, sample)`` or ``None`` when blank."""
+        return self._cells.get((gene, sample))
+
+    def column_cells(self, sample: int) -> List[BSTCell]:
+        """All non-blank cells of one class sample's column."""
+        return [
+            self._cells[(gene, sample)]
+            for gene in sorted(self.dataset.samples[sample])
+        ]
+
+    def row_cells(self, gene: int) -> List[BSTCell]:
+        """All non-blank cells of one gene's row, in column order."""
+        out = []
+        for c in self.columns:
+            cell = self._cells.get((gene, c))
+            if cell is not None:
+                out.append(cell)
+        return out
+
+    def row_support(self, gene: int) -> FrozenSet[int]:
+        """Class samples supporting the gene-row BAR (those expressing g)."""
+        return frozenset(c for c in self.columns if (gene, c) in self._cells)
+
+    def nonblank_genes(self) -> FrozenSet[int]:
+        """Genes expressed by at least one class sample."""
+        return frozenset(gene for gene, _ in self._cells)
+
+    def pair_exclusion_list(self, c: int, h: int) -> Optional[ExclusionList]:
+        """The shared exclusion list for class sample ``c`` vs outside ``h``
+        (``None`` when never materialized: no gene is shared by both)."""
+        return self._pair_lists.get((c, h))
+
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    def space_cost(self) -> int:
+        """Total stored exclusion-list references plus black dots — the
+        quantity bounded by O((|S|-|C_i|) * |G| * |C_i|) in Section 3.1.1."""
+        total = 0
+        for cell in self._cells.values():
+            total += 1 if cell.black_dot else len(cell.exclusion_lists)
+        return total
+
+    # ------------------------------------------------------------------
+    # Rendering (Figure 1 style)
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII rendering of the table in the style of Figure 1."""
+        ds = self.dataset
+        lines = [f"BST for class {self.class_label}"]
+        header = "      | " + " | ".join(ds.sample_name(c) for c in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for gene in range(ds.n_items):
+            row_parts = []
+            any_cell = False
+            for c in self.columns:
+                cell = self._cells.get((gene, c))
+                if cell is None:
+                    row_parts.append("")
+                elif cell.black_dot:
+                    row_parts.append("*")
+                    any_cell = True
+                else:
+                    row_parts.append(
+                        " ".join(e.render(ds) for e in cell.exclusion_lists)
+                    )
+                    any_cell = True
+            if any_cell:
+                lines.append(
+                    f"{ds.item_names[gene]:>5} | " + " | ".join(row_parts)
+                )
+        return "\n".join(lines)
+
+
+def build_all_bsts(dataset: RelationalDataset) -> List[BST]:
+    """Construct the BSTs ``T(1), ..., T(N)`` for every class (Section 5.3)."""
+    return [BST.build(dataset, class_id) for class_id in range(dataset.n_classes)]

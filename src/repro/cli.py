@@ -1,0 +1,100 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run table3
+    python -m repro.cli run fig6 --full --tests 25 --topk-cutoff 7200 --rcbt-cutoff 7200
+    python -m repro.cli run all
+    python -m repro.cli demo          # the Table 1 running example end to end
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.base import ExperimentConfig
+from .experiments.registry import experiment_ids, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "BSTC reproduction (ICDE 2008): run paper tables/figures and demos"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="use paper-sized datasets instead of scaled profiles",
+    )
+    run.add_argument("--tests", type=int, default=5, help="tests per size")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--topk-cutoff", type=float, default=10.0)
+    run.add_argument("--rcbt-cutoff", type=float, default=10.0)
+    run.add_argument("--forest-trees", type=int, default=50)
+
+    sub.add_parser("demo", help="run the Table 1 running example end to end")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale="full" if args.full else "scaled",
+        n_tests=args.tests,
+        seed=args.seed,
+        topk_cutoff=args.topk_cutoff,
+        rcbt_cutoff=args.rcbt_cutoff,
+        forest_trees=args.forest_trees,
+    )
+
+
+def _run_demo() -> int:
+    from .bst.table import BST
+    from .core.classifier import BSTClassifier
+    from .core.explain import explain_classification
+    from .datasets.dataset import running_example
+
+    dataset = running_example()
+    print(BST.build(dataset, 0).render())
+    print()
+    clf = BSTClassifier().fit(dataset)
+    query = frozenset({0, 3, 4})  # g1, g4, g5
+    explanation = explain_classification(clf, query, min_satisfaction=0.4)
+    print("query expresses g1, g4, g5")
+    print(explanation.describe(clf.bsts[explanation.predicted]))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    if args.command == "demo":
+        return _run_demo()
+    config = _config_from_args(args)
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        try:
+            result = run_experiment(experiment_id, config)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""The BSTC classifier: BSTCE evaluation, the classifier, explanations."""
+
+from .arithmetization import COMBINERS, classification_confidence, get_combiner
+from .bstce import bstce, bstce_detail
+from .classifier import BSTClassifier, NotFittedError
+from .explain import CellRuleEvidence, Explanation, explain_classification
+from .fast import FastBSTCEvaluator
+
+__all__ = [
+    "BSTClassifier", "NotFittedError", "FastBSTCEvaluator",
+    "bstce", "bstce_detail", "COMBINERS", "get_combiner",
+    "classification_confidence", "CellRuleEvidence", "Explanation",
+    "explain_classification",
+]
+
+from .auto import AutoBSTClassifier
+from .mcbar_classifier import MCBARClassifier, rule_satisfaction
+
+__all__ += ["AutoBSTClassifier", "MCBARClassifier", "rule_satisfaction"]

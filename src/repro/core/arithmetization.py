@@ -1,0 +1,69 @@
+"""Boolean-formula arithmetization strategies for BSTCE.
+
+Algorithm 5 turns each cell rule — a conjunction of exclusion-list
+disjunctions — into a number by scoring every list with its satisfied-literal
+fraction ``V_e`` and combining the per-list scores with ``min`` (line 10).
+The paper's Section 8 proposes experimenting with other arithmetization
+procedures and selecting between them with a heuristic confidence measure
+(the normalized gap between the best and second-best class values).  This
+module provides the paper's ``min`` combiner, the independence-assumption
+``product`` combiner the paper explicitly mentions and rejects, a ``mean``
+combiner as a softer alternative, and the confidence measure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence
+
+CellCombiner = Callable[[Sequence[float]], float]
+
+
+def min_combiner(values: Sequence[float]) -> float:
+    """The paper's choice (Algorithm 5 line 10): the weakest exclusion list
+    dominates; no independence assumption."""
+    return min(values)
+
+def product_combiner(values: Sequence[float]) -> float:
+    """Multiply per-list satisfaction levels — natural if each list's correct
+    classification were independent (Section 5.2 discusses and rejects
+    this)."""
+    return math.prod(values)
+
+
+def mean_combiner(values: Sequence[float]) -> float:
+    """Average the per-list satisfaction levels — an optimistic smoother."""
+    return sum(values) / len(values)
+
+
+COMBINERS: Dict[str, CellCombiner] = {
+    "min": min_combiner,
+    "product": product_combiner,
+    "mean": mean_combiner,
+}
+
+
+def get_combiner(name: str) -> CellCombiner:
+    """Look up a combiner by name (``min``, ``product``, ``mean``)."""
+    try:
+        return COMBINERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown arithmetization {name!r}; expected one of {sorted(COMBINERS)}"
+        ) from None
+
+
+def classification_confidence(class_values: Sequence[float]) -> float:
+    """Section 8's heuristic confidence measure.
+
+    The normalized difference between the highest and second-highest BST
+    satisfaction level.  1.0 means the winner stands alone; 0.0 means a tie
+    (or a degenerate case where every class scores zero).
+    """
+    if len(class_values) < 2:
+        return 1.0
+    ordered = sorted(class_values, reverse=True)
+    best, second = ordered[0], ordered[1]
+    if best <= 0.0:
+        return 0.0
+    return (best - second) / best

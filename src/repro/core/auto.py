@@ -1,0 +1,69 @@
+"""Per-query arithmetization selection (Section 8's second proposal).
+
+"Multiple BST satisfaction level arithmetization procedures could be used
+along with a heuristic classification confidence measure employed to select
+the best one.  One potential confidence measure is the normalized difference
+between the highest and second highest BST satisfaction level."
+
+:class:`AutoBSTClassifier` implements exactly that: it evaluates every
+configured arithmetization per query and follows the procedure that is most
+"sure" under the normalized top-two-gap measure.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.dataset import RelationalDataset
+from .arithmetization import classification_confidence
+from .fast import FastBSTCEvaluator, Query
+
+
+class AutoBSTClassifier:
+    """BSTC with per-query arithmetization selection.
+
+    Args:
+        arithmetizations: candidate procedures (default: all three of
+            :mod:`repro.core.arithmetization`).
+    """
+
+    def __init__(
+        self, arithmetizations: Sequence[str] = ("min", "product", "mean")
+    ):
+        if not arithmetizations:
+            raise ValueError("need at least one arithmetization")
+        self.arithmetizations = tuple(arithmetizations)
+        self._evaluators: Optional[Dict[str, FastBSTCEvaluator]] = None
+        self._n_classes = 0
+
+    def fit(self, dataset: RelationalDataset) -> "AutoBSTClassifier":
+        self._evaluators = {
+            name: FastBSTCEvaluator(dataset, name)
+            for name in self.arithmetizations
+        }
+        self._n_classes = dataset.n_classes
+        return self
+
+    def decide(self, query: Query) -> Tuple[int, str, float]:
+        """Return ``(predicted_class, chosen_procedure, confidence)``."""
+        if self._evaluators is None:
+            raise RuntimeError("classifier is not fitted")
+        best: Optional[Tuple[float, str, int]] = None
+        for name, evaluator in self._evaluators.items():
+            values = evaluator.classification_values(query)
+            confidence = classification_confidence(values.tolist())
+            label = int(np.argmax(values))
+            candidate = (confidence, name, label)
+            if best is None or confidence > best[0]:
+                best = candidate
+        assert best is not None
+        confidence, name, label = best
+        return label, name, confidence
+
+    def predict(self, query: Query) -> int:
+        return self.decide(query)[0]
+
+    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> List[int]:
+        return [self.predict(q) for q in queries]

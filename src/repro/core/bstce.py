@@ -1,0 +1,104 @@
+"""BST Cell-rule quantized Evaluation — BSTCE (Section 5.2, Algorithm 5).
+
+This is the reference implementation operating directly on the explicit
+:class:`~repro.bst.table.BST` object model.  It exists to mirror the paper's
+pseudocode line for line; the vectorized engine in ``repro.core.fast``
+computes identical values and is used for experiment-scale work (their
+agreement is property-tested).
+
+Given a query sample ``Q`` (a set of expressed item ids) and a BST ``T(i)``:
+
+* every exclusion list ``e`` scores ``V_e`` = fraction of its literals ``Q``
+  satisfies (line 4);
+* every non-blank cell ``(g, s)`` with ``g`` expressed by ``Q`` scores 1 for a
+  black dot, else the combiner (``min`` by default) of its lists' ``V_e``
+  (lines 6-12);
+* each class-sample column averages its scored cells (line 14);
+* the final classification value averages the non-blank column means
+  (line 16).
+
+A column with no scored cells (the query expresses none of that sample's
+genes) is excluded from the outer mean; if *no* column has a scored cell the
+classification value is 0.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, List, Tuple
+
+from ..bst.table import BST, BSTCell
+from .arithmetization import CellCombiner, get_combiner, min_combiner
+
+
+def cell_value(
+    cell: BSTCell,
+    expressed: AbstractSet[int],
+    combiner: CellCombiner = min_combiner,
+) -> float:
+    """Quantized satisfaction of one atomic cell rule by the query."""
+    if cell.black_dot:
+        return 1.0
+    return combiner([e.satisfaction(expressed) for e in cell.exclusion_lists])
+
+
+def bstce(
+    bst: BST,
+    query: AbstractSet[int],
+    arithmetization: str = "min",
+) -> float:
+    """The expected atomic-rule satisfaction level of ``query`` under ``bst``.
+
+    Args:
+        bst: the Boolean Structure Table ``T(i)`` for one class.
+        query: item ids the query sample expresses.
+        arithmetization: name of the per-cell list combiner (``min`` is the
+            paper's Algorithm 5; see :mod:`repro.core.arithmetization`).
+
+    Returns:
+        The classification value in ``[0, 1]``.
+    """
+    combiner = get_combiner(arithmetization)
+    column_means: List[float] = []
+    for sample in bst.columns:
+        shared = query & bst.dataset.samples[sample]
+        if not shared:
+            continue
+        values = [
+            cell_value(bst.cell(gene, sample), query, combiner)
+            for gene in shared
+        ]
+        column_means.append(sum(values) / len(values))
+    if not column_means:
+        return 0.0
+    return sum(column_means) / len(column_means)
+
+
+def bstce_detail(
+    bst: BST,
+    query: AbstractSet[int],
+    arithmetization: str = "min",
+) -> Tuple[float, Dict[int, float], Dict[Tuple[int, int], float]]:
+    """Like :func:`bstce` but also return per-column and per-cell values.
+
+    Returns ``(classification_value, column_means, cell_values)`` where
+    ``column_means`` maps class-sample index to its column mean and
+    ``cell_values`` maps ``(gene, sample)`` to the scored cell value.  Used by
+    the explanation machinery (Section 5.3.2) and by the Figure 3 experiment.
+    """
+    combiner = get_combiner(arithmetization)
+    column_means: Dict[int, float] = {}
+    cell_values: Dict[Tuple[int, int], float] = {}
+    for sample in bst.columns:
+        shared = query & bst.dataset.samples[sample]
+        if not shared:
+            continue
+        total = 0.0
+        for gene in shared:
+            value = cell_value(bst.cell(gene, sample), query, combiner)
+            cell_values[(gene, sample)] = value
+            total += value
+        column_means[sample] = total / len(shared)
+    if not column_means:
+        return 0.0, column_means, cell_values
+    final = sum(column_means.values()) / len(column_means)
+    return final, column_means, cell_values

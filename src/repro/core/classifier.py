@@ -1,0 +1,135 @@
+"""The Boolean Structure Table Classifier — BSTC (Section 5.3, Algorithm 6).
+
+``BSTClassifier`` is the paper's headline contribution: fit builds one BST
+per class (``O(|S|² · |G|)`` time and space, Section 3.1.1) and prediction
+classifies a query as the class whose BST has the highest BSTCE satisfaction
+level, breaking ties toward the smallest class id (Algorithm 6 line 6).
+
+The classifier is parameter-free (the paper's ease-of-use claim) and handles
+any number of classes.  Two interchangeable engines are provided:
+
+* ``fast`` (default): the vectorized evaluator of :mod:`repro.core.fast`;
+* ``reference``: the literal Algorithm 5 over explicit BST objects.
+
+Their values agree exactly up to floating-point associativity and are
+cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..bst.table import BST, build_all_bsts
+from ..datasets.dataset import RelationalDataset
+from .arithmetization import classification_confidence
+from .bstce import bstce
+from .fast import FastBSTCEvaluator, Query
+
+
+class NotFittedError(RuntimeError):
+    """Raised when prediction is attempted before :meth:`BSTClassifier.fit`."""
+
+
+class BSTClassifier:
+    """Boolean Structure Table Classification.
+
+    Args:
+        arithmetization: the per-cell combiner (``min`` is Algorithm 5; see
+            :mod:`repro.core.arithmetization` for the Section 8 variants).
+        engine: ``fast`` (vectorized) or ``reference`` (explicit BSTs).
+
+    Example:
+        >>> from repro.datasets.dataset import running_example
+        >>> clf = BSTClassifier().fit(running_example())
+        >>> clf.predict({0, 3, 4})  # Q expresses g1, g4, g5
+        0
+    """
+
+    def __init__(self, arithmetization: str = "min", engine: str = "fast"):
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.arithmetization = arithmetization
+        self.engine = engine
+        self._dataset: Optional[RelationalDataset] = None
+        self._fast: Optional[FastBSTCEvaluator] = None
+        self._bsts: Optional[List[BST]] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, dataset: RelationalDataset) -> "BSTClassifier":
+        """Build the per-class structures from labeled training data."""
+        if dataset.n_samples == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._dataset = dataset
+        if self.engine == "fast":
+            self._fast = FastBSTCEvaluator(dataset, self.arithmetization)
+            self._bsts = None
+        else:
+            self._bsts = build_all_bsts(dataset)
+            self._fast = None
+        return self
+
+    @property
+    def dataset(self) -> RelationalDataset:
+        if self._dataset is None:
+            raise NotFittedError("call fit() before using the classifier")
+        return self._dataset
+
+    @property
+    def bsts(self) -> List[BST]:
+        """The explicit per-class BSTs (built lazily under the fast engine,
+        for explanations and inspection)."""
+        if self._dataset is None:
+            raise NotFittedError("call fit() before using the classifier")
+        if self._bsts is None:
+            self._bsts = build_all_bsts(self._dataset)
+        return self._bsts
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def classification_values(self, query: Query) -> np.ndarray:
+        """CV(i) = BSTCE(T(i), Q) for every class (Algorithm 6 line 4)."""
+        if self._dataset is None:
+            raise NotFittedError("call fit() before using the classifier")
+        if self._fast is not None:
+            return self._fast.classification_values(query)
+        assert self._bsts is not None
+        qset = self._as_set(query)
+        return np.array(
+            [bstce(bst, qset, self.arithmetization) for bst in self._bsts],
+            dtype=np.float64,
+        )
+
+    def predict(self, query: Query) -> int:
+        """Classify one query sample (Algorithm 6 line 6: first argmax)."""
+        values = self.classification_values(query)
+        return int(np.argmax(values))
+
+    def predict_many(self, queries: Iterable[Query]) -> List[int]:
+        """Classify a sequence of query samples."""
+        return [self.predict(q) for q in queries]
+
+    def predict_dataset(self, dataset: RelationalDataset) -> List[int]:
+        """Classify every sample of a test dataset sharing this classifier's
+        item vocabulary; labels in ``dataset`` are ignored."""
+        if dataset.n_items != self.dataset.n_items:
+            raise ValueError(
+                "test dataset item vocabulary differs from training"
+            )
+        return [self.predict(sample) for sample in dataset.samples]
+
+    def predict_with_confidence(self, query: Query) -> Tuple[int, float]:
+        """Prediction plus the Section 8 confidence measure (the normalized
+        gap between the best and second-best class values)."""
+        values = self.classification_values(query)
+        return int(np.argmax(values)), classification_confidence(values.tolist())
+
+    # ------------------------------------------------------------------
+    def _as_set(self, query: Query) -> AbstractSet[int]:
+        if isinstance(query, np.ndarray):
+            return frozenset(int(i) for i in np.flatnonzero(query))
+        return frozenset(int(i) for i in query)

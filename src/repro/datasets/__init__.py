@@ -1,0 +1,28 @@
+"""Microarray data models, discretization, synthesis, splits and I/O."""
+
+from .dataset import DatasetError, ExpressionMatrix, RelationalDataset, running_example
+from .discretize import EntropyDiscretizer, GenePartition, mdlp_cut_points
+from .profiles import MULTICLASS_PROFILE, PAPER_PROFILES, DatasetProfile, profile, scaled
+from .splits import TrainTestSplit, count_split, fraction_split, given_training_split
+from .synthetic import generate_expression_data
+
+__all__ = [
+    "DatasetError", "ExpressionMatrix", "RelationalDataset", "running_example",
+    "EntropyDiscretizer", "GenePartition", "mdlp_cut_points",
+    "DatasetProfile", "PAPER_PROFILES", "MULTICLASS_PROFILE", "profile", "scaled",
+    "TrainTestSplit", "count_split", "fraction_split", "given_training_split",
+    "generate_expression_data",
+]
+
+from .preprocess import (
+    PreprocessingPipeline,
+    floor_and_log2,
+    impute_missing,
+    quantile_normalize,
+    variance_filter,
+)
+
+__all__ += [
+    "PreprocessingPipeline", "floor_and_log2", "impute_missing",
+    "quantile_normalize", "variance_filter",
+]

@@ -1,0 +1,280 @@
+"""Relational and continuous microarray data models.
+
+The paper (Table 1) represents a discretized microarray dataset as a relation
+whose rows are samples, each expressing a subset of boolean *items* and
+carrying a class label.  ``RelationalDataset`` is that representation.
+``ExpressionMatrix`` holds the raw continuous measurements that the
+entropy-minimized discretizer (``repro.datasets.discretize``) converts into a
+``RelationalDataset``.
+
+Items are opaque: with the paper's running example they are genes; after
+entropy discretization they are ``(gene, interval)`` pairs.  The boolean
+sample/item relationship is all that the BST machinery needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DatasetError(ValueError):
+    """Raised when dataset construction arguments are inconsistent."""
+
+
+@dataclass(frozen=True)
+class RelationalDataset:
+    """A discretized (boolean) gene expression dataset.
+
+    Attributes:
+        item_names: display name of each boolean item, indexed by item id.
+        class_names: display name of each class, indexed by class id.
+        samples: for each sample, the frozen set of item ids it expresses.
+        labels: class id of each sample.
+        sample_names: optional display names for samples.
+    """
+
+    item_names: Tuple[str, ...]
+    class_names: Tuple[str, ...]
+    samples: Tuple[FrozenSet[int], ...]
+    labels: Tuple[int, ...]
+    sample_names: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if len(self.samples) != len(self.labels):
+            raise DatasetError(
+                f"{len(self.samples)} samples but {len(self.labels)} labels"
+            )
+        if self.sample_names is not None and len(self.sample_names) != len(self.samples):
+            raise DatasetError("sample_names length does not match samples")
+        n_items = len(self.item_names)
+        for idx, sample in enumerate(self.samples):
+            for item in sample:
+                if not 0 <= item < n_items:
+                    raise DatasetError(f"sample {idx} expresses unknown item {item}")
+        n_classes = len(self.class_names)
+        for idx, label in enumerate(self.labels):
+            if not 0 <= label < n_classes:
+                raise DatasetError(f"sample {idx} has unknown class id {label}")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.item_names)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    def class_members(self, class_id: int) -> Tuple[int, ...]:
+        """Sample indices belonging to ``class_id`` (the set C_i)."""
+        return tuple(i for i, lab in enumerate(self.labels) if lab == class_id)
+
+    def outside_members(self, class_id: int) -> Tuple[int, ...]:
+        """Sample indices outside ``class_id`` (the set S - C_i)."""
+        return tuple(i for i, lab in enumerate(self.labels) if lab != class_id)
+
+    def class_sizes(self) -> Tuple[int, ...]:
+        sizes = [0] * self.n_classes
+        for lab in self.labels:
+            sizes[lab] += 1
+        return tuple(sizes)
+
+    def majority_class(self) -> int:
+        """The most populous class (smallest id wins ties)."""
+        sizes = self.class_sizes()
+        return int(np.argmax(sizes))
+
+    def sample_name(self, index: int) -> str:
+        if self.sample_names is not None:
+            return self.sample_names[index]
+        return f"s{index}"
+
+    @cached_property
+    def bool_matrix(self) -> np.ndarray:
+        """Dense boolean (n_samples x n_items) expression matrix."""
+        mat = np.zeros((self.n_samples, self.n_items), dtype=bool)
+        for row, sample in enumerate(self.samples):
+            if sample:
+                mat[row, list(sample)] = True
+        return mat
+
+    @cached_property
+    def label_array(self) -> np.ndarray:
+        return np.asarray(self.labels, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int]) -> "RelationalDataset":
+        """A new dataset containing only the given sample indices (in order)."""
+        return RelationalDataset(
+            item_names=self.item_names,
+            class_names=self.class_names,
+            samples=tuple(self.samples[i] for i in indices),
+            labels=tuple(self.labels[i] for i in indices),
+            sample_names=(
+                tuple(self.sample_names[i] for i in indices)
+                if self.sample_names is not None
+                else None
+            ),
+        )
+
+    def support_of_itemset(self, itemset: Iterable[int]) -> FrozenSet[int]:
+        """All sample indices whose expressed items contain ``itemset``."""
+        wanted = frozenset(itemset)
+        return frozenset(
+            i for i, sample in enumerate(self.samples) if wanted <= sample
+        )
+
+    @staticmethod
+    def from_bool_matrix(
+        matrix: np.ndarray,
+        labels: Sequence[int],
+        item_names: Optional[Sequence[str]] = None,
+        class_names: Optional[Sequence[str]] = None,
+        sample_names: Optional[Sequence[str]] = None,
+    ) -> "RelationalDataset":
+        """Build from a dense boolean matrix (n_samples x n_items)."""
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise DatasetError("matrix must be 2-dimensional")
+        n_samples, n_items = matrix.shape
+        if item_names is None:
+            item_names = [f"g{j + 1}" for j in range(n_items)]
+        if class_names is None:
+            class_names = [str(c) for c in sorted(set(int(v) for v in labels))]
+        samples = tuple(
+            frozenset(int(j) for j in np.flatnonzero(matrix[i]))
+            for i in range(n_samples)
+        )
+        return RelationalDataset(
+            item_names=tuple(str(n) for n in item_names),
+            class_names=tuple(str(n) for n in class_names),
+            samples=samples,
+            labels=tuple(int(v) for v in labels),
+            sample_names=(
+                tuple(str(n) for n in sample_names) if sample_names is not None else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ExpressionMatrix:
+    """Continuous microarray measurements prior to discretization.
+
+    Attributes:
+        gene_names: name of each gene (column).
+        values: float matrix, shape (n_samples, n_genes).
+        labels: class id per sample.
+        class_names: display name per class id.
+        sample_names: optional display names for samples.
+    """
+
+    gene_names: Tuple[str, ...]
+    values: np.ndarray
+    labels: Tuple[int, ...]
+    class_names: Tuple[str, ...]
+    sample_names: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        object.__setattr__(self, "values", values)
+        if values.ndim != 2:
+            raise DatasetError("values must be 2-dimensional")
+        if values.shape[0] != len(self.labels):
+            raise DatasetError(
+                f"{values.shape[0]} rows but {len(self.labels)} labels"
+            )
+        if values.shape[1] != len(self.gene_names):
+            raise DatasetError(
+                f"{values.shape[1]} columns but {len(self.gene_names)} gene names"
+            )
+        n_classes = len(self.class_names)
+        for idx, label in enumerate(self.labels):
+            if not 0 <= label < n_classes:
+                raise DatasetError(f"sample {idx} has unknown class id {label}")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def n_genes(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    @cached_property
+    def label_array(self) -> np.ndarray:
+        return np.asarray(self.labels, dtype=np.int64)
+
+    def class_members(self, class_id: int) -> Tuple[int, ...]:
+        return tuple(i for i, lab in enumerate(self.labels) if lab == class_id)
+
+    def class_sizes(self) -> Tuple[int, ...]:
+        sizes = [0] * self.n_classes
+        for lab in self.labels:
+            sizes[lab] += 1
+        return tuple(sizes)
+
+    def subset(self, indices: Sequence[int]) -> "ExpressionMatrix":
+        indices = list(indices)
+        return ExpressionMatrix(
+            gene_names=self.gene_names,
+            values=self.values[indices],
+            labels=tuple(self.labels[i] for i in indices),
+            class_names=self.class_names,
+            sample_names=(
+                tuple(self.sample_names[i] for i in indices)
+                if self.sample_names is not None
+                else None
+            ),
+        )
+
+    def select_genes(self, gene_indices: Sequence[int]) -> "ExpressionMatrix":
+        gene_indices = list(gene_indices)
+        return ExpressionMatrix(
+            gene_names=tuple(self.gene_names[j] for j in gene_indices),
+            values=self.values[:, gene_indices],
+            labels=self.labels,
+            class_names=self.class_names,
+            sample_names=self.sample_names,
+        )
+
+
+def running_example() -> RelationalDataset:
+    """The paper's Table 1 running example.
+
+    Five samples over genes g1..g6 with classes Cancer (s1, s2, s3) and
+    Healthy (s4, s5).  Item ids 0..5 correspond to genes g1..g6; class id 0 is
+    Cancer and class id 1 is Healthy.
+    """
+    genes = ("g1", "g2", "g3", "g4", "g5", "g6")
+    expressed = [
+        {"g1", "g2", "g3", "g5"},  # s1  Cancer
+        {"g1", "g3", "g6"},        # s2  Cancer
+        {"g2", "g4", "g6"},        # s3  Cancer
+        {"g2", "g3", "g5"},        # s4  Healthy
+        {"g3", "g4", "g5", "g6"},  # s5  Healthy
+    ]
+    index = {name: i for i, name in enumerate(genes)}
+    samples = tuple(frozenset(index[g] for g in row) for row in expressed)
+    return RelationalDataset(
+        item_names=genes,
+        class_names=("Cancer", "Healthy"),
+        samples=samples,
+        labels=(0, 0, 0, 1, 1),
+        sample_names=("s1", "s2", "s3", "s4", "s5"),
+    )

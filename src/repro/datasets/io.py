@@ -1,0 +1,107 @@
+"""Dataset file formats.
+
+Two simple, inspectable formats:
+
+* ``ExpressionMatrix`` ↔ tab-separated values: a header row of gene names,
+  then one row per sample: ``sample_name<TAB>class_name<TAB>v1<TAB>v2...``.
+  This matches the layout of the original SDMC distribution files.
+* ``RelationalDataset`` ↔ JSON: explicit item/class vocabularies plus the
+  expressed-item lists, for exchanging discretized data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from .dataset import DatasetError, ExpressionMatrix, RelationalDataset
+
+PathLike = Union[str, Path]
+
+
+def save_expression_tsv(data: ExpressionMatrix, path: PathLike) -> None:
+    """Write an expression matrix in the TSV interchange format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("sample\tclass\t" + "\t".join(data.gene_names) + "\n")
+        for i in range(data.n_samples):
+            name = (
+                data.sample_names[i] if data.sample_names is not None else f"s{i}"
+            )
+            row_values = "\t".join(f"{v:.6g}" for v in data.values[i])
+            handle.write(
+                f"{name}\t{data.class_names[data.labels[i]]}\t{row_values}\n"
+            )
+
+
+def load_expression_tsv(path: PathLike) -> ExpressionMatrix:
+    """Read an expression matrix written by :func:`save_expression_tsv`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n").split("\t")
+        if len(header) < 3 or header[0] != "sample" or header[1] != "class":
+            raise DatasetError(f"{path}: not an expression TSV file")
+        gene_names = tuple(header[2:])
+        sample_names: List[str] = []
+        class_names: List[str] = []
+        labels: List[int] = []
+        rows: List[List[float]] = []
+        for line_no, line in enumerate(handle, start=2):
+            parts = line.rstrip("\n").split("\t")
+            if len(parts) != len(gene_names) + 2:
+                raise DatasetError(
+                    f"{path}:{line_no}: expected {len(gene_names) + 2} fields,"
+                    f" found {len(parts)}"
+                )
+            sample_names.append(parts[0])
+            label_name = parts[1]
+            if label_name not in class_names:
+                class_names.append(label_name)
+            labels.append(class_names.index(label_name))
+            rows.append([float(v) for v in parts[2:]])
+    return ExpressionMatrix(
+        gene_names=gene_names,
+        values=np.asarray(rows, dtype=np.float64),
+        labels=tuple(labels),
+        class_names=tuple(class_names),
+        sample_names=tuple(sample_names),
+    )
+
+
+def save_relational_json(data: RelationalDataset, path: PathLike) -> None:
+    """Write a discretized dataset as JSON."""
+    payload = {
+        "item_names": list(data.item_names),
+        "class_names": list(data.class_names),
+        "labels": list(data.labels),
+        "samples": [sorted(sample) for sample in data.samples],
+        "sample_names": (
+            list(data.sample_names) if data.sample_names is not None else None
+        ),
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_relational_json(path: PathLike) -> RelationalDataset:
+    """Read a dataset written by :func:`save_relational_json`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path}: invalid JSON ({exc})") from exc
+    try:
+        return RelationalDataset(
+            item_names=tuple(payload["item_names"]),
+            class_names=tuple(payload["class_names"]),
+            samples=tuple(frozenset(s) for s in payload["samples"]),
+            labels=tuple(payload["labels"]),
+            sample_names=(
+                tuple(payload["sample_names"])
+                if payload.get("sample_names") is not None
+                else None
+            ),
+        )
+    except KeyError as exc:
+        raise DatasetError(f"{path}: missing field {exc}") from exc

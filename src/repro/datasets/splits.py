@@ -1,0 +1,119 @@
+"""Train/test splitting — the Section 6.2 cross-validation protocols.
+
+Two split families appear in the paper:
+
+* *fractional*: a training set of 40%, 60% or 80% of the total samples,
+  "produced by randomly selecting samples from the original combined
+  dataset" (unstratified);
+* *per-class counts*: the ``1-x/0-y`` tests draw exactly ``x`` class-1 and
+  ``y`` class-0 samples, matching the clinically determined split's
+  proportions.
+
+Every split is seeded and returns index lists; the remaining samples test.
+Fractional draws that would leave a class unrepresented in training are
+redrawn (the paper's real splits implicitly contained both classes; a BST
+cannot be built for an absent class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from .dataset import ExpressionMatrix, RelationalDataset
+
+Labeled = Union[RelationalDataset, ExpressionMatrix]
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """Index sets of one train/test partition (both ascending)."""
+
+    train_indices: Tuple[int, ...]
+    test_indices: Tuple[int, ...]
+
+    @property
+    def n_train(self) -> int:
+        return len(self.train_indices)
+
+    @property
+    def n_test(self) -> int:
+        return len(self.test_indices)
+
+
+def _labels_of(data: Union[Labeled, Sequence[int]]) -> np.ndarray:
+    if isinstance(data, (RelationalDataset, ExpressionMatrix)):
+        return data.label_array
+    return np.asarray(list(data), dtype=np.int64)
+
+
+def fraction_split(
+    data: Union[Labeled, Sequence[int]],
+    fraction: float,
+    seed: int,
+    max_redraws: int = 100,
+) -> TrainTestSplit:
+    """Random unstratified split with ``round(fraction * n)`` training samples.
+
+    Redraws (up to ``max_redraws`` times) when a class would be absent from
+    the training side; raises ``ValueError`` if that is impossible.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be strictly between 0 and 1")
+    labels = _labels_of(data)
+    n = labels.size
+    n_train = int(round(fraction * n))
+    n_train = min(max(n_train, 1), n - 1)
+    n_classes = int(labels.max()) + 1 if n else 0
+    if n_train < n_classes:
+        raise ValueError(
+            f"cannot represent {n_classes} classes in {n_train} training samples"
+        )
+    rng = np.random.default_rng(seed)
+    for _ in range(max_redraws):
+        train = np.sort(rng.choice(n, size=n_train, replace=False))
+        if len(set(labels[train].tolist())) == len(set(labels.tolist())):
+            test = np.setdiff1d(np.arange(n), train)
+            return TrainTestSplit(
+                tuple(int(i) for i in train), tuple(int(i) for i in test)
+            )
+    raise ValueError("could not draw a training set covering every class")
+
+
+def count_split(
+    data: Union[Labeled, Sequence[int]],
+    counts: Sequence[int],
+    seed: int,
+) -> TrainTestSplit:
+    """The paper's ``1-x/0-y`` protocol: draw ``counts[c]`` training samples
+    from each class ``c``; everything else tests."""
+    labels = _labels_of(data)
+    rng = np.random.default_rng(seed)
+    train: List[int] = []
+    for class_id, want in enumerate(counts):
+        members = np.flatnonzero(labels == class_id)
+        if want > members.size:
+            raise ValueError(
+                f"class {class_id} has {members.size} samples; cannot draw {want}"
+            )
+        chosen = rng.choice(members, size=want, replace=False)
+        train.extend(int(i) for i in chosen)
+    train_sorted = tuple(sorted(train))
+    test = tuple(
+        int(i) for i in range(labels.size) if int(i) not in set(train_sorted)
+    )
+    if not test:
+        raise ValueError("split leaves no test samples")
+    return TrainTestSplit(train_sorted, test)
+
+
+def given_training_split(
+    data: Union[Labeled, Sequence[int]],
+    training_counts: Sequence[int],
+    seed: int = 0,
+) -> TrainTestSplit:
+    """The Table 3 'clinically determined' split: the first seeded draw of
+    the published per-class training counts."""
+    return count_split(data, training_counts, seed)

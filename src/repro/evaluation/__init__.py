@@ -1,0 +1,23 @@
+"""Evaluation machinery: metrics, boxplots, budgets, the CV harness."""
+
+from .boxplot import BoxplotStats, boxplot_stats
+from .crossval import (
+    CVTest,
+    PhaseRecord,
+    StudyResult,
+    TestResult,
+    TrainingSize,
+    derive_seed,
+    make_test,
+    paper_training_sizes,
+)
+from .metrics import accuracy, confusion_matrix, error_direction, mean_accuracy
+from .timing import Budget, BudgetExceeded, TimedOutcome, run_with_budget, timed
+
+__all__ = [
+    "accuracy", "confusion_matrix", "error_direction", "mean_accuracy",
+    "BoxplotStats", "boxplot_stats", "Budget", "BudgetExceeded",
+    "TimedOutcome", "run_with_budget", "timed", "TrainingSize", "CVTest",
+    "PhaseRecord", "TestResult", "StudyResult", "make_test",
+    "paper_training_sizes", "derive_seed",
+]

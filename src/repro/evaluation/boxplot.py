@@ -1,0 +1,101 @@
+"""Boxplot statistics matching the paper's "Boxplot Interpretation" paragraph.
+
+Section 6.2 plots cross-validation accuracy distributions as boxplots with:
+a median diamond, a box at the first and third quartiles, whiskers to the
+min/max unless outliers exist (then to 1.5 × IQR), *near* outliers within
+3 × IQR drawn as circles and *far* outliers beyond as asterisks.  This module
+computes exactly those summary statistics (figures are rendered as text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary plus the paper's outlier classification."""
+
+    n: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    lower_whisker: float
+    upper_whisker: float
+    near_outliers: Tuple[float, ...]
+    far_outliers: Tuple[float, ...]
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def render(self, label: str = "", width: int = 40) -> str:
+        """A one-line textual boxplot over [0, 1] (for accuracy data)."""
+        def pos(v: float) -> int:
+            return min(width - 1, max(0, int(round(v * (width - 1)))))
+
+        line = [" "] * width
+        for x in range(pos(self.lower_whisker), pos(self.upper_whisker) + 1):
+            line[x] = "-"
+        for x in range(pos(self.q1), pos(self.q3) + 1):
+            line[x] = "="
+        line[pos(self.median)] = "#"
+        for v in self.near_outliers:
+            line[pos(v)] = "o"
+        for v in self.far_outliers:
+            line[pos(v)] = "*"
+        summary = (
+            f" med={self.median:.3f} q1={self.q1:.3f} q3={self.q3:.3f}"
+            f" mean={self.mean:.3f} n={self.n}"
+        )
+        return f"{label:>14} |{''.join(line)}|{summary}"
+
+
+def boxplot_stats(values: Sequence[float]) -> BoxplotStats:
+    """Compute the paper-style boxplot summary of a sample.
+
+    Quartiles use linear interpolation (the convention of R's default
+    ``quantile`` type 7, which the paper's R-generated plots used).
+    """
+    data = np.asarray(sorted(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    q1, med, q3 = (float(q) for q in np.quantile(data, [0.25, 0.5, 0.75]))
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    far_low = q1 - 3.0 * iqr
+    far_high = q3 + 3.0 * iqr
+    inliers = data[(data >= low_fence) & (data <= high_fence)]
+    outliers = data[(data < low_fence) | (data > high_fence)]
+    if outliers.size == 0:
+        lower_whisker = float(data.min())
+        upper_whisker = float(data.max())
+    else:
+        lower_whisker = float(inliers.min()) if inliers.size else q1
+        upper_whisker = float(inliers.max()) if inliers.size else q3
+    near = tuple(
+        float(v)
+        for v in outliers
+        if far_low <= v <= far_high
+    )
+    far = tuple(float(v) for v in outliers if v < far_low or v > far_high)
+    return BoxplotStats(
+        n=int(data.size),
+        minimum=float(data.min()),
+        q1=q1,
+        median=med,
+        q3=q3,
+        maximum=float(data.max()),
+        lower_whisker=lower_whisker,
+        upper_whisker=upper_whisker,
+        near_outliers=near,
+        far_outliers=far,
+        mean=float(data.mean()),
+    )

@@ -1,0 +1,254 @@
+"""The Section 6.2 cross-validation study harness.
+
+The paper's protocol, per dataset: four training sizes (40%, 60%, 80% of the
+combined samples, plus a ``1-x/0-y`` per-class-count size matching the
+clinically determined split), 25 independent tests each.  Every test draws a
+training set, discretizes it with the entropy partition, transforms the held
+out samples through the training cut points, and runs each classifier under
+a wall-clock cutoff; runs that exceed the cutoff are DNF and their runtimes
+floor at the cutoff.
+
+The harness materializes each test once (:class:`CVTest`) so every
+classifier sees identical data, and runners
+(:mod:`repro.evaluation.runners`) produce per-phase timings — the paper
+times Top-k's rule mining separately from RCBT's lower-bound mining and
+classification, and BSTC's build+classify as one number.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..datasets.dataset import ExpressionMatrix, RelationalDataset
+from ..datasets.discretize import EntropyDiscretizer
+from ..datasets.profiles import DatasetProfile
+from ..datasets.splits import TrainTestSplit, count_split, fraction_split
+from .boxplot import BoxplotStats, boxplot_stats
+
+
+@dataclass(frozen=True)
+class TrainingSize:
+    """One training-set size specification.
+
+    Exactly one of ``fraction`` / ``counts`` is set.  ``label`` follows the
+    paper's notation (``40%`` or ``1-52/0-50``).
+    """
+
+    label: str
+    fraction: Optional[float] = None
+    counts: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if (self.fraction is None) == (self.counts is None):
+            raise ValueError("set exactly one of fraction or counts")
+
+    def split(self, data: ExpressionMatrix, seed: int) -> TrainTestSplit:
+        if self.fraction is not None:
+            return fraction_split(data, self.fraction, seed)
+        assert self.counts is not None
+        return count_split(data, self.counts, seed)
+
+
+def paper_training_sizes(profile: DatasetProfile) -> List[TrainingSize]:
+    """The four Section 6.2 sizes for a dataset profile."""
+    counts = profile.given_training
+    count_label = "1-" + "/0-".join(str(c) for c in counts) if len(counts) == 2 else (
+        "counts-" + "/".join(str(c) for c in counts)
+    )
+    return [
+        TrainingSize("40%", fraction=0.4),
+        TrainingSize("60%", fraction=0.6),
+        TrainingSize("80%", fraction=0.8),
+        TrainingSize(count_label, counts=counts),
+    ]
+
+
+def derive_seed(*parts) -> int:
+    """Deterministic seed from experiment coordinates."""
+    text = "|".join(str(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+@dataclass
+class CVTest:
+    """One materialized train/test instance shared by all classifiers.
+
+    Attributes:
+        size: the training size spec that produced the split.
+        index: test number within its size (0-based).
+        train / test: continuous expression matrices.
+        rel_train: the discretized training data.
+        test_queries: each test sample's expressed item set under the
+            training discretization.
+        discretizer: the fitted entropy discretizer.
+    """
+
+    size: TrainingSize
+    index: int
+    train: ExpressionMatrix
+    test: ExpressionMatrix
+    rel_train: RelationalDataset
+    test_queries: List[frozenset]
+    discretizer: EntropyDiscretizer
+
+    @property
+    def test_labels(self) -> Tuple[int, ...]:
+        return self.test.labels
+
+
+def make_test(
+    data: ExpressionMatrix,
+    size: TrainingSize,
+    index: int,
+    dataset_name: str = "",
+) -> CVTest:
+    """Draw, discretize and materialize one cross-validation test."""
+    seed = derive_seed(dataset_name, size.label, index)
+    split = size.split(data, seed)
+    train = data.subset(split.train_indices)
+    test = data.subset(split.test_indices)
+    discretizer = EntropyDiscretizer().fit(train)
+    rel_train = discretizer.transform(train)
+    test_queries = discretizer.transform_values(test.values)
+    return CVTest(
+        size=size,
+        index=index,
+        train=train,
+        test=test,
+        rel_train=rel_train,
+        test_queries=test_queries,
+        discretizer=discretizer,
+    )
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """Timing of one runner phase on one test.
+
+    ``finished`` False means the phase hit its cutoff; ``seconds`` then holds
+    the cutoff (the paper's "≥ cutoff" convention).
+    """
+
+    name: str
+    seconds: float
+    finished: bool
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """One classifier's outcome on one test."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    classifier: str
+    size_label: str
+    test_index: int
+    accuracy: Optional[float]
+    phases: Tuple[PhaseRecord, ...]
+    notes: str = ""
+
+    @property
+    def dnf(self) -> bool:
+        return any(not p.finished for p in self.phases)
+
+    def phase_seconds(self, name: str) -> Optional[float]:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase.seconds
+        return None
+
+    def phase_finished(self, name: str) -> Optional[bool]:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase.finished
+        return None
+
+
+@dataclass
+class StudyResult:
+    """All results of one cross-validation study (one dataset)."""
+
+    dataset_name: str
+    results: List[TestResult] = field(default_factory=list)
+
+    def add(self, result: TestResult) -> None:
+        self.results.append(result)
+
+    def select(
+        self, classifier: str, size_label: Optional[str] = None
+    ) -> List[TestResult]:
+        return [
+            r
+            for r in self.results
+            if r.classifier == classifier
+            and (size_label is None or r.size_label == size_label)
+        ]
+
+    def accuracies(
+        self, classifier: str, size_label: str, finished_only: bool = True
+    ) -> List[float]:
+        return [
+            r.accuracy
+            for r in self.select(classifier, size_label)
+            if r.accuracy is not None and (not finished_only or not r.dnf)
+        ]
+
+    def boxplot(self, classifier: str, size_label: str) -> BoxplotStats:
+        values = self.accuracies(classifier, size_label)
+        return boxplot_stats(values)
+
+    def mean_accuracy_where_finished(
+        self, classifier: str, other: str, size_label: str
+    ) -> Optional[float]:
+        """Mean accuracy of ``classifier`` over the tests where ``other``
+        finished — the Tables 5/7 protocol ("averages over the tests RCBT
+        was able to complete")."""
+        finished_tests = {
+            r.test_index
+            for r in self.select(other, size_label)
+            if not r.dnf and r.accuracy is not None
+        }
+        values = [
+            r.accuracy
+            for r in self.select(classifier, size_label)
+            if r.test_index in finished_tests and r.accuracy is not None
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def mean_phase_seconds(
+        self, classifier: str, size_label: str, phase: str
+    ) -> Optional[float]:
+        """Average phase runtime with DNF runs floored at the cutoff —
+        Tables 4/6's "average run time (lower bound)" columns."""
+        values = [
+            r.phase_seconds(phase)
+            for r in self.select(classifier, size_label)
+        ]
+        values = [v for v in values if v is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def dnf_ratio(
+        self, classifier: str, size_label: str, phase: str
+    ) -> Tuple[int, int]:
+        """``(#DNF, #attempted)`` for one phase — the "# RCBT DNF" columns.
+
+        Tests whose earlier phase never finished do not count as attempted
+        (the paper reports RCBT DNFs "over the number of tests for which
+        Top-K finished").
+        """
+        attempted = 0
+        dnf = 0
+        for r in self.select(classifier, size_label):
+            finished = r.phase_finished(phase)
+            if finished is None:
+                continue
+            attempted += 1
+            if not finished:
+                dnf += 1
+        return dnf, attempted

@@ -1,0 +1,64 @@
+"""Classification metrics for the Section 6 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def accuracy(predictions: Sequence[int], labels: Sequence[int]) -> float:
+    """Fraction of correct predictions; raises on length mismatch or empty
+    input."""
+    predictions = list(predictions)
+    labels = list(labels)
+    if len(predictions) != len(labels):
+        raise ValueError(
+            f"{len(predictions)} predictions for {len(labels)} labels"
+        )
+    if not labels:
+        raise ValueError("cannot score an empty test set")
+    return sum(p == l for p, l in zip(predictions, labels)) / len(labels)
+
+
+def confusion_matrix(
+    predictions: Sequence[int], labels: Sequence[int], n_classes: int
+) -> np.ndarray:
+    """Counts matrix ``M[actual, predicted]``."""
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for pred, actual in zip(predictions, labels):
+        matrix[actual, pred] += 1
+    return matrix
+
+
+@dataclass(frozen=True)
+class ErrorDirection:
+    """Directional error analysis (Section 6.1 observes that every BSTC error
+    on ALL/AML mistook class 0 for class 1)."""
+
+    mistaken_as: Tuple[Tuple[int, int, int], ...]  # (actual, predicted, count)
+
+    @property
+    def one_directional(self) -> bool:
+        """True when all errors share a single (actual, predicted) pair."""
+        return len(self.mistaken_as) <= 1
+
+
+def error_direction(
+    predictions: Sequence[int], labels: Sequence[int]
+) -> ErrorDirection:
+    counts: dict = {}
+    for pred, actual in zip(predictions, labels):
+        if pred != actual:
+            key = (actual, pred)
+            counts[key] = counts.get(key, 0) + 1
+    return ErrorDirection(
+        tuple(sorted((a, p, c) for (a, p), c in counts.items()))
+    )
+
+
+def mean_accuracy(accuracies: Sequence[float]) -> float:
+    if not accuracies:
+        raise ValueError("no accuracies to average")
+    return float(np.mean(accuracies))

@@ -1,0 +1,321 @@
+"""Classifier runners: uniform adapters from a CVTest to a TestResult.
+
+Each runner executes one classifier on one materialized cross-validation
+test, under per-phase wall-clock cutoffs, and reports the paper's
+bookkeeping: per-phase runtimes (floored at the cutoff on DNF), accuracy
+when classification finished, and DNF markers.
+
+Phase naming follows the paper's table columns:
+
+* ``bstc``: BST construction + classification of every test sample;
+* ``topk``: Top-k covering rule-group (upper bound) mining for all classes;
+* ``rcbt``: RCBT lower-bound mining, committee assembly and classification
+  (only attempted when ``topk`` finished, as in Tables 4/6);
+* ``svm`` / ``rf`` / ``cba`` / ``tree`` / ``bagging`` / ``boosting``:
+  fit + predict of the respective baseline.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from ..baselines.cba import CBAClassifier
+from ..baselines.forest import RandomForestClassifier
+from ..baselines.irg import IRGClassifier
+from ..baselines.rcbt import RCBTClassifier
+from ..baselines.svm import SVMClassifier
+from ..baselines.tree import AdaBoostClassifier, BaggingClassifier, DecisionTree
+from ..core.classifier import BSTClassifier
+from .crossval import CVTest, PhaseRecord, TestResult
+from .metrics import accuracy
+from .timing import Budget, BudgetExceeded
+
+
+class Runner(Protocol):
+    """The runner interface used by the experiment drivers."""
+
+    name: str
+
+    def run(self, test: CVTest) -> TestResult: ...
+
+
+@dataclass
+class BSTCRunner:
+    """Build all BSTs and classify every test sample (the paper's BSTC
+    column times exactly this)."""
+
+    arithmetization: str = "min"
+    cutoff: float = math.inf
+    name: str = "BSTC"
+
+    def run(self, test: CVTest) -> TestResult:
+        start = time.perf_counter()
+        budget = Budget(self.cutoff)
+        try:
+            clf = BSTClassifier(arithmetization=self.arithmetization)
+            clf.fit(test.rel_train)
+            predictions = []
+            for query in test.test_queries:
+                budget.check()
+                predictions.append(clf.predict(query))
+        except BudgetExceeded:
+            return TestResult(
+                classifier=self.name,
+                size_label=test.size.label,
+                test_index=test.index,
+                accuracy=None,
+                phases=(PhaseRecord("bstc", self.cutoff, False),),
+            )
+        elapsed = time.perf_counter() - start
+        return TestResult(
+            classifier=self.name,
+            size_label=test.size.label,
+            test_index=test.index,
+            accuracy=accuracy(predictions, test.test_labels),
+            phases=(PhaseRecord("bstc", elapsed, True),),
+        )
+
+
+@dataclass
+class TopkRCBTRunner:
+    """The Top-k → RCBT pipeline with the paper's two-cutoff protocol.
+
+    ``topk_cutoff`` bounds upper-bound mining; when it DNFs no RCBT phase is
+    attempted (Tables 4/6 count RCBT DNFs only over tests where Top-k
+    finished).  ``rcbt_cutoff`` bounds lower-bound mining + classification.
+    ``nl`` may be lowered per the paper's protocol when RCBT cannot finish.
+    """
+
+    k: int = 10
+    min_support: float = 0.7
+    nl: int = 20
+    topk_cutoff: float = math.inf
+    rcbt_cutoff: float = math.inf
+    name: str = "RCBT"
+
+    def run(self, test: CVTest) -> TestResult:
+        rcbt = RCBTClassifier(k=self.k, min_support=self.min_support, nl=self.nl)
+        phases: List[PhaseRecord] = []
+
+        topk_budget = Budget(self.topk_cutoff)
+        start = time.perf_counter()
+        try:
+            rcbt.mine_rules(test.rel_train, topk_budget)
+        except BudgetExceeded:
+            phases.append(PhaseRecord("topk", self.topk_cutoff, False))
+            return TestResult(
+                classifier=self.name,
+                size_label=test.size.label,
+                test_index=test.index,
+                accuracy=None,
+                phases=tuple(phases),
+                notes="topk DNF",
+            )
+        phases.append(PhaseRecord("topk", time.perf_counter() - start, True))
+
+        rcbt_budget = Budget(self.rcbt_cutoff)
+        start = time.perf_counter()
+        try:
+            rcbt.build(rcbt_budget)
+            predictions = []
+            for query in test.test_queries:
+                rcbt_budget.check()
+                predictions.append(rcbt.predict(query))
+        except BudgetExceeded:
+            phases.append(PhaseRecord("rcbt", self.rcbt_cutoff, False))
+            return TestResult(
+                classifier=self.name,
+                size_label=test.size.label,
+                test_index=test.index,
+                accuracy=None,
+                phases=tuple(phases),
+                notes=f"rcbt DNF (nl={self.nl})",
+            )
+        phases.append(PhaseRecord("rcbt", time.perf_counter() - start, True))
+        return TestResult(
+            classifier=self.name,
+            size_label=test.size.label,
+            test_index=test.index,
+            accuracy=accuracy(predictions, test.test_labels),
+            phases=tuple(phases),
+            notes=f"nl={self.nl}",
+        )
+
+
+def _continuous_features(test: CVTest):
+    """Training/test continuous matrices over the discretizer's kept genes —
+    the Section 6.1 protocol for SVM and randomForest."""
+    kept = test.discretizer.kept_gene_indices()
+    if not kept:
+        return None
+    return (
+        test.train.values[:, kept],
+        test.train.label_array,
+        test.test.values[:, kept],
+    )
+
+
+@dataclass
+class SVMRunner:
+    """RBF SVM on the kept genes' continuous values."""
+
+    C: float = 1.0
+    name: str = "SVM"
+
+    def run(self, test: CVTest) -> TestResult:
+        start = time.perf_counter()
+        features = _continuous_features(test)
+        if features is None:
+            acc: Optional[float] = None
+        else:
+            X_train, y_train, X_test = features
+            model = SVMClassifier(C=self.C).fit(X_train, y_train)
+            acc = accuracy(model.predict(X_test).tolist(), test.test_labels)
+        return TestResult(
+            classifier=self.name,
+            size_label=test.size.label,
+            test_index=test.index,
+            accuracy=acc,
+            phases=(PhaseRecord("svm", time.perf_counter() - start, True),),
+        )
+
+
+@dataclass
+class RandomForestRunner:
+    """Random forest on the kept genes' continuous values."""
+
+    n_estimators: int = 100
+    seed: int = 0
+    name: str = "randomForest"
+
+    def run(self, test: CVTest) -> TestResult:
+        start = time.perf_counter()
+        features = _continuous_features(test)
+        if features is None:
+            acc: Optional[float] = None
+        else:
+            X_train, y_train, X_test = features
+            model = RandomForestClassifier(
+                n_estimators=self.n_estimators, seed=self.seed
+            ).fit(X_train, y_train)
+            acc = accuracy(model.predict(X_test).tolist(), test.test_labels)
+        return TestResult(
+            classifier=self.name,
+            size_label=test.size.label,
+            test_index=test.index,
+            accuracy=acc,
+            phases=(PhaseRecord("rf", time.perf_counter() - start, True),),
+        )
+
+
+@dataclass
+class CBARunner:
+    """CBA on the discretized items."""
+
+    min_support: float = 0.1
+    min_confidence: float = 0.5
+    max_rule_len: int = 2
+    cutoff: float = math.inf
+    name: str = "CBA"
+
+    def run(self, test: CVTest) -> TestResult:
+        start = time.perf_counter()
+        budget = Budget(self.cutoff)
+        try:
+            model = CBAClassifier(
+                self.min_support, self.min_confidence, self.max_rule_len
+            ).fit(test.rel_train, budget)
+            predictions = model.predict_many(test.test_queries)
+        except BudgetExceeded:
+            return TestResult(
+                classifier=self.name,
+                size_label=test.size.label,
+                test_index=test.index,
+                accuracy=None,
+                phases=(PhaseRecord("cba", self.cutoff, False),),
+            )
+        return TestResult(
+            classifier=self.name,
+            size_label=test.size.label,
+            test_index=test.index,
+            accuracy=accuracy(predictions, test.test_labels),
+            phases=(PhaseRecord("cba", time.perf_counter() - start, True),),
+        )
+
+
+@dataclass
+class IRGRunner:
+    """Interesting-rule-group classification on the discretized items."""
+
+    min_support: float = 0.6
+    min_confidence: float = 0.8
+    cutoff: float = math.inf
+    name: str = "IRG"
+
+    def run(self, test: CVTest) -> TestResult:
+        start = time.perf_counter()
+        budget = Budget(self.cutoff)
+        try:
+            model = IRGClassifier(self.min_support, self.min_confidence)
+            model.fit(test.rel_train, budget)
+            predictions = model.predict_many(test.test_queries)
+        except BudgetExceeded:
+            return TestResult(
+                classifier=self.name,
+                size_label=test.size.label,
+                test_index=test.index,
+                accuracy=None,
+                phases=(PhaseRecord("irg", self.cutoff, False),),
+            )
+        return TestResult(
+            classifier=self.name,
+            size_label=test.size.label,
+            test_index=test.index,
+            accuracy=accuracy(predictions, test.test_labels),
+            phases=(PhaseRecord("irg", time.perf_counter() - start, True),),
+        )
+
+
+@dataclass
+class TreeFamilyRunner:
+    """C4.5-style single tree, bagging, or AdaBoost on continuous features.
+
+    ``variant`` selects ``tree``, ``bagging``, or ``boosting`` (the Weka 3.2
+    comparison set of Section 6.1).
+    """
+
+    variant: str = "tree"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.variant not in ("tree", "bagging", "boosting"):
+            raise ValueError(f"unknown variant {self.variant!r}")
+        self.name = {"tree": "C4.5", "bagging": "Bagging", "boosting": "Boosting"}[
+            self.variant
+        ]
+
+    def run(self, test: CVTest) -> TestResult:
+        start = time.perf_counter()
+        features = _continuous_features(test)
+        if features is None:
+            acc: Optional[float] = None
+        else:
+            X_train, y_train, X_test = features
+            if self.variant == "tree":
+                model = DecisionTree(criterion="gain_ratio")
+            elif self.variant == "bagging":
+                model = BaggingClassifier(seed=self.seed)
+            else:
+                model = AdaBoostClassifier(n_estimators=20, max_depth=2, seed=self.seed)
+            model.fit(X_train, y_train)
+            acc = accuracy(model.predict(X_test).tolist(), test.test_labels)
+        return TestResult(
+            classifier=self.name,
+            size_label=test.size.label,
+            test_index=test.index,
+            accuracy=acc,
+            phases=(PhaseRecord(self.variant, time.perf_counter() - start, True),),
+        )

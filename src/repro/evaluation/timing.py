@@ -1,0 +1,115 @@
+"""Wall-clock budgets and timing — the paper's 2-hour-cutoff protocol.
+
+Tables 4 and 6 run every miner/classifier under a wall-clock cutoff; runs
+that exceed it are reported as DNF ("did not finish") with their runtime
+floored at the cutoff (the "≥" rows).  :class:`Budget` implements that
+protocol cooperatively: long-running algorithms poll :meth:`Budget.check`
+and a :class:`BudgetExceeded` escape converts into a DNF record upstream.
+
+Budgets are monotonic-clock based and cheap to poll (a time read per check).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised by :meth:`Budget.check` once the wall-clock cutoff passes."""
+
+    def __init__(self, elapsed: float, cutoff: float):
+        super().__init__(f"budget of {cutoff:.3f}s exceeded after {elapsed:.3f}s")
+        self.elapsed = elapsed
+        self.cutoff = cutoff
+
+
+class Budget:
+    """A cooperative wall-clock budget.
+
+    Args:
+        seconds: the cutoff; ``math.inf`` (the default) never expires.
+
+    The clock starts at construction; :meth:`restart` resets it.
+    """
+
+    def __init__(self, seconds: float = math.inf):
+        if seconds <= 0:
+            raise ValueError("budget must be positive")
+        self.cutoff = float(seconds)
+        self._start = time.perf_counter()
+
+    @staticmethod
+    def unlimited() -> "Budget":
+        return Budget(math.inf)
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> float:
+        return self.cutoff - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        return self.elapsed() >= self.cutoff
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceeded` when the cutoff has passed."""
+        elapsed = self.elapsed()
+        if elapsed >= self.cutoff:
+            raise BudgetExceeded(elapsed, self.cutoff)
+
+
+@dataclass(frozen=True)
+class TimedOutcome:
+    """The result of running a step under a budget.
+
+    Attributes:
+        seconds: wall-clock runtime; when ``finished`` is False this is the
+            cutoff value, matching the paper's "≥ cutoff" reporting.
+        finished: False when the step raised :class:`BudgetExceeded` (a DNF).
+        value: the step's return value (None for DNF).
+    """
+
+    seconds: float
+    finished: bool
+    value: object = None
+
+    @property
+    def dnf(self) -> bool:
+        return not self.finished
+
+
+def run_with_budget(
+    step: Callable[[Budget], T], cutoff: float = math.inf
+) -> TimedOutcome:
+    """Run ``step`` under a fresh budget and record the outcome.
+
+    The step receives the budget so it can poll it.  A
+    :class:`BudgetExceeded` escape becomes a DNF outcome with runtime
+    reported as the cutoff (paper Tables 4/6 protocol); other exceptions
+    propagate.
+    """
+    budget = Budget(cutoff)
+    start = time.perf_counter()
+    try:
+        value = step(budget)
+    except BudgetExceeded:
+        return TimedOutcome(seconds=cutoff, finished=False)
+    return TimedOutcome(
+        seconds=time.perf_counter() - start, finished=True, value=value
+    )
+
+
+def timed(step: Callable[[], T]) -> Tuple[float, T]:
+    """Run ``step`` and return ``(seconds, value)``."""
+    start = time.perf_counter()
+    value = step()
+    return time.perf_counter() - start, value

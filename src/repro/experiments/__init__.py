@@ -1,0 +1,6 @@
+"""Experiment drivers regenerating every table and figure of Section 6."""
+
+from .base import ExperimentConfig, ExperimentResult
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "EXPERIMENTS", "experiment_ids", "run_experiment"]

@@ -1,0 +1,110 @@
+"""Figures 4-7: the cross-validation accuracy boxplots.
+
+One driver per dataset (ALL → fig4, LC → fig5, PC → fig6, OC → fig7).  Each
+reports, per training size and classifier, the paper's boxplot statistics
+(median, quartiles, whiskers, near/far outliers) plus a textual boxplot.
+Following the paper, a classifier's boxplot for a size is omitted when it
+failed to finish every test of that size within the cutoff (RCBT on the
+larger PC/OC sizes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..evaluation.crossval import StudyResult, paper_training_sizes
+from .base import ExperimentConfig, ExperimentResult
+from .study import run_cv_study
+
+# Mean accuracies the paper reports in Sections 6.2.1/6.2.2 for the 100-test
+# studies (BSTC, RCBT).
+PAPER_CV_MEANS = {"ALL": (0.9213, 0.9139), "LC": (0.9632, 0.9708)}
+
+_FIGURE_IDS = {"ALL": "fig4", "LC": "fig5", "PC": "fig6", "OC": "fig7"}
+
+
+def _figure_for(dataset_name: str, config: ExperimentConfig) -> ExperimentResult:
+    study = run_cv_study(dataset_name, config)
+    prof = config.profile(dataset_name)
+    sizes = paper_training_sizes(prof)
+    rows: List[Tuple] = []
+    plots: List[str] = []
+    for size in sizes:
+        for classifier in ("BSTC", "RCBT"):
+            finished = study.accuracies(classifier, size.label)
+            expected = len(study.select(classifier, size.label))
+            if not finished:
+                rows.append((size.label, classifier, 0, None, None, None, None, None))
+                continue
+            complete = len(finished) == expected and expected > 0
+            stats = study.boxplot(classifier, size.label)
+            rows.append(
+                (
+                    size.label,
+                    classifier,
+                    stats.n,
+                    stats.median,
+                    stats.q1,
+                    stats.q3,
+                    stats.mean,
+                    len(stats.near_outliers) + len(stats.far_outliers),
+                )
+            )
+            if complete:
+                plots.append(stats.render(f"{size.label} {classifier}"))
+            else:
+                plots.append(
+                    f"{size.label:>8} {classifier}: only {len(finished)}/{expected}"
+                    " tests finished — boxplot omitted (paper protocol)"
+                )
+    result = ExperimentResult(
+        experiment_id=_FIGURE_IDS[dataset_name],
+        title=f"{prof.long_name} cross-validation accuracy boxplots",
+        headers=[
+            "training",
+            "classifier",
+            "n",
+            "median",
+            "q1",
+            "q3",
+            "mean",
+            "# outliers",
+        ],
+        rows=rows,
+        extra_text="\n".join(plots),
+    )
+    if dataset_name in PAPER_CV_MEANS:
+        bstc_mean, rcbt_mean = PAPER_CV_MEANS[dataset_name]
+        result.notes.append(
+            f"paper 100-test means — BSTC {bstc_mean:.2%}, RCBT {rcbt_mean:.2%}"
+        )
+    all_bstc = [
+        acc
+        for size in sizes
+        for acc in study.accuracies("BSTC", size.label)
+    ]
+    if all_bstc:
+        result.notes.append(
+            f"measured BSTC mean over all tests: {sum(all_bstc) / len(all_bstc):.2%}"
+        )
+    return result
+
+
+def run_fig4(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 4: ALL/AML cross-validation results."""
+    return _figure_for("ALL", config)
+
+
+def run_fig5(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 5: Lung Cancer cross-validation results."""
+    return _figure_for("LC", config)
+
+
+def run_fig6(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 6: Prostate Cancer cross-validation results."""
+    return _figure_for("PC", config)
+
+
+def run_fig7(config: ExperimentConfig) -> ExperimentResult:
+    """Figure 7: Ovarian Cancer cross-validation results."""
+    return _figure_for("OC", config)

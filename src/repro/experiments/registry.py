@@ -1,0 +1,64 @@
+"""The experiment registry: every paper table/figure id → driver function.
+
+``run_experiment(id, config)`` is the single entry point used by the CLI and
+the benchmark suite; ``EXPERIMENTS`` maps the DESIGN.md experiment index to
+callables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .ablation import run_ablation_arith, run_ablation_mining
+from .base import ExperimentConfig, ExperimentResult
+from .complexity import run_complexity
+from .extensions import run_ablation_classifiers, run_ablation_culling
+from .figures_cv import run_fig4, run_fig5, run_fig6, run_fig7
+from .prelim import run_prelim
+from .running_example import run_fig1, run_fig2, run_fig3
+from .runtime_tables import run_table4, run_table5, run_table6, run_table7
+from .scaling import run_scaling
+from .table2 import run_table2
+from .table3 import run_table3
+
+ExperimentFn = Callable[[ExperimentConfig], ExperimentResult]
+
+EXPERIMENTS: Dict[str, ExperimentFn] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+    "prelim": run_prelim,
+    "scaling": run_scaling,
+    "ablation_arith": run_ablation_arith,
+    "ablation_mining": run_ablation_mining,
+    "ablation_culling": run_ablation_culling,
+    "ablation_classifiers": run_ablation_classifiers,
+    "complexity": run_complexity,
+}
+
+
+def experiment_ids() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one experiment by id (raises ``KeyError`` for unknown ids)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
+        )
+    if config is None:
+        config = ExperimentConfig()
+    return EXPERIMENTS[experiment_id](config)

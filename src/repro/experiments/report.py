@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Align headers and rows into a monospace table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    def line(parts: Sequence[str]) -> str:
+        return " | ".join(p.ljust(widths[i]) for i, p in enumerate(parts))
+
+    out = [line(list(headers)), "-+-".join("-" * w for w in widths)]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_accuracy(value) -> str:
+    """Render an accuracy fraction as the paper's percent notation."""
+    if value is None:
+        return "-"
+    return f"{100.0 * value:.2f}%"
+
+
+def format_seconds(value, finished: bool = True) -> str:
+    """Render a runtime; DNF-floored values get the paper's '>=' prefix."""
+    if value is None:
+        return "-"
+    prefix = "" if finished else ">= "
+    return f"{prefix}{value:.2f}"

@@ -1,0 +1,155 @@
+"""Tables 4-7: runtime and accuracy tables for Prostate and Ovarian Cancer.
+
+Tables 4 (PC) and 6 (OC) report, per training size, BSTC's build+classify
+time, Top-k's rule-mining time, RCBT's (lower-bound mining + classification)
+time with the cutoff protocol, and the RCBT DNF ratio over Top-k-finished
+tests — with a dagger when ``nl`` had to be lowered to 2.  Tables 5 (PC) and
+7 (OC) report mean accuracies over the tests RCBT completed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..evaluation.crossval import StudyResult, paper_training_sizes
+from .base import ExperimentConfig, ExperimentResult
+from .report import format_accuracy, format_seconds
+from .study import run_cv_study, rcbt_nl_used
+
+PAPER_TABLE4 = [
+    ("40%", 2.13, 0.09, 418.81, "0/25"),
+    ("60%", 4.93, 5.06, ">=7110.00", "24/25"),
+    ("80%", 5.78, 120.63, ">=7200 (nl=2)", "25/25"),
+    ("1-52/0-50", 5.57, 21.32, ">=7200 (nl=2)", "25/25"),
+]
+PAPER_TABLE6 = [
+    ("40%", 30.89, 0.6186, 273.37, "0/25"),
+    ("60%", 61.28, 41.21, ">=5554.37", "19/25"),
+    ("80%", 71.84, ">=1421.80", ">=7205.43 (nl=2)", "21/22"),
+    ("1-133/0-77", 70.38, ">=1045.65", ">=6362.86 (nl=2)", "20/23"),
+]
+PAPER_TABLE5 = [
+    ("40%", 0.7508, 0.7927),
+    ("60%", 0.7818, 0.8545),
+    ("80%", 0.8498, None),
+    ("1-52/0-50", 0.8165, None),
+]
+PAPER_TABLE7 = [
+    ("40%", 0.9205, 0.9766),
+    ("60%", 0.9575, 0.9673),
+    ("80%", 0.9412, 0.9804),
+    ("1-133/0-77", 0.9380, 0.9612),
+]
+
+
+def _runtime_table(
+    dataset_name: str,
+    experiment_id: str,
+    paper_rows,
+    config: ExperimentConfig,
+) -> ExperimentResult:
+    study = run_cv_study(dataset_name, config)
+    prof = config.profile(dataset_name)
+    rows: List[Tuple] = []
+    for size in paper_training_sizes(prof):
+        label = size.label
+        bstc_mean = study.mean_phase_seconds("BSTC", label, "bstc")
+        topk_mean = study.mean_phase_seconds("RCBT", label, "topk")
+        topk_dnf, topk_attempted = study.dnf_ratio("RCBT", label, "topk")
+        rcbt_mean = study.mean_phase_seconds("RCBT", label, "rcbt")
+        rcbt_dnf, rcbt_attempted = study.dnf_ratio("RCBT", label, "rcbt")
+        nl = rcbt_nl_used(study, label)
+        dagger = " (nl=2)" if nl == 2 else ""
+        rows.append(
+            (
+                label,
+                format_seconds(bstc_mean),
+                format_seconds(topk_mean, finished=topk_dnf == 0),
+                (
+                    format_seconds(rcbt_mean, finished=rcbt_dnf == 0) + dagger
+                    if rcbt_mean is not None
+                    else "-"
+                ),
+                f"{rcbt_dnf}/{rcbt_attempted}",
+            )
+        )
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"Average run times for the {prof.name} tests (seconds)",
+        headers=["Training", "BSTC", "Top-k", "RCBT", "# RCBT DNF"],
+        rows=rows,
+    )
+    result.notes.append(
+        f"cutoffs: topk {config.topk_cutoff:.0f}s, rcbt {config.rcbt_cutoff:.0f}s"
+        " (the paper used 2 hours on a 3.6 GHz Xeon)"
+    )
+    result.notes.append(
+        "paper rows (Training, BSTC, Top-k, RCBT, DNF): "
+        + "; ".join(str(r) for r in paper_rows)
+    )
+    return result
+
+
+def _accuracy_table(
+    dataset_name: str,
+    experiment_id: str,
+    paper_rows,
+    config: ExperimentConfig,
+) -> ExperimentResult:
+    study = run_cv_study(dataset_name, config)
+    prof = config.profile(dataset_name)
+    rows: List[Tuple] = []
+    for size in paper_training_sizes(prof):
+        label = size.label
+        rcbt_accs = study.accuracies("RCBT", label)
+        rcbt_mean: Optional[float] = (
+            sum(rcbt_accs) / len(rcbt_accs) if rcbt_accs else None
+        )
+        if rcbt_accs:
+            # Average BSTC over the tests RCBT finished, as the paper does.
+            bstc_mean = study.mean_accuracy_where_finished("BSTC", "RCBT", label)
+        else:
+            bstc_all = study.accuracies("BSTC", label)
+            bstc_mean = sum(bstc_all) / len(bstc_all) if bstc_all else None
+        rows.append(
+            (
+                label,
+                format_accuracy(bstc_mean),
+                format_accuracy(rcbt_mean),
+                f"{len(rcbt_accs)}/{len(study.select('RCBT', label))}",
+            )
+        )
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"Mean accuracies for the {prof.name} tests RCBT finished",
+        headers=["Training", "BSTC", "RCBT", "RCBT finished"],
+        rows=rows,
+    )
+    result.notes.append(
+        "paper rows (Training, BSTC, RCBT): "
+        + "; ".join(
+            f"({label}, {format_accuracy(b)}, {format_accuracy(r)})"
+            for label, b, r in paper_rows
+        )
+    )
+    return result
+
+
+def run_table4(config: ExperimentConfig) -> ExperimentResult:
+    """Table 4: PC average runtimes with cutoff/DNF accounting."""
+    return _runtime_table("PC", "table4", PAPER_TABLE4, config)
+
+
+def run_table5(config: ExperimentConfig) -> ExperimentResult:
+    """Table 5: PC mean accuracies over RCBT-completed tests."""
+    return _accuracy_table("PC", "table5", PAPER_TABLE5, config)
+
+
+def run_table6(config: ExperimentConfig) -> ExperimentResult:
+    """Table 6: OC average runtimes with cutoff/DNF accounting."""
+    return _runtime_table("OC", "table6", PAPER_TABLE6, config)
+
+
+def run_table7(config: ExperimentConfig) -> ExperimentResult:
+    """Table 7: OC mean accuracies over RCBT-completed tests."""
+    return _accuracy_table("OC", "table7", PAPER_TABLE7, config)

@@ -1,0 +1,107 @@
+"""Shared cross-validation study execution (backs Figures 4-7, Tables 4-7).
+
+``run_cv_study`` materializes the Section 6.2 protocol for one dataset:
+``n_tests`` independent tests at each of the four training sizes, BSTC and
+the Top-k/RCBT pipeline on every test, with the paper's cutoff and
+``nl``-lowering protocol (when RCBT DNFs every test of a size at nl=20, the
+size is re-run with nl=2 and flagged, exactly as Tables 4 and 6 footnote).
+
+Studies are memoized per configuration so the figure and the two tables that
+share a dataset reuse one computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..datasets.synthetic import generate_expression_data
+from ..evaluation.crossval import (
+    CVTest,
+    StudyResult,
+    TrainingSize,
+    make_test,
+    paper_training_sizes,
+)
+from ..evaluation.runners import BSTCRunner, TopkRCBTRunner
+from .base import ExperimentConfig
+
+_CACHE: Dict[Tuple, StudyResult] = {}
+
+
+def study_cache_key(dataset_name: str, config: ExperimentConfig) -> Tuple:
+    return (
+        dataset_name,
+        config.scale,
+        config.n_tests,
+        config.seed,
+        config.topk_cutoff,
+        config.rcbt_cutoff,
+        config.rcbt_nl,
+    )
+
+
+def clear_study_cache() -> None:
+    _CACHE.clear()
+
+
+def run_cv_study(
+    dataset_name: str,
+    config: ExperimentConfig,
+    include_rcbt: bool = True,
+) -> StudyResult:
+    """Run (or fetch the memoized) cross-validation study for one dataset."""
+    key = study_cache_key(dataset_name, config) + (include_rcbt,)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    prof = config.profile(dataset_name)
+    data = generate_expression_data(prof, seed=config.seed)
+    sizes = paper_training_sizes(prof)
+    study = StudyResult(dataset_name=prof.name)
+
+    bstc = BSTCRunner()
+    for size in sizes:
+        tests: List[CVTest] = [
+            make_test(data, size, i, prof.name) for i in range(config.n_tests)
+        ]
+        for test in tests:
+            study.add(bstc.run(test))
+        if not include_rcbt:
+            continue
+        rcbt = TopkRCBTRunner(
+            nl=config.rcbt_nl,
+            topk_cutoff=config.topk_cutoff,
+            rcbt_cutoff=config.rcbt_cutoff,
+        )
+        results = [rcbt.run(test) for test in tests]
+        # Paper protocol: when RCBT finished no test of a size at the default
+        # nl, lower nl to 2 and retry that size (marked with a dagger).
+        rcbt_attempted = [r for r in results if r.phase_finished("rcbt") is not None]
+        all_dnf = bool(rcbt_attempted) and all(
+            not r.phase_finished("rcbt") for r in rcbt_attempted
+        )
+        if all_dnf and config.rcbt_nl > 2:
+            lowered = TopkRCBTRunner(
+                nl=2,
+                topk_cutoff=config.topk_cutoff,
+                rcbt_cutoff=config.rcbt_cutoff,
+            )
+            results = [lowered.run(test) for test in tests]
+        for result in results:
+            study.add(result)
+    _CACHE[key] = study
+    return study
+
+
+def rcbt_nl_used(study: StudyResult, size_label: str) -> Optional[int]:
+    """The nl value the study ended up using for a size (None when RCBT never
+    ran there)."""
+    for result in study.select("RCBT", size_label):
+        if result.notes.startswith("nl=") or "nl=" in result.notes:
+            marker = result.notes.split("nl=")[-1].rstrip(")")
+            try:
+                return int(marker)
+            except ValueError:
+                continue
+    return None

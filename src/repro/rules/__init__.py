@@ -1,0 +1,16 @@
+"""Association-rule formalism: boolean expressions, CARs, BARs, rule groups."""
+
+from .bar import BAR
+from .boolexpr import FALSE, TRUE, And, Expr, Not, Or, Var, conjunction, pretty
+from .car import CAR
+from .groups import RuleGroup, closure_of_rows, find_lower_bounds
+
+__all__ = [
+    "BAR", "CAR", "RuleGroup", "Expr", "Var", "Not", "And", "Or",
+    "TRUE", "FALSE", "conjunction", "pretty", "closure_of_rows",
+    "find_lower_bounds",
+]
+
+from .ibrg import IBRG, materialize_ibrg
+
+__all__ += ["IBRG", "materialize_ibrg"]

@@ -1,0 +1,61 @@
+"""Boolean Association Rules (Section 2.1).
+
+A BAR ``B => C_i`` pairs an arbitrary boolean expression with a class
+consequent.  Support is the set of consequent-class samples whose expressed
+item set evaluates the antecedent to true; confidence divides the support
+size by the count over all samples evaluating it to true.  For pure
+conjunctions these definitions coincide with the CAR ones (Section 2.1),
+which is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, FrozenSet
+
+from ..datasets.dataset import RelationalDataset
+from .boolexpr import Expr
+
+
+@dataclass(frozen=True)
+class BAR:
+    """A boolean association rule ``antecedent => consequent``."""
+
+    antecedent: Expr
+    consequent: int
+
+    def matches(self, expressed: AbstractSet[int]) -> bool:
+        return self.antecedent.evaluate(expressed)
+
+    def support_set(self, dataset: RelationalDataset) -> FrozenSet[int]:
+        """Consequent-class samples evaluating the antecedent to true."""
+        return frozenset(
+            i
+            for i in dataset.class_members(self.consequent)
+            if self.antecedent.evaluate(dataset.samples[i])
+        )
+
+    def support(self, dataset: RelationalDataset) -> int:
+        return len(self.support_set(dataset))
+
+    def all_matching(self, dataset: RelationalDataset) -> FrozenSet[int]:
+        """Every sample (any class) evaluating the antecedent to true."""
+        return frozenset(
+            i
+            for i in range(dataset.n_samples)
+            if self.antecedent.evaluate(dataset.samples[i])
+        )
+
+    def confidence(self, dataset: RelationalDataset) -> float:
+        matching = self.all_matching(dataset)
+        if not matching:
+            return 0.0
+        return self.support(dataset) / len(matching)
+
+    def describe(self, dataset: RelationalDataset) -> str:
+        from .boolexpr import pretty
+
+        return (
+            f"{pretty(self.antecedent, dataset.item_names)}"
+            f" => {dataset.class_names[self.consequent]}"
+        )

@@ -1,0 +1,259 @@
+"""Boolean expression algebra over gene/item literals.
+
+The paper's Boolean Association Rules (Section 2.1) have antecedents that are
+arbitrary boolean expressions over gene-expression variables, evaluated
+against a sample via ``B(s[g1], ..., s[gn])`` with the convention
+``s[-g] = NOT s[g]``.  This module provides a small immutable expression AST
+with evaluation, simplification, and pretty-printing.
+
+Atoms are opaque hashable values (item indices in practice, strings in the
+running example).  A sample is represented by the set of atoms it expresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Any, FrozenSet, Hashable, Iterable, Tuple
+
+Atom = Hashable
+
+
+class Expr:
+    """Base class for boolean expressions.
+
+    Expressions are immutable and compared structurally.  Use ``&`` and ``|``
+    to combine, ``~`` to negate.
+    """
+
+    def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
+        """Evaluate against the set of atoms expressed by a sample."""
+        raise NotImplementedError
+
+    def atoms(self) -> FrozenSet[Atom]:
+        """Return every atom the expression's value may depend on."""
+        raise NotImplementedError
+
+    def simplify(self) -> "Expr":
+        """Return an equivalent expression with constants folded, nested
+        conjunctions/disjunctions flattened, and duplicates removed."""
+        return self
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class _Const(Expr):
+    value: bool
+
+    def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
+        return self.value
+
+    def atoms(self) -> FrozenSet[Atom]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = _Const(True)
+FALSE = _Const(False)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A positive literal: true iff the sample expresses ``atom``."""
+
+    atom: Atom
+
+    def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
+        return self.atom in expressed
+
+    def atoms(self) -> FrozenSet[Atom]:
+        return frozenset((self.atom,))
+
+    def __repr__(self) -> str:
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
+        return not self.operand.evaluate(expressed)
+
+    def atoms(self) -> FrozenSet[Atom]:
+        return self.operand.atoms()
+
+    def simplify(self) -> Expr:
+        inner = self.operand.simplify()
+        if inner is TRUE:
+            return FALSE
+        if inner is FALSE:
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+
+    def __repr__(self) -> str:
+        return f"-{self.operand!r}"
+
+
+def _flatten(kind: type, parts: Iterable[Expr]) -> Tuple[Expr, ...]:
+    out: list[Expr] = []
+    for part in parts:
+        if isinstance(part, kind):
+            out.extend(part.parts)  # type: ignore[attr-defined]
+        else:
+            out.append(part)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    parts: Tuple[Expr, ...]
+
+    def __init__(self, parts: Iterable[Expr]):
+        object.__setattr__(self, "parts", _flatten(And, parts))
+
+    def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
+        return all(part.evaluate(expressed) for part in self.parts)
+
+    def atoms(self) -> FrozenSet[Atom]:
+        result: FrozenSet[Atom] = frozenset()
+        for part in self.parts:
+            result |= part.atoms()
+        return result
+
+    def simplify(self) -> Expr:
+        kept: list[Expr] = []
+        seen: set[Expr] = set()
+        for part in self.parts:
+            part = part.simplify()
+            if part is FALSE:
+                return FALSE
+            if part is TRUE or part in seen:
+                continue
+            seen.add(part)
+            kept.append(part)
+        if not kept:
+            return TRUE
+        if len(kept) == 1:
+            return kept[0]
+        return And(tuple(kept))
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    parts: Tuple[Expr, ...]
+
+    def __init__(self, parts: Iterable[Expr]):
+        object.__setattr__(self, "parts", _flatten(Or, parts))
+
+    def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
+        return any(part.evaluate(expressed) for part in self.parts)
+
+    def atoms(self) -> FrozenSet[Atom]:
+        result: FrozenSet[Atom] = frozenset()
+        for part in self.parts:
+            result |= part.atoms()
+        return result
+
+    def simplify(self) -> Expr:
+        kept: list[Expr] = []
+        seen: set[Expr] = set()
+        for part in self.parts:
+            part = part.simplify()
+            if part is TRUE:
+                return TRUE
+            if part is FALSE or part in seen:
+                continue
+            seen.add(part)
+            kept.append(part)
+        if not kept:
+            return FALSE
+        if len(kept) == 1:
+            return kept[0]
+        return Or(tuple(kept))
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+
+def conjunction(atoms: Iterable[Atom]) -> Expr:
+    """Build the pure conjunction ``g1 AND g2 AND ...`` of positive literals.
+
+    This is the antecedent form of a CAR.  An empty iterable yields ``TRUE``.
+    """
+    parts = tuple(Var(a) for a in atoms)
+    if not parts:
+        return TRUE
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def any_not_expressed(atoms: Iterable[Atom]) -> Expr:
+    """Build ``(-g1 OR -g2 OR ...)``: "either g1 or ... not expressed".
+
+    This is the clause contributed by a *negative* exclusion list
+    ``(h : -g1, ..., -gn)`` (Section 3.1).  Empty input yields ``FALSE``
+    (an empty exclusion list can never be satisfied).
+    """
+    parts = tuple(Not(Var(a)) for a in atoms)
+    if not parts:
+        return FALSE
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts)
+
+
+def any_expressed(atoms: Iterable[Atom]) -> Expr:
+    """Build ``(g1 OR g2 OR ...)``: "either g1 or ... expressed".
+
+    This is the clause contributed by a *positive* exclusion list
+    ``(h : g1, ..., gn)``.  Empty input yields ``FALSE``.
+    """
+    parts = tuple(Var(a) for a in atoms)
+    if not parts:
+        return FALSE
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts)
+
+
+def pretty(expr: Expr, names: Any = None) -> str:
+    """Render an expression with human-readable atom names.
+
+    ``names`` may be a sequence or mapping from atoms to display strings; when
+    omitted atoms render via ``str``.
+    """
+
+    def name_of(atom: Atom) -> str:
+        if names is None:
+            return str(atom)
+        return str(names[atom])
+
+    if expr is TRUE:
+        return "TRUE"
+    if expr is FALSE:
+        return "FALSE"
+    if isinstance(expr, Var):
+        return name_of(expr.atom)
+    if isinstance(expr, Not):
+        return f"-{pretty(expr.operand, names)}"
+    if isinstance(expr, And):
+        return "(" + " AND ".join(pretty(p, names) for p in expr.parts) + ")"
+    if isinstance(expr, Or):
+        return "(" + " OR ".join(pretty(p, names) for p in expr.parts) + ")"
+    raise TypeError(f"unknown expression type: {type(expr)!r}")

@@ -1,0 +1,63 @@
+"""Conjunctive Association Rules (Section 2).
+
+A CAR ``g_{j1}, ..., g_{jr} => n`` pairs a pure conjunction of items with a
+class consequent.  Support counts the consequent-class samples containing the
+antecedent; confidence divides by the count over *all* samples containing it
+(the Section 2 definitions, which the generalized BAR definitions reduce to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, FrozenSet, Iterable
+
+from ..datasets.dataset import RelationalDataset
+from .boolexpr import Expr, conjunction
+
+
+@dataclass(frozen=True)
+class CAR:
+    """A conjunctive association rule ``antecedent => consequent``."""
+
+    antecedent: FrozenSet[int]
+    consequent: int
+
+    @staticmethod
+    def of(items: Iterable[int], consequent: int) -> "CAR":
+        return CAR(frozenset(items), consequent)
+
+    def matches(self, expressed: AbstractSet[int]) -> bool:
+        """True when the sample expresses every antecedent item."""
+        return self.antecedent <= expressed
+
+    def antecedent_expr(self) -> Expr:
+        return conjunction(sorted(self.antecedent))
+
+    def support_set(self, dataset: RelationalDataset) -> FrozenSet[int]:
+        """Consequent-class samples containing the antecedent."""
+        return frozenset(
+            i
+            for i in dataset.class_members(self.consequent)
+            if self.antecedent <= dataset.samples[i]
+        )
+
+    def support(self, dataset: RelationalDataset) -> int:
+        return len(self.support_set(dataset))
+
+    def all_matching(self, dataset: RelationalDataset) -> FrozenSet[int]:
+        """Every sample (any class) containing the antecedent."""
+        return dataset.support_of_itemset(self.antecedent)
+
+    def confidence(self, dataset: RelationalDataset) -> float:
+        """``supp / |{samples containing the antecedent}|``; 0 when no sample
+        matches."""
+        matching = self.all_matching(dataset)
+        if not matching:
+            return 0.0
+        return self.support(dataset) / len(matching)
+
+    def describe(self, dataset: RelationalDataset) -> str:
+        items = ", ".join(
+            dataset.item_names[i] for i in sorted(self.antecedent)
+        )
+        return f"{items} => {dataset.class_names[self.consequent]}"

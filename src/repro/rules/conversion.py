@@ -1,0 +1,71 @@
+"""BAR ↔ CAR conversion (Section 4.3, Theorem 2).
+
+Theorem 2 relates 100%-confident BST-generated BARs to plain CARs:
+
+* stripping every exclusion clause from a structured BAR yields a CAR with
+  the *same* support and confidence ``supp / (supp + excluded)`` where
+  ``excluded`` counts the outside samples the clauses actively excluded;
+* conversely, any CAR over a duplicate-free dataset lifts to a 100%-confident
+  structured BAR with the same support whose clauses exclude exactly the
+  outside samples satisfying the CAR.
+
+Both directions are implemented here and verified against the empirical
+support/confidence definitions in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..bst.row_bar import StructuredBAR
+from ..bst.table import BST
+from .car import CAR
+
+
+def bar_to_car(rule: StructuredBAR) -> CAR:
+    """Theorem 2 (⇐): drop the exclusion clauses, keep the CAR portion."""
+    return CAR(rule.car_items, rule.consequent)
+
+
+def predicted_car_confidence(bst: BST, rule: StructuredBAR) -> float:
+    """The confidence Theorem 2 predicts for the stripped CAR:
+    ``|supp| / (|supp| + #actively-excluded outside samples)``."""
+    supp = len(rule.support)
+    excluded = len(rule.excluded_outside(bst))
+    if supp + excluded == 0:
+        return 0.0
+    return supp / (supp + excluded)
+
+
+def car_to_bar(bst: BST, car: CAR) -> StructuredBAR:
+    """Theorem 2 (⇒): lift a CAR to the 100%-confident structured BAR with
+    identical class support.
+
+    The BAR's support is the set of class samples containing the antecedent;
+    its exclusion clauses (derived from the BST on demand) exclude exactly
+    the outside samples that satisfy the antecedent.  Requires the CAR's
+    consequent to match the BST's class.
+    """
+    if car.consequent != bst.class_id:
+        raise ValueError(
+            f"CAR consequent {car.consequent} does not match BST class "
+            f"{bst.class_id}"
+        )
+    if not car.antecedent:
+        raise ValueError("cannot lift a CAR with an empty antecedent")
+    support = car.support_set(bst.dataset)
+    return StructuredBAR(
+        car_items=frozenset(car.antecedent),
+        consequent=car.consequent,
+        support=support,
+    )
+
+
+def roundtrip_confidence(bst: BST, car: CAR) -> Tuple[float, float]:
+    """Return ``(empirical CAR confidence, Theorem-2 predicted confidence)``.
+
+    Equal whenever the dataset has no duplicate sample rows across classes —
+    the theorem's hypothesis; property-tested.
+    """
+    lifted = car_to_bar(bst, car)
+    return car.confidence(bst.dataset), predicted_car_confidence(bst, lifted)

@@ -1,0 +1,50 @@
+"""Shared fixtures: the running example and small random datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import RelationalDataset, running_example
+from repro.datasets.profiles import DatasetProfile
+
+
+@pytest.fixture
+def example():
+    return running_example()
+
+
+@pytest.fixture
+def tiny_profile():
+    """A very small profile for fast pipeline tests."""
+    return DatasetProfile(
+        name="TINY",
+        long_name="Tiny synthetic",
+        n_genes=60,
+        class_labels=("pos", "neg"),
+        class_counts=(14, 12),
+        given_training=(9, 8),
+        informative_fraction=0.2,
+        effect_size=2.2,
+    )
+
+
+def random_relational(
+    rng: np.random.Generator,
+    n_samples_range=(4, 12),
+    n_items_range=(3, 14),
+    n_classes_range=(2, 4),
+) -> RelationalDataset:
+    """A random boolean dataset with every class represented."""
+    while True:
+        n = int(rng.integers(*n_samples_range))
+        m = int(rng.integers(*n_items_range))
+        k = int(rng.integers(*n_classes_range))
+        if n < k:
+            continue
+        matrix = rng.random((n, m)) < rng.uniform(0.2, 0.8)
+        labels = rng.integers(0, k, n)
+        if len(set(labels.tolist())) == k:
+            return RelationalDataset.from_bool_matrix(
+                matrix, labels.tolist(), class_names=[f"c{i}" for i in range(k)]
+            )

@@ -1,0 +1,72 @@
+"""Apriori miner tests — against brute-force frequent itemsets."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.baselines.apriori import apriori_frequent_itemsets, class_association_rules
+from repro.evaluation.timing import Budget, BudgetExceeded
+
+from conftest import random_relational
+
+
+def brute_force_frequent(transactions, min_count, max_len=None):
+    items = sorted({i for t in transactions for i in t})
+    out = {}
+    top = max_len if max_len is not None else len(items)
+    for r in range(1, top + 1):
+        for combo in combinations(items, r):
+            count = sum(1 for t in transactions if set(combo) <= t)
+            if count >= min_count:
+                out[frozenset(combo)] = count
+    return out
+
+
+class TestApriori:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(91)
+        for _ in range(10):
+            n = int(rng.integers(4, 10))
+            m = int(rng.integers(3, 8))
+            transactions = [
+                frozenset(int(j) for j in np.flatnonzero(rng.random(m) < 0.5))
+                for _ in range(n)
+            ]
+            for min_count in (1, 2, 3):
+                expected = brute_force_frequent(transactions, min_count)
+                got = apriori_frequent_itemsets(transactions, min_count)
+                assert got == expected
+
+    def test_max_len_cap(self):
+        transactions = [frozenset({0, 1, 2})] * 4
+        got = apriori_frequent_itemsets(transactions, 2, max_len=2)
+        assert max(len(s) for s in got) == 2
+
+    def test_min_count_validation(self):
+        with pytest.raises(ValueError):
+            apriori_frequent_itemsets([frozenset({0})], 0)
+
+    def test_budget(self):
+        transactions = [frozenset(range(12)) for _ in range(6)]
+        with pytest.raises(BudgetExceeded):
+            apriori_frequent_itemsets(transactions, 1, budget=Budget(1e-9))
+
+    def test_empty_transactions(self):
+        assert apriori_frequent_itemsets([frozenset()], 1) == {}
+
+
+class TestClassAssociationRules:
+    def test_rules_meet_cutoffs(self, example):
+        rules = class_association_rules(example, 0.3, 0.6, max_len=2)
+        n = example.n_samples
+        for car, count, conf in rules:
+            assert count >= int(0.3 * n + 0.999999)
+            assert conf >= 0.6
+            # Empirical confidence agrees.
+            assert conf == pytest.approx(car.confidence(example))
+
+    def test_sorted_by_cba_total_order(self, example):
+        rules = class_association_rules(example, 0.2, 0.5, max_len=2)
+        keys = [(-conf, -count, len(car.antecedent)) for car, count, conf in rules]
+        assert keys == sorted(keys)

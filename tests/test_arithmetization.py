@@ -1,0 +1,57 @@
+"""Arithmetization strategies and the Section 8 confidence measure."""
+
+import pytest
+
+from repro.core.arithmetization import (
+    COMBINERS,
+    classification_confidence,
+    get_combiner,
+    mean_combiner,
+    min_combiner,
+    product_combiner,
+)
+
+
+class TestCombiners:
+    def test_min(self):
+        assert min_combiner([0.5, 1.0, 0.75]) == 0.5
+
+    def test_product(self):
+        assert product_combiner([0.5, 0.5]) == 0.25
+
+    def test_mean(self):
+        assert mean_combiner([0.0, 1.0]) == 0.5
+
+    def test_registry_complete(self):
+        assert set(COMBINERS) == {"min", "product", "mean"}
+
+    def test_get_combiner_unknown(self):
+        with pytest.raises(ValueError):
+            get_combiner("harmonic")
+
+    def test_product_never_exceeds_min(self):
+        values = [0.3, 0.9, 0.7]
+        assert product_combiner(values) <= min_combiner(values)
+
+    def test_single_value_agreement(self):
+        for name in COMBINERS:
+            assert get_combiner(name)([0.42]) == pytest.approx(0.42)
+
+
+class TestConfidenceMeasure:
+    def test_clear_winner(self):
+        assert classification_confidence([0.8, 0.2]) == pytest.approx(0.75)
+
+    def test_tie_is_zero(self):
+        assert classification_confidence([0.5, 0.5]) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert classification_confidence([0.0, 0.0, 0.0]) == 0.0
+
+    def test_single_class(self):
+        assert classification_confidence([0.4]) == 1.0
+
+    def test_order_invariant(self):
+        assert classification_confidence([0.2, 0.9, 0.5]) == pytest.approx(
+            classification_confidence([0.9, 0.5, 0.2])
+        )

@@ -1,0 +1,141 @@
+"""Unit tests for the boolean expression algebra."""
+
+import pytest
+
+from repro.rules.boolexpr import (
+    FALSE,
+    TRUE,
+    And,
+    Not,
+    Or,
+    Var,
+    any_expressed,
+    any_not_expressed,
+    conjunction,
+    pretty,
+)
+
+
+class TestEvaluation:
+    def test_var_true_when_expressed(self):
+        assert Var("g1").evaluate({"g1", "g2"}) is True
+
+    def test_var_false_when_absent(self):
+        assert Var("g1").evaluate({"g2"}) is False
+
+    def test_not_inverts(self):
+        assert Not(Var("g1")).evaluate(set()) is True
+        assert Not(Var("g1")).evaluate({"g1"}) is False
+
+    def test_and_requires_all(self):
+        expr = And((Var("a"), Var("b")))
+        assert expr.evaluate({"a", "b"})
+        assert not expr.evaluate({"a"})
+
+    def test_or_requires_any(self):
+        expr = Or((Var("a"), Var("b")))
+        assert expr.evaluate({"b"})
+        assert not expr.evaluate(set())
+
+    def test_constants(self):
+        assert TRUE.evaluate(set()) is True
+        assert FALSE.evaluate({"a"}) is False
+
+    def test_nested_expression(self):
+        # (a AND c) OR (b AND d), the Section 2.1 example shape.
+        expr = Or((And((Var("a"), Var("c"))), And((Var("b"), Var("d")))))
+        assert expr.evaluate({"a", "c"})
+        assert expr.evaluate({"b", "d"})
+        assert not expr.evaluate({"a", "d"})
+
+
+class TestOperators:
+    def test_and_operator(self):
+        assert (Var("a") & Var("b")).evaluate({"a", "b"})
+
+    def test_or_operator(self):
+        assert (Var("a") | Var("b")).evaluate({"b"})
+
+    def test_invert_operator(self):
+        assert (~Var("a")).evaluate(set())
+
+
+class TestAtoms:
+    def test_atoms_collects_everything(self):
+        expr = Or((And((Var("a"), Not(Var("b")))), Var("c")))
+        assert expr.atoms() == {"a", "b", "c"}
+
+    def test_constant_atoms_empty(self):
+        assert TRUE.atoms() == frozenset()
+
+
+class TestSimplify:
+    def test_double_negation(self):
+        assert Not(Not(Var("a"))).simplify() == Var("a")
+
+    def test_and_with_true_drops(self):
+        assert And((Var("a"), TRUE)).simplify() == Var("a")
+
+    def test_and_with_false_collapses(self):
+        assert And((Var("a"), FALSE)).simplify() is FALSE
+
+    def test_or_with_true_collapses(self):
+        assert Or((Var("a"), TRUE)).simplify() is TRUE
+
+    def test_or_with_false_drops(self):
+        assert Or((Var("a"), FALSE)).simplify() == Var("a")
+
+    def test_duplicates_removed(self):
+        assert And((Var("a"), Var("a"))).simplify() == Var("a")
+
+    def test_empty_and_is_true(self):
+        assert And(()).simplify() is TRUE
+
+    def test_empty_or_is_false(self):
+        assert Or(()).simplify() is FALSE
+
+    def test_flattening(self):
+        nested = And((And((Var("a"), Var("b"))), Var("c")))
+        assert nested.parts == (Var("a"), Var("b"), Var("c"))
+
+
+class TestBuilders:
+    def test_conjunction(self):
+        expr = conjunction(["a", "b"])
+        assert expr.evaluate({"a", "b"}) and not expr.evaluate({"a"})
+
+    def test_conjunction_empty_is_true(self):
+        assert conjunction([]) is TRUE
+
+    def test_conjunction_single(self):
+        assert conjunction(["a"]) == Var("a")
+
+    def test_any_not_expressed(self):
+        clause = any_not_expressed(["a", "b"])
+        assert clause.evaluate({"a"})  # b missing satisfies
+        assert not clause.evaluate({"a", "b"})
+
+    def test_any_not_expressed_empty_is_false(self):
+        assert any_not_expressed([]) is FALSE
+
+    def test_any_expressed(self):
+        clause = any_expressed(["a", "b"])
+        assert clause.evaluate({"b"})
+        assert not clause.evaluate(set())
+
+    def test_any_expressed_empty_is_false(self):
+        assert any_expressed([]) is FALSE
+
+
+class TestPretty:
+    def test_pretty_with_names(self):
+        expr = And((Var(0), Not(Var(1))))
+        assert pretty(expr, ["g1", "g2"]) == "(g1 AND -g2)"
+
+    def test_pretty_constants(self):
+        assert pretty(TRUE) == "TRUE"
+        assert pretty(FALSE) == "FALSE"
+
+    def test_pretty_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            pretty("not an expression")  # type: ignore[arg-type]

@@ -1,0 +1,73 @@
+"""Boxplot statistics tests (the paper's Boxplot Interpretation paragraph)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.boxplot import boxplot_stats
+
+
+class TestBasics:
+    def test_no_outliers_whiskers_are_min_max(self):
+        stats = boxplot_stats([0.1, 0.2, 0.3, 0.4, 0.5])
+        assert stats.lower_whisker == 0.1
+        assert stats.upper_whisker == 0.5
+        assert stats.near_outliers == () and stats.far_outliers == ()
+
+    def test_median_and_quartiles(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5])
+        assert stats.median == 3
+        assert stats.q1 == 2 and stats.q3 == 4
+        assert stats.iqr == 2
+
+    def test_near_outlier_classified(self):
+        """A point past 1.5*IQR but within 3*IQR is a near outlier (circle)."""
+        data = [10, 11, 12, 13, 14, 19.5]
+        stats = boxplot_stats(data)
+        assert 19.5 in stats.near_outliers
+        assert stats.upper_whisker == 14
+
+    def test_far_outlier_classified(self):
+        """Past 3*IQR draws as an asterisk."""
+        data = [10, 11, 12, 13, 14, 40]
+        stats = boxplot_stats(data)
+        assert 40 in stats.far_outliers
+        assert not stats.near_outliers
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+    def test_single_value(self):
+        stats = boxplot_stats([0.7])
+        assert stats.median == 0.7
+        assert stats.minimum == stats.maximum == 0.7
+
+    def test_render_contains_summary(self):
+        text = boxplot_stats([0.5, 0.6, 0.7]).render("demo")
+        assert "med=0.600" in text and "demo" in text
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_invariants(self, values):
+        stats = boxplot_stats(values)
+        assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+        assert stats.lower_whisker >= stats.q1 - 1.5 * stats.iqr - 1e-12
+        assert stats.upper_whisker <= stats.q3 + 1.5 * stats.iqr + 1e-12
+        # Every point is whiskered or an outlier.
+        outliers = set(stats.near_outliers) | set(stats.far_outliers)
+        for v in values:
+            assert (
+                stats.lower_whisker - 1e-12 <= v <= stats.upper_whisker + 1e-12
+                or v in outliers
+            )
+        assert stats.n == len(values)

@@ -1,0 +1,174 @@
+"""BST construction tests — Figure 1 exactly, plus Algorithm 1 invariants."""
+
+import numpy as np
+import pytest
+
+from repro.bst.table import BST, build_all_bsts
+from repro.datasets.dataset import RelationalDataset
+
+from conftest import random_relational
+
+
+def idx(example, name):
+    return example.item_names.index(name)
+
+
+def sample_idx(example, name):
+    return example.sample_names.index(name)
+
+
+class TestFigure1:
+    """The Cancer BST of the running example must match Figure 1 cell for
+    cell (as described throughout Sections 3-5)."""
+
+    @pytest.fixture
+    def bst(self, example):
+        return BST.build(example, 0)
+
+    def test_black_dots_only_for_g1(self, bst, example):
+        g1 = idx(example, "g1")
+        for gene in range(example.n_items):
+            for col in bst.columns:
+                cell = bst.cell(gene, col)
+                if cell is not None and cell.black_dot:
+                    assert gene == g1
+
+    def test_g1_black_dots_at_s1_s2(self, bst, example):
+        g1 = idx(example, "g1")
+        assert bst.cell(g1, sample_idx(example, "s1")).black_dot
+        assert bst.cell(g1, sample_idx(example, "s2")).black_dot
+        assert bst.cell(g1, sample_idx(example, "s3")) is None
+
+    def test_g3_s1_cell_matches_paper(self, bst, example):
+        """Paper: (g3, s1) corresponds to 'g3 AND g1 expressed AND (either g4
+        or g6 not expressed)' — lists (s4: g1) and (s5: -g4, -g6)."""
+        cell = bst.cell(idx(example, "g3"), sample_idx(example, "s1"))
+        by_sample = {e.outside_sample: e for e in cell.exclusion_lists}
+        s4, s5 = sample_idx(example, "s4"), sample_idx(example, "s5")
+        assert not by_sample[s4].negated
+        assert by_sample[s4].items == (idx(example, "g1"),)
+        assert by_sample[s5].negated
+        assert by_sample[s5].items == (idx(example, "g4"), idx(example, "g6"))
+
+    def test_g5_s1_cell_matches_section_5_4(self, bst, example):
+        cell = bst.cell(idx(example, "g5"), sample_idx(example, "s1"))
+        rendered = sorted(e.render(example) for e in cell.exclusion_lists)
+        assert rendered == ["(s4: g1)", "(s5: -g4,-g6)"]
+
+    def test_blank_iff_not_expressed(self, bst, example):
+        for gene in range(example.n_items):
+            for col in bst.columns:
+                blank = bst.cell(gene, col) is None
+                assert blank == (gene not in example.samples[col])
+
+    def test_pair_lists_shared(self, bst, example):
+        """Algorithm 1's pointer scheme: cells of one column referencing the
+        same outside sample share one list object."""
+        s1 = sample_idx(example, "s1")
+        g3, g5 = idx(example, "g3"), idx(example, "g5")
+        l3 = [e for e in bst.cell(g3, s1).exclusion_lists if e.outside_sample == 4]
+        l5 = [e for e in bst.cell(g5, s1).exclusion_lists if e.outside_sample == 4]
+        assert l3[0] is l5[0]
+
+    def test_render_contains_rows(self, bst):
+        text = bst.render()
+        assert "g3" in text and "(s5: -g4,-g6)" in text
+
+
+class TestAlgorithmInvariants:
+    def test_cell_rules_are_100_percent_confident(self):
+        """Every atomic cell rule (Section 3.2) must be satisfied by its own
+        sample and by no sample outside the class."""
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            ds = random_relational(rng)
+            for class_id in range(ds.n_classes):
+                bst = BST.build(ds, class_id)
+                duplicates = _has_cross_class_duplicates(ds, class_id)
+                for col in bst.columns:
+                    for cell in bst.column_cells(col):
+                        outside_hits = [
+                            h
+                            for h in bst.outside
+                            if cell.is_satisfied(ds.samples[h])
+                        ]
+                        assert not outside_hits, (class_id, cell)
+                        if not duplicates:
+                            assert cell.is_satisfied(ds.samples[col])
+
+    def test_space_cost_bound(self):
+        """Section 3.1.1: list references are bounded by
+        (|S| - |C_i|) * |G| * |C_i|."""
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            ds = random_relational(rng)
+            for class_id in range(ds.n_classes):
+                bst = BST.build(ds, class_id)
+                n_c = len(bst.columns)
+                bound = (ds.n_samples - n_c) * ds.n_items * n_c + ds.n_items * n_c
+                assert bst.space_cost() <= bound
+
+    def test_row_support_is_expression(self):
+        rng = np.random.default_rng(3)
+        ds = random_relational(rng)
+        bst = BST.build(ds, 0)
+        for gene in range(ds.n_items):
+            expected = frozenset(
+                c for c in bst.columns if gene in ds.samples[c]
+            )
+            assert bst.row_support(gene) == expected
+
+    def test_unknown_class_raises(self, example):
+        with pytest.raises(ValueError):
+            BST.build(example, 5)
+
+    def test_build_all(self, example):
+        bsts = build_all_bsts(example)
+        assert [b.class_id for b in bsts] == [0, 1]
+
+    def test_identical_cross_class_samples_yield_empty_list(self):
+        """Two identical samples in different classes produce an empty,
+        unsatisfiable exclusion list (the Theorem 2 hypothesis edge)."""
+        ds = RelationalDataset(
+            item_names=("a", "b"),
+            class_names=("x", "y"),
+            samples=(frozenset({0, 1}), frozenset({0, 1})),
+            labels=(0, 1),
+        )
+        bst = BST.build(ds, 0)
+        cell = bst.cell(0, 0)
+        assert cell is not None and not cell.black_dot
+        elist = cell.exclusion_lists[0]
+        assert elist.is_empty
+        assert elist.satisfaction({0, 1}) == 0.0
+        assert not cell.is_satisfied({0, 1})
+
+
+def _has_cross_class_duplicates(ds, class_id):
+    inside = {ds.samples[c] for c in ds.class_members(class_id)}
+    outside = {ds.samples[h] for h in ds.outside_members(class_id)}
+    return bool(inside & outside)
+
+
+class TestExclusionList:
+    def test_negative_satisfaction(self, example):
+        from repro.bst.table import ExclusionList
+
+        elist = ExclusionList(4, (3, 5), negated=True)  # (s5: -g4, -g6)
+        assert elist.satisfaction({0, 3, 4}) == 0.5  # g4 expressed, g6 not
+        assert elist.satisfaction({0}) == 1.0
+        assert elist.satisfaction({3, 5}) == 0.0
+
+    def test_positive_satisfaction(self):
+        from repro.bst.table import ExclusionList
+
+        elist = ExclusionList(3, (0,), negated=False)  # (s4: g1)
+        assert elist.satisfaction({0}) == 1.0
+        assert elist.satisfaction({1}) == 0.0
+
+    def test_clause_semantics_match_satisfaction(self):
+        from repro.bst.table import ExclusionList
+
+        elist = ExclusionList(2, (1, 4), negated=True)
+        for query in [set(), {1}, {4}, {1, 4}, {0, 1, 4}]:
+            assert elist.clause().evaluate(query) == elist.is_satisfied(query)

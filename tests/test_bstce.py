@@ -1,0 +1,120 @@
+"""BSTCE reference implementation tests — the Figure 3 worked example and
+Algorithm 5 invariants."""
+
+import numpy as np
+import pytest
+
+from repro.bst.table import BST, build_all_bsts
+from repro.core.bstce import bstce, bstce_detail, cell_value
+
+from conftest import random_relational
+
+Q = frozenset({0, 3, 4})  # g1, g4, g5 — the Section 5.4 query
+
+
+class TestFigure3:
+    def test_cancer_value(self, example):
+        assert bstce(BST.build(example, 0), Q) == pytest.approx(0.75)
+
+    def test_healthy_value(self, example):
+        assert bstce(BST.build(example, 1), Q) == pytest.approx(3 / 8)
+
+    def test_cancer_column_means(self, example):
+        """Figure 3: columns s1, s2, s3 average 0.75, 1 and 0.5."""
+        _, columns, _ = bstce_detail(BST.build(example, 0), Q)
+        assert columns[0] == pytest.approx(0.75)
+        assert columns[1] == pytest.approx(1.0)
+        assert columns[2] == pytest.approx(0.5)
+
+    def test_g5_s1_cell_value(self, example):
+        """Section 5.4: the (g5, s1) cell scores 1/2 — (s4: g1) fully
+        satisfied, (s5: -g4,-g6) half satisfied, min taken."""
+        _, _, cells = bstce_detail(BST.build(example, 0), Q)
+        g5 = example.item_names.index("g5")
+        assert cells[(g5, 0)] == pytest.approx(0.5)
+
+    def test_black_dot_cells_score_one(self, example):
+        _, _, cells = bstce_detail(BST.build(example, 0), Q)
+        g1 = example.item_names.index("g1")
+        assert cells[(g1, 0)] == 1.0
+        assert cells[(g1, 1)] == 1.0
+
+
+class TestAlgorithmProperties:
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            ds = random_relational(rng)
+            for bst in build_all_bsts(ds):
+                for _ in range(4):
+                    query = frozenset(
+                        int(i)
+                        for i in np.flatnonzero(rng.random(ds.n_items) < 0.5)
+                    )
+                    value = bstce(bst, query)
+                    assert 0.0 <= value <= 1.0
+
+    def test_empty_query_scores_zero(self, example):
+        assert bstce(BST.build(example, 0), frozenset()) == 0.0
+
+    def test_disjoint_query_scores_zero(self, example):
+        """A query expressing nothing any class sample expresses has no
+        non-blank column."""
+        ds = example
+        bst = BST.build(ds, 1)
+        # g1 is expressed by no Healthy sample.
+        assert bstce(bst, frozenset({ds.item_names.index("g1")})) == 0.0
+
+    def test_training_sample_usually_scores_high_for_own_class(self, example):
+        """A training sample satisfies all its own cell rules exactly, so its
+        own-class value should dominate (perfect column for itself)."""
+        bsts = build_all_bsts(example)
+        for i, sample in enumerate(example.samples):
+            own = example.labels[i]
+            values = [bstce(b, sample) for b in bsts]
+            assert values[own] == max(values)
+
+    def test_unknown_arithmetization_raises(self, example):
+        with pytest.raises(ValueError):
+            bstce(BST.build(example, 0), Q, arithmetization="median")
+
+    def test_product_combiner_at_most_min(self, example):
+        """Every V_e is in [0,1], so the product is never above the min."""
+        rng = np.random.default_rng(9)
+        for _ in range(6):
+            ds = random_relational(rng)
+            bst = BST.build(ds, 0)
+            query = frozenset(
+                int(i) for i in np.flatnonzero(rng.random(ds.n_items) < 0.5)
+            )
+            for col in bst.columns:
+                for cell in bst.column_cells(col):
+                    if cell.gene in query and not cell.black_dot:
+                        from repro.core.arithmetization import (
+                            min_combiner,
+                            product_combiner,
+                        )
+
+                        v_min = cell_value(cell, query, min_combiner)
+                        v_prod = cell_value(cell, query, product_combiner)
+                        assert v_prod <= v_min + 1e-12
+
+    def test_boolean_satisfaction_implies_value_one_with_min(self):
+        """If the query *boolean*-satisfies the cell rule, every list has at
+        least one satisfied literal, but the min quantization can still be
+        below 1; conversely a min-value of 1 means all lists fully
+        satisfied, which implies boolean satisfaction."""
+        rng = np.random.default_rng(13)
+        for _ in range(8):
+            ds = random_relational(rng)
+            bst = BST.build(ds, 0)
+            query = frozenset(
+                int(i) for i in np.flatnonzero(rng.random(ds.n_items) < 0.5)
+            )
+            for col in bst.columns:
+                for cell in bst.column_cells(col):
+                    if cell.gene not in query:
+                        continue
+                    value = cell_value(cell, query)
+                    if value == 1.0:
+                        assert cell.is_satisfied(query)

@@ -1,0 +1,70 @@
+"""CBA classifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cba import CBAClassifier
+from repro.datasets.dataset import RelationalDataset
+
+
+def signature_dataset():
+    """Class 0 expresses item 0, class 1 expresses item 1, plus noise item 2."""
+    samples = []
+    labels = []
+    rng = np.random.default_rng(0)
+    for _ in range(8):
+        samples.append(frozenset({0} | ({2} if rng.random() < 0.5 else set())))
+        labels.append(0)
+        samples.append(frozenset({1} | ({2} if rng.random() < 0.5 else set())))
+        labels.append(1)
+    return RelationalDataset(
+        item_names=("a", "b", "n"),
+        class_names=("c0", "c1"),
+        samples=tuple(samples),
+        labels=tuple(labels),
+    )
+
+
+class TestCBA:
+    def test_learns_signature_rules(self):
+        ds = signature_dataset()
+        clf = CBAClassifier(min_support=0.2, min_confidence=0.6).fit(ds)
+        assert clf.predict(frozenset({0})) == 0
+        assert clf.predict(frozenset({1})) == 1
+
+    def test_default_class_for_unmatched(self):
+        ds = signature_dataset()
+        clf = CBAClassifier(min_support=0.2, min_confidence=0.6).fit(ds)
+        assert clf.predict(frozenset()) in (0, 1)
+
+    def test_rules_cover_training(self):
+        ds = signature_dataset()
+        clf = CBAClassifier(min_support=0.2, min_confidence=0.6).fit(ds)
+        predictions = clf.predict_dataset(ds)
+        accuracy = np.mean([p == l for p, l in zip(predictions, ds.labels)])
+        assert accuracy == 1.0
+
+    def test_rule_list_prefix_minimizes_training_error(self):
+        """M1 truncates at the minimum-error prefix, so training error of the
+        final classifier is never worse than default-only classification."""
+        ds = signature_dataset()
+        clf = CBAClassifier(min_support=0.2, min_confidence=0.5).fit(ds)
+        default_only_errors = min(
+            sum(1 for l in ds.labels if l != c) for c in range(ds.n_classes)
+        )
+        predictions = clf.predict_dataset(ds)
+        errors = sum(1 for p, l in zip(predictions, ds.labels) if p != l)
+        assert errors <= default_only_errors
+
+    def test_running_example(self, example):
+        clf = CBAClassifier(min_support=0.2, min_confidence=0.6, max_rule_len=2)
+        clf.fit(example)
+        # g1 appears only in Cancer samples -> the CBA rules should capture it.
+        g1 = example.item_names.index("g1")
+        assert clf.predict(frozenset({g1})) == 0
+
+    def test_rules_property_returns_copy(self, example):
+        clf = CBAClassifier(min_support=0.2, min_confidence=0.5).fit(example)
+        rules = clf.rules
+        rules.clear()
+        assert clf.rules or not rules  # internal list untouched

@@ -1,0 +1,107 @@
+"""CHARM closed-itemset miner tests — brute force and Top-k cross-checks."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.baselines.charm import charm_closed_itemsets, closed_itemsets_of_class
+from repro.baselines.topk import TopkMiner
+from repro.evaluation.timing import Budget, BudgetExceeded
+
+from conftest import random_relational
+
+
+def brute_force_closed(transactions, min_count):
+    """All closed itemsets: frequent itemsets with no same-support superset."""
+    items = sorted({i for t in transactions for i in t})
+    frequent = {}
+    for r in range(1, len(items) + 1):
+        for combo in combinations(items, r):
+            tids = frozenset(
+                t for t, row in enumerate(transactions) if set(combo) <= row
+            )
+            if len(tids) >= min_count:
+                frequent[frozenset(combo)] = tids
+    closed = {}
+    for itemset, tids in frequent.items():
+        if not any(
+            other > itemset and otids == tids
+            for other, otids in frequent.items()
+        ):
+            closed[itemset] = len(tids)
+    return closed
+
+
+class TestCharm:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(121)
+        for _ in range(12):
+            n = int(rng.integers(3, 9))
+            m = int(rng.integers(2, 8))
+            transactions = [
+                frozenset(int(j) for j in np.flatnonzero(rng.random(m) < 0.5))
+                for _ in range(n)
+            ]
+            for min_count in (1, 2):
+                expected = brute_force_closed(transactions, min_count)
+                got = charm_closed_itemsets(transactions, min_count)
+                assert got == expected
+
+    def test_support_threshold(self):
+        transactions = [frozenset({0, 1})] * 3 + [frozenset({2})]
+        got = charm_closed_itemsets(transactions, 2)
+        assert got == {frozenset({0, 1}): 3}
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            charm_closed_itemsets([frozenset({0})], 0)
+
+    def test_budget(self):
+        rng = np.random.default_rng(5)
+        transactions = [
+            frozenset(int(j) for j in np.flatnonzero(rng.random(20) < 0.6))
+            for _ in range(12)
+        ]
+        with pytest.raises(BudgetExceeded):
+            charm_closed_itemsets(transactions, 1, budget=Budget(1e-9))
+
+    def test_max_itemsets_caps(self):
+        rng = np.random.default_rng(6)
+        transactions = [
+            frozenset(int(j) for j in np.flatnonzero(rng.random(10) < 0.6))
+            for _ in range(10)
+        ]
+        capped = charm_closed_itemsets(transactions, 1, max_itemsets=3)
+        full = charm_closed_itemsets(transactions, 1)
+        # The cap is checked per expansion, so a few extra closures may land,
+        # but it must stop well short of the full enumeration.
+        assert len(capped) < len(full)
+
+
+class TestCrossCheckWithTopk:
+    def test_charm_agrees_with_row_enumeration(self):
+        """The two duals must find the same class-projected closed patterns:
+        CHARM's (itemset -> class support count) equals the row enumerator's
+        rule groups restricted to the class rows."""
+        rng = np.random.default_rng(131)
+        checked = 0
+        while checked < 8:
+            ds = random_relational(rng, n_samples_range=(4, 9))
+            class_rows = ds.class_members(0)
+            if len(class_rows) < 2:
+                continue
+            min_support = 0.4
+            charm = closed_itemsets_of_class(ds, 0, min_support)
+            groups = TopkMiner(ds, 0, k=10**6, min_support=min_support).mine()
+            # Row enumeration keys groups by all-rows support; project to the
+            # class: closure over class rows == closure over support ∩ class.
+            from repro.rules.groups import closure_of_rows
+
+            expected = {}
+            for group in groups:
+                closure = closure_of_rows(ds, group.class_support)
+                if closure:
+                    expected[closure] = len(group.class_support)
+            assert charm == expected
+            checked += 1

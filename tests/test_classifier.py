@@ -1,0 +1,151 @@
+"""BSTClassifier tests — Algorithm 6 and the public fit/predict API."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import BSTClassifier, NotFittedError
+from repro.datasets.dataset import RelationalDataset
+
+from conftest import random_relational
+
+Q = frozenset({0, 3, 4})
+
+
+class TestSection54:
+    def test_query_classified_cancer(self, example):
+        clf = BSTClassifier().fit(example)
+        assert clf.predict(Q) == 0
+
+    def test_classification_values(self, example):
+        clf = BSTClassifier().fit(example)
+        values = clf.classification_values(Q)
+        assert values[0] == pytest.approx(0.75)
+        assert values[1] == pytest.approx(0.375)
+
+    def test_reference_engine_agrees(self, example):
+        fast = BSTClassifier(engine="fast").fit(example)
+        ref = BSTClassifier(engine="reference").fit(example)
+        for query in [Q, frozenset({1, 2}), frozenset({5})]:
+            assert fast.predict(query) == ref.predict(query)
+            np.testing.assert_allclose(
+                fast.classification_values(query),
+                ref.classification_values(query),
+                atol=1e-9,
+            )
+
+
+class TestAPI:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            BSTClassifier().predict(Q)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            BSTClassifier(engine="gpu")
+
+    def test_empty_dataset_rejected(self):
+        empty = RelationalDataset((), ("a",), (), ())
+        with pytest.raises(ValueError):
+            BSTClassifier().fit(empty)
+
+    def test_predict_many(self, example):
+        clf = BSTClassifier().fit(example)
+        assert clf.predict_many([Q, Q]) == [0, 0]
+
+    def test_predict_dataset_checks_vocabulary(self, example):
+        clf = BSTClassifier().fit(example)
+        other = RelationalDataset(("x",), ("a",), (frozenset(),), (0,))
+        with pytest.raises(ValueError):
+            clf.predict_dataset(other)
+
+    def test_predict_dataset_on_training(self, example):
+        clf = BSTClassifier().fit(example)
+        predictions = clf.predict_dataset(example)
+        # Training samples classify to their own class on this clean example.
+        assert predictions == list(example.labels)
+
+    def test_vector_query(self, example):
+        clf = BSTClassifier().fit(example)
+        vec = np.zeros(example.n_items, dtype=bool)
+        vec[[0, 3, 4]] = True
+        assert clf.predict(vec) == 0
+
+    def test_predict_with_confidence(self, example):
+        clf = BSTClassifier().fit(example)
+        label, confidence = clf.predict_with_confidence(Q)
+        assert label == 0
+        assert confidence == pytest.approx((0.75 - 0.375) / 0.75)
+
+    def test_bsts_lazy_under_fast_engine(self, example):
+        clf = BSTClassifier(engine="fast").fit(example)
+        assert clf._bsts is None
+        assert len(clf.bsts) == 2
+
+
+class TestTieBreaking:
+    def test_smallest_class_wins_ties(self):
+        """Algorithm 6 line 6: min{i | CV(i) = max CV}."""
+        # Two classes with mirrored samples: a query expressing items of
+        # both classes equally must go to class 0.
+        ds = RelationalDataset(
+            item_names=("a", "b"),
+            class_names=("c0", "c1"),
+            samples=(frozenset({0}), frozenset({1})),
+            labels=(0, 1),
+        )
+        clf = BSTClassifier().fit(ds)
+        values = clf.classification_values(frozenset({0, 1}))
+        assert values[0] == values[1]
+        assert clf.predict(frozenset({0, 1})) == 0
+
+    def test_no_overlap_query_goes_to_class_zero(self, example):
+        """All class values 0 -> argmax picks class 0 (the paper leaves this
+        degenerate case to the tie rule)."""
+        clf = BSTClassifier().fit(example)
+        assert clf.predict(frozenset()) == 0
+
+
+class TestMulticlass:
+    def test_three_class_classification(self):
+        """Section 5.3: BSTC generalizes beyond two classes."""
+        rng = np.random.default_rng(0)
+        items = 9
+        # Three classes, each with a signature item block.
+        samples = []
+        labels = []
+        for class_id in range(3):
+            for _ in range(6):
+                base = {class_id * 3, class_id * 3 + 1, class_id * 3 + 2}
+                noise = {
+                    int(i) for i in np.flatnonzero(rng.random(items) < 0.1)
+                }
+                samples.append(frozenset(base | noise))
+                labels.append(class_id)
+        ds = RelationalDataset(
+            item_names=tuple(f"g{i}" for i in range(items)),
+            class_names=("A", "B", "C"),
+            samples=tuple(samples),
+            labels=tuple(labels),
+        )
+        clf = BSTClassifier().fit(ds)
+        for class_id in range(3):
+            query = frozenset(
+                {class_id * 3, class_id * 3 + 1, class_id * 3 + 2}
+            )
+            assert clf.predict(query) == class_id
+
+    def test_engines_agree_multiclass(self):
+        rng = np.random.default_rng(17)
+        for _ in range(6):
+            ds = random_relational(rng, n_classes_range=(3, 4))
+            fast = BSTClassifier(engine="fast").fit(ds)
+            ref = BSTClassifier(engine="reference").fit(ds)
+            for _ in range(4):
+                query = frozenset(
+                    int(i) for i in np.flatnonzero(rng.random(ds.n_items) < 0.5)
+                )
+                np.testing.assert_allclose(
+                    fast.classification_values(query),
+                    ref.classification_values(query),
+                    atol=1e-6,
+                )

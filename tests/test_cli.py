@@ -1,0 +1,34 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig6" in out
+
+    def test_run_fig3(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "0.75" in out and "True" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "tableXX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "BST for class Cancer" in out
+        assert "classified as Cancer" in out
+
+    def test_run_with_options(self, capsys):
+        code = main(
+            ["run", "fig2", "--tests", "1", "--topk-cutoff", "1", "--seed", "2"]
+        )
+        assert code == 0
+        assert "g6" in capsys.readouterr().out

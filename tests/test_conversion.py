@@ -1,0 +1,117 @@
+"""Theorem 2 conversion tests: BAR ↔ CAR."""
+
+import numpy as np
+import pytest
+
+from repro.bst.row_bar import gene_row_bar
+from repro.bst.table import BST
+from repro.rules.car import CAR
+from repro.rules.conversion import (
+    bar_to_car,
+    car_to_bar,
+    predicted_car_confidence,
+    roundtrip_confidence,
+)
+
+from conftest import random_relational
+
+
+def distinct_rows(ds):
+    return len(set(ds.samples)) == ds.n_samples
+
+
+class TestStripping:
+    def test_section_43_example(self, example):
+        """The g3-row BAR strips to the CAR g3 => Cancer with support
+        {s1, s2} and confidence 2/4 (g3 appears in s1, s2, s4, s5)."""
+        bst = BST.build(example, 0)
+        g3 = example.item_names.index("g3")
+        rule = gene_row_bar(bst, g3)
+        car = bar_to_car(rule)
+        assert car.support_set(example) == {0, 1}
+        assert car.confidence(example) == pytest.approx(0.5)
+
+    def test_stripped_car_keeps_support(self):
+        """Theorem 2: removing exclusion clauses preserves the support set."""
+        rng = np.random.default_rng(51)
+        checked = 0
+        while checked < 10:
+            ds = random_relational(rng)
+            if not distinct_rows(ds):
+                continue
+            bst = BST.build(ds, 0)
+            for gene in sorted(bst.nonblank_genes()):
+                rule = gene_row_bar(bst, gene)
+                car = bar_to_car(rule)
+                assert car.support_set(ds) == rule.support
+            checked += 1
+
+
+class TestPredictedConfidence:
+    def test_matches_empirical_confidence(self):
+        """Theorem 2's count: confidence = supp / (supp + actively excluded)."""
+        rng = np.random.default_rng(53)
+        checked = 0
+        while checked < 12:
+            ds = random_relational(rng)
+            if not distinct_rows(ds):
+                continue
+            bst = BST.build(ds, 0)
+            for gene in sorted(bst.nonblank_genes()):
+                rule = gene_row_bar(bst, gene)
+                empirical = bar_to_car(rule).confidence(ds)
+                predicted = predicted_car_confidence(bst, rule)
+                assert empirical == pytest.approx(predicted)
+            checked += 1
+
+
+class TestLifting:
+    def test_lifted_bar_is_100_percent_confident(self):
+        """Theorem 2 (⇒): on duplicate-free data, any CAR lifts to a BAR with
+        confidence 1 and identical class support."""
+        rng = np.random.default_rng(59)
+        checked = 0
+        while checked < 10:
+            ds = random_relational(rng)
+            if not distinct_rows(ds):
+                continue
+            bst = BST.build(ds, 0)
+            items = sorted(bst.nonblank_genes())
+            for size in (1, 2):
+                for start in range(0, max(0, len(items) - size), 3):
+                    antecedent = frozenset(items[start : start + size])
+                    car = CAR(antecedent, 0)
+                    if not car.support_set(ds):
+                        continue
+                    lifted = car_to_bar(bst, car)
+                    bar = lifted.to_bar(bst)
+                    assert bar.support_set(ds) == car.support_set(ds)
+                    assert bar.confidence(ds) == 1.0
+            checked += 1
+
+    def test_roundtrip_confidences_agree(self, example):
+        bst = BST.build(example, 0)
+        g3 = example.item_names.index("g3")
+        empirical, predicted = roundtrip_confidence(bst, CAR(frozenset({g3}), 0))
+        assert empirical == pytest.approx(predicted)
+
+    def test_wrong_class_raises(self, example):
+        bst = BST.build(example, 0)
+        with pytest.raises(ValueError):
+            car_to_bar(bst, CAR(frozenset({0}), 1))
+
+    def test_empty_antecedent_raises(self, example):
+        bst = BST.build(example, 0)
+        with pytest.raises(ValueError):
+            car_to_bar(bst, CAR(frozenset(), 0))
+
+    def test_section1_example_rule(self, example):
+        """The introduction's rule g1, g3 => Cancer: support 2, confidence 1."""
+        g1 = example.item_names.index("g1")
+        g3 = example.item_names.index("g3")
+        car = CAR(frozenset({g1, g3}), 0)
+        assert car.support(example) == 2
+        assert car.confidence(example) == 1.0
+        bst = BST.build(example, 0)
+        lifted = car_to_bar(bst, car)
+        assert lifted.to_bar(bst).confidence(example) == 1.0

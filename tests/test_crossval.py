@@ -1,0 +1,113 @@
+"""Cross-validation harness tests."""
+
+import pytest
+
+from repro.datasets.synthetic import generate_expression_data
+from repro.evaluation.crossval import (
+    PhaseRecord,
+    StudyResult,
+    TestResult,
+    TrainingSize,
+    derive_seed,
+    make_test,
+    paper_training_sizes,
+)
+
+
+class TestTrainingSize:
+    def test_requires_exactly_one_spec(self):
+        with pytest.raises(ValueError):
+            TrainingSize("bad")
+        with pytest.raises(ValueError):
+            TrainingSize("bad", fraction=0.5, counts=(1, 2))
+
+    def test_paper_sizes(self, tiny_profile):
+        sizes = paper_training_sizes(tiny_profile)
+        assert [s.label for s in sizes] == ["40%", "60%", "80%", "1-9/0-8"]
+        assert sizes[3].counts == (9, 8)
+
+
+class TestMakeTest:
+    def test_materialization(self, tiny_profile):
+        data = generate_expression_data(tiny_profile, seed=0)
+        test = make_test(data, TrainingSize("40%", fraction=0.4), 0, "TINY")
+        assert test.train.n_samples == round(0.4 * data.n_samples)
+        assert test.test.n_samples == data.n_samples - test.train.n_samples
+        assert len(test.test_queries) == test.test.n_samples
+        assert test.rel_train.n_samples == test.train.n_samples
+
+    def test_deterministic(self, tiny_profile):
+        data = generate_expression_data(tiny_profile, seed=0)
+        size = TrainingSize("60%", fraction=0.6)
+        a = make_test(data, size, 3, "TINY")
+        b = make_test(data, size, 3, "TINY")
+        assert a.train.labels == b.train.labels
+        assert a.test_queries == b.test_queries
+
+    def test_index_varies_split(self, tiny_profile):
+        data = generate_expression_data(tiny_profile, seed=0)
+        size = TrainingSize("60%", fraction=0.6)
+        a = make_test(data, size, 0, "TINY")
+        b = make_test(data, size, 1, "TINY")
+        assert a.train.sample_names != b.train.sample_names
+
+    def test_derive_seed_stable(self):
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+        assert derive_seed("a", 1) != derive_seed("a", 2)
+
+
+def _result(classifier, size, index, accuracy, phases):
+    return TestResult(
+        classifier=classifier,
+        size_label=size,
+        test_index=index,
+        accuracy=accuracy,
+        phases=tuple(PhaseRecord(*p) for p in phases),
+    )
+
+
+class TestStudyResult:
+    @pytest.fixture
+    def study(self):
+        study = StudyResult("X")
+        # BSTC finished everything.
+        for i in range(3):
+            study.add(_result("BSTC", "40%", i, 0.8 + 0.05 * i, [("bstc", 1.0, True)]))
+        # RCBT: test 0 fine, test 1 rcbt DNF, test 2 topk DNF.
+        study.add(
+            _result("RCBT", "40%", 0, 0.9, [("topk", 0.5, True), ("rcbt", 2.0, True)])
+        )
+        study.add(
+            _result("RCBT", "40%", 1, None, [("topk", 0.5, True), ("rcbt", 10.0, False)])
+        )
+        study.add(_result("RCBT", "40%", 2, None, [("topk", 10.0, False)]))
+        return study
+
+    def test_accuracies_finished_only(self, study):
+        assert study.accuracies("RCBT", "40%") == [0.9]
+        assert len(study.accuracies("BSTC", "40%")) == 3
+
+    def test_dnf_ratio_counts_attempted(self, study):
+        # rcbt phase: attempted on 2 tests (topk finished), 1 DNF.
+        assert study.dnf_ratio("RCBT", "40%", "rcbt") == (1, 2)
+        # topk phase attempted on all 3, 1 DNF.
+        assert study.dnf_ratio("RCBT", "40%", "topk") == (1, 3)
+
+    def test_mean_phase_seconds_floors_dnf(self, study):
+        assert study.mean_phase_seconds("RCBT", "40%", "rcbt") == pytest.approx(
+            (2.0 + 10.0) / 2
+        )
+
+    def test_mean_accuracy_where_finished(self, study):
+        # RCBT finished only test 0 -> BSTC mean over test 0 = 0.8.
+        assert study.mean_accuracy_where_finished(
+            "BSTC", "RCBT", "40%"
+        ) == pytest.approx(0.8)
+
+    def test_boxplot_over_accuracies(self, study):
+        stats = study.boxplot("BSTC", "40%")
+        assert stats.n == 3
+        assert stats.median == pytest.approx(0.85)
+
+    def test_missing_phase_returns_none(self, study):
+        assert study.mean_phase_seconds("BSTC", "40%", "rcbt") is None

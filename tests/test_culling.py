@@ -1,0 +1,75 @@
+"""Exclusion-list culling tests (Section 8 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.bst.culling import cull_bst, cull_cell_lists, culling_ratio
+from repro.bst.table import BST, ExclusionList
+
+from conftest import random_relational
+
+
+class TestCullCellLists:
+    def test_superset_negated_list_dropped(self):
+        a = ExclusionList(3, (1,), negated=True)
+        b = ExclusionList(4, (1, 2), negated=True)  # implied by a
+        assert cull_cell_lists((a, b)) == (a,)
+
+    def test_different_polarity_kept(self):
+        a = ExclusionList(3, (1,), negated=True)
+        b = ExclusionList(4, (1, 2), negated=False)
+        assert cull_cell_lists((a, b)) == (a, b)
+
+    def test_exact_duplicate_first_kept(self):
+        a = ExclusionList(3, (1, 2), negated=True)
+        b = ExclusionList(4, (1, 2), negated=True)
+        assert cull_cell_lists((a, b)) == (a,)
+
+    def test_incomparable_sets_kept(self):
+        a = ExclusionList(3, (1, 2), negated=True)
+        b = ExclusionList(4, (2, 3), negated=True)
+        assert cull_cell_lists((a, b)) == (a, b)
+
+
+class TestCullBst:
+    def test_boolean_semantics_preserved(self):
+        """Every cell rule must evaluate identically before and after the
+        cull, for every possible query over the item space."""
+        rng = np.random.default_rng(101)
+        for _ in range(10):
+            ds = random_relational(rng, n_items_range=(3, 7))
+            bst = BST.build(ds, 0)
+            culled = cull_bst(bst)
+            queries = [
+                frozenset(int(i) for i in np.flatnonzero(rng.random(ds.n_items) < p))
+                for p in (0.2, 0.5, 0.8)
+                for _ in range(4)
+            ]
+            for col in bst.columns:
+                for cell in bst.column_cells(col):
+                    twin = culled.cell(cell.gene, col)
+                    for query in queries:
+                        assert cell.is_satisfied(query) == twin.is_satisfied(
+                            query
+                        )
+
+    def test_never_grows(self):
+        rng = np.random.default_rng(103)
+        for _ in range(8):
+            ds = random_relational(rng)
+            bst = BST.build(ds, 0)
+            culled = cull_bst(bst)
+            assert culled.space_cost() <= bst.space_cost()
+            assert 0.0 <= culling_ratio(bst, culled) <= 1.0
+
+    def test_black_dots_untouched(self, example):
+        bst = BST.build(example, 0)
+        culled = cull_bst(bst)
+        g1 = example.item_names.index("g1")
+        assert culled.cell(g1, 0).black_dot
+
+    def test_structure_preserved(self, example):
+        bst = BST.build(example, 0)
+        culled = cull_bst(bst)
+        assert culled.columns == bst.columns
+        assert culled.n_cells() == bst.n_cells()

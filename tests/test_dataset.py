@@ -1,0 +1,121 @@
+"""Unit tests for the relational/continuous data models."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import (
+    DatasetError,
+    ExpressionMatrix,
+    RelationalDataset,
+    running_example,
+)
+
+
+class TestRunningExample:
+    def test_shape(self, example):
+        assert example.n_samples == 5
+        assert example.n_items == 6
+        assert example.n_classes == 2
+
+    def test_class_membership(self, example):
+        assert example.class_members(0) == (0, 1, 2)
+        assert example.class_members(1) == (3, 4)
+
+    def test_outside_members(self, example):
+        assert example.outside_members(0) == (3, 4)
+
+    def test_sample_contents_match_table1(self, example):
+        names = example.item_names
+        s1 = {names[i] for i in example.samples[0]}
+        assert s1 == {"g1", "g2", "g3", "g5"}
+        s5 = {names[i] for i in example.samples[4]}
+        assert s5 == {"g3", "g4", "g5", "g6"}
+
+    def test_class_sizes(self, example):
+        assert example.class_sizes() == (3, 2)
+
+    def test_majority_class(self, example):
+        assert example.majority_class() == 0
+
+
+class TestValidation:
+    def test_label_count_mismatch(self):
+        with pytest.raises(DatasetError):
+            RelationalDataset(("a",), ("x",), (frozenset(),), (0, 0))
+
+    def test_unknown_item(self):
+        with pytest.raises(DatasetError):
+            RelationalDataset(("a",), ("x",), (frozenset({5}),), (0,))
+
+    def test_unknown_class(self):
+        with pytest.raises(DatasetError):
+            RelationalDataset(("a",), ("x",), (frozenset(),), (3,))
+
+    def test_sample_names_length(self):
+        with pytest.raises(DatasetError):
+            RelationalDataset(
+                ("a",), ("x",), (frozenset(),), (0,), sample_names=("s1", "s2")
+            )
+
+
+class TestBoolMatrix:
+    def test_roundtrip(self, example):
+        rebuilt = RelationalDataset.from_bool_matrix(
+            example.bool_matrix,
+            example.labels,
+            item_names=example.item_names,
+            class_names=example.class_names,
+        )
+        assert rebuilt.samples == example.samples
+
+    def test_matrix_values(self, example):
+        mat = example.bool_matrix
+        assert mat.shape == (5, 6)
+        assert mat[0, 0] and not mat[0, 3]  # s1 expresses g1, not g4
+
+    def test_from_matrix_rejects_1d(self):
+        with pytest.raises(DatasetError):
+            RelationalDataset.from_bool_matrix(np.zeros(4), [0])
+
+
+class TestSubset:
+    def test_subset_keeps_order(self, example):
+        sub = example.subset([2, 0])
+        assert sub.labels == (0, 0)
+        assert sub.samples[0] == example.samples[2]
+        assert sub.sample_names == ("s3", "s1")
+
+    def test_support_of_itemset(self, example):
+        # g1, g3 -> cancer samples s1, s2 only (the Section 1 example rule).
+        assert example.support_of_itemset({0, 2}) == {0, 1}
+
+
+class TestExpressionMatrix:
+    def test_validation_rows(self):
+        with pytest.raises(DatasetError):
+            ExpressionMatrix(("g",), np.zeros((2, 1)), (0,), ("x",))
+
+    def test_validation_columns(self):
+        with pytest.raises(DatasetError):
+            ExpressionMatrix(("g", "h"), np.zeros((1, 1)), (0,), ("x",))
+
+    def test_subset_and_select(self):
+        data = ExpressionMatrix(
+            ("g0", "g1", "g2"),
+            np.arange(12).reshape(4, 3).astype(float),
+            (0, 0, 1, 1),
+            ("a", "b"),
+        )
+        sub = data.subset([1, 3])
+        assert sub.labels == (0, 1)
+        assert sub.values[0, 0] == 3.0
+        sel = data.select_genes([2, 0])
+        assert sel.gene_names == ("g2", "g0")
+        assert sel.values[0].tolist() == [2.0, 0.0]
+
+    def test_class_helpers(self):
+        data = ExpressionMatrix(
+            ("g",), np.zeros((3, 1)), (0, 1, 1), ("a", "b")
+        )
+        assert data.class_sizes() == (1, 2)
+        assert data.class_members(1) == (1, 2)

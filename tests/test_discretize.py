@@ -1,0 +1,146 @@
+"""Entropy-MDL discretization tests (Fayyad–Irani MDLP)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import ExpressionMatrix
+from repro.datasets.discretize import (
+    EntropyDiscretizer,
+    GenePartition,
+    class_entropy,
+    mdlp_cut_points,
+)
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert class_entropy(np.array([5, 0])) == 0.0
+
+    def test_uniform_binary_is_one(self):
+        assert class_entropy(np.array([4, 4])) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert class_entropy(np.array([0, 0])) == 0.0
+
+
+class TestMdlpCutPoints:
+    def test_perfect_separation_one_cut(self):
+        values = [1.0, 1.1, 1.2, 5.0, 5.1, 5.2]
+        labels = [0, 0, 0, 1, 1, 1]
+        cuts = mdlp_cut_points(values, labels, 2)
+        assert len(cuts) == 1
+        assert 1.2 < cuts[0] < 5.0
+
+    def test_random_noise_no_cut(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(40)
+        labels = rng.integers(0, 2, 40)
+        # Noise should essentially never pass the MDL criterion.
+        assert mdlp_cut_points(values, labels.tolist(), 2) == []
+
+    def test_constant_values_no_cut(self):
+        assert mdlp_cut_points([3.0] * 10, [0, 1] * 5, 2) == []
+
+    def test_three_way_separation_two_cuts(self):
+        values = (
+            [1.0 + 0.01 * i for i in range(8)]
+            + [5.0 + 0.01 * i for i in range(8)]
+            + [9.0 + 0.01 * i for i in range(8)]
+        )
+        labels = [0] * 8 + [1] * 8 + [2] * 8
+        cuts = mdlp_cut_points(values, labels, 3)
+        assert len(cuts) == 2
+
+    def test_cuts_sorted(self):
+        values = list(range(30))
+        labels = [0] * 10 + [1] * 10 + [0] * 10
+        cuts = mdlp_cut_points([float(v) for v in values], labels, 2)
+        assert cuts == sorted(cuts)
+
+    def test_single_sample(self):
+        assert mdlp_cut_points([1.0], [0], 2) == []
+
+
+class TestGenePartition:
+    def test_interval_of(self):
+        part = GenePartition(0, "g", (1.0, 3.0))
+        assert part.interval_of(0.5) == 0
+        assert part.interval_of(1.0) == 0  # boundary stays low
+        assert part.interval_of(2.0) == 1
+        assert part.interval_of(10.0) == 2
+        assert part.n_intervals == 3
+
+    def test_interval_names(self):
+        part = GenePartition(0, "g", (1.0,))
+        assert part.interval_name(0) == "g@(-inf,1]"
+        assert part.interval_name(1) == "g@(1,+inf]"
+
+
+def _matrix(values, labels, names=None):
+    values = np.asarray(values, dtype=float)
+    names = names or tuple(f"g{i}" for i in range(values.shape[1]))
+    return ExpressionMatrix(
+        gene_names=tuple(names),
+        values=values,
+        labels=tuple(labels),
+        class_names=("a", "b"),
+    )
+
+
+class TestEntropyDiscretizer:
+    def test_informative_gene_kept_noise_dropped(self):
+        rng = np.random.default_rng(2)
+        n = 30
+        labels = [0] * 15 + [1] * 15
+        informative = np.concatenate([rng.normal(0, 1, 15), rng.normal(5, 1, 15)])
+        noise = rng.normal(0, 1, n)
+        data = _matrix(np.column_stack([informative, noise]), labels)
+        disc = EntropyDiscretizer().fit(data)
+        assert disc.n_kept_genes == 1
+        assert disc.kept_gene_indices() == [0]
+        assert disc.n_items == 2
+
+    def test_transform_one_item_per_kept_gene(self):
+        rng = np.random.default_rng(3)
+        labels = [0] * 12 + [1] * 12
+        cols = [
+            np.concatenate([rng.normal(0, 1, 12), rng.normal(6, 1, 12)]),
+            np.concatenate([rng.normal(3, 1, 12), rng.normal(-3, 1, 12)]),
+        ]
+        data = _matrix(np.column_stack(cols), labels)
+        rel = EntropyDiscretizer().fit_transform(data)
+        for sample in rel.samples:
+            assert len(sample) == 2  # one interval item per kept gene
+
+    def test_train_test_consistency(self):
+        """A test sample equal to a training sample maps to the same items."""
+        rng = np.random.default_rng(4)
+        labels = [0] * 10 + [1] * 10
+        col = np.concatenate([rng.normal(0, 1, 10), rng.normal(5, 1, 10)])
+        data = _matrix(col[:, None], labels)
+        disc = EntropyDiscretizer().fit(data)
+        rel = disc.transform(data)
+        again = disc.transform_values(data.values)
+        assert list(rel.samples) == again
+
+    def test_transform_before_fit_raises(self):
+        disc = EntropyDiscretizer()
+        with pytest.raises(RuntimeError):
+            disc.transform_values(np.zeros((1, 2)))
+
+    def test_labels_preserved(self):
+        rng = np.random.default_rng(5)
+        labels = [0] * 8 + [1] * 8
+        col = np.concatenate([rng.normal(0, 0.5, 8), rng.normal(4, 0.5, 8)])
+        data = _matrix(col[:, None], labels)
+        rel = EntropyDiscretizer().fit_transform(data)
+        assert rel.labels == tuple(labels)
+        assert rel.class_names == ("a", "b")
+
+    def test_item_names_carry_gene_and_interval(self):
+        rng = np.random.default_rng(6)
+        labels = [0] * 10 + [1] * 10
+        col = np.concatenate([rng.normal(0, 1, 10), rng.normal(6, 1, 10)])
+        data = _matrix(col[:, None], labels, names=("MYC",))
+        disc = EntropyDiscretizer().fit(data)
+        assert all(name.startswith("MYC@") for name in disc.item_names)

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts run and print their key results."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "classified as Cancer" in out
+        assert "0.75" in out
+
+    def test_multiclass_subtypes(self):
+        out = run_example("multiclass_subtypes.py")
+        assert "Overall accuracy" in out
+        assert "Confusion matrix" in out
+
+    def test_raw_intensity_pipeline(self):
+        out = run_example("raw_intensity_pipeline.py")
+        assert "BSTC accuracy" in out
+
+    def test_rule_mining_explanations(self):
+        out = run_example("rule_mining_explanations.py")
+        assert "Theorem-2 predicted" in out
+        assert "supporting atomic cell rules" in out
+
+    @pytest.mark.slow
+    def test_tumor_classification(self):
+        out = run_example("tumor_classification.py", timeout=300.0)
+        assert "BSTC: accuracy" in out
+
+    @pytest.mark.slow
+    def test_scalability_study(self):
+        out = run_example("scalability_study.py", timeout=400.0)
+        assert "BSTC's polynomial cost" in out

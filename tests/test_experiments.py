@@ -1,0 +1,128 @@
+"""Experiment driver tests: every registered table/figure runs and produces
+sane rows (on tiny configurations)."""
+
+import pytest
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.report import format_accuracy, format_seconds, format_table
+from repro.experiments.study import clear_study_cache, run_cv_study
+
+FAST = ExperimentConfig(n_tests=2, topk_cutoff=3.0, rcbt_cutoff=3.0, forest_trees=10)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "table2", "table3", "table4", "table5", "table6", "table7",
+            "prelim", "scaling", "ablation_arith", "ablation_mining",
+        }
+        assert expected <= set(experiment_ids())
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_default_config(self):
+        result = run_experiment("fig1")
+        assert isinstance(result, ExperimentResult)
+
+
+class TestRunningExampleExperiments:
+    def test_fig3_matches_paper(self):
+        result = run_experiment("fig3", FAST)
+        assert all(row[3] for row in result.rows), "paper values must match"
+
+    def test_fig1_structure(self):
+        result = run_experiment("fig1", FAST)
+        props = dict(result.rows)
+        assert props["class"] == "Cancer"
+        assert props["black dots"] == 2
+        assert "BST for class Cancer" in result.extra_text
+
+    def test_fig2_six_rules_all_confident(self):
+        result = run_experiment("fig2", FAST)
+        assert len(result.rows) == 6
+        assert all(row[3] == 1.0 for row in result.rows)
+
+
+class TestDatasetExperiments:
+    def test_table2_rows(self):
+        result = run_experiment("table2", FAST)
+        names = [row[0] for row in result.rows]
+        assert [n.split("-")[0] for n in names] == ["ALL", "LC", "PC", "OC"]
+        for row in result.rows:
+            assert row[4] > 0 and row[5] > 0
+
+    def test_table3_accuracies_present(self):
+        result = run_experiment("table3", FAST)
+        assert result.rows[-1][0] == "Average"
+        for row in result.rows[:-1]:
+            assert row[4].endswith("%")  # BSTC accuracy formatted
+
+
+class TestCVExperiments:
+    def test_fig4_runs_and_reports_bstc(self):
+        clear_study_cache()
+        result = run_experiment("fig4", FAST)
+        bstc_rows = [r for r in result.rows if r[1] == "BSTC"]
+        assert len(bstc_rows) == 4  # one per training size
+        for row in bstc_rows:
+            assert row[2] == FAST.n_tests  # all tests finished
+
+    def test_study_cache_reused(self):
+        clear_study_cache()
+        a = run_cv_study("ALL", FAST)
+        b = run_cv_study("ALL", FAST)
+        assert a is b
+
+    def test_table4_and_table5_consistent(self):
+        result4 = run_experiment("table4", FAST)
+        result5 = run_experiment("table5", FAST)
+        labels4 = [row[0] for row in result4.rows]
+        labels5 = [row[0] for row in result5.rows]
+        assert labels4 == labels5
+        assert result4.headers[:3] == ["Training", "BSTC", "Top-k"]
+
+
+class TestComplexity:
+    def test_complexity_driver(self):
+        result = run_experiment("complexity", FAST)
+        assert len(result.rows) == 5
+        assert "log-log slope" in result.extra_text
+
+
+class TestAblations:
+    def test_ablation_arith_rows(self):
+        result = run_experiment("ablation_arith", FAST)
+        assert result.rows[-1][0] == "Mean"
+        assert len(result.headers) == 4
+
+    def test_ablation_mining_progressive(self):
+        result = run_experiment("ablation_mining", FAST)
+        ks = [row[0] for row in result.rows]
+        assert ks == [1, 5, 10, 25, 50]
+        mined = [row[1] for row in result.rows]
+        assert mined == sorted(mined)  # more k never yields fewer rules
+
+
+class TestReportFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "long header"], [(1, 2.5), ("x", None)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all same width
+
+    def test_format_accuracy(self):
+        assert format_accuracy(0.8235) == "82.35%"
+        assert format_accuracy(None) == "-"
+
+    def test_format_seconds(self):
+        assert format_seconds(2.0) == "2.00"
+        assert format_seconds(2.0, finished=False) == ">= 2.00"
+        assert format_seconds(None) == "-"
+
+    def test_render_contains_notes(self):
+        result = ExperimentResult("x", "t", ["h"], [(1,)], notes=["hello"])
+        assert "note: hello" in result.render()

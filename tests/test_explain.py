@@ -1,0 +1,59 @@
+"""Explanation machinery tests (Section 5.3.2)."""
+
+import pytest
+
+from repro.core.classifier import BSTClassifier
+from repro.core.explain import explain_classification
+
+Q = frozenset({0, 3, 4})
+
+
+@pytest.fixture
+def clf(example):
+    return BSTClassifier().fit(example)
+
+
+class TestExplanations:
+    def test_prediction_in_explanation(self, clf, example):
+        explanation = explain_classification(clf, Q)
+        assert explanation.predicted == 0
+        assert explanation.class_values[0] == pytest.approx(0.75)
+
+    def test_threshold_filters_evidence(self, clf):
+        all_evidence = explain_classification(clf, Q, min_satisfaction=0.0)
+        strong = explain_classification(clf, Q, min_satisfaction=0.9)
+        assert len(strong.evidence) <= len(all_evidence.evidence)
+        assert all(e.satisfaction >= 0.9 for e in strong.evidence)
+
+    def test_evidence_sorted_descending(self, clf):
+        explanation = explain_classification(clf, Q, min_satisfaction=0.0)
+        values = [e.satisfaction for e in explanation.evidence]
+        assert values == sorted(values, reverse=True)
+
+    def test_evidence_matches_figure3_cells(self, clf, example):
+        """The Cancer evidence at threshold 0 covers the four scored cells of
+        Figure 3: (g1,s1), (g1,s2), (g5,s1), (g4,s3)."""
+        explanation = explain_classification(clf, Q, min_satisfaction=0.0)
+        cells = {(e.gene, e.sample) for e in explanation.evidence}
+        g = example.item_names.index
+        assert cells == {(g("g1"), 0), (g("g1"), 1), (g("g5"), 0), (g("g4"), 2)}
+
+    def test_limit(self, clf):
+        explanation = explain_classification(clf, Q, min_satisfaction=0.0, limit=2)
+        assert len(explanation.evidence) == 2
+
+    def test_explain_other_class(self, clf):
+        explanation = explain_classification(clf, Q, class_id=1, min_satisfaction=0.0)
+        assert explanation.predicted == 0  # prediction unchanged
+        # Evidence cells belong to Healthy columns (samples 3, 4).
+        assert all(e.sample in (3, 4) for e in explanation.evidence)
+
+    def test_describe_renders(self, clf):
+        explanation = explain_classification(clf, Q, min_satisfaction=0.0)
+        text = explanation.describe(clf.bsts[0])
+        assert "Cancer" in text and "g1" in text
+
+    def test_rule_expressions_are_satisfied_when_value_one(self, clf):
+        explanation = explain_classification(clf, Q, min_satisfaction=1.0)
+        for evidence in explanation.evidence:
+            assert evidence.rule.evaluate(Q)

@@ -1,0 +1,126 @@
+"""Tests for the Section 8 / Section 4.2 extension classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.bst.table import BST
+from repro.core.auto import AutoBSTClassifier
+from repro.core.classifier import BSTClassifier
+from repro.core.mcbar_classifier import MCBARClassifier, rule_satisfaction
+from repro.bst.mining import mine_mcmcbar
+
+from conftest import random_relational
+
+
+class TestMCBARClassifier:
+    def test_running_example(self, example):
+        clf = MCBARClassifier(k=2).fit(example)
+        # The Section 5.4 query classifies as Cancer under BSTC; the rule
+        # scheme should agree on this clean example.
+        assert clf.predict(frozenset({0, 3, 4})) == 0
+
+    def test_training_samples_score_one_for_own_class(self, example):
+        """A training sample fully satisfies some covering (MC)²BAR of its
+        own class (Algorithm 4 guarantees coverage)."""
+        clf = MCBARClassifier(k=2).fit(example)
+        for i, sample in enumerate(example.samples):
+            values = clf.class_values(sample)
+            assert values[example.labels[i]] == pytest.approx(1.0)
+
+    def test_rule_satisfaction_bounds(self, example):
+        bst = BST.build(example, 0)
+        rules = mine_mcmcbar(bst, k=5)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            query = frozenset(
+                int(i) for i in np.flatnonzero(rng.random(example.n_items) < 0.5)
+            )
+            for rule in rules:
+                assert 0.0 <= rule_satisfaction(bst, rule, query) <= 1.0
+
+    def test_boolean_satisfaction_scores_one(self, example):
+        """If a query boolean-satisfies the BAR, the quantized value is 1."""
+        bst = BST.build(example, 0)
+        for rule in mine_mcmcbar(bst, k=5):
+            for s in rule.support:
+                assert rule_satisfaction(
+                    bst, rule, example.samples[s]
+                ) == pytest.approx(1.0)
+
+    def test_default_class_on_empty_query(self, example):
+        clf = MCBARClassifier(k=2).fit(example)
+        assert clf.predict(frozenset()) == example.majority_class()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MCBARClassifier(k=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MCBARClassifier().predict(frozenset())
+
+    def test_n_rules(self, example):
+        clf = MCBARClassifier(k=3).fit(example)
+        assert clf.n_rules() > 0
+
+
+class TestAutoBSTClassifier:
+    def test_matches_some_arithmetization(self, example):
+        """Auto's prediction always equals the prediction of the procedure
+        it reports having chosen."""
+        auto = AutoBSTClassifier().fit(example)
+        rng = np.random.default_rng(1)
+        singles = {
+            name: BSTClassifier(arithmetization=name).fit(example)
+            for name in ("min", "product", "mean")
+        }
+        for _ in range(10):
+            query = frozenset(
+                int(i) for i in np.flatnonzero(rng.random(example.n_items) < 0.5)
+            )
+            label, chosen, confidence = auto.decide(query)
+            assert label == singles[chosen].predict(query)
+            assert 0.0 <= confidence <= 1.0
+
+    def test_agrees_with_bstc_on_clear_queries(self, example):
+        auto = AutoBSTClassifier().fit(example)
+        assert auto.predict(frozenset({0, 3, 4})) == 0
+
+    def test_needs_arithmetizations(self):
+        with pytest.raises(ValueError):
+            AutoBSTClassifier(())
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AutoBSTClassifier().decide(frozenset())
+
+    def test_single_procedure_degenerates_to_bstc(self):
+        rng = np.random.default_rng(2)
+        ds = random_relational(rng)
+        auto = AutoBSTClassifier(("min",)).fit(ds)
+        bstc = BSTClassifier().fit(ds)
+        for _ in range(6):
+            query = frozenset(
+                int(i) for i in np.flatnonzero(rng.random(ds.n_items) < 0.5)
+            )
+            assert auto.predict(query) == bstc.predict(query)
+
+
+class TestExtensionExperiments:
+    def test_ablation_culling_runs(self):
+        from repro.experiments.base import ExperimentConfig
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment(
+            "ablation_culling", ExperimentConfig(n_tests=1)
+        )
+        assert len(result.rows) == 2
+
+    def test_ablation_classifiers_runs(self):
+        from repro.experiments.base import ExperimentConfig
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment(
+            "ablation_classifiers", ExperimentConfig(n_tests=1)
+        )
+        assert result.rows[-1][0] == "Mean"

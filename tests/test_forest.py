@@ -1,0 +1,50 @@
+"""Random forest tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.forest import RandomForestClassifier
+
+
+def blobs(rng, n_per, centers, spread=0.5):
+    X, y = [], []
+    for label, center in enumerate(centers):
+        X.append(rng.normal(0, spread, size=(n_per, len(center))) + np.asarray(center))
+        y.extend([label] * n_per)
+    return np.vstack(X), np.asarray(y)
+
+
+class TestRandomForest:
+    def test_separable_data(self):
+        rng = np.random.default_rng(0)
+        X, y = blobs(rng, 25, [(-2, -2), (2, 2)])
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(X, y)
+        assert (forest.predict(X) == y).mean() >= 0.95
+
+    def test_generalizes(self):
+        rng = np.random.default_rng(1)
+        X, y = blobs(rng, 30, [(-2, 0), (2, 0)])
+        X_test, y_test = blobs(rng, 12, [(-2, 0), (2, 0)])
+        forest = RandomForestClassifier(n_estimators=25, seed=1).fit(X, y)
+        assert (forest.predict(X_test) == y_test).mean() >= 0.9
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(2)
+        X, y = blobs(rng, 20, [(-3, 0), (3, 0), (0, 4)])
+        forest = RandomForestClassifier(n_estimators=25, seed=2).fit(X, y)
+        assert (forest.predict(X) == y).mean() >= 0.9
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        X, y = blobs(rng, 15, [(-2, -2), (2, 2)])
+        a = RandomForestClassifier(n_estimators=10, seed=7).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=10, seed=7).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))

@@ -1,0 +1,93 @@
+"""IBRG (Section 4.2) tests."""
+
+from itertools import chain, combinations
+
+import numpy as np
+import pytest
+
+from repro.rules.groups import RuleGroup
+from repro.rules.ibrg import IBRG, materialize_ibrg, running_example_ibrg
+
+from conftest import random_relational
+
+
+class TestSection42Example:
+    def test_support_s2_group(self):
+        """The paper's example: the Cancer IBRG with support {s2} has upper
+        bound {g1, g3, g6} and lower bounds {g1,g6} and {g3,g6}."""
+        dataset, ibrg = running_example_ibrg()
+        names = dataset.item_names
+        upper = {names[i] for i in ibrg.upper_bound}
+        assert upper == {"g1", "g3", "g6"}
+        lowers = {frozenset(names[i] for i in lb) for lb in ibrg.lower_bounds}
+        assert lowers == {frozenset({"g1", "g6"}), frozenset({"g3", "g6"})}
+
+    def test_membership_matches_paper_rules(self):
+        dataset, ibrg = running_example_ibrg()
+        idx = {n: i for i, n in enumerate(dataset.item_names)}
+        assert ibrg.contains({idx["g1"], idx["g6"]})
+        assert ibrg.contains({idx["g3"], idx["g6"]})
+        assert ibrg.contains({idx["g1"], idx["g3"], idx["g6"]})
+        assert not ibrg.contains({idx["g6"]})       # supp {s2, s3, s5}
+        assert not ibrg.contains({idx["g1"]})       # supp {s1, s2}
+        assert not ibrg.contains({idx["g1"], idx["g2"]})  # not within upper
+
+    def test_member_count(self):
+        """{g1,g6}, {g3,g6}, {g1,g3,g6}: exactly three member antecedents."""
+        _, ibrg = running_example_ibrg()
+        assert ibrg.member_count() == 3
+
+    def test_describe(self):
+        dataset, ibrg = running_example_ibrg()
+        text = ibrg.describe(dataset)
+        assert "Cancer" in text and "g6" in text
+
+
+def powerset(items):
+    items = list(items)
+    return chain.from_iterable(
+        combinations(items, r) for r in range(1, len(items) + 1)
+    )
+
+
+class TestMembershipSemantics:
+    def test_contains_iff_same_support(self):
+        """An antecedent within the upper bound belongs to the group exactly
+        when its support rows equal the group's (brute-force check)."""
+        rng = np.random.default_rng(111)
+        checked = 0
+        while checked < 8:
+            ds = random_relational(rng, n_samples_range=(4, 7), n_items_range=(3, 7))
+            rows = ds.class_members(0)
+            if not rows:
+                continue
+            group = RuleGroup.from_class_rows(ds, 0, rows[:2])
+            if not group.upper_bound or len(group.upper_bound) > 8:
+                continue
+            ibrg = materialize_ibrg(ds, group, max_lower_bounds=10**6)
+            class_rows = set(ds.class_members(0))
+            for subset in powerset(sorted(group.upper_bound)):
+                same_support = (
+                    ds.support_of_itemset(subset) & class_rows
+                    == set(group.class_support)
+                )
+                assert ibrg.contains(subset) == same_support, (subset,)
+            checked += 1
+
+    def test_member_count_matches_enumeration(self):
+        rng = np.random.default_rng(113)
+        checked = 0
+        while checked < 8:
+            ds = random_relational(rng, n_samples_range=(4, 7), n_items_range=(3, 7))
+            rows = ds.class_members(0)
+            if not rows:
+                continue
+            group = RuleGroup.from_class_rows(ds, 0, rows[:1])
+            if not group.upper_bound or len(group.upper_bound) > 8:
+                continue
+            ibrg = materialize_ibrg(ds, group, max_lower_bounds=10**6)
+            brute = sum(
+                1 for s in powerset(sorted(group.upper_bound)) if ibrg.contains(s)
+            )
+            assert ibrg.member_count() == brute
+            checked += 1

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: raw measurements → discretize → classify,
+across classifiers, multi-class data and file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rcbt import RCBTClassifier
+from repro.core.classifier import BSTClassifier
+from repro.core.explain import explain_classification
+from repro.datasets.discretize import EntropyDiscretizer
+from repro.datasets.io import (
+    load_expression_tsv,
+    load_relational_json,
+    save_expression_tsv,
+    save_relational_json,
+)
+from repro.datasets.profiles import MULTICLASS_PROFILE, DatasetProfile
+from repro.datasets.splits import count_split, fraction_split
+from repro.datasets.synthetic import generate_expression_data
+from repro.evaluation.metrics import accuracy
+
+
+def pipeline_accuracy(profile, classifier_factory, seed=0, split_seed=0):
+    data = generate_expression_data(profile, seed=seed)
+    split = count_split(data, profile.given_training, seed=split_seed)
+    train = data.subset(split.train_indices)
+    test = data.subset(split.test_indices)
+    disc = EntropyDiscretizer().fit(train)
+    clf = classifier_factory()
+    clf.fit(disc.transform(train))
+    queries = disc.transform_values(test.values)
+    predictions = [clf.predict(q) for q in queries]
+    return accuracy(predictions, test.labels)
+
+
+class TestEndToEnd:
+    def test_bstc_pipeline(self, tiny_profile):
+        acc = pipeline_accuracy(tiny_profile, BSTClassifier)
+        assert acc >= 0.75
+
+    def test_bstc_reference_engine_pipeline(self, tiny_profile):
+        acc = pipeline_accuracy(
+            tiny_profile, lambda: BSTClassifier(engine="reference")
+        )
+        assert acc >= 0.75
+
+    def test_rcbt_pipeline(self, tiny_profile):
+        acc = pipeline_accuracy(
+            tiny_profile, lambda: RCBTClassifier(k=5, min_support=0.6, nl=5)
+        )
+        assert acc >= 0.6
+
+    def test_multiclass_pipeline(self):
+        """Section 5.3's claim: BSTC handles N > 2 classes unchanged."""
+        profile = DatasetProfile(
+            name="M3",
+            long_name="tiny 3-class",
+            n_genes=240,
+            class_labels=("a", "b", "c"),
+            class_counts=(14, 14, 14),
+            given_training=(9, 9, 9),
+            informative_fraction=0.25,
+            effect_size=2.5,
+        )
+        acc = pipeline_accuracy(profile, BSTClassifier)
+        assert acc >= 0.7
+
+    def test_explanations_from_pipeline(self, tiny_profile):
+        data = generate_expression_data(tiny_profile, seed=0)
+        split = count_split(data, tiny_profile.given_training, seed=0)
+        train = data.subset(split.train_indices)
+        test = data.subset(split.test_indices)
+        disc = EntropyDiscretizer().fit(train)
+        clf = BSTClassifier().fit(disc.transform(train))
+        query = disc.transform_values(test.values)[0]
+        explanation = explain_classification(clf, query, min_satisfaction=0.8)
+        assert explanation.predicted in (0, 1)
+        assert explanation.evidence  # strong rules exist on planted data
+
+    def test_io_roundtrip_through_pipeline(self, tiny_profile, tmp_path):
+        data = generate_expression_data(tiny_profile, seed=2)
+        tsv = tmp_path / "data.tsv"
+        save_expression_tsv(data, tsv)
+        reloaded = load_expression_tsv(tsv)
+        split = fraction_split(reloaded, 0.6, seed=1)
+        train = reloaded.subset(split.train_indices)
+        disc = EntropyDiscretizer().fit(train)
+        rel = disc.transform(train)
+        json_path = tmp_path / "rel.json"
+        save_relational_json(rel, json_path)
+        rel2 = load_relational_json(json_path)
+        clf = BSTClassifier().fit(rel2)
+        test = reloaded.subset(split.test_indices)
+        queries = disc.transform_values(test.values)
+        acc = accuracy([clf.predict(q) for q in queries], test.labels)
+        assert acc >= 0.6
+
+    def test_train_samples_classified_correctly(self, tiny_profile):
+        """On clean planted data, resubstitution accuracy should be high."""
+        data = generate_expression_data(tiny_profile, seed=1)
+        disc = EntropyDiscretizer().fit(data)
+        rel = disc.transform(data)
+        clf = BSTClassifier().fit(rel)
+        predictions = clf.predict_dataset(rel)
+        assert accuracy(predictions, rel.labels) >= 0.9

@@ -1,0 +1,68 @@
+"""Dataset I/O roundtrip tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import DatasetError, ExpressionMatrix
+from repro.datasets.io import (
+    load_expression_tsv,
+    load_relational_json,
+    save_expression_tsv,
+    save_relational_json,
+)
+
+
+@pytest.fixture
+def matrix():
+    rng = np.random.default_rng(0)
+    return ExpressionMatrix(
+        gene_names=("g0", "g1", "g2"),
+        values=rng.normal(size=(4, 3)),
+        labels=(0, 0, 1, 1),
+        class_names=("tumor", "normal"),
+        sample_names=("a", "b", "c", "d"),
+    )
+
+
+class TestExpressionTsv:
+    def test_roundtrip(self, matrix, tmp_path):
+        path = tmp_path / "data.tsv"
+        save_expression_tsv(matrix, path)
+        loaded = load_expression_tsv(path)
+        assert loaded.gene_names == matrix.gene_names
+        assert loaded.labels == matrix.labels
+        assert loaded.class_names == matrix.class_names
+        assert loaded.sample_names == matrix.sample_names
+        np.testing.assert_allclose(loaded.values, matrix.values, rtol=1e-5)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("nope\tnope\n")
+        with pytest.raises(DatasetError):
+            load_expression_tsv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.tsv"
+        path.write_text("sample\tclass\tg0\ns1\ta\t1.0\t2.0\n")
+        with pytest.raises(DatasetError):
+            load_expression_tsv(path)
+
+
+class TestRelationalJson:
+    def test_roundtrip(self, example, tmp_path):
+        path = tmp_path / "rel.json"
+        save_relational_json(example, path)
+        loaded = load_relational_json(path)
+        assert loaded == example
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DatasetError):
+            load_relational_json(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "missing.json"
+        path.write_text('{"item_names": []}')
+        with pytest.raises(DatasetError):
+            load_relational_json(path)

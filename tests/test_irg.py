@@ -1,0 +1,66 @@
+"""IRG classifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.irg import IRGClassifier
+from repro.datasets.dataset import RelationalDataset
+
+
+class TestIRG:
+    def test_running_example(self, example):
+        clf = IRGClassifier(min_support=0.3, min_confidence=0.9).fit(example)
+        assert clf.n_groups() > 0
+        # Training samples contain their own class's closed patterns.
+        predictions = clf.predict_many(list(example.samples))
+        accuracy = np.mean(
+            [p == l for p, l in zip(predictions, example.labels)]
+        )
+        assert accuracy >= 0.8
+
+    def test_default_class_for_no_match(self, example):
+        clf = IRGClassifier(min_support=0.3, min_confidence=0.9).fit(example)
+        assert clf.predict(frozenset()) == example.majority_class()
+
+    def test_confidence_cutoff_filters(self, example):
+        strict = IRGClassifier(min_support=0.3, min_confidence=1.0).fit(example)
+        loose = IRGClassifier(min_support=0.3, min_confidence=0.5).fit(example)
+        assert strict.n_groups() <= loose.n_groups()
+        for groups in strict._groups.values():
+            for group in groups:
+                assert group.confidence == 1.0
+
+    def test_scores_in_unit_interval(self, example):
+        clf = IRGClassifier(min_support=0.3, min_confidence=0.7).fit(example)
+        for sample in example.samples:
+            for score in clf.class_scores(sample).values():
+                assert 0.0 <= score <= 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IRGClassifier(min_support=0.0)
+        with pytest.raises(ValueError):
+            IRGClassifier(min_confidence=1.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            IRGClassifier().predict(frozenset())
+
+    def test_on_synthetic_pipeline(self, tiny_profile):
+        from repro.datasets.discretize import EntropyDiscretizer
+        from repro.datasets.splits import count_split
+        from repro.datasets.synthetic import generate_expression_data
+
+        data = generate_expression_data(tiny_profile, seed=4)
+        split = count_split(data, tiny_profile.given_training, seed=0)
+        train = data.subset(split.train_indices)
+        test = data.subset(split.test_indices)
+        disc = EntropyDiscretizer().fit(train)
+        clf = IRGClassifier(min_support=0.6, min_confidence=0.8)
+        clf.fit(disc.transform(train))
+        queries = disc.transform_values(test.values)
+        predictions = clf.predict_many(queries)
+        accuracy = np.mean([p == l for p, l in zip(predictions, test.labels)])
+        # Upper-bound matching generalizes poorly (the Section 6.1 story) but
+        # must beat random guessing on planted data.
+        assert accuracy >= 0.5

@@ -1,0 +1,66 @@
+"""Metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    accuracy,
+    confusion_matrix,
+    error_direction,
+    mean_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 0], [0, 1]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([0], [0, 1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+
+class TestConfusion:
+    def test_matrix(self):
+        mat = confusion_matrix([0, 1, 1, 0], [0, 1, 0, 0], 2)
+        assert mat[0, 0] == 2  # actual 0 predicted 0
+        assert mat[0, 1] == 1  # actual 0 predicted 1
+        assert mat[1, 1] == 1
+
+    def test_row_sums_are_class_counts(self):
+        preds = [0, 1, 2, 0, 1]
+        labels = [0, 0, 2, 2, 1]
+        mat = confusion_matrix(preds, labels, 3)
+        assert mat.sum(axis=1).tolist() == [2, 1, 2]
+
+
+class TestErrorDirection:
+    def test_one_directional(self):
+        """The Section 6.1 observation: every BSTC ALL/AML error mistook a
+        class-0 sample for class 1."""
+        direction = error_direction([1, 1, 1, 1], [0, 0, 1, 1])
+        assert direction.one_directional
+        assert direction.mistaken_as == (((0, 1, 2)),)
+
+    def test_mixed_directions(self):
+        direction = error_direction([1, 0], [0, 1])
+        assert not direction.one_directional
+
+    def test_no_errors(self):
+        assert error_direction([0, 1], [0, 1]).one_directional
+
+
+class TestMeanAccuracy:
+    def test_mean(self):
+        assert mean_accuracy([0.5, 1.0]) == 0.75
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_accuracy([])

@@ -1,0 +1,105 @@
+"""Cross-miner consistency: Apriori, CHARM and Algorithm 3 must agree.
+
+Three independent implementations traverse the same pattern space from
+different directions (level-wise item space, depth-first item space with
+closure jumping, and row-space intersection).  Their outputs are linked by
+exact set identities, which these tests verify on random data — a strong
+guard against subtle enumeration bugs in any one of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.apriori import apriori_frequent_itemsets
+from repro.baselines.charm import charm_closed_itemsets
+from repro.bst.mining import mine_mcmcbar
+from repro.bst.table import BST
+
+from conftest import random_relational
+
+
+def random_transactions(rng, n_range=(3, 9), m_range=(2, 8)):
+    n = int(rng.integers(*n_range))
+    m = int(rng.integers(*m_range))
+    return [
+        frozenset(int(j) for j in np.flatnonzero(rng.random(m) < 0.5))
+        for _ in range(n)
+    ]
+
+
+def closure(transactions, itemset):
+    supporting = [t for t in transactions if itemset <= t]
+    if not supporting:
+        return frozenset()
+    result = supporting[0]
+    for t in supporting[1:]:
+        result = result & t
+    return result
+
+
+class TestCharmVsApriori:
+    def test_closed_sets_are_frequent_with_same_count(self):
+        rng = np.random.default_rng(141)
+        for _ in range(10):
+            transactions = random_transactions(rng)
+            for min_count in (1, 2):
+                frequent = apriori_frequent_itemsets(transactions, min_count)
+                closed = charm_closed_itemsets(transactions, min_count)
+                for itemset, count in closed.items():
+                    assert frequent.get(itemset) == count
+
+    def test_every_frequent_itemset_closes_into_charm(self):
+        rng = np.random.default_rng(143)
+        for _ in range(10):
+            transactions = random_transactions(rng)
+            for min_count in (1, 2):
+                frequent = apriori_frequent_itemsets(transactions, min_count)
+                closed = charm_closed_itemsets(transactions, min_count)
+                for itemset, count in frequent.items():
+                    clo = closure(transactions, itemset)
+                    assert clo in closed
+                    assert closed[clo] == count
+
+    def test_closed_count_never_exceeds_frequent(self):
+        rng = np.random.default_rng(145)
+        for _ in range(6):
+            transactions = random_transactions(rng)
+            frequent = apriori_frequent_itemsets(transactions, 1)
+            closed = charm_closed_itemsets(transactions, 1)
+            assert len(closed) <= len(frequent)
+
+
+class TestCharmVsAlgorithm3:
+    def test_supports_coincide(self):
+        """Algorithm 3's supportable class subsets are exactly the tidsets of
+        CHARM's closed itemsets over the class rows."""
+        rng = np.random.default_rng(147)
+        for _ in range(10):
+            ds = random_relational(rng, n_samples_range=(4, 9))
+            class_rows = list(ds.class_members(0))
+            transactions = [ds.samples[r] for r in class_rows]
+            if not any(transactions):
+                continue
+            closed = charm_closed_itemsets(transactions, 1)
+            expected_supports = set()
+            for itemset in closed:
+                tids = frozenset(
+                    class_rows[i]
+                    for i, t in enumerate(transactions)
+                    if itemset <= t
+                )
+                expected_supports.add(tids)
+            bst = BST.build(ds, 0)
+            mined = mine_mcmcbar(bst, k=10**6)
+            assert {r.support for r in mined} == expected_supports
+
+    def test_car_portions_are_charm_closures(self):
+        """Each (MC)²BAR's CAR portion equals the CHARM closure of its
+        support rows' transactions."""
+        rng = np.random.default_rng(149)
+        for _ in range(8):
+            ds = random_relational(rng, n_samples_range=(4, 8))
+            bst = BST.build(ds, 0)
+            for rule in mine_mcmcbar(bst, k=50):
+                rows = [ds.samples[r] for r in rule.support]
+                assert rule.car_items == closure(rows, frozenset())

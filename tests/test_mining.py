@@ -1,0 +1,132 @@
+"""(MC)²BAR mining tests — Algorithms 3 and 4 against brute force."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.bst.mining import mine_mcmcbar, mine_mcmcbar_per_sample
+from repro.bst.row_bar import is_maximally_complex
+from repro.bst.table import BST
+from repro.evaluation.timing import Budget, BudgetExceeded
+
+from conftest import random_relational
+
+
+def brute_force_supports(ds, class_id):
+    """All supportable class subsets: intersections of gene-row supports.
+
+    A subset S is supportable iff S = {class rows expressing every item of
+    closure(S)} for some seed subset; equivalently the support sets of
+    closed-on-rows patterns within the class.
+    """
+    bst = BST.build(ds, class_id)
+    rows = ds.class_members(class_id)
+    supports = set()
+    for r in range(1, len(rows) + 1):
+        for combo in combinations(rows, r):
+            closure = None
+            for row in combo:
+                items = ds.samples[row]
+                closure = items if closure is None else closure & items
+            if not closure:
+                continue
+            support = frozenset(
+                c for c in rows if closure <= ds.samples[c]
+            )
+            supports.add(support)
+    return supports
+
+
+class TestAlgorithm3:
+    def test_mines_top_k_largest_supports(self):
+        """The k mined supports must be the k largest supportable subsets."""
+        rng = np.random.default_rng(31)
+        for _ in range(10):
+            ds = random_relational(rng, n_samples_range=(4, 9))
+            for class_id in range(ds.n_classes):
+                bst = BST.build(ds, class_id)
+                expected = brute_force_supports(ds, class_id)
+                mined = mine_mcmcbar(bst, k=10**6)
+                assert {r.support for r in mined} == expected
+                # And truncation keeps the largest ones.
+                for k in (1, 2, 3):
+                    top = mine_mcmcbar(bst, k=k)
+                    if len(expected) >= k:
+                        assert len(top) == k
+                    sizes = sorted((len(s) for s in expected), reverse=True)
+                    assert [len(r.support) for r in top] == sizes[: len(top)]
+
+    def test_rules_are_maximally_complex(self):
+        rng = np.random.default_rng(37)
+        for _ in range(8):
+            ds = random_relational(rng, n_samples_range=(4, 9))
+            bst = BST.build(ds, 0)
+            for rule in mine_mcmcbar(bst, k=20):
+                assert is_maximally_complex(bst, rule)
+
+    def test_rules_are_100_percent_confident(self):
+        """Every (MC)²BAR must have empirical confidence 1 (on datasets
+        without cross-class duplicate rows)."""
+        rng = np.random.default_rng(41)
+        checked = 0
+        while checked < 8:
+            ds = random_relational(rng, n_samples_range=(4, 9))
+            if len({s for s in ds.samples}) < ds.n_samples:
+                continue
+            bst = BST.build(ds, 0)
+            for rule in mine_mcmcbar(bst, k=10):
+                bar = rule.to_bar(bst)
+                assert bar.confidence(ds) == 1.0
+                assert bar.support_set(ds) == rule.support
+            checked += 1
+
+    def test_running_example_top_rule(self, example):
+        bst = BST.build(example, 0)
+        top = mine_mcmcbar(bst, k=1)[0]
+        # The largest supportable Cancer subsets have size 2.
+        assert len(top.support) == 2
+
+    def test_k_zero_returns_empty(self, example):
+        assert mine_mcmcbar(BST.build(example, 0), 0) == []
+
+    def test_budget_enforced(self, example):
+        budget = Budget(1e-9)
+        with pytest.raises(BudgetExceeded):
+            mine_mcmcbar(BST.build(example, 0), 10, budget=budget)
+
+    def test_tie_break_by_confidence_is_stable(self, example):
+        bst = BST.build(example, 0)
+        plain = mine_mcmcbar(bst, k=5)
+        tied = mine_mcmcbar(bst, k=5, break_ties_by_confidence=True)
+        assert {r.support for r in plain} == {r.support for r in tied}
+
+
+class TestAlgorithm4:
+    def test_every_sample_covered(self):
+        """Algorithm 4's purpose: each class sample belongs to the support
+        of at least one mined rule."""
+        rng = np.random.default_rng(43)
+        for _ in range(8):
+            ds = random_relational(rng, n_samples_range=(4, 9))
+            bst = BST.build(ds, 0)
+            rules = mine_mcmcbar_per_sample(bst, k=3)
+            covered = set()
+            for rule in rules:
+                covered |= rule.support
+            expressing = {
+                c for c in bst.columns if ds.samples[c]
+            }
+            assert expressing <= covered
+
+    def test_no_duplicate_supports(self, example):
+        bst = BST.build(example, 0)
+        rules = mine_mcmcbar_per_sample(bst, k=4)
+        supports = [r.support for r in rules]
+        assert len(supports) == len(set(supports))
+
+    def test_sorted_largest_first(self, example):
+        bst = BST.build(example, 0)
+        rules = mine_mcmcbar_per_sample(bst, k=4)
+        sizes = [len(r.support) for r in rules]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,112 @@
+"""Preprocessing pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import ExpressionMatrix
+from repro.datasets.preprocess import (
+    PreprocessingPipeline,
+    floor_and_log2,
+    impute_missing,
+    quantile_normalize,
+    variance_filter,
+)
+
+
+def matrix(values, labels=None):
+    values = np.asarray(values, dtype=float)
+    labels = labels or [0] * (values.shape[0] // 2) + [1] * (
+        values.shape[0] - values.shape[0] // 2
+    )
+    return ExpressionMatrix(
+        gene_names=tuple(f"g{j}" for j in range(values.shape[1])),
+        values=values,
+        labels=tuple(labels),
+        class_names=("a", "b"),
+    )
+
+
+class TestFloorAndLog:
+    def test_floors_then_logs(self):
+        data = matrix([[0.5, 4.0], [8.0, 16.0]])
+        out = floor_and_log2(data, floor=1.0)
+        np.testing.assert_allclose(out.values, [[0.0, 2.0], [3.0, 4.0]])
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            floor_and_log2(matrix([[1.0]]), floor=0.0)
+
+
+class TestQuantileNormalize:
+    def test_rows_share_distribution(self):
+        rng = np.random.default_rng(0)
+        data = matrix(rng.normal(size=(6, 40)) + rng.normal(size=(6, 1)) * 3)
+        out = quantile_normalize(data)
+        sorted_rows = np.sort(out.values, axis=1)
+        for row in sorted_rows[1:]:
+            np.testing.assert_allclose(row, sorted_rows[0], atol=1e-9)
+
+    def test_rank_order_preserved_within_sample(self):
+        data = matrix([[3.0, 1.0, 2.0], [10.0, 30.0, 20.0]])
+        out = quantile_normalize(data)
+        assert np.argsort(out.values[0]).tolist() == [1, 2, 0]
+        assert np.argsort(out.values[1]).tolist() == [0, 2, 1]
+
+
+class TestVarianceFilter:
+    def test_keeps_most_variable(self):
+        values = np.zeros((4, 3))
+        values[:, 1] = [0, 10, 0, 10]   # high variance
+        values[:, 2] = [0, 1, 0, 1]     # medium
+        data = matrix(values)
+        out = variance_filter(data, keep_fraction=1 / 3)
+        assert out.gene_names == ("g1",)
+
+    def test_order_preserved(self):
+        rng = np.random.default_rng(1)
+        data = matrix(rng.normal(size=(5, 10)))
+        out = variance_filter(data, keep_fraction=0.5)
+        indices = [data.gene_names.index(n) for n in out.gene_names]
+        assert indices == sorted(indices)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            variance_filter(matrix([[1.0]]), keep_fraction=0.0)
+
+
+class TestImputation:
+    def test_per_class_mean(self):
+        values = np.array(
+            [[1.0, np.nan], [3.0, 5.0], [10.0, 6.0], [np.nan, 8.0]]
+        )
+        data = matrix(values, labels=[0, 0, 1, 1])
+        out = impute_missing(data)
+        assert out.values[0, 1] == pytest.approx(5.0)   # class-a mean of g1
+        assert out.values[3, 0] == pytest.approx(10.0)  # class-b mean of g0
+
+    def test_no_missing_is_identity(self):
+        data = matrix([[1.0, 2.0], [3.0, 4.0]])
+        out = impute_missing(data)
+        np.testing.assert_array_equal(out.values, data.values)
+
+    def test_all_missing_gene_falls_back(self):
+        values = np.array([[np.nan, 1.0], [np.nan, 2.0]])
+        data = matrix(values, labels=[0, 1])
+        out = impute_missing(data)
+        assert not np.isnan(out.values).any()
+
+
+class TestPipeline:
+    def test_full_pipeline_feeds_discretizer(self):
+        from repro.datasets.discretize import EntropyDiscretizer
+
+        rng = np.random.default_rng(2)
+        n = 24
+        labels = [0] * 12 + [1] * 12
+        raw = np.abs(rng.normal(200, 50, size=(n, 30)))
+        raw[:12, 0] *= 8  # informative gene on raw scale
+        data = matrix(raw, labels=labels)
+        processed = PreprocessingPipeline(keep_fraction=0.5).apply(data)
+        assert processed.n_genes == 15
+        disc = EntropyDiscretizer().fit(processed)
+        assert 0 in [processed.gene_names.index(g.gene_name) if g.gene_name in processed.gene_names else -1 for g in disc.partitions] or disc.n_kept_genes >= 1

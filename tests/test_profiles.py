@@ -1,0 +1,63 @@
+"""Dataset profile tests (Table 2 numbers)."""
+
+import pytest
+
+from repro.datasets.profiles import (
+    MULTICLASS_PROFILE,
+    PAPER_PROFILES,
+    profile,
+    scaled,
+)
+
+
+class TestPaperProfiles:
+    def test_table2_values(self):
+        expected = {
+            "ALL": (7129, ("ALL", "AML"), (47, 25)),
+            "LC": (12533, ("MPM", "ADCA"), (31, 150)),
+            "PC": (12600, ("tumor", "normal"), (77, 59)),
+            "OC": (15154, ("tumor", "normal"), (162, 91)),
+        }
+        for name, (genes, labels, counts) in expected.items():
+            prof = PAPER_PROFILES[name]
+            assert prof.n_genes == genes
+            assert prof.class_labels == labels
+            assert prof.class_counts == counts
+
+    def test_table3_training_counts(self):
+        assert PAPER_PROFILES["ALL"].given_training == (27, 11)
+        assert PAPER_PROFILES["LC"].given_training == (16, 16)
+        assert PAPER_PROFILES["PC"].given_training == (52, 50)
+        assert PAPER_PROFILES["OC"].given_training == (133, 77)
+
+    def test_describe_row(self):
+        row = PAPER_PROFILES["ALL"].describe_row()
+        assert row == ("ALL", 7129, "ALL", "AML", 47, 25)
+
+
+class TestScaled:
+    def test_scaled_smaller(self):
+        for name in PAPER_PROFILES:
+            small = scaled(name)
+            big = PAPER_PROFILES[name]
+            assert small.n_genes < big.n_genes
+            assert small.n_samples < big.n_samples
+            assert small.n_classes == big.n_classes
+
+    def test_scaled_training_fits(self):
+        for name in PAPER_PROFILES:
+            small = scaled(name)
+            for count, total in zip(small.given_training, small.class_counts):
+                assert 0 < count < total
+
+    def test_lookup_by_name(self):
+        assert profile("PC").name == "PC"
+        assert profile("PC-scaled").name == "PC-scaled"
+        assert profile(MULTICLASS_PROFILE.name) is MULTICLASS_PROFILE
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            profile("BRCA")
+
+    def test_multiclass_has_three_classes(self):
+        assert MULTICLASS_PROFILE.n_classes == 3

@@ -1,0 +1,97 @@
+"""Cross-module property tests (hypothesis) on the paper's formal claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bst.row_bar import gene_row_bar
+from repro.bst.table import BST
+from repro.datasets.dataset import RelationalDataset
+from repro.rules.bar import BAR
+from repro.rules.car import CAR
+from repro.rules.boolexpr import conjunction
+
+
+@st.composite
+def datasets(draw, max_samples=9, max_items=10):
+    n = draw(st.integers(min_value=2, max_value=max_samples))
+    m = draw(st.integers(min_value=1, max_value=max_items))
+    rows = [
+        frozenset(j for j in range(m) if draw(st.booleans())) for _ in range(n)
+    ]
+    labels = [draw(st.integers(min_value=0, max_value=1)) for _ in range(n)]
+    if len(set(labels)) < 2:
+        labels[0] = 0
+        labels[-1] = 1
+    return RelationalDataset(
+        item_names=tuple(f"g{j}" for j in range(m)),
+        class_names=("c0", "c1"),
+        samples=tuple(rows),
+        labels=tuple(labels),
+    )
+
+
+class TestBarCarCoincidence:
+    """Section 2.1: for pure conjunctions the generalized BAR support and
+    confidence coincide with the CAR definitions."""
+
+    @given(datasets(), st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_support_and_confidence_agree(self, ds, data):
+        m = ds.n_items
+        size = data.draw(st.integers(min_value=0, max_value=min(3, m)))
+        items = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=m - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        consequent = data.draw(st.integers(min_value=0, max_value=1))
+        car = CAR(frozenset(items), consequent)
+        bar = BAR(conjunction(sorted(items)), consequent)
+        assert bar.support_set(ds) == car.support_set(ds)
+        assert bar.confidence(ds) == pytest.approx(car.confidence(ds))
+
+
+class TestBstSoundness:
+    @given(datasets())
+    @settings(max_examples=80, deadline=None)
+    def test_cell_rules_never_match_outside(self, ds):
+        """No atomic cell rule may be satisfied by any outside sample —
+        cell rules are 100% confident regardless of duplicates."""
+        for class_id in (0, 1):
+            bst = BST.build(ds, class_id)
+            for col in bst.columns:
+                for cell in bst.column_cells(col):
+                    for h in bst.outside:
+                        assert not cell.is_satisfied(ds.samples[h])
+
+    @given(datasets())
+    @settings(max_examples=80, deadline=None)
+    def test_row_bar_support_equals_empirical(self, ds):
+        """Gene-row BARs evaluate true on exactly their declared class
+        support (when no cross-class duplicate rows confound the clauses)."""
+        inside = {ds.samples[i] for i in ds.class_members(0)}
+        outside = {ds.samples[i] for i in ds.class_members(1)}
+        if inside & outside:
+            return
+        bst = BST.build(ds, 0)
+        for gene in sorted(bst.nonblank_genes()):
+            rule = gene_row_bar(bst, gene)
+            assert rule.to_bar(bst).support_set(ds) == rule.support
+
+
+class TestClassifierTotality:
+    @given(datasets(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_prediction_is_always_a_valid_class(self, ds, data):
+        from repro.core.classifier import BSTClassifier
+
+        clf = BSTClassifier().fit(ds)
+        query = frozenset(
+            j for j in range(ds.n_items) if data.draw(st.booleans())
+        )
+        assert clf.predict(query) in range(ds.n_classes)

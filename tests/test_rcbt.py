@@ -1,0 +1,184 @@
+"""RCBT classifier tests: lower bounds, committee behavior, DNF protocol."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.baselines.rcbt import RCBTClassifier, ScoredGroup
+from repro.datasets.dataset import RelationalDataset
+from repro.evaluation.timing import Budget, BudgetExceeded
+from repro.rules.groups import RuleGroup, find_lower_bounds
+
+from conftest import random_relational
+
+
+def brute_force_lower_bounds(ds, group):
+    """All minimal antecedent subsets with the group's exact support rows."""
+    items = sorted(group.upper_bound)
+    minimal = []
+    for r in range(1, len(items) + 1):
+        for combo in combinations(items, r):
+            if ds.support_of_itemset(combo) == group.support_rows:
+                cand = frozenset(combo)
+                if not any(b <= cand for b in minimal):
+                    minimal.append(cand)
+    return set(minimal)
+
+
+class TestLowerBounds:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(81)
+        checked = 0
+        while checked < 10:
+            ds = random_relational(rng, n_samples_range=(4, 8), n_items_range=(3, 8))
+            rows = ds.class_members(0)
+            if not rows:
+                continue
+            group = RuleGroup.from_class_rows(ds, 0, rows[:2])
+            if not group.upper_bound:
+                continue
+            expected = brute_force_lower_bounds(ds, group)
+            got = set(find_lower_bounds(ds, group, limit=10**6))
+            assert got == expected
+            checked += 1
+
+    def test_bounds_are_minimal(self):
+        rng = np.random.default_rng(83)
+        for _ in range(8):
+            ds = random_relational(rng, n_samples_range=(4, 8))
+            rows = ds.class_members(0)
+            if not rows:
+                continue
+            group = RuleGroup.from_class_rows(ds, 0, rows)
+            bounds = find_lower_bounds(ds, group, limit=50)
+            for bound in bounds:
+                assert ds.support_of_itemset(bound) == group.support_rows
+                for item in bound:
+                    smaller = bound - {item}
+                    if smaller:
+                        assert (
+                            ds.support_of_itemset(smaller) != group.support_rows
+                        )
+
+    def test_limit_respected(self, example):
+        group = RuleGroup.from_class_rows(example, 0, (0, 1))
+        bounds = find_lower_bounds(example, group, limit=1)
+        assert len(bounds) == 1
+
+    def test_budget_enforced(self, example):
+        group = RuleGroup.from_class_rows(example, 0, (0, 1))
+        with pytest.raises(BudgetExceeded):
+            find_lower_bounds(example, group, limit=100, budget=Budget(1e-9))
+
+    def test_max_level_caps_search(self, example):
+        group = RuleGroup.from_class_rows(example, 0, (0, 1))
+        shallow = find_lower_bounds(example, group, limit=100, max_level=1)
+        assert all(len(b) == 1 for b in shallow)
+
+    def test_empty_upper_bound(self, example):
+        group = RuleGroup(0, frozenset({0}), frozenset(), frozenset({0}))
+        assert find_lower_bounds(example, group, limit=5) == []
+
+
+class TestRuleGroup:
+    def test_from_class_rows(self, example):
+        group = RuleGroup.from_class_rows(example, 0, (0, 1))  # s1, s2
+        g1 = example.item_names.index("g1")
+        g3 = example.item_names.index("g3")
+        assert group.upper_bound == {g1, g3}
+        assert group.class_support == {0, 1}
+        assert group.confidence == 1.0
+
+    def test_describe(self, example):
+        group = RuleGroup.from_class_rows(example, 0, (0, 1))
+        text = group.describe(example)
+        assert "Cancer" in text and "conf=1.000" in text
+
+
+class TestClassifier:
+    def test_fit_predict_on_running_example(self, example):
+        clf = RCBTClassifier(k=3, min_support=0.3, nl=5).fit(example)
+        # Training samples should classify correctly on this clean dataset.
+        predictions = clf.predict_dataset(example)
+        assert predictions == list(example.labels)
+
+    def test_default_class_when_nothing_matches(self, example):
+        clf = RCBTClassifier(k=3, min_support=0.3, nl=5).fit(example)
+        # An empty query matches no lower bound anywhere.
+        assert clf.predict(frozenset()) == example.majority_class()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RCBTClassifier().predict(frozenset())
+
+    def test_build_before_mine_raises(self):
+        with pytest.raises(RuntimeError):
+            RCBTClassifier().build()
+
+    def test_invalid_nl(self):
+        with pytest.raises(ValueError):
+            RCBTClassifier(nl=0)
+
+    def test_class_scores_normalized(self, example):
+        clf = RCBTClassifier(k=3, min_support=0.3, nl=5).fit(example)
+        scores = clf.class_scores(example.samples[0])
+        for normalized, raw in scores.values():
+            assert 0.0 <= normalized <= 1.0
+            assert raw >= 0.0
+
+    def test_match_strength_bounds(self, example):
+        from repro.rules.groups import RuleGroup
+
+        group = RuleGroup.from_class_rows(example, 0, (0, 1))
+        scored = ScoredGroup(group, (frozenset({0}), frozenset({2})))
+        assert scored.match_strength(frozenset({0, 2})) == 1.0
+        assert scored.match_strength(frozenset({0})) == 0.5
+        assert scored.match_strength(frozenset({5})) == 0.0
+
+    def test_committee_standby_consulted(self, example):
+        """A query matching no primary group should fall through standby
+        layers rather than defaulting immediately when a standby matches."""
+        clf = RCBTClassifier(k=3, min_support=0.3, nl=5).fit(example)
+        assert len(clf._committee) == 3
+
+    def test_accuracy_reasonable_on_synthetic(self, tiny_profile):
+        from repro.datasets.discretize import EntropyDiscretizer
+        from repro.datasets.splits import count_split
+        from repro.datasets.synthetic import generate_expression_data
+
+        data = generate_expression_data(tiny_profile, seed=3)
+        split = count_split(data, tiny_profile.given_training, seed=0)
+        train = data.subset(split.train_indices)
+        test = data.subset(split.test_indices)
+        disc = EntropyDiscretizer().fit(train)
+        clf = RCBTClassifier(k=5, min_support=0.6, nl=5).fit(disc.transform(train))
+        queries = disc.transform_values(test.values)
+        predictions = [clf.predict(q) for q in queries]
+        accuracy = np.mean(
+            [p == l for p, l in zip(predictions, test.labels)]
+        )
+        assert accuracy >= 0.6
+
+    def test_max_upper_bound_size(self, example):
+        clf = RCBTClassifier(k=3, min_support=0.3, nl=5)
+        clf.mine_rules(example)
+        assert clf.max_upper_bound_size() >= 2
+
+
+class TestScoredGroup:
+    def test_matches_via_lower_bound(self, example):
+        group = RuleGroup.from_class_rows(example, 0, (0, 1))
+        scored = ScoredGroup(group, (frozenset({0}),))
+        assert scored.matches({0, 5})
+        assert not scored.matches({5})
+
+    def test_falls_back_to_upper_bound(self, example):
+        group = RuleGroup.from_class_rows(example, 0, (0, 1))
+        scored = ScoredGroup(group, ())
+        assert scored.matches(group.upper_bound)
+        assert not scored.matches(frozenset())
+
+    def test_weight(self, example):
+        group = RuleGroup.from_class_rows(example, 0, (0, 1))
+        assert ScoredGroup(group, ()).weight == pytest.approx(2.0)

@@ -1,0 +1,142 @@
+"""Gene-row BAR tests (Algorithm 2, Figure 2) and StructuredBAR semantics."""
+
+import numpy as np
+import pytest
+
+from repro.bst.row_bar import (
+    StructuredBAR,
+    all_gene_row_bars,
+    gene_row_bar,
+    is_maximally_complex,
+)
+from repro.bst.table import BST
+
+from conftest import random_relational
+
+
+@pytest.fixture
+def cancer_bst(example):
+    return BST.build(example, 0)
+
+
+def gene(example, name):
+    return example.item_names.index(name)
+
+
+class TestFigure2:
+    def test_all_rows_are_100_percent_confident(self, example, cancer_bst):
+        """Figure 2's defining property: every gene-row BAR has confidence 1."""
+        for rule in all_gene_row_bars(cancer_bst):
+            bar = rule.to_bar(cancer_bst)
+            assert bar.confidence(example) == 1.0
+
+    def test_row_supports_match_expression(self, example, cancer_bst):
+        expected = {
+            "g1": {"s1", "s2"},
+            "g2": {"s1", "s3"},
+            "g3": {"s1", "s2"},
+            "g4": {"s3"},
+            "g5": {"s1"},
+            "g6": {"s2", "s3"},
+        }
+        for rule in all_gene_row_bars(cancer_bst):
+            name = example.item_names[next(iter(rule.car_items))]
+            supp = {example.sample_name(s) for s in rule.support}
+            assert supp == expected[name]
+
+    def test_empirical_support_matches_declared(self, example, cancer_bst):
+        """The BAR expression evaluates true on exactly the declared class
+        support samples."""
+        for rule in all_gene_row_bars(cancer_bst):
+            bar = rule.to_bar(cancer_bst)
+            assert bar.support_set(example) == rule.support
+
+    def test_g1_row_is_plain_gene(self, example, cancer_bst):
+        """Figure 2: gene g1's rule is just 'g1 expressed' (black dots)."""
+        rule = gene_row_bar(cancer_bst, gene(example, "g1"))
+        expr = rule.expr(cancer_bst)
+        assert expr.atoms() == {gene(example, "g1")}
+
+    def test_g2_and_g6_maximally_complex(self, example, cancer_bst):
+        """Section 4.1: exactly the g2 and g6 row rules are maximally
+        complex in the running example."""
+        maximal = {
+            example.item_names[next(iter(rule.car_items))]
+            for rule in all_gene_row_bars(cancer_bst)
+            if is_maximally_complex(cancer_bst, rule)
+        }
+        assert maximal == {"g2", "g6"}
+
+    def test_blank_row_raises(self, example):
+        healthy = BST.build(example, 1)
+        with pytest.raises(ValueError):
+            gene_row_bar(healthy, gene(example, "g1"))
+
+
+class TestAnding:
+    def test_and_unions_items_and_intersects_support(self, example, cancer_bst):
+        g1 = gene_row_bar(cancer_bst, gene(example, "g1"))
+        g6 = gene_row_bar(cancer_bst, gene(example, "g6"))
+        combined = g1.and_with(g6)
+        assert combined.car_items == g1.car_items | g6.car_items
+        assert combined.support == {1}  # only s2 expresses both
+
+    def test_section_321_example(self, example, cancer_bst):
+        """Section 3.2.1: (g1 AND g6) => Cancer is 100% confident with
+        support {s2}, and s5's exclusion clause is unnecessary because g1
+        already excludes s5 (the black-dot simplification)."""
+        g1 = gene_row_bar(cancer_bst, gene(example, "g1"))
+        g6 = gene_row_bar(cancer_bst, gene(example, "g6"))
+        combined = g1.and_with(g6)
+        bar = combined.to_bar(cancer_bst)
+        assert bar.confidence(example) == 1.0
+        assert bar.support_set(example) == {1}
+        # No outside sample expresses both g1 and g6, so no clauses at all.
+        assert combined.excluded_outside(cancer_bst) == ()
+
+    def test_and_different_consequents_raises(self, example):
+        a = StructuredBAR(frozenset({0}), 0, frozenset({0}))
+        b = StructuredBAR(frozenset({1}), 1, frozenset({3}))
+        with pytest.raises(ValueError):
+            a.and_with(b)
+
+    def test_anded_rules_stay_100_percent_confident(self):
+        """Property: ANDing gene-row BARs preserves 100% confidence whenever
+        the intersected support is non-empty and no cross-class duplicate
+        rows exist."""
+        rng = np.random.default_rng(21)
+        checked = 0
+        while checked < 12:
+            ds = random_relational(rng)
+            if _has_duplicates(ds):
+                continue
+            bst = BST.build(ds, 0)
+            rows = [gene_row_bar(bst, g) for g in sorted(bst.nonblank_genes())]
+            for i in range(len(rows)):
+                for j in range(i + 1, min(i + 3, len(rows))):
+                    combined = rows[i].and_with(rows[j])
+                    if not combined.support:
+                        continue
+                    bar = combined.to_bar(bst)
+                    assert bar.confidence(ds) == 1.0
+                    assert bar.support_set(ds) == combined.support
+            checked += 1
+
+
+class TestComplexity:
+    def test_complexity_counts_car_genes(self):
+        rule = StructuredBAR(frozenset({1, 2, 5}), 0, frozenset({0}))
+        assert rule.complexity == 3
+
+    def test_describe_mentions_items(self, example, cancer_bst):
+        rule = gene_row_bar(cancer_bst, gene(example, "g3"))
+        assert "g3" in rule.describe(cancer_bst)
+
+
+def _has_duplicates(ds):
+    seen = {}
+    for i, s in enumerate(ds.samples):
+        if s in seen and ds.labels[seen[s]] != ds.labels[i]:
+            return True
+        seen[s] = i
+    return False

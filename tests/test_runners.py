@@ -1,0 +1,102 @@
+"""Classifier runner tests: timing, DNF and accuracy bookkeeping."""
+
+import pytest
+
+from repro.datasets.synthetic import generate_expression_data
+from repro.evaluation.crossval import TrainingSize, make_test
+from repro.evaluation.runners import (
+    BSTCRunner,
+    CBARunner,
+    RandomForestRunner,
+    SVMRunner,
+    TopkRCBTRunner,
+    TreeFamilyRunner,
+)
+
+
+@pytest.fixture(scope="module")
+def cv_test(tiny_profile_module):
+    data = generate_expression_data(tiny_profile_module, seed=1)
+    return make_test(data, TrainingSize("60%", fraction=0.6), 0, "TINY")
+
+
+@pytest.fixture(scope="module")
+def tiny_profile_module():
+    from repro.datasets.profiles import DatasetProfile
+
+    return DatasetProfile(
+        name="TINY",
+        long_name="Tiny synthetic",
+        n_genes=60,
+        class_labels=("pos", "neg"),
+        class_counts=(14, 12),
+        given_training=(9, 8),
+        informative_fraction=0.2,
+        effect_size=2.2,
+    )
+
+
+class TestBSTCRunner:
+    def test_finishes_with_accuracy(self, cv_test):
+        result = BSTCRunner().run(cv_test)
+        assert result.classifier == "BSTC"
+        assert result.accuracy is not None and 0.0 <= result.accuracy <= 1.0
+        assert not result.dnf
+        assert result.phase_seconds("bstc") > 0
+
+    def test_dnf_on_tiny_cutoff(self, cv_test):
+        result = BSTCRunner(cutoff=1e-9).run(cv_test)
+        assert result.dnf
+        assert result.accuracy is None
+        assert result.phase_seconds("bstc") == 1e-9
+
+
+class TestTopkRCBTRunner:
+    def test_both_phases_recorded(self, cv_test):
+        result = TopkRCBTRunner(k=3, min_support=0.6, nl=3).run(cv_test)
+        assert result.phase_finished("topk") is True
+        assert result.phase_finished("rcbt") is True
+        assert result.accuracy is not None
+
+    def test_topk_dnf_skips_rcbt(self, cv_test):
+        result = TopkRCBTRunner(topk_cutoff=1e-9).run(cv_test)
+        assert result.phase_finished("topk") is False
+        assert result.phase_finished("rcbt") is None
+        assert result.notes == "topk DNF"
+
+    def test_rcbt_dnf_recorded(self, cv_test):
+        result = TopkRCBTRunner(
+            k=3, min_support=0.6, nl=3, rcbt_cutoff=1e-9
+        ).run(cv_test)
+        assert result.phase_finished("topk") is True
+        assert result.phase_finished("rcbt") is False
+        assert "rcbt DNF" in result.notes
+
+
+class TestContinuousRunners:
+    def test_svm(self, cv_test):
+        result = SVMRunner().run(cv_test)
+        assert result.accuracy is not None and result.accuracy >= 0.5
+
+    def test_random_forest(self, cv_test):
+        result = RandomForestRunner(n_estimators=15).run(cv_test)
+        assert result.accuracy is not None and result.accuracy >= 0.5
+
+    def test_tree_family(self, cv_test):
+        for variant in ("tree", "bagging", "boosting"):
+            result = TreeFamilyRunner(variant=variant).run(cv_test)
+            assert result.accuracy is not None
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            TreeFamilyRunner(variant="stumps")
+
+
+class TestCBARunner:
+    def test_runs(self, cv_test):
+        result = CBARunner(min_support=0.3, max_rule_len=2).run(cv_test)
+        assert result.accuracy is not None
+
+    def test_dnf(self, cv_test):
+        result = CBARunner(cutoff=1e-9).run(cv_test)
+        assert result.dnf

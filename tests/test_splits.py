@@ -1,0 +1,67 @@
+"""Train/test split protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import count_split, fraction_split, given_training_split
+
+
+LABELS = [0] * 10 + [1] * 6
+
+
+class TestFractionSplit:
+    def test_sizes(self):
+        split = fraction_split(LABELS, 0.4, seed=0)
+        assert split.n_train == round(0.4 * len(LABELS))
+        assert split.n_train + split.n_test == len(LABELS)
+
+    def test_disjoint_and_complete(self):
+        split = fraction_split(LABELS, 0.6, seed=1)
+        train, test = set(split.train_indices), set(split.test_indices)
+        assert not train & test
+        assert train | test == set(range(len(LABELS)))
+
+    def test_deterministic(self):
+        assert fraction_split(LABELS, 0.5, seed=3) == fraction_split(
+            LABELS, 0.5, seed=3
+        )
+
+    def test_seed_varies(self):
+        splits = {fraction_split(LABELS, 0.5, seed=s).train_indices for s in range(8)}
+        assert len(splits) > 1
+
+    def test_every_class_in_training(self):
+        for seed in range(25):
+            split = fraction_split(LABELS, 0.2, seed=seed)
+            labels = {LABELS[i] for i in split.train_indices}
+            assert labels == {0, 1}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            fraction_split(LABELS, 1.0, seed=0)
+
+    def test_too_few_for_classes(self):
+        with pytest.raises(ValueError):
+            fraction_split([0, 1, 2, 3], 0.25, seed=0)  # 1 sample, 4 classes
+
+
+class TestCountSplit:
+    def test_paper_protocol(self):
+        split = count_split(LABELS, (7, 4), seed=0)
+        train_labels = [LABELS[i] for i in split.train_indices]
+        assert train_labels.count(0) == 7
+        assert train_labels.count(1) == 4
+        assert split.n_test == len(LABELS) - 11
+
+    def test_overdraw_raises(self):
+        with pytest.raises(ValueError):
+            count_split(LABELS, (11, 1), seed=0)
+
+    def test_no_test_left_raises(self):
+        with pytest.raises(ValueError):
+            count_split(LABELS, (10, 6), seed=0)
+
+    def test_given_training_split_deterministic(self):
+        a = given_training_split(LABELS, (5, 3))
+        b = given_training_split(LABELS, (5, 3))
+        assert a == b

@@ -1,0 +1,90 @@
+"""SMO SVM tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.svm import BinarySVC, SVMClassifier, rbf_kernel
+
+
+def blobs(rng, n_per, centers, spread=0.4):
+    X, y = [], []
+    for label, center in enumerate(centers):
+        pts = rng.normal(0, spread, size=(n_per, len(center))) + np.asarray(center)
+        X.append(pts)
+        y.extend([label] * n_per)
+    return np.vstack(X), np.asarray(y)
+
+
+class TestRbfKernel:
+    def test_diagonal_is_one(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(5, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_symmetric_and_bounded(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(6, 2))
+        K = rbf_kernel(X, X, gamma=1.0)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        assert (K >= 0).all() and (K <= 1.0 + 1e-12).all()
+
+
+class TestBinarySVC:
+    def test_separable_blobs(self):
+        rng = np.random.default_rng(2)
+        X, y = blobs(rng, 20, [(-2, -2), (2, 2)])
+        labels = np.where(y == 0, -1.0, 1.0)
+        model = BinarySVC(C=1.0).fit(X, labels)
+        assert (model.predict(X) == labels).mean() >= 0.95
+
+    def test_linear_kernel(self):
+        rng = np.random.default_rng(3)
+        X, y = blobs(rng, 15, [(-3, 0), (3, 0)])
+        labels = np.where(y == 0, -1.0, 1.0)
+        model = BinarySVC(C=1.0, kernel="linear").fit(X, labels)
+        assert (model.predict(X) == labels).mean() >= 0.95
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            BinarySVC().fit(np.zeros((2, 1)), np.array([0.0, 1.0]))
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            BinarySVC(kernel="poly")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BinarySVC().decision_function(np.zeros((1, 2)))
+
+
+class TestSVMClassifier:
+    def test_binary_accuracy(self):
+        rng = np.random.default_rng(4)
+        X, y = blobs(rng, 25, [(-2, 1), (2, -1)])
+        model = SVMClassifier().fit(X, y)
+        assert (model.predict(X) == y).mean() >= 0.95
+
+    def test_generalization(self):
+        rng = np.random.default_rng(5)
+        X, y = blobs(rng, 30, [(-2, -2), (2, 2)])
+        X_test, y_test = blobs(rng, 10, [(-2, -2), (2, 2)])
+        model = SVMClassifier().fit(X, y)
+        assert (model.predict(X_test) == y_test).mean() >= 0.9
+
+    def test_three_classes_one_vs_one(self):
+        rng = np.random.default_rng(6)
+        X, y = blobs(rng, 15, [(-3, 0), (3, 0), (0, 4)])
+        model = SVMClassifier().fit(X, y)
+        assert (model.predict(X) == y).mean() >= 0.9
+
+    def test_constant_feature_handled(self):
+        rng = np.random.default_rng(7)
+        X, y = blobs(rng, 10, [(-2,), (2,)])
+        X = np.hstack([X, np.ones((X.shape[0], 1))])  # zero-variance column
+        model = SVMClassifier().fit(X, y)
+        assert (model.predict(X) == y).mean() >= 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SVMClassifier().predict(np.zeros((1, 2)))

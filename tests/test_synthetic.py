@@ -1,0 +1,74 @@
+"""Synthetic microarray generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.discretize import EntropyDiscretizer
+from repro.datasets.profiles import MULTICLASS_PROFILE, scaled
+from repro.datasets.synthetic import generate_expression_data, informative_gene_mask
+
+
+class TestGeneration:
+    def test_shapes_match_profile(self, tiny_profile):
+        data = generate_expression_data(tiny_profile, seed=0)
+        assert data.n_genes == tiny_profile.n_genes
+        assert data.n_samples == tiny_profile.n_samples
+        assert data.class_sizes() == tiny_profile.class_counts
+
+    def test_deterministic(self, tiny_profile):
+        a = generate_expression_data(tiny_profile, seed=7)
+        b = generate_expression_data(tiny_profile, seed=7)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_seed_changes_data(self, tiny_profile):
+        a = generate_expression_data(tiny_profile, seed=1)
+        b = generate_expression_data(tiny_profile, seed=2)
+        assert not np.allclose(a.values, b.values)
+
+    def test_labels_grouped_by_class(self, tiny_profile):
+        data = generate_expression_data(tiny_profile, seed=0)
+        labels = list(data.labels)
+        assert labels == sorted(labels)
+
+    def test_multiclass_profile(self):
+        data = generate_expression_data(MULTICLASS_PROFILE, seed=0)
+        assert data.n_classes == 3
+        assert data.class_sizes() == MULTICLASS_PROFILE.class_counts
+
+    def test_informative_mask_matches_generator(self, tiny_profile):
+        mask = informative_gene_mask(tiny_profile, seed=3)
+        expected = max(
+            tiny_profile.block_size,
+            int(tiny_profile.n_genes * tiny_profile.informative_fraction),
+        )
+        assert mask.sum() == expected
+
+
+class TestSignal:
+    def test_informative_genes_separate_classes(self, tiny_profile):
+        """The planted genes should show a class mean gap; noise genes not."""
+        data = generate_expression_data(tiny_profile, seed=5)
+        mask = informative_gene_mask(tiny_profile, seed=5)
+        labels = data.label_array
+        gap = np.abs(
+            data.values[labels == 0].mean(axis=0)
+            - data.values[labels == 1].mean(axis=0)
+        )
+        assert gap[mask].mean() > 2 * gap[~mask].mean()
+
+    def test_discretizer_prefers_informative_genes(self, tiny_profile):
+        data = generate_expression_data(tiny_profile, seed=8)
+        mask = informative_gene_mask(tiny_profile, seed=8)
+        disc = EntropyDiscretizer().fit(data)
+        kept = disc.kept_gene_indices()
+        assert kept, "discretizer kept nothing"
+        informative_kept = sum(1 for j in kept if mask[j])
+        assert informative_kept / len(kept) > 0.7
+
+    def test_duplicates_create_correlated_columns(self):
+        profile = scaled("ALL")
+        data = generate_expression_data(profile, seed=2)
+        corr = np.corrcoef(data.values.T)
+        np.fill_diagonal(corr, 0.0)
+        # Duplicate probes should produce at least one near-perfect pair.
+        assert np.nanmax(np.abs(corr)) > 0.95

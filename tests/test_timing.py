@@ -1,0 +1,72 @@
+"""Budget / cutoff protocol tests."""
+
+import math
+import time
+
+import pytest
+
+from repro.evaluation.timing import (
+    Budget,
+    BudgetExceeded,
+    TimedOutcome,
+    run_with_budget,
+    timed,
+)
+
+
+class TestBudget:
+    def test_unlimited_never_expires(self):
+        budget = Budget.unlimited()
+        budget.check()
+        assert not budget.expired
+        assert budget.remaining() == math.inf
+
+    def test_expired_budget_raises(self):
+        budget = Budget(1e-9)
+        time.sleep(0.001)
+        with pytest.raises(BudgetExceeded) as err:
+            budget.check()
+        assert err.value.cutoff == 1e-9
+        assert err.value.elapsed >= 1e-9
+
+    def test_restart(self):
+        budget = Budget(0.05)
+        time.sleep(0.01)
+        first = budget.elapsed()
+        budget.restart()
+        assert budget.elapsed() < first
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(0)
+
+
+class TestRunWithBudget:
+    def test_finishing_step(self):
+        outcome = run_with_budget(lambda budget: 42, cutoff=10.0)
+        assert outcome.finished and outcome.value == 42
+        assert not outcome.dnf
+
+    def test_dnf_step_reports_cutoff(self):
+        def step(budget):
+            while True:
+                budget.check()
+
+        outcome = run_with_budget(step, cutoff=0.02)
+        assert outcome.dnf
+        assert outcome.seconds == 0.02
+        assert outcome.value is None
+
+    def test_other_exceptions_propagate(self):
+        def step(budget):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_with_budget(step, cutoff=1.0)
+
+
+class TestTimed:
+    def test_returns_seconds_and_value(self):
+        seconds, value = timed(lambda: "ok")
+        assert value == "ok"
+        assert seconds >= 0.0

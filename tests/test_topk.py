@@ -1,0 +1,140 @@
+"""Top-k covering rule group miner tests — exhaustiveness and protocol."""
+
+import math
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.baselines.topk import TopkMiner, mine_all_classes, mine_topk_rule_groups
+from repro.evaluation.timing import Budget, BudgetExceeded
+from repro.rules.groups import closure_of_rows
+
+from conftest import random_relational
+
+
+def brute_force_groups(ds, class_id, min_support):
+    crows = ds.class_members(class_id)
+    minsup = max(1, math.ceil(min_support * len(crows)))
+    expected = {}
+    for r in range(1, len(crows) + 1):
+        for combo in combinations(crows, r):
+            upper = closure_of_rows(ds, combo)
+            if not upper:
+                continue
+            support = ds.support_of_itemset(upper)
+            class_support = frozenset(
+                x for x in support if ds.labels[x] == class_id
+            )
+            if len(class_support) >= minsup:
+                expected[support] = (upper, class_support)
+    return expected
+
+
+class TestExhaustiveness:
+    def test_all_closed_groups_found_with_large_k(self):
+        """With unbounded k the miner must enumerate exactly the closed
+        groups above the support cutoff (checked against brute force)."""
+        rng = np.random.default_rng(71)
+        for _ in range(12):
+            ds = random_relational(rng, n_samples_range=(4, 9))
+            for class_id in range(ds.n_classes):
+                for min_support in (0.3, 0.6, 0.9):
+                    expected = brute_force_groups(ds, class_id, min_support)
+                    mined = TopkMiner(
+                        ds, class_id, k=10**6, min_support=min_support
+                    ).mine()
+                    got = {
+                        g.support_rows: (g.upper_bound, g.class_support)
+                        for g in mined
+                    }
+                    assert got == expected
+
+    def test_support_and_confidence_values(self, example):
+        groups = mine_topk_rule_groups(example, 0, k=100, min_support=0.3)
+        for group in groups:
+            assert group.support == len(group.class_support)
+            assert group.confidence == len(group.class_support) / len(
+                group.support_rows
+            )
+            # Upper bound is the closure of its own support rows.
+            assert group.upper_bound == closure_of_rows(
+                example, group.support_rows
+            )
+
+    def test_section1_rule_group_found(self, example):
+        """The {g1, g3} => Cancer pattern (support {s1, s2}, conf 1) must be
+        among the mined groups."""
+        groups = mine_topk_rule_groups(example, 0, k=100, min_support=0.3)
+        g1 = example.item_names.index("g1")
+        g3 = example.item_names.index("g3")
+        match = [g for g in groups if {g1, g3} <= g.upper_bound]
+        assert match and all(g.confidence == 1.0 for g in match)
+
+
+class TestTopKProtocol:
+    def test_covering_limits_per_row(self):
+        """Every returned group must be in some row's top-k by confidence."""
+        rng = np.random.default_rng(73)
+        ds = random_relational(rng, n_samples_range=(6, 10))
+        k = 2
+        miner = TopkMiner(ds, 0, k=k, min_support=0.2)
+        mined = miner.mine()
+        all_groups = TopkMiner(ds, 0, k=10**6, min_support=0.2).mine()
+        per_row_best = {}
+        for row in ds.class_members(0):
+            covering = sorted(
+                (g for g in all_groups if row in g.class_support),
+                key=lambda g: (-g.confidence, -g.support),
+            )
+            if len(covering) >= k:
+                per_row_best[row] = covering[k - 1].confidence
+        for group in mined:
+            # The group covers some row whose kth-best confidence it matches
+            # or beats.
+            assert any(
+                group.confidence >= per_row_best.get(row, 0.0) - 1e-12
+                for row in group.class_support
+            )
+
+    def test_results_sorted_by_confidence(self, example):
+        groups = mine_topk_rule_groups(example, 0, k=3, min_support=0.3)
+        confs = [g.confidence for g in groups]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_min_support_filters(self, example):
+        high = mine_topk_rule_groups(example, 0, k=100, min_support=0.9)
+        for group in high:
+            assert group.support >= math.ceil(0.9 * 3)
+
+    def test_invalid_parameters(self, example):
+        with pytest.raises(ValueError):
+            TopkMiner(example, 0, k=0)
+        with pytest.raises(ValueError):
+            TopkMiner(example, 0, min_support=0.0)
+
+    def test_empty_class_returns_nothing(self, example):
+        # Class ids beyond the data produce empty member lists via
+        # mine_all_classes on a dataset subset.
+        sub = example.subset([0, 1, 2])  # only Cancer samples remain
+        groups = mine_topk_rule_groups(sub, 1, k=5)
+        assert groups == []
+
+    def test_budget_enforced(self, example):
+        with pytest.raises(BudgetExceeded):
+            TopkMiner(example, 0, k=10, budget=Budget(1e-9)).mine()
+
+    def test_mine_all_classes(self, example):
+        per_class = mine_all_classes(example, k=5, min_support=0.3)
+        assert set(per_class) == {0, 1}
+        assert per_class[0] and per_class[1]
+
+    def test_rank_covering(self, example):
+        miner = TopkMiner(example, 0, k=5, min_support=0.3)
+        groups = miner.mine()
+        ranking = miner.rank_covering(groups)
+        for row, covering in ranking.items():
+            for group in covering:
+                assert row in group.class_support
+            confs = [g.confidence for g in covering]
+            assert confs == sorted(confs, reverse=True)

@@ -1,0 +1,108 @@
+"""Decision tree, bagging and AdaBoost tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tree import AdaBoostClassifier, BaggingClassifier, DecisionTree
+
+
+def and_data(rng, n=40, noise=0.15):
+    """y = (x0 > 0) AND (x1 > 0): learnable greedily at depth 2 (XOR is not —
+    its first-level information gain is zero for any greedy splitter)."""
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) & (X[:, 1] > 0)).astype(int)
+    X = X + rng.normal(0, noise, size=X.shape)
+    return X, y
+
+
+def threshold_data(rng, n=40):
+    X = rng.uniform(0, 1, size=(n, 3))
+    y = (X[:, 1] > 0.5).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_learns_single_threshold(self):
+        rng = np.random.default_rng(0)
+        X, y = threshold_data(rng)
+        tree = DecisionTree().fit(X, y)
+        assert (tree.predict(X) == y).all()
+        assert tree.depth() == 1
+
+    def test_learns_and_with_depth(self):
+        rng = np.random.default_rng(1)
+        X, y = and_data(rng, n=80, noise=0.0)
+        tree = DecisionTree(max_depth=3).fit(X, y)
+        assert (tree.predict(X) == y).mean() >= 0.95
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(2)
+        X, y = and_data(rng, n=60)
+        tree = DecisionTree(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_gain_ratio_criterion(self):
+        rng = np.random.default_rng(3)
+        X, y = threshold_data(rng)
+        tree = DecisionTree(criterion="gain_ratio").fit(X, y)
+        assert (tree.predict(X) == y).mean() >= 0.95
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            DecisionTree(criterion="chi2")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+    def test_pure_node_is_leaf(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTree().fit(X, y)
+        assert tree.depth() == 0
+
+    def test_sample_weights_shift_prediction(self):
+        X = np.array([[0.0], [0.1], [1.0], [1.1]])
+        y = np.array([0, 0, 1, 1])
+        heavy_one = DecisionTree(max_depth=0)
+        heavy_one.fit(X, y, sample_weight=np.array([0.1, 0.1, 5.0, 5.0]))
+        assert heavy_one.predict(np.array([[0.5]]))[0] == 1
+
+    def test_feature_subsampling(self):
+        rng = np.random.default_rng(4)
+        X, y = threshold_data(rng, n=60)
+        tree = DecisionTree(max_features=1, rng=np.random.default_rng(0))
+        tree.fit(X, y)
+        assert (tree.predict(X) == y).mean() >= 0.5  # still functional
+
+
+class TestBagging:
+    def test_improves_on_noisy_and(self):
+        rng = np.random.default_rng(5)
+        X, y = and_data(rng, n=100, noise=0.05)
+        bag = BaggingClassifier(n_estimators=15, seed=0).fit(X, y)
+        assert (bag.predict(X) == y).mean() >= 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BaggingClassifier().predict(np.zeros((1, 2)))
+
+
+class TestAdaBoost:
+    def test_boosted_stumps_beat_single_stump(self):
+        rng = np.random.default_rng(6)
+        X, y = and_data(rng, n=100, noise=0.0)
+        stump = DecisionTree(max_depth=1).fit(X, y)
+        boosted = AdaBoostClassifier(n_estimators=25, max_depth=1, seed=0).fit(X, y)
+        assert (boosted.predict(X) == y).mean() > (stump.predict(X) == y).mean()
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(0, 3, size=(90, 1))
+        y = np.clip(X[:, 0].astype(int), 0, 2)
+        boosted = AdaBoostClassifier(n_estimators=20, max_depth=2, seed=0).fit(X, y)
+        assert (boosted.predict(X) == y).mean() >= 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaBoostClassifier().predict(np.zeros((1, 2)))
