@@ -1,10 +1,14 @@
 """Micro-benchmarks of the core primitives (multi-round, statistical).
 
 These complement the one-shot experiment benchmarks: BST construction, the
-two BSTCE engines, Top-k node throughput, and entropy discretization, all on
-the scaled ALL profile's given-training split.
+two BSTCE engines (per-query and batched), Top-k node throughput, and
+entropy discretization, all on the scaled ALL profile's given-training
+split.
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.baselines.topk import TopkMiner
@@ -42,6 +46,61 @@ def test_fast_engine_query(benchmark, pipeline):
     evaluator = FastBSTCEvaluator(rel_train)
     value = benchmark(evaluator.classification_values, queries[0])
     assert 0.0 <= value.min() <= value.max() <= 1.0
+
+
+def test_fast_engine_batch(benchmark, pipeline):
+    _, rel_train, queries = pipeline
+    evaluator = FastBSTCEvaluator(rel_train)
+    values = benchmark(evaluator.classification_values_batch, queries)
+    assert values.shape == (len(queries), rel_train.n_classes)
+    assert 0.0 <= values.min() <= values.max() <= 1.0
+
+
+def test_batched_throughput_speedup(pipeline):
+    """The acceptance bar: batched prediction must deliver >= 3x the
+    per-query throughput on the paper-scale synthetic profile, while the
+    batched, per-query, and reference engines agree.
+
+    The workload tiles the held-out queries to a serving-sized batch and
+    takes the best of three timed repetitions of each path, so the ratio
+    measures steady-state throughput rather than first-call overhead.
+    """
+    _, rel_train, queries = pipeline
+    evaluator = FastBSTCEvaluator(rel_train)
+    workload = (queries * 8)[:128]
+    evaluator.classification_values_batch(workload[:4])  # warm up
+
+    serial_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        serial = np.stack(
+            [evaluator.classification_values(q) for q in workload]
+        )
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
+
+    batch_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batch = evaluator.classification_values_batch(workload)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    np.testing.assert_allclose(batch, serial, atol=1e-5)
+    bst = BST.build(rel_train, 0)
+    for i in (0, len(queries) // 2, len(queries) - 1):
+        assert batch[i, 0] == pytest.approx(
+            bstce(bst, queries[i]), abs=1e-5
+        )
+
+    speedup = serial_seconds / batch_seconds
+    per_query_qps = len(workload) / serial_seconds
+    batched_qps = len(workload) / batch_seconds
+    print(
+        f"\nbatched BSTCE: {batched_qps:.0f} q/s vs per-query"
+        f" {per_query_qps:.0f} q/s ({speedup:.1f}x)"
+    )
+    assert speedup >= 3.0, (
+        f"batched throughput only {speedup:.2f}x the per-query path"
+    )
 
 
 def test_reference_engine_query(benchmark, pipeline):

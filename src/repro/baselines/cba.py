@@ -21,6 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import AbstractSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..core.estimator import NotFittedError, predictions_array, warn_deprecated_alias
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
 from ..rules.car import CAR
@@ -57,6 +60,7 @@ class CBAClassifier:
         self.max_rule_len = max_rule_len
         self._rules: List[RankedRule] = []
         self._default_class = 0
+        self._n_classes = 0
 
     def fit(
         self, dataset: RelationalDataset, budget: Optional[Budget] = None
@@ -93,6 +97,7 @@ class CBAClassifier:
         best_len, _, best_default = self._evaluate_prefixes(dataset, kept)
         self._rules = kept[:best_len]
         self._default_class = best_default
+        self._n_classes = dataset.n_classes
         return self
 
     def _evaluate_prefixes(
@@ -145,15 +150,42 @@ class CBAClassifier:
     def default_class(self) -> int:
         return self._default_class
 
+    def _require_fitted(self) -> None:
+        if self._n_classes == 0:
+            raise NotFittedError("classifier is not fitted")
+
     def predict(self, query: AbstractSet[int]) -> int:
+        self._require_fitted()
         query = frozenset(query)
         for rule in self._rules:
             if rule.car.antecedent <= query:
                 return rule.car.consequent
         return self._default_class
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> List[int]:
-        return [self.predict(q) for q in queries]
+    def classification_values(self, query: AbstractSet[int]) -> np.ndarray:
+        """Per-class scores: the best confidence among the kept rules the
+        query matches, per consequent class (0 when none match — prediction
+        then falls to the default class, which these scores do not encode)."""
+        self._require_fitted()
+        query = frozenset(query)
+        scores = np.zeros(self._n_classes, dtype=np.float64)
+        for rule in self._rules:
+            if rule.car.antecedent <= query:
+                target = rule.car.consequent
+                scores[target] = max(scores[target], rule.confidence)
+        return scores
 
-    def predict_dataset(self, dataset: RelationalDataset) -> List[int]:
-        return [self.predict(sample) for sample in dataset.samples]
+    def predict_batch(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Classify a batch of queries."""
+        self._require_fitted()
+        return predictions_array(self.predict(q) for q in queries)
+
+    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Deprecated alias of :meth:`predict_batch`."""
+        warn_deprecated_alias("CBAClassifier.predict_many", "predict_batch")
+        return self.predict_batch(queries)
+
+    def predict_dataset(self, dataset: RelationalDataset) -> np.ndarray:
+        """Deprecated alias of :meth:`predict_batch` over ``dataset.samples``."""
+        warn_deprecated_alias("CBAClassifier.predict_dataset", "predict_batch")
+        return self.predict_batch(dataset.samples)

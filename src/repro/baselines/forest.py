@@ -9,10 +9,11 @@ tree count is a constructor argument.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
+from ..core.estimator import NotFittedError
 from .tree import DecisionTree
 
 
@@ -58,12 +59,28 @@ class RandomForestClassifier:
             self._trees.append(tree)
         return self
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    def _vote_fractions(self, X: np.ndarray) -> np.ndarray:
         if not self._trees:
-            raise RuntimeError("forest is not fitted")
-        votes = np.stack([tree.predict(X) for tree in self._trees])
-        out = []
-        for col in votes.T:
-            counts = np.bincount(col, minlength=self.n_classes)
-            out.append(int(np.argmax(counts)))
-        return np.asarray(out, dtype=np.int64)
+            raise NotFittedError("forest is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        votes = np.stack([tree.predict_batch(X) for tree in self._trees])
+        fractions = np.zeros((X.shape[0], self.n_classes))
+        for row, col in enumerate(votes.T):
+            fractions[row] = np.bincount(col, minlength=self.n_classes)
+        return fractions / len(self._trees)
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Classify a batch of feature rows (majority vote over trees)."""
+        return np.argmax(self._vote_fractions(X), axis=1).astype(np.int64)
+
+    def classification_values(self, x: np.ndarray) -> np.ndarray:
+        """Per-class tree-vote fractions for one feature vector."""
+        return self._vote_fractions(np.atleast_2d(np.asarray(x, dtype=np.float64)))[0]
+
+    def predict(self, X: np.ndarray) -> Union[int, np.ndarray]:
+        """Classify features: a 1-D sample returns an ``int`` (the Estimator
+        protocol); a 2-D matrix returns the batch's label array."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return int(self.predict_batch(X[None, :])[0])
+        return self.predict_batch(X)

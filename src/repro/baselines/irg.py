@@ -19,6 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..core.estimator import NotFittedError, predictions_array, warn_deprecated_alias
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
 from .charm import closed_itemsets_of_class
@@ -86,7 +89,7 @@ class IRGClassifier:
 
     def _require_fitted(self) -> Dict[int, List[InterestingGroup]]:
         if self._groups is None:
-            raise RuntimeError("classifier is not fitted")
+            raise NotFittedError("classifier is not fitted")
         return self._groups
 
     def class_scores(self, query: AbstractSet[int]) -> Dict[int, float]:
@@ -125,6 +128,18 @@ class IRGClassifier:
             scores[class_id] = matched / total
         return scores
 
+    def classification_values(self, query: AbstractSet[int]) -> np.ndarray:
+        """Per-class scores: exact-match mass, falling back to the
+        containment-fraction scores when no group matches exactly (mirroring
+        :meth:`predict`'s decision procedure)."""
+        scores = self.class_scores(query)
+        if not any(s > 0.0 for s in scores.values()):
+            scores = self.partial_scores(query)
+        n_classes = max(scores) + 1 if scores else 0
+        return np.array(
+            [scores.get(c, 0.0) for c in range(n_classes)], dtype=np.float64
+        )
+
     def predict(self, query: AbstractSet[int]) -> int:
         scores = self.class_scores(query)
         best = max(scores.values()) if scores else 0.0
@@ -135,8 +150,15 @@ class IRGClassifier:
             return self._default_class
         return min(c for c, s in scores.items() if s == best)
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> List[int]:
-        return [self.predict(q) for q in queries]
+    def predict_batch(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Classify a batch of queries."""
+        self._require_fitted()
+        return predictions_array(self.predict(q) for q in queries)
+
+    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Deprecated alias of :meth:`predict_batch`."""
+        warn_deprecated_alias("IRGClassifier.predict_many", "predict_batch")
+        return self.predict_batch(queries)
 
     def n_groups(self) -> int:
         return sum(len(v) for v in self._require_fitted().values())

@@ -24,6 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..core.estimator import NotFittedError, predictions_array, warn_deprecated_alias
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
 from ..rules.groups import RuleGroup, find_lower_bounds
@@ -154,7 +157,7 @@ class RCBTClassifier:
     # ------------------------------------------------------------------
     def _require_fitted(self) -> List[Dict[int, List[ScoredGroup]]]:
         if self._committee is None:
-            raise RuntimeError("classifier is not fitted")
+            raise NotFittedError("classifier is not fitted")
         return self._committee
 
     def class_scores(
@@ -193,11 +196,38 @@ class RCBTClassifier:
                 )
         return self._default_class
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> List[int]:
-        return [self.predict(q) for q in queries]
+    def classification_values(self, query: AbstractSet[int]) -> np.ndarray:
+        """Per-class normalized scores of the first committee layer where
+        any group matches (the layer :meth:`predict` decides on); all zeros
+        when no layer matches and the default class decides."""
+        committee = self._require_fitted()
+        query = frozenset(query)
+        n_classes = max(
+            (max(layer) + 1 for layer in committee if layer), default=0
+        )
+        for layer_index in range(len(committee)):
+            scores = self.class_scores(query, layer_index)
+            if any(score > 0 for score, _ in scores.values()):
+                return np.array(
+                    [scores.get(c, (0.0, 0.0))[0] for c in range(n_classes)],
+                    dtype=np.float64,
+                )
+        return np.zeros(n_classes, dtype=np.float64)
 
-    def predict_dataset(self, dataset: RelationalDataset) -> List[int]:
-        return [self.predict(sample) for sample in dataset.samples]
+    def predict_batch(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Classify a batch of queries."""
+        self._require_fitted()
+        return predictions_array(self.predict(q) for q in queries)
+
+    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Deprecated alias of :meth:`predict_batch`."""
+        warn_deprecated_alias("RCBTClassifier.predict_many", "predict_batch")
+        return self.predict_batch(queries)
+
+    def predict_dataset(self, dataset: RelationalDataset) -> np.ndarray:
+        """Deprecated alias of :meth:`predict_batch` over ``dataset.samples``."""
+        warn_deprecated_alias("RCBTClassifier.predict_dataset", "predict_batch")
+        return self.predict_batch(dataset.samples)
 
     # ------------------------------------------------------------------
     @property

@@ -12,9 +12,11 @@ values of the genes the entropy discretizer kept (Section 6.1).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
+
+from ..core.estimator import NotFittedError
 
 
 def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
@@ -193,9 +195,9 @@ class SVMClassifier:
             self._machines[(a, b)] = machine
         return self
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    def _votes(self, X: np.ndarray) -> np.ndarray:
         if self._mean is None:
-            raise RuntimeError("SVM is not fitted")
+            raise NotFittedError("SVM is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         Xs = (X - self._mean) / self._scale
         votes = np.zeros((X.shape[0], max(self.classes) + 1))
@@ -203,4 +205,22 @@ class SVMClassifier:
             pred = machine.predict(Xs)
             votes[pred == 1, a] += 1
             votes[pred == -1, b] += 1
-        return np.argmax(votes, axis=1).astype(np.int64)
+        return votes
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Classify a batch of feature rows (one-vs-one majority vote)."""
+        return np.argmax(self._votes(X), axis=1).astype(np.int64)
+
+    def classification_values(self, x: np.ndarray) -> np.ndarray:
+        """Per-class pairwise-vote fractions for one feature vector."""
+        votes = self._votes(np.atleast_2d(np.asarray(x, dtype=np.float64)))[0]
+        total = max(1, len(self._machines))
+        return votes / total
+
+    def predict(self, X: np.ndarray) -> Union[int, np.ndarray]:
+        """Classify features: a 1-D sample returns an ``int`` (the Estimator
+        protocol); a 2-D matrix returns the batch's label array."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return int(self.predict_batch(X[None, :])[0])
+        return self.predict_batch(X)

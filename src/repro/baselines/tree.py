@@ -16,9 +16,11 @@ float feature matrices and integer labels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
+
+from ..core.estimator import NotFittedError
 
 
 @dataclass
@@ -199,11 +201,37 @@ class DecisionTree:
         return best
 
     # ------------------------------------------------------------------
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Classify a batch of feature rows."""
         if self._root is None:
-            raise RuntimeError("tree is not fitted")
+            raise NotFittedError("tree is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         return np.array([self._predict_row(row) for row in X], dtype=np.int64)
+
+    def predict(self, X: np.ndarray) -> Union[int, np.ndarray]:
+        """Classify features: a 1-D sample returns an ``int`` (the Estimator
+        protocol); a 2-D matrix returns the batch's label array."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return int(self.predict_batch(X[None, :])[0])
+        return self.predict_batch(X)
+
+    def classification_values(self, x: np.ndarray) -> np.ndarray:
+        """The leaf's training class distribution for one feature vector."""
+        if self._root is None:
+            raise NotFittedError("tree is not fitted")
+        row = np.asarray(x, dtype=np.float64).reshape(-1)
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        if node.probabilities is not None and node.probabilities.size:
+            probs = np.zeros(self.n_classes, dtype=np.float64)
+            probs[: node.probabilities.size] = node.probabilities
+            return probs
+        probs = np.zeros(self.n_classes, dtype=np.float64)
+        probs[node.prediction] = 1.0
+        return probs
 
     def _predict_row(self, row: np.ndarray) -> int:
         node = self._root
@@ -257,15 +285,31 @@ class BaggingClassifier:
             self._trees.append(tree)
         return self
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    def _vote_fractions(self, X: np.ndarray) -> np.ndarray:
         if not self._trees:
-            raise RuntimeError("classifier is not fitted")
-        votes = np.stack([tree.predict(X) for tree in self._trees])
-        out = []
-        for col in votes.T:
-            counts = np.bincount(col, minlength=self.n_classes)
-            out.append(int(np.argmax(counts)))
-        return np.asarray(out, dtype=np.int64)
+            raise NotFittedError("classifier is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        votes = np.stack([tree.predict_batch(X) for tree in self._trees])
+        fractions = np.zeros((X.shape[0], self.n_classes))
+        for row, col in enumerate(votes.T):
+            fractions[row] = np.bincount(col, minlength=self.n_classes)
+        return fractions / len(self._trees)
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Classify a batch of feature rows (majority vote over trees)."""
+        return np.argmax(self._vote_fractions(X), axis=1).astype(np.int64)
+
+    def classification_values(self, x: np.ndarray) -> np.ndarray:
+        """Per-class tree-vote fractions for one feature vector."""
+        return self._vote_fractions(np.atleast_2d(np.asarray(x, dtype=np.float64)))[0]
+
+    def predict(self, X: np.ndarray) -> Union[int, np.ndarray]:
+        """Classify features: a 1-D sample returns an ``int`` (the Estimator
+        protocol); a 2-D matrix returns the batch's label array."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return int(self.predict_batch(X[None, :])[0])
+        return self.predict_batch(X)
 
 
 class AdaBoostClassifier:
@@ -310,12 +354,30 @@ class AdaBoostClassifier:
             weights /= weights.sum()
         return self
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
+    def _stage_scores(self, X: np.ndarray) -> np.ndarray:
         if not self._stages:
-            raise RuntimeError("classifier is not fitted")
+            raise NotFittedError("classifier is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         scores = np.zeros((X.shape[0], self.n_classes))
         for alpha, tree in self._stages:
-            pred = tree.predict(X)
+            pred = tree.predict_batch(X)
             scores[np.arange(X.shape[0]), pred] += alpha
-        return np.argmax(scores, axis=1).astype(np.int64)
+        return scores
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Classify a batch of feature rows (SAMME weighted vote)."""
+        return np.argmax(self._stage_scores(X), axis=1).astype(np.int64)
+
+    def classification_values(self, x: np.ndarray) -> np.ndarray:
+        """Normalized per-class SAMME stage scores for one feature vector."""
+        scores = self._stage_scores(np.atleast_2d(np.asarray(x, dtype=np.float64)))[0]
+        total = scores.sum()
+        return scores / total if total > 0 else scores
+
+    def predict(self, X: np.ndarray) -> Union[int, np.ndarray]:
+        """Classify features: a 1-D sample returns an ``int`` (the Estimator
+        protocol); a 2-D matrix returns the batch's label array."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return int(self.predict_batch(X[None, :])[0])
+        return self.predict_batch(X)

@@ -5,8 +5,12 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run table3
     python -m repro.cli run fig6 --full --tests 25 --topk-cutoff 7200 --rcbt-cutoff 7200
-    python -m repro.cli run all
+    python -m repro.cli run all --jobs -1      # fold-parallel CV, all cores
+    python -m repro.cli run fig4 --engine reference --arithmetization mean
     python -m repro.cli demo          # the Table 1 running example end to end
+
+Every ``run`` prints the engine counters afterwards: evaluator cache
+hits/misses, class tables built, batch sizes, and per-phase wall time.
 """
 
 from __future__ import annotations
@@ -15,6 +19,9 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .core.arithmetization import COMBINERS
+from .core.estimator import ENGINES
+from .evaluation.timing import engine_counters
 from .experiments.base import ExperimentConfig
 from .experiments.registry import experiment_ids, run_experiment
 
@@ -42,6 +49,24 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--topk-cutoff", type=float, default=10.0)
     run.add_argument("--rcbt-cutoff", type=float, default=10.0)
     run.add_argument("--forest-trees", type=int, default=50)
+    run.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="fast",
+        help="BSTCE engine for BSTC runs (default: fast)",
+    )
+    run.add_argument(
+        "--arithmetization",
+        choices=sorted(COMBINERS),
+        default="min",
+        help="BSTC per-cell combiner (default: min, the paper's Algorithm 5)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="CV fold parallelism: 1 = serial, -1 = one worker per CPU",
+    )
 
     sub.add_parser("demo", help="run the Table 1 running example end to end")
     return parser
@@ -55,6 +80,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         topk_cutoff=args.topk_cutoff,
         rcbt_cutoff=args.rcbt_cutoff,
         forest_trees=args.forest_trees,
+        engine=args.engine,
+        arithmetization=args.arithmetization,
+        n_jobs=args.jobs,
     )
 
 
@@ -85,6 +113,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_demo()
     config = _config_from_args(args)
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    engine_counters.reset()
     for experiment_id in ids:
         try:
             result = run_experiment(experiment_id, config)
@@ -93,6 +122,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(result.render())
         print()
+    print(engine_counters.report(title="engine counters"))
     return 0
 
 

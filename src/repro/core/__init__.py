@@ -2,12 +2,20 @@
 
 from .arithmetization import COMBINERS, classification_confidence, get_combiner
 from .bstce import bstce, bstce_detail
-from .classifier import BSTClassifier, NotFittedError
+from .classifier import BSTClassifier
+from .estimator import ENGINES, Estimator, NotFittedError, resolve_engine
 from .explain import CellRuleEvidence, Explanation, explain_classification
-from .fast import FastBSTCEvaluator
+from .fast import (
+    FastBSTCEvaluator,
+    clear_evaluator_cache,
+    evaluator_cache_info,
+    get_evaluator,
+)
 
 __all__ = [
     "BSTClassifier", "NotFittedError", "FastBSTCEvaluator",
+    "Estimator", "ENGINES", "resolve_engine",
+    "get_evaluator", "clear_evaluator_cache", "evaluator_cache_info",
     "bstce", "bstce_detail", "COMBINERS", "get_combiner",
     "classification_confidence", "CellRuleEvidence", "Explanation",
     "explain_classification",

@@ -18,7 +18,8 @@ import numpy as np
 
 from ..datasets.dataset import RelationalDataset
 from .arithmetization import classification_confidence
-from .fast import FastBSTCEvaluator, Query
+from .estimator import NotFittedError, predictions_array, warn_deprecated_alias
+from .fast import FastBSTCEvaluator, Query, get_evaluator
 
 
 class AutoBSTClassifier:
@@ -40,7 +41,7 @@ class AutoBSTClassifier:
 
     def fit(self, dataset: RelationalDataset) -> "AutoBSTClassifier":
         self._evaluators = {
-            name: FastBSTCEvaluator(dataset, name)
+            name: get_evaluator(dataset, name)
             for name in self.arithmetizations
         }
         self._n_classes = dataset.n_classes
@@ -48,22 +49,42 @@ class AutoBSTClassifier:
 
     def decide(self, query: Query) -> Tuple[int, str, float]:
         """Return ``(predicted_class, chosen_procedure, confidence)``."""
+        label, name, confidence, _ = self._decide_with_values(query)
+        return label, name, confidence
+
+    def _require_fitted(self) -> Dict[str, FastBSTCEvaluator]:
         if self._evaluators is None:
-            raise RuntimeError("classifier is not fitted")
-        best: Optional[Tuple[float, str, int]] = None
-        for name, evaluator in self._evaluators.items():
+            raise NotFittedError("classifier is not fitted")
+        return self._evaluators
+
+    def _decide_with_values(
+        self, query: Query
+    ) -> Tuple[int, str, float, np.ndarray]:
+        evaluators = self._require_fitted()
+        best: Optional[Tuple[float, str, int, np.ndarray]] = None
+        for name, evaluator in evaluators.items():
             values = evaluator.classification_values(query)
             confidence = classification_confidence(values.tolist())
             label = int(np.argmax(values))
-            candidate = (confidence, name, label)
             if best is None or confidence > best[0]:
-                best = candidate
+                best = (confidence, name, label, values)
         assert best is not None
-        confidence, name, label = best
-        return label, name, confidence
+        confidence, name, label, values = best
+        return label, name, confidence, values
+
+    def classification_values(self, query: Query) -> np.ndarray:
+        """Per-class values of the most confident arithmetization."""
+        return self._decide_with_values(query)[3]
 
     def predict(self, query: Query) -> int:
-        return self.decide(query)[0]
+        return self._decide_with_values(query)[0]
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> List[int]:
-        return [self.predict(q) for q in queries]
+    def predict_batch(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Classify a batch of queries."""
+        self._require_fitted()
+        return predictions_array(self.predict(q) for q in queries)
+
+    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Deprecated alias of :meth:`predict_batch`."""
+        warn_deprecated_alias("AutoBSTClassifier.predict_many", "predict_batch")
+        return self.predict_batch(queries)

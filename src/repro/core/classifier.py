@@ -8,11 +8,15 @@ level, breaking ties toward the smallest class id (Algorithm 6 line 6).
 The classifier is parameter-free (the paper's ease-of-use claim) and handles
 any number of classes.  Two interchangeable engines are provided:
 
-* ``fast`` (default): the vectorized evaluator of :mod:`repro.core.fast`;
+* ``fast`` (default): the vectorized evaluator of :mod:`repro.core.fast`,
+  fetched from the process-wide evaluator cache so repeated fits on
+  identical training data skip table construction, with a batched kernel
+  behind :meth:`BSTClassifier.predict_batch`;
 * ``reference``: the literal Algorithm 5 over explicit BST objects.
 
 Their values agree exactly up to floating-point associativity and are
-cross-checked in the test suite.
+cross-checked in the test suite.  ``BSTClassifier`` conforms to the
+:class:`repro.core.estimator.Estimator` protocol.
 """
 
 from __future__ import annotations
@@ -23,13 +27,12 @@ import numpy as np
 
 from ..bst.table import BST, build_all_bsts
 from ..datasets.dataset import RelationalDataset
-from .arithmetization import classification_confidence
+from .arithmetization import classification_confidence, get_combiner
 from .bstce import bstce
-from .fast import FastBSTCEvaluator, Query
+from .estimator import NotFittedError, resolve_engine, warn_deprecated_alias
+from .fast import FastBSTCEvaluator, Query, get_evaluator
 
-
-class NotFittedError(RuntimeError):
-    """Raised when prediction is attempted before :meth:`BSTClassifier.fit`."""
+__all__ = ["BSTClassifier", "NotFittedError"]
 
 
 class BSTClassifier:
@@ -48,10 +51,9 @@ class BSTClassifier:
     """
 
     def __init__(self, arithmetization: str = "min", engine: str = "fast"):
-        if engine not in ("fast", "reference"):
-            raise ValueError(f"unknown engine {engine!r}")
+        get_combiner(arithmetization)  # shared validation + error message
         self.arithmetization = arithmetization
-        self.engine = engine
+        self.engine = resolve_engine(engine)
         self._dataset: Optional[RelationalDataset] = None
         self._fast: Optional[FastBSTCEvaluator] = None
         self._bsts: Optional[List[BST]] = None
@@ -65,7 +67,7 @@ class BSTClassifier:
             raise ValueError("cannot fit on an empty dataset")
         self._dataset = dataset
         if self.engine == "fast":
-            self._fast = FastBSTCEvaluator(dataset, self.arithmetization)
+            self._fast = get_evaluator(dataset, self.arithmetization)
             self._bsts = None
         else:
             self._bsts = build_all_bsts(dataset)
@@ -104,23 +106,50 @@ class BSTClassifier:
             dtype=np.float64,
         )
 
+    def classification_values_batch(
+        self, queries: Union[Sequence[Query], np.ndarray]
+    ) -> np.ndarray:
+        """Per-class values for a query batch — shape ``(n_queries,
+        n_classes)``.  The fast engine runs the batched BSTCE kernel; the
+        reference engine stacks per-query evaluations."""
+        if self._dataset is None:
+            raise NotFittedError("call fit() before using the classifier")
+        if self._fast is not None:
+            return self._fast.classification_values_batch(queries)
+        rows = [self.classification_values(q) for q in queries]
+        if not rows:
+            return np.zeros((0, self._dataset.n_classes), dtype=np.float64)
+        return np.stack(rows)
+
     def predict(self, query: Query) -> int:
         """Classify one query sample (Algorithm 6 line 6: first argmax)."""
         values = self.classification_values(query)
         return int(np.argmax(values))
 
-    def predict_many(self, queries: Iterable[Query]) -> List[int]:
-        """Classify a sequence of query samples."""
-        return [self.predict(q) for q in queries]
+    def predict_batch(
+        self, queries: Union[Sequence[Query], np.ndarray]
+    ) -> np.ndarray:
+        """Classify a query batch (first-argmax per row, as Algorithm 6)."""
+        values = self.classification_values_batch(queries)
+        if values.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.argmax(values, axis=1).astype(np.int64)
 
-    def predict_dataset(self, dataset: RelationalDataset) -> List[int]:
-        """Classify every sample of a test dataset sharing this classifier's
-        item vocabulary; labels in ``dataset`` are ignored."""
+    def predict_many(self, queries: Iterable[Query]) -> np.ndarray:
+        """Deprecated alias of :meth:`predict_batch`."""
+        warn_deprecated_alias("BSTClassifier.predict_many", "predict_batch")
+        return self.predict_batch(list(queries))
+
+    def predict_dataset(self, dataset: RelationalDataset) -> np.ndarray:
+        """Deprecated: classify every sample of a test dataset sharing this
+        classifier's item vocabulary (labels in ``dataset`` are ignored).
+        Use :meth:`predict_batch` with ``dataset.samples``."""
+        warn_deprecated_alias("BSTClassifier.predict_dataset", "predict_batch")
         if dataset.n_items != self.dataset.n_items:
             raise ValueError(
                 "test dataset item vocabulary differs from training"
             )
-        return [self.predict(sample) for sample in dataset.samples]
+        return self.predict_batch(dataset.bool_matrix)
 
     def predict_with_confidence(self, query: Query) -> Tuple[int, float]:
         """Prediction plus the Section 8 confidence measure (the normalized

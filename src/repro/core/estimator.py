@@ -1,0 +1,80 @@
+"""The unified estimator API shared by every shipped classifier.
+
+Every classifier in this repository — BSTC, (MC)²BAR, and the Section 6.1
+baselines — conforms to one structural :class:`Estimator` protocol:
+
+* ``fit(...)`` builds the model and returns ``self``;
+* ``predict(sample)`` classifies **one** sample and returns a plain ``int``;
+* ``predict_batch(samples)`` classifies a batch and returns an
+  ``np.ndarray`` of ``int64`` labels (the fast path — BSTC routes it through
+  the batched BSTCE kernel of :mod:`repro.core.fast`);
+* ``classification_values(sample)`` returns the per-class score vector the
+  prediction argmaxes over (BSTCE values, vote fractions, rule
+  confidences, ... depending on the model);
+* using any of these before ``fit`` raises :class:`NotFittedError`.
+
+Set-based classifiers take item-set queries (``AbstractSet[int]`` or boolean
+vectors); continuous-feature classifiers (SVM, forest, tree family) take
+float feature vectors.  The protocol is about shapes and types, not about
+the sample representation.
+
+This module also centralizes engine-name validation
+(:func:`resolve_engine`); arithmetization names are validated by
+:func:`repro.core.arithmetization.get_combiner` so every entry point raises
+the identical error message.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Iterable, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+#: The interchangeable BSTCE evaluation engines.
+ENGINES: Tuple[str, ...] = ("fast", "reference")
+
+
+class NotFittedError(RuntimeError):
+    """Raised when prediction is attempted before ``fit``."""
+
+
+def resolve_engine(name: str) -> str:
+    """Validate a BSTCE engine name (the single source of truth).
+
+    Returns the canonical name; raises :class:`ValueError` with the shared
+    message otherwise, so ``BSTClassifier`` and every CLI/config entry point
+    report engines identically.
+    """
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {sorted(ENGINES)}"
+        )
+    return name
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """Structural protocol every shipped classifier satisfies."""
+
+    def fit(self, *args: Any, **kwargs: Any) -> "Estimator": ...
+
+    def predict(self, sample: Any) -> int: ...
+
+    def predict_batch(self, samples: Any) -> np.ndarray: ...
+
+    def classification_values(self, sample: Any) -> np.ndarray: ...
+
+
+def predictions_array(labels: Iterable[int]) -> np.ndarray:
+    """Normalize an iterable of predicted labels to the protocol's dtype."""
+    return np.asarray(list(labels), dtype=np.int64)
+
+
+def warn_deprecated_alias(old: str, new: str) -> None:
+    """Emit the shared deprecation warning for legacy prediction aliases."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} (returns an np.ndarray)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

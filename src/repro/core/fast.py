@@ -13,22 +13,37 @@ materializing BST cells, by exploiting the structure of exclusion lists:
 
 Per query, the dominant cost is one dense matmul per class —
 ``(|C_i| x |G|) @ (|G| x |S - C_i|)`` — plus a chunked masked reduction over
-the query's expressed genes.  This makes paper-scale datasets (hundreds of
-samples, thousands of items) practical in Python.
+the query's expressed genes.  :meth:`FastBSTCEvaluator.classification_values_batch`
+amortizes both across a query batch: the per-class pair counts for a block
+of queries collapse into one ``(B·|C_i| x |G|) @ (|G| x |S - C_i|)`` matmul,
+and the masked gene reduction walks each gene chunk once per block instead
+of once per query.  This makes paper-scale datasets (hundreds of samples,
+thousands of items) practical in Python and batched serving fast.
+
+Evaluators are cached process-wide by :func:`get_evaluator`, keyed on the
+``(dataset fingerprint, arithmetization)`` pair, so repeated CV phases and
+CLI invocations stop rebuilding identical per-class tables.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import AbstractSet, Iterable, List, Optional, Sequence, Union
+from typing import AbstractSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..datasets.dataset import RelationalDataset
+from ..evaluation.timing import engine_counters
+from .arithmetization import get_combiner
 
 Query = Union[AbstractSet[int], np.ndarray]
 
 _GENE_CHUNK = 256
+#: Queries evaluated together inside one batched block.
+_BATCH_BLOCK = 64
+#: Element cap for the (block, n_c, n_o, genes) reduction working array.
+_CELL_BUDGET = 1 << 23
 
 
 @dataclass
@@ -38,11 +53,18 @@ class _ClassTables:
     class_id: int
     inside: np.ndarray       # bool (n_c, n_items): rows of C_i
     outside: np.ndarray      # bool (n_o, n_items): rows of S - C_i
+    inside_f: np.ndarray     # float32 view of ``inside`` (matmul operand)
+    outside_f: np.ndarray    # float32 view of ``outside`` (matmul operand)
     len_neg: np.ndarray      # float32 (n_c, n_o): |h - c|
     len_pos: np.ndarray      # float32 (n_c, n_o): |c - h|
     negated: np.ndarray      # bool  (n_c, n_o): pair list is the negated form
     empty: np.ndarray        # bool  (n_c, n_o): identical rows -> empty list
     inside_sizes: np.ndarray  # float32 (n_c,)
+    gene_mask: np.ndarray    # bool (n_items,): genes some inside row expresses
+    outside_counts: np.ndarray  # int64 (n_items,): outside rows per gene
+    blackdot_mask: np.ndarray   # bool (n_items,): relevant genes no h expresses
+    h_flat: np.ndarray       # int64 (nnz,): outside-row ids, gene-major
+    h_offsets: np.ndarray    # int64 (n_items,): start of each gene in h_flat
 
 
 class FastBSTCEvaluator:
@@ -55,46 +77,62 @@ class FastBSTCEvaluator:
     """
 
     def __init__(self, dataset: RelationalDataset, arithmetization: str = "min"):
-        if arithmetization not in ("min", "product", "mean"):
-            raise ValueError(
-                f"unknown arithmetization {arithmetization!r};"
-                " expected 'min', 'product' or 'mean'"
-            )
+        get_combiner(arithmetization)  # shared validation + error message
         self.dataset = dataset
         self.arithmetization = arithmetization
         matrix = dataset.bool_matrix
         labels = dataset.label_array
         self._tables: List[Optional[_ClassTables]] = []
-        for class_id in range(dataset.n_classes):
-            member_mask = labels == class_id
-            inside = matrix[member_mask]
-            outside = matrix[~member_mask]
-            if inside.shape[0] == 0:
-                # No training sample of this class: its BST is empty and the
-                # classification value is 0 for every query.
-                self._tables.append(None)
-                continue
-            ins = inside.astype(np.float32)
-            outs = outside.astype(np.float32)
-            inter = ins @ outs.T  # |c ∩ h|
-            inside_sizes = ins.sum(axis=1)
-            outside_sizes = outs.sum(axis=1)
-            len_neg = outside_sizes[None, :] - inter
-            len_pos = inside_sizes[:, None] - inter
-            negated = len_neg > 0
-            empty = (len_neg == 0) & (len_pos == 0)
-            self._tables.append(
-                _ClassTables(
-                    class_id=class_id,
-                    inside=inside,
-                    outside=outside,
-                    len_neg=len_neg,
-                    len_pos=len_pos,
-                    negated=negated,
-                    empty=empty,
-                    inside_sizes=inside_sizes,
+        with engine_counters.track("tables_build"):
+            for class_id in range(dataset.n_classes):
+                member_mask = labels == class_id
+                inside = matrix[member_mask]
+                outside = matrix[~member_mask]
+                if inside.shape[0] == 0:
+                    # No training sample of this class: its BST is empty and
+                    # the classification value is 0 for every query.
+                    self._tables.append(None)
+                    continue
+                ins = inside.astype(np.float32)
+                outs = outside.astype(np.float32)
+                inter = ins @ outs.T  # |c ∩ h|
+                inside_sizes = ins.sum(axis=1)
+                outside_sizes = outs.sum(axis=1)
+                len_neg = outside_sizes[None, :] - inter
+                len_pos = inside_sizes[:, None] - inter
+                negated = len_neg > 0
+                empty = (len_neg == 0) & (len_pos == 0)
+                gene_mask = inside.any(axis=0)
+                outside_counts = outside.sum(axis=0).astype(np.int64)
+                # Gene-major CSR-style lists of the outside rows expressing
+                # each gene, for the batched segment reduction.
+                gene_ids, h_ids = np.nonzero(outside.T)
+                del gene_ids  # np.nonzero order guarantees gene-major h_ids
+                h_offsets = np.zeros(matrix.shape[1], dtype=np.int64)
+                np.cumsum(outside_counts[:-1], out=h_offsets[1:])
+                self._tables.append(
+                    _ClassTables(
+                        class_id=class_id,
+                        inside=inside,
+                        outside=outside,
+                        inside_f=ins,
+                        outside_f=outs,
+                        len_neg=len_neg,
+                        len_pos=len_pos,
+                        negated=negated,
+                        empty=empty,
+                        inside_sizes=inside_sizes,
+                        gene_mask=gene_mask,
+                        outside_counts=outside_counts,
+                        blackdot_mask=gene_mask & (outside_counts == 0),
+                        h_flat=h_ids.astype(np.int64),
+                        h_offsets=h_offsets,
+                    )
                 )
-            )
+        engine_counters.increment("evaluator_builds")
+        engine_counters.increment(
+            "class_tables_built", sum(t is not None for t in self._tables)
+        )
 
     # ------------------------------------------------------------------
     def _as_vector(self, query: Query) -> np.ndarray:
@@ -111,13 +149,29 @@ class FastBSTCEvaluator:
             vec[items] = True
         return vec
 
+    def _as_matrix(self, queries: Union[Sequence[Query], np.ndarray]) -> np.ndarray:
+        """Stack a query batch into a dense ``(n_queries, n_items)`` bool
+        matrix (accepts an already-stacked 2-D array or any sequence of
+        item sets / indicator vectors)."""
+        if isinstance(queries, np.ndarray) and queries.ndim == 2:
+            if queries.shape[1] != self.dataset.n_items:
+                raise ValueError(
+                    f"query matrix has {queries.shape[1]} columns, expected"
+                    f" {self.dataset.n_items}"
+                )
+            return queries.astype(bool)
+        rows = [self._as_vector(q) for q in queries]
+        if not rows:
+            return np.zeros((0, self.dataset.n_items), dtype=bool)
+        return np.stack(rows)
+
     def _pair_values(self, tables: _ClassTables, qvec: np.ndarray) -> np.ndarray:
         """V[c, h]: satisfied-literal fraction of each shared pair list."""
         q = qvec.astype(np.float32)
-        hq = tables.outside.astype(np.float32) @ q          # |h ∩ Q|
-        cq = tables.inside.astype(np.float32) @ q           # |c ∩ Q|
-        masked_inside = tables.inside.astype(np.float32) * q[None, :]
-        chq = masked_inside @ tables.outside.T.astype(np.float32)  # |c∩h∩Q|
+        hq = tables.outside_f @ q          # |h ∩ Q|
+        cq = tables.inside_f @ q           # |c ∩ Q|
+        masked_inside = tables.inside_f * q[None, :]
+        chq = masked_inside @ tables.outside_f.T  # |c∩h∩Q|
         with np.errstate(divide="ignore", invalid="ignore"):
             sat_neg = tables.len_neg - (hq[None, :] - chq)
             v_neg = np.where(tables.len_neg > 0, sat_neg / tables.len_neg, 0.0)
@@ -125,6 +179,41 @@ class FastBSTCEvaluator:
             v_pos = np.where(tables.len_pos > 0, sat_pos / tables.len_pos, 0.0)
         values = np.where(tables.negated, v_neg, v_pos)
         values[tables.empty] = 0.0
+        return values.astype(np.float32)
+
+    def _pair_values_block(
+        self, tables: _ClassTables, qmat: np.ndarray
+    ) -> np.ndarray:
+        """V[b, c, h] for a block of queries, via one stacked matmul.
+
+        The per-query ``(n_c x |G|) @ (|G| x n_o)`` products collapse into a
+        single ``(B·n_c x |G|) @ (|G| x n_o)`` matmul — the batched kernel's
+        dominant-cost amortization.
+        """
+        Qf = qmat.astype(np.float32)                        # (B, |G|)
+        hq = Qf @ tables.outside_f.T                        # (B, n_o)
+        cq = Qf @ tables.inside_f.T                         # (B, n_c)
+        n_b, n_items = Qf.shape
+        n_c = tables.inside.shape[0]
+        masked = tables.inside_f[None, :, :] * Qf[:, None, :]
+        chq = (masked.reshape(n_b * n_c, n_items) @ tables.outside_f.T).reshape(
+            n_b, n_c, -1
+        )                                                   # (B, n_c, n_o)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sat_neg = tables.len_neg[None, :, :] - (hq[:, None, :] - chq)
+            v_neg = np.where(
+                tables.len_neg[None, :, :] > 0,
+                sat_neg / tables.len_neg[None, :, :],
+                0.0,
+            )
+            sat_pos = cq[:, :, None] - chq
+            v_pos = np.where(
+                tables.len_pos[None, :, :] > 0,
+                sat_pos / tables.len_pos[None, :, :],
+                0.0,
+            )
+        values = np.where(tables.negated[None, :, :], v_neg, v_pos)
+        values[:, tables.empty] = 0.0
         return values.astype(np.float32)
 
     def _combine_chunk(
@@ -153,13 +242,26 @@ class FastBSTCEvaluator:
         cells = np.where(counts[None, :] == 0, np.float32(1.0), cells)
         return cells.astype(np.float32)
 
+    def _reduce_segments(
+        self, gathered: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """Combine contiguous pair-value segments (one per non-black-dot
+        cell) along the last axis — the arithmetization applied without any
+        dense masking."""
+        if self.arithmetization == "min":
+            return np.minimum.reduceat(gathered, starts, axis=1)
+        if self.arithmetization == "product":
+            return np.multiply.reduceat(gathered, starts, axis=1)
+        sums = np.add.reduceat(gathered, starts, axis=1)
+        return sums / lengths[None, :]
+
     def class_value(self, class_id: int, query: Query) -> float:
         """BSTCE(T(class_id), Q) — Algorithm 5's classification value."""
         tables = self._tables[class_id]
         if tables is None:
             return 0.0
         qvec = self._as_vector(query)
-        genes = np.flatnonzero(qvec & tables.inside.any(axis=0))
+        genes = np.flatnonzero(qvec & tables.gene_mask)
         if genes.size == 0:
             return 0.0
         pair_values = self._pair_values(tables, qvec)
@@ -179,10 +281,168 @@ class FastBSTCEvaluator:
         column_means = col_sum[nonblank] / col_count[nonblank]
         return float(column_means.mean())
 
+    def _class_values_block(
+        self, tables: _ClassTables, qmat: np.ndarray
+    ) -> np.ndarray:
+        """BSTCE values of one class for a block of stacked queries.
+
+        Column counts and black-dot contributions are two batched boolean
+        matmuls.  The remaining cells reduce over *only* the outside rows
+        that actually express each gene: every (query, gene) cell is one
+        contiguous segment of a gathered pair-value array, combined with a
+        single ``reduceat`` per chunk instead of a dense masked pass over
+        all ``n_o`` rows.
+        """
+        n_b = qmat.shape[0]
+        values = np.zeros(n_b, dtype=np.float64)
+        relevant = qmat & tables.gene_mask[None, :]  # (B, n_items)
+        if not relevant.any():
+            return values
+        rel_f = relevant.astype(np.float32)
+        # Non-blank cells per column: |Q_b ∩ items(c)|.
+        col_count = (rel_f @ tables.inside_f.T).astype(np.float64)  # (B, n_c)
+        # Black dots (no outside row expresses the gene) are valued 1.
+        col_sum = (
+            (relevant & tables.blackdot_mask).astype(np.float32)
+            @ tables.inside_f.T
+        ).astype(np.float64)
+        n_c, n_o = tables.inside.shape[0], tables.outside.shape[0]
+        b_idx, g_idx = np.nonzero(relevant & (tables.outside_counts > 0))
+        if b_idx.size:
+            pair_values = self._pair_values_block(tables, qmat)  # (B, n_c, n_o)
+            flat_pairs = pair_values.transpose(1, 0, 2).reshape(n_c, n_b * n_o)
+            seg_lengths = tables.outside_counts[g_idx]
+            seg_ends = np.cumsum(seg_lengths)
+            seg_starts = seg_ends - seg_lengths
+            total = int(seg_ends[-1])
+            # Gather index: for segment s, h_flat[h_offsets[g]:+len] shifted
+            # into query b's slice of the flattened pair values.
+            pos = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(seg_starts, seg_lengths)
+                + np.repeat(tables.h_offsets[g_idx], seg_lengths)
+            )
+            sel = tables.h_flat[pos] + np.repeat(b_idx, seg_lengths) * n_o
+            # Chunk segments so the (n_c, chunk) gather respects the budget.
+            seg_chunk = max(1, _CELL_BUDGET // max(1, n_c))
+            n_segs = g_idx.size
+            start_seg = 0
+            while start_seg < n_segs:
+                end_seg = start_seg
+                chunk_elems = 0
+                while end_seg < n_segs:
+                    length = int(seg_lengths[end_seg])
+                    if chunk_elems and chunk_elems + length > seg_chunk:
+                        break
+                    chunk_elems += length
+                    end_seg += 1
+                lo, hi = int(seg_starts[start_seg]), int(seg_ends[end_seg - 1])
+                gathered = flat_pairs[:, sel[lo:hi]]  # (n_c, chunk_elems)
+                cells = self._reduce_segments(
+                    gathered,
+                    (seg_starts[start_seg:end_seg] - lo).astype(np.int64),
+                    seg_lengths[start_seg:end_seg].astype(np.float32),
+                ).astype(np.float64)
+                # Blank cells (inside row lacks the gene) contribute nothing.
+                cells *= tables.inside[:, g_idx[start_seg:end_seg]]
+                # Accumulate per query: segments are query-major, so one
+                # more reduceat collapses them onto their queries.
+                b_chunk = b_idx[start_seg:end_seg]
+                q_starts = np.flatnonzero(
+                    np.concatenate(([True], b_chunk[1:] != b_chunk[:-1]))
+                )
+                col_sum[b_chunk[q_starts]] += np.add.reduceat(
+                    cells, q_starts, axis=1
+                ).T
+                start_seg = end_seg
+        nonblank = col_count > 0
+        safe_count = np.where(nonblank, col_count, 1.0)
+        column_means = np.where(nonblank, col_sum / safe_count, 0.0)
+        n_cols = nonblank.sum(axis=1)
+        has_cols = n_cols > 0
+        values[has_cols] = column_means.sum(axis=1)[has_cols] / n_cols[has_cols]
+        return values
+
     def classification_values(self, query: Query) -> np.ndarray:
         """CV(i) for every class, as Algorithm 6 line 4 computes them."""
         qvec = self._as_vector(query)
-        return np.array(
-            [self.class_value(i, qvec) for i in range(self.dataset.n_classes)],
-            dtype=np.float64,
-        )
+        with engine_counters.track("query"):
+            engine_counters.increment("query_calls")
+            return np.array(
+                [self.class_value(i, qvec) for i in range(self.dataset.n_classes)],
+                dtype=np.float64,
+            )
+
+    def classification_values_batch(
+        self, queries: Union[Sequence[Query], np.ndarray]
+    ) -> np.ndarray:
+        """CV(i) for every class of every query — shape ``(n_queries,
+        n_classes)``.
+
+        Equivalent to stacking :meth:`classification_values` over the batch
+        (their agreement is property-tested) but computed with batched
+        matmuls and a gene reduction shared across each block of
+        ``_BATCH_BLOCK`` queries.
+        """
+        qmat = self._as_matrix(queries)
+        n_q = qmat.shape[0]
+        out = np.zeros((n_q, self.dataset.n_classes), dtype=np.float64)
+        if n_q == 0:
+            return out
+        with engine_counters.track("batch"):
+            engine_counters.increment("batch_calls")
+            engine_counters.increment("batch_queries", n_q)
+            engine_counters.observe_max("max_batch_size", n_q)
+            for start in range(0, n_q, _BATCH_BLOCK):
+                block = qmat[start : start + _BATCH_BLOCK]
+                for class_id, tables in enumerate(self._tables):
+                    if tables is None:
+                        continue
+                    out[start : start + _BATCH_BLOCK, class_id] = (
+                        self._class_values_block(tables, block)
+                    )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Process-wide evaluator cache
+# ----------------------------------------------------------------------
+
+_EVALUATOR_CACHE: "OrderedDict[Tuple[str, str], FastBSTCEvaluator]" = OrderedDict()
+_EVALUATOR_CACHE_SIZE = 8
+
+
+def get_evaluator(
+    dataset: RelationalDataset, arithmetization: str = "min"
+) -> FastBSTCEvaluator:
+    """The LRU-cached :class:`FastBSTCEvaluator` for a dataset.
+
+    Keyed on ``(dataset.fingerprint, arithmetization)`` — a content hash,
+    not object identity — so repeated cross-validation phases, ablations
+    over arithmetizations, and CLI invocations on identical training data
+    reuse one set of per-class tables.  Cache hits/misses feed the shared
+    :data:`repro.evaluation.timing.engine_counters`.
+    """
+    get_combiner(arithmetization)  # validate before hashing the dataset
+    key = (dataset.fingerprint, arithmetization)
+    cached = _EVALUATOR_CACHE.get(key)
+    if cached is not None:
+        _EVALUATOR_CACHE.move_to_end(key)
+        engine_counters.increment("evaluator_cache_hits")
+        return cached
+    engine_counters.increment("evaluator_cache_misses")
+    evaluator = FastBSTCEvaluator(dataset, arithmetization)
+    _EVALUATOR_CACHE[key] = evaluator
+    while len(_EVALUATOR_CACHE) > _EVALUATOR_CACHE_SIZE:
+        _EVALUATOR_CACHE.popitem(last=False)
+    return evaluator
+
+
+def clear_evaluator_cache() -> None:
+    """Drop every cached evaluator (tests and memory-sensitive callers)."""
+    _EVALUATOR_CACHE.clear()
+
+
+def evaluator_cache_info() -> Tuple[int, int]:
+    """``(entries, capacity)`` of the evaluator cache."""
+    return len(_EVALUATOR_CACHE), _EVALUATOR_CACHE_SIZE

@@ -29,11 +29,14 @@ from __future__ import annotations
 
 from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..bst.mining import mine_mcmcbar_per_sample
 from ..bst.row_bar import StructuredBAR
 from ..bst.table import BST, build_all_bsts
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
+from .estimator import NotFittedError, predictions_array, warn_deprecated_alias
 
 
 def rule_satisfaction(
@@ -89,7 +92,7 @@ class MCBARClassifier:
 
     def _require_fitted(self) -> Tuple[List[BST], Dict[int, List[StructuredBAR]]]:
         if self._bsts is None or self._rules is None:
-            raise RuntimeError("classifier is not fitted")
+            raise NotFittedError("classifier is not fitted")
         return self._bsts, self._rules
 
     def class_values(self, query: AbstractSet[int]) -> List[float]:
@@ -106,6 +109,11 @@ class MCBARClassifier:
             values.append(best)
         return values
 
+    def classification_values(self, query: AbstractSet[int]) -> np.ndarray:
+        """Per-class best rule satisfaction (the Estimator protocol view of
+        :meth:`class_values`)."""
+        return np.asarray(self.class_values(query), dtype=np.float64)
+
     def predict(self, query: AbstractSet[int]) -> int:
         values = self.class_values(query)
         best = max(values)
@@ -113,8 +121,15 @@ class MCBARClassifier:
             return self._default_class
         return values.index(best)
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> List[int]:
-        return [self.predict(q) for q in queries]
+    def predict_batch(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Classify a batch of queries."""
+        self._require_fitted()
+        return predictions_array(self.predict(q) for q in queries)
+
+    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
+        """Deprecated alias of :meth:`predict_batch`."""
+        warn_deprecated_alias("MCBARClassifier.predict_many", "predict_batch")
+        return self.predict_batch(queries)
 
     def n_rules(self) -> int:
         _, rules = self._require_fitted()

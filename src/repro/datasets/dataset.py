@@ -112,6 +112,23 @@ class RelationalDataset:
     def label_array(self) -> np.ndarray:
         return np.asarray(self.labels, dtype=np.int64)
 
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content hash of the boolean relation (items x samples x labels).
+
+        Two datasets with identical expression matrices and labels share a
+        fingerprint regardless of object identity — the key the fast-engine
+        evaluator cache (:func:`repro.core.fast.get_evaluator`) uses to
+        recognize repeated fits on the same training data.
+        """
+        import hashlib
+
+        digest = hashlib.sha1()
+        digest.update(np.asarray(self.bool_matrix.shape, dtype=np.int64).tobytes())
+        digest.update(np.packbits(self.bool_matrix, axis=None).tobytes())
+        digest.update(self.label_array.tobytes())
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------

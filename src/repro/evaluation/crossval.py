@@ -17,6 +17,8 @@ classification, and BSTC's build+classify as one number.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -71,6 +73,21 @@ def derive_seed(*parts) -> int:
     return zlib.crc32(text.encode("utf-8"))
 
 
+def resolve_n_jobs(n_jobs: int, n_tasks: Optional[int] = None) -> int:
+    """Normalize an ``n_jobs`` request to a concrete worker count.
+
+    ``1`` (the default everywhere) means serial; ``-1`` (or any negative)
+    means one worker per CPU; anything else is clamped to ``[1, n_tasks]``
+    when the task count is known.
+    """
+    if n_jobs < 0:
+        n_jobs = os.cpu_count() or 1
+    n_jobs = max(1, n_jobs)
+    if n_tasks is not None:
+        n_jobs = min(n_jobs, max(1, n_tasks))
+    return n_jobs
+
+
 @dataclass
 class CVTest:
     """One materialized train/test instance shared by all classifiers.
@@ -121,6 +138,32 @@ def make_test(
         test_queries=test_queries,
         discretizer=discretizer,
     )
+
+
+def _make_test_star(args: Tuple) -> "CVTest":
+    return make_test(*args)
+
+
+def make_tests(
+    data: ExpressionMatrix,
+    size: TrainingSize,
+    n_tests: int,
+    dataset_name: str = "",
+    n_jobs: int = 1,
+) -> List[CVTest]:
+    """Materialize ``n_tests`` independent tests of one size, optionally in
+    parallel.
+
+    Every test's split and discretization derive from
+    ``derive_seed(dataset_name, size.label, index)``, so the materialized
+    tests are identical regardless of worker count or scheduling order.
+    """
+    n_jobs = resolve_n_jobs(n_jobs, n_tests)
+    payloads = [(data, size, i, dataset_name) for i in range(n_tests)]
+    if n_jobs <= 1 or n_tests <= 1:
+        return [make_test(*p) for p in payloads]
+    with multiprocessing.get_context().Pool(processes=n_jobs) as pool:
+        return pool.map(_make_test_star, payloads)
 
 
 @dataclass(frozen=True)

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import math
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -113,3 +114,75 @@ def timed(step: Callable[[], T]) -> Tuple[float, T]:
     start = time.perf_counter()
     value = step()
     return time.perf_counter() - start, value
+
+
+class EngineCounters:
+    """Cumulative per-phase instrumentation counters.
+
+    The batched BSTCE kernel, the evaluator cache, and the CV runners all
+    report into one shared instance (:data:`engine_counters`): tables built,
+    cache hits/misses, batch calls and sizes, and per-phase wall time.
+    Counts and seconds share one namespace; time entries end in
+    ``_seconds`` by convention.
+
+    Parallel CV merges each worker's snapshot back into the parent via
+    :meth:`merge`, so the printed totals cover fold work done in
+    subprocesses too.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self._values[name] = self._values.get(name, 0.0) + float(amount)
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        self.increment(f"{name}_seconds", seconds)
+
+    def observe_max(self, name: str, value: float) -> None:
+        """Track a running maximum (e.g. the largest batch seen)."""
+        self._values[name] = max(self._values.get(name, 0.0), float(value))
+
+    @contextmanager
+    def track(self, name: str) -> Iterator[None]:
+        """Context manager adding the block's wall time to ``name_seconds``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_seconds(name, time.perf_counter() - start)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._values.get(name, default)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        """Fold another snapshot in (max entries keep the larger value)."""
+        for name, value in other.items():
+            if name.startswith("max_"):
+                self.observe_max(name, value)
+            else:
+                self.increment(name, value)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def report(self, title: str = "engine counters") -> str:
+        """A human-readable, alphabetized rendering for the CLI."""
+        if not self._values:
+            return f"[{title}] (no activity recorded)"
+        width = max(len(name) for name in self._values)
+        lines = [f"[{title}]"]
+        for name in sorted(self._values):
+            value = self._values[name]
+            if name.endswith("_seconds"):
+                lines.append(f"  {name:<{width}}  {value:.3f}")
+            else:
+                lines.append(f"  {name:<{width}}  {value:g}")
+        return "\n".join(lines)
+
+
+#: Process-wide counters shared by the fast engine and the CV harness.
+engine_counters = EngineCounters()

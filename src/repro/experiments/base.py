@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from ..core.arithmetization import get_combiner
+from ..core.estimator import resolve_engine
 from ..datasets.profiles import DatasetProfile, profile, scaled
 
 
@@ -27,6 +29,9 @@ class ExperimentConfig:
             (stand-ins for the paper's 2 hours; DNF accounting is identical).
         forest_trees: random-forest size (paper's comparator used 500).
         rcbt_nl: RCBT's lower bounds per rule group (paper default 20).
+        engine: BSTCE engine for BSTC runs (``fast`` or ``reference``).
+        arithmetization: BSTC per-cell combiner (``min``/``product``/``mean``).
+        n_jobs: CV fold parallelism (1 = serial, -1 = one worker per CPU).
     """
 
     scale: str = "scaled"
@@ -36,12 +41,17 @@ class ExperimentConfig:
     rcbt_cutoff: float = 10.0
     forest_trees: int = 50
     rcbt_nl: int = 20
+    engine: str = "fast"
+    arithmetization: str = "min"
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.scale not in ("scaled", "full"):
             raise ValueError(f"unknown scale {self.scale!r}")
         if self.n_tests < 1:
             raise ValueError("n_tests must be >= 1")
+        resolve_engine(self.engine)
+        get_combiner(self.arithmetization)
 
     def profile(self, name: str) -> DatasetProfile:
         if self.scale == "full":

@@ -40,7 +40,9 @@ PAPER_REPORTED_MEANS = {
 def run_prelim(config: ExperimentConfig) -> ExperimentResult:
     """The Section 6.1 mean-accuracy comparison."""
     runners = [
-        BSTCRunner(),
+        BSTCRunner(
+            arithmetization=config.arithmetization, engine=config.engine
+        ),
         CBARunner(cutoff=config.topk_cutoff),
         IRGRunner(cutoff=config.topk_cutoff),
         TreeFamilyRunner(variant="tree"),

@@ -66,7 +66,9 @@ def run_scaling(config: ExperimentConfig) -> ExperimentResult:
 
     # Part 2: training-size scaling of BSTC vs Top-k mining.
     scaling_rows: List[str] = ["training-size scaling (fraction: BSTC s / Top-k s):"]
-    bstc_runner = BSTCRunner()
+    bstc_runner = BSTCRunner(
+        arithmetization=config.arithmetization, engine=config.engine
+    )
     for fraction in (0.3, 0.45, 0.6, 0.75):
         t = make_test(
             data, TrainingSize(f"{int(fraction * 100)}%", fraction=fraction), 0, prof.name

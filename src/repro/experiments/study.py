@@ -19,16 +19,18 @@ from ..evaluation.crossval import (
     CVTest,
     StudyResult,
     TrainingSize,
-    make_test,
+    make_tests,
     paper_training_sizes,
 )
-from ..evaluation.runners import BSTCRunner, TopkRCBTRunner
+from ..evaluation.runners import BSTCRunner, TopkRCBTRunner, run_tests
 from .base import ExperimentConfig
 
 _CACHE: Dict[Tuple, StudyResult] = {}
 
 
 def study_cache_key(dataset_name: str, config: ExperimentConfig) -> Tuple:
+    # n_jobs is deliberately absent: parallel runs produce identical fold
+    # results, so they share cache entries with serial runs.
     return (
         dataset_name,
         config.scale,
@@ -37,6 +39,8 @@ def study_cache_key(dataset_name: str, config: ExperimentConfig) -> Tuple:
         config.topk_cutoff,
         config.rcbt_cutoff,
         config.rcbt_nl,
+        config.engine,
+        config.arithmetization,
     )
 
 
@@ -60,13 +64,15 @@ def run_cv_study(
     sizes = paper_training_sizes(prof)
     study = StudyResult(dataset_name=prof.name)
 
-    bstc = BSTCRunner()
+    bstc = BSTCRunner(
+        arithmetization=config.arithmetization, engine=config.engine
+    )
     for size in sizes:
-        tests: List[CVTest] = [
-            make_test(data, size, i, prof.name) for i in range(config.n_tests)
-        ]
-        for test in tests:
-            study.add(bstc.run(test))
+        tests: List[CVTest] = make_tests(
+            data, size, config.n_tests, prof.name, n_jobs=config.n_jobs
+        )
+        for result in run_tests(bstc, tests, n_jobs=config.n_jobs):
+            study.add(result)
         if not include_rcbt:
             continue
         rcbt = TopkRCBTRunner(
@@ -74,7 +80,7 @@ def run_cv_study(
             topk_cutoff=config.topk_cutoff,
             rcbt_cutoff=config.rcbt_cutoff,
         )
-        results = [rcbt.run(test) for test in tests]
+        results = run_tests(rcbt, tests, n_jobs=config.n_jobs)
         # Paper protocol: when RCBT finished no test of a size at the default
         # nl, lower nl to 2 and retry that size (marked with a dagger).
         rcbt_attempted = [r for r in results if r.phase_finished("rcbt") is not None]
@@ -87,7 +93,7 @@ def run_cv_study(
                 topk_cutoff=config.topk_cutoff,
                 rcbt_cutoff=config.rcbt_cutoff,
             )
-            results = [lowered.run(test) for test in tests]
+            results = run_tests(lowered, tests, n_jobs=config.n_jobs)
         for result in results:
             study.add(result)
     _CACHE[key] = study

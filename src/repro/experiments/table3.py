@@ -45,7 +45,9 @@ def run_table3(config: ExperimentConfig) -> ExperimentResult:
         )
         test = make_test(data, size, 0, prof.name)
         runners = [
-            BSTCRunner(),
+            BSTCRunner(
+                arithmetization=config.arithmetization, engine=config.engine
+            ),
             TopkRCBTRunner(
                 nl=config.rcbt_nl,
                 topk_cutoff=config.topk_cutoff,

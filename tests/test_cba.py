@@ -40,7 +40,7 @@ class TestCBA:
     def test_rules_cover_training(self):
         ds = signature_dataset()
         clf = CBAClassifier(min_support=0.2, min_confidence=0.6).fit(ds)
-        predictions = clf.predict_dataset(ds)
+        predictions = clf.predict_batch(ds.samples)
         accuracy = np.mean([p == l for p, l in zip(predictions, ds.labels)])
         assert accuracy == 1.0
 
@@ -52,7 +52,7 @@ class TestCBA:
         default_only_errors = min(
             sum(1 for l in ds.labels if l != c) for c in range(ds.n_classes)
         )
-        predictions = clf.predict_dataset(ds)
+        predictions = clf.predict_batch(ds.samples)
         errors = sum(1 for p, l in zip(predictions, ds.labels) if p != l)
         assert errors <= default_only_errors
 

@@ -48,21 +48,29 @@ class TestAPI:
         with pytest.raises(ValueError):
             BSTClassifier().fit(empty)
 
-    def test_predict_many(self, example):
+    def test_predict_batch(self, example):
         clf = BSTClassifier().fit(example)
-        assert clf.predict_many([Q, Q]) == [0, 0]
+        batch = clf.predict_batch([Q, Q])
+        assert isinstance(batch, np.ndarray)
+        assert batch.tolist() == [0, 0]
+
+    def test_predict_many_deprecated_alias(self, example):
+        clf = BSTClassifier().fit(example)
+        with pytest.warns(DeprecationWarning):
+            assert clf.predict_many([Q, Q]).tolist() == [0, 0]
 
     def test_predict_dataset_checks_vocabulary(self, example):
         clf = BSTClassifier().fit(example)
         other = RelationalDataset(("x",), ("a",), (frozenset(),), (0,))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
             clf.predict_dataset(other)
 
     def test_predict_dataset_on_training(self, example):
         clf = BSTClassifier().fit(example)
-        predictions = clf.predict_dataset(example)
+        with pytest.warns(DeprecationWarning):
+            predictions = clf.predict_dataset(example)
         # Training samples classify to their own class on this clean example.
-        assert predictions == list(example.labels)
+        assert predictions.tolist() == list(example.labels)
 
     def test_vector_query(self, example):
         clf = BSTClassifier().fit(example)

@@ -101,5 +101,5 @@ class TestEndToEnd:
         disc = EntropyDiscretizer().fit(data)
         rel = disc.transform(data)
         clf = BSTClassifier().fit(rel)
-        predictions = clf.predict_dataset(rel)
+        predictions = clf.predict_batch(rel.bool_matrix)
         assert accuracy(predictions, rel.labels) >= 0.9

@@ -12,7 +12,7 @@ class TestIRG:
         clf = IRGClassifier(min_support=0.3, min_confidence=0.9).fit(example)
         assert clf.n_groups() > 0
         # Training samples contain their own class's closed patterns.
-        predictions = clf.predict_many(list(example.samples))
+        predictions = clf.predict_batch(list(example.samples))
         accuracy = np.mean(
             [p == l for p, l in zip(predictions, example.labels)]
         )
@@ -59,7 +59,7 @@ class TestIRG:
         clf = IRGClassifier(min_support=0.6, min_confidence=0.8)
         clf.fit(disc.transform(train))
         queries = disc.transform_values(test.values)
-        predictions = clf.predict_many(queries)
+        predictions = clf.predict_batch(queries)
         accuracy = np.mean([p == l for p, l in zip(predictions, test.labels)])
         # Upper-bound matching generalizes poorly (the Section 6.1 story) but
         # must beat random guessing on planted data.

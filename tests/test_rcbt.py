@@ -100,8 +100,8 @@ class TestClassifier:
     def test_fit_predict_on_running_example(self, example):
         clf = RCBTClassifier(k=3, min_support=0.3, nl=5).fit(example)
         # Training samples should classify correctly on this clean dataset.
-        predictions = clf.predict_dataset(example)
-        assert predictions == list(example.labels)
+        predictions = clf.predict_batch(example.samples)
+        assert predictions.tolist() == list(example.labels)
 
     def test_default_class_when_nothing_matches(self, example):
         clf = RCBTClassifier(k=3, min_support=0.3, nl=5).fit(example)
