@@ -37,8 +37,22 @@ from .datasets.profiles import (
     scaled,
 )
 from .datasets.synthetic import generate_expression_data
+from .errors import (
+    CandidateBudgetExceeded,
+    CorruptResult,
+    JournalError,
+    ReproError,
+    ResourceExhausted,
+    RuleBudgetExceeded,
+    TaskTimeout,
+    WorkerCrashed,
+    WorkerError,
+)
+from .evaluation.journal import ResultJournal
+from .evaluation.resilience import RetryPolicy, supervised_map
 from .evaluation.timing import Budget, BudgetExceeded
 from .experiments.base import ExperimentConfig, ExperimentResult
+from .testing.faults import FaultPlan, FaultSpec
 from .experiments.registry import experiment_ids, run_experiment
 from .rules.bar import BAR
 from .rules.car import CAR
@@ -54,6 +68,8 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "CAR",
+    "CandidateBudgetExceeded",
+    "CorruptResult",
     "DatasetError",
     "DatasetProfile",
     "EntropyDiscretizer",
@@ -62,12 +78,23 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ExpressionMatrix",
+    "FaultPlan",
+    "FaultSpec",
+    "JournalError",
     "MULTICLASS_PROFILE",
     "NotFittedError",
     "PAPER_PROFILES",
     "RelationalDataset",
+    "ReproError",
+    "ResourceExhausted",
+    "ResultJournal",
+    "RetryPolicy",
+    "RuleBudgetExceeded",
     "RuleGroup",
     "StructuredBAR",
+    "TaskTimeout",
+    "WorkerCrashed",
+    "WorkerError",
     "all_gene_row_bars",
     "bstce",
     "bstce_detail",
@@ -85,4 +112,5 @@ __all__ = [
     "run_experiment",
     "running_example",
     "scaled",
+    "supervised_map",
 ]

@@ -41,7 +41,9 @@ def charm_closed_itemsets(
     Args:
         transactions: boolean item sets to mine.
         min_support_count: absolute support threshold (>= 1).
-        budget: optional cooperative wall-clock cutoff.
+        budget: optional cooperative budget — wall-clock cutoff, closed-set
+            cap (``max_rule_groups``) and candidate-state memory guard
+            (``max_candidates``).
         max_itemsets: optional cap on results (a safety valve for dense
             data; ``None`` mines everything).
 
@@ -84,11 +86,15 @@ def charm_closed_itemsets(
 
     def record(itemset: FrozenSet[int], tidmask: int) -> None:
         if tidmask not in closed:
+            if budget is not None:
+                budget.charge_rules()
             closed[tidmask] = (closure_of(tidmask), tidmask)
 
     def extend(prefix_nodes: List[Tuple[FrozenSet[int], int]]) -> None:
         if budget is not None:
-            budget.check()
+            # The memory guard: live enumeration nodes plus recorded closed
+            # sets is exactly the candidate state CHARM keeps resident.
+            budget.observe_candidates(len(closed) + len(prefix_nodes))
         if max_itemsets is not None and len(closed) >= max_itemsets:
             return
         index = 0

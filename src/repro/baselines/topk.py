@@ -168,7 +168,9 @@ class TopkMiner:
         last_row: int,
     ) -> None:
         if state.budget is not None:
-            state.budget.check()
+            # The row enumeration never materializes a candidate list, so the
+            # visited-node count stands in as its search-size guard.
+            state.budget.observe_candidates(state.nodes_visited)
         state.nodes_visited += 1
         if not itemset:
             return
@@ -202,6 +204,8 @@ class TopkMiner:
         if a >= state.minsup:
             key = all_support
             if key not in state.groups:
+                if state.budget is not None:
+                    state.budget.charge_rules()
                 group = RuleGroup(
                     consequent=state.class_id,
                     support_rows=all_support,

@@ -10,7 +10,11 @@ supports.  Algorithm 4 repeats the mine restricted to supports containing
 each class sample, guaranteeing per-sample coverage.
 
 Both miners are progressive (results stream into the output list in
-discovery order) and poll an optional :class:`~repro.evaluation.timing.Budget`.
+discovery order) and poll an optional :class:`~repro.evaluation.timing.Budget`:
+the wall clock at every batch, the candidate-set size guard
+(:meth:`Budget.observe_candidates` — intersections can mint candidates far
+faster than rules are emitted) and the emitted-rule cap
+(:meth:`Budget.charge_rules`).
 """
 
 from __future__ import annotations
@@ -97,7 +101,7 @@ def mine_mcmcbar(
 
     while candidates and len(rules) < k:
         if budget is not None:
-            budget.check()
+            budget.observe_candidates(len(candidates))
         # Line 8-9: take every candidate of the (current) largest size.
         best = max(len(s) for s in candidates)
         batch = sorted(
@@ -107,6 +111,8 @@ def mine_mcmcbar(
         for support in batch:
             if len(rules) >= k:
                 break
+            if budget is not None:
+                budget.charge_rules()
             # Line 10: AND all gene-row rules with support ⊇ S — their CAR
             # portions union to the closure of S.
             car_items = _closure(bst, support)

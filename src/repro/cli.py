@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli run fig6 --full --tests 25 --topk-cutoff 7200 --rcbt-cutoff 7200
     python -m repro.cli run all --jobs -1      # fold-parallel CV, all cores
     python -m repro.cli run fig4 --engine reference --arithmetization mean
+    python -m repro.cli run fig6 --jobs -1 --journal fig6.jsonl --task-timeout 600
+    python -m repro.cli run fig6 --jobs -1 --journal fig6.jsonl --resume
     python -m repro.cli demo          # the Table 1 running example end to end
 
 Every ``run`` prints the engine counters afterwards: evaluator cache
@@ -16,6 +18,7 @@ hits/misses, class tables built, batch sizes, and per-phase wall time.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
@@ -67,6 +70,62 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="CV fold parallelism: 1 = serial, -1 = one worker per CPU",
     )
+    run.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append each completed CV test result to this JSONL checkpoint"
+            " journal as it lands, so an interrupted study loses at most the"
+            " fold in flight"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip tests already present in the --journal checkpoint; the"
+            " resumed study is bit-identical to an uninterrupted run"
+        ),
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help=(
+            "retry attempts for crashed/corrupt CV workers before the fold"
+            " degrades to a DNF record (default: 2)"
+        ),
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-fold wall-clock ceiling; a worker past it is killed and the"
+            " fold recorded as DNF (default: no limit)"
+        ),
+    )
+    run.add_argument(
+        "--max-rule-groups",
+        type=int,
+        default=None,
+        help=(
+            "cap on rule groups a mining phase may emit before it DNFs"
+            " (default: unlimited)"
+        ),
+    )
+    run.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        help=(
+            "cap on a miner's candidate/search set size before it DNFs —"
+            " the memory guard for CHARM-style candidate explosion"
+            " (default: unlimited)"
+        ),
+    )
 
     sub.add_parser("demo", help="run the Table 1 running example end to end")
     return parser
@@ -83,6 +142,14 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         engine=args.engine,
         arithmetization=args.arithmetization,
         n_jobs=args.jobs,
+        retries=args.retries,
+        task_timeout=(
+            args.task_timeout if args.task_timeout is not None else math.inf
+        ),
+        journal=args.journal,
+        resume=args.resume,
+        max_rule_groups=args.max_rule_groups,
+        max_candidates=args.max_candidates,
     )
 
 
@@ -111,7 +178,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "demo":
         return _run_demo()
-    config = _config_from_args(args)
+    try:
+        config = _config_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     engine_counters.reset()
     for experiment_id in ids:

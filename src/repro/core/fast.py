@@ -27,6 +27,7 @@ CLI invocations stop rebuilding identical per-class tables.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import AbstractSet, Iterable, List, Optional, Sequence, Tuple, Union
@@ -410,6 +411,30 @@ class FastBSTCEvaluator:
 
 _EVALUATOR_CACHE: "OrderedDict[Tuple[str, str], FastBSTCEvaluator]" = OrderedDict()
 _EVALUATOR_CACHE_SIZE = 8
+#: Guards every cache mutation — batched serving may hit the evaluator cache
+#: from multiple threads, and an unguarded OrderedDict reorder corrupts it.
+_EVALUATOR_LOCK = threading.Lock()
+
+
+def _evict_over_capacity_locked() -> None:
+    while len(_EVALUATOR_CACHE) > _EVALUATOR_CACHE_SIZE:
+        _EVALUATOR_CACHE.popitem(last=False)
+        engine_counters.increment("evaluator_cache_evictions")
+
+
+def set_evaluator_cache_size(size: int) -> None:
+    """Rebound the evaluator cache, evicting LRU entries if it shrank.
+
+    Each cached evaluator holds dense per-class matrices, so the entry
+    limit is the cache's memory ceiling; memory-constrained deployments
+    lower it, CV sweeps over many datasets may raise it.
+    """
+    if size < 1:
+        raise ValueError("cache size must be >= 1")
+    global _EVALUATOR_CACHE_SIZE
+    with _EVALUATOR_LOCK:
+        _EVALUATOR_CACHE_SIZE = size
+        _evict_over_capacity_locked()
 
 
 def get_evaluator(
@@ -420,29 +445,40 @@ def get_evaluator(
     Keyed on ``(dataset.fingerprint, arithmetization)`` — a content hash,
     not object identity — so repeated cross-validation phases, ablations
     over arithmetizations, and CLI invocations on identical training data
-    reuse one set of per-class tables.  Cache hits/misses feed the shared
+    reuse one set of per-class tables.  Lookups and mutations are
+    lock-guarded (thread-safe); the expensive table build runs outside the
+    lock, so concurrent first requests may build twice but the cache never
+    blocks on a build.  Hit/miss/evict counts feed the shared
     :data:`repro.evaluation.timing.engine_counters`.
     """
     get_combiner(arithmetization)  # validate before hashing the dataset
     key = (dataset.fingerprint, arithmetization)
-    cached = _EVALUATOR_CACHE.get(key)
-    if cached is not None:
-        _EVALUATOR_CACHE.move_to_end(key)
-        engine_counters.increment("evaluator_cache_hits")
-        return cached
+    with _EVALUATOR_LOCK:
+        cached = _EVALUATOR_CACHE.get(key)
+        if cached is not None:
+            _EVALUATOR_CACHE.move_to_end(key)
+            engine_counters.increment("evaluator_cache_hits")
+            return cached
     engine_counters.increment("evaluator_cache_misses")
     evaluator = FastBSTCEvaluator(dataset, arithmetization)
-    _EVALUATOR_CACHE[key] = evaluator
-    while len(_EVALUATOR_CACHE) > _EVALUATOR_CACHE_SIZE:
-        _EVALUATOR_CACHE.popitem(last=False)
+    with _EVALUATOR_LOCK:
+        existing = _EVALUATOR_CACHE.get(key)
+        if existing is not None:
+            # A concurrent build won the race; keep the cached one.
+            _EVALUATOR_CACHE.move_to_end(key)
+            return existing
+        _EVALUATOR_CACHE[key] = evaluator
+        _evict_over_capacity_locked()
     return evaluator
 
 
 def clear_evaluator_cache() -> None:
     """Drop every cached evaluator (tests and memory-sensitive callers)."""
-    _EVALUATOR_CACHE.clear()
+    with _EVALUATOR_LOCK:
+        _EVALUATOR_CACHE.clear()
 
 
 def evaluator_cache_info() -> Tuple[int, int]:
     """``(entries, capacity)`` of the evaluator cache."""
-    return len(_EVALUATOR_CACHE), _EVALUATOR_CACHE_SIZE
+    with _EVALUATOR_LOCK:
+        return len(_EVALUATOR_CACHE), _EVALUATOR_CACHE_SIZE

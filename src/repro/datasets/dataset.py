@@ -20,9 +20,12 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import ReproError
 
-class DatasetError(ValueError):
-    """Raised when dataset construction arguments are inconsistent."""
+
+class DatasetError(ReproError, ValueError):
+    """Raised when dataset construction arguments are inconsistent or a
+    dataset file is malformed."""
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,8 @@ Two simple, inspectable formats:
 from __future__ import annotations
 
 import json
+import math
+from collections import Counter
 from pathlib import Path
 from typing import List, Union
 
@@ -45,6 +47,12 @@ def load_expression_tsv(path: PathLike) -> ExpressionMatrix:
         if len(header) < 3 or header[0] != "sample" or header[1] != "class":
             raise DatasetError(f"{path}: not an expression TSV file")
         gene_names = tuple(header[2:])
+        duplicates = [name for name, n in Counter(gene_names).items() if n > 1]
+        if duplicates:
+            raise DatasetError(
+                f"{path}: duplicate gene name(s) in header: "
+                + ", ".join(sorted(duplicates))
+            )
         sample_names: List[str] = []
         class_names: List[str] = []
         labels: List[int] = []
@@ -61,7 +69,20 @@ def load_expression_tsv(path: PathLike) -> ExpressionMatrix:
             if label_name not in class_names:
                 class_names.append(label_name)
             labels.append(class_names.index(label_name))
-            rows.append([float(v) for v in parts[2:]])
+            row: List[float] = []
+            for gene, text in zip(gene_names, parts[2:]):
+                try:
+                    value = float(text)
+                except ValueError as exc:
+                    raise DatasetError(
+                        f"{path}:{line_no}: gene {gene}: not a number: {text!r}"
+                    ) from exc
+                if not math.isfinite(value):
+                    raise DatasetError(
+                        f"{path}:{line_no}: gene {gene}: non-finite value {text}"
+                    )
+                row.append(value)
+            rows.append(row)
     return ExpressionMatrix(
         gene_names=gene_names,
         values=np.asarray(rows, dtype=np.float64),
@@ -92,11 +113,26 @@ def load_relational_json(path: PathLike) -> RelationalDataset:
     except json.JSONDecodeError as exc:
         raise DatasetError(f"{path}: invalid JSON ({exc})") from exc
     try:
+        item_names = tuple(payload["item_names"])
+        samples = tuple(frozenset(s) for s in payload["samples"])
+        labels = tuple(payload["labels"])
+    except KeyError as exc:
+        raise DatasetError(f"{path}: missing field {exc}") from exc
+    duplicates = [name for name, n in Counter(item_names).items() if n > 1]
+    if duplicates:
+        raise DatasetError(
+            f"{path}: duplicate item name(s): " + ", ".join(sorted(duplicates))
+        )
+    if len(samples) != len(labels):
+        raise DatasetError(
+            f"{path}: {len(samples)} samples but {len(labels)} labels"
+        )
+    try:
         return RelationalDataset(
-            item_names=tuple(payload["item_names"]),
+            item_names=item_names,
             class_names=tuple(payload["class_names"]),
-            samples=tuple(frozenset(s) for s in payload["samples"]),
-            labels=tuple(payload["labels"]),
+            samples=samples,
+            labels=labels,
             sample_names=(
                 tuple(payload["sample_names"])
                 if payload.get("sample_names") is not None

@@ -1,0 +1,100 @@
+"""The repro exception hierarchy.
+
+Every failure the experiment runtime knows how to recover from derives from
+:class:`ReproError`, so drivers can distinguish structured, expected failures
+(budget exhaustion, worker loss, corrupt journals, malformed datasets) from
+genuine bugs with a single ``except`` clause.
+
+Two branches matter to the cross-validation harness:
+
+* :class:`ResourceExhausted` — a cooperative resource budget ran out.  The
+  runners convert these into DNF :class:`~repro.evaluation.crossval.TestResult`
+  records (the paper's "≥ cutoff" convention) instead of aborting the study.
+* :class:`WorkerError` — the supervised pool lost a worker (crash, per-task
+  timeout, corrupt payload).  After bounded retries these degrade to DNF
+  records too, so one bad fold never sinks a multi-hour study.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of all structured, recoverable repro failures."""
+
+
+# ----------------------------------------------------------------------
+# Resource budgets
+# ----------------------------------------------------------------------
+
+
+class ResourceExhausted(ReproError, RuntimeError):
+    """A cooperative :class:`~repro.evaluation.timing.Budget` ran out.
+
+    ``reason`` names the exhausted resource (``wall_clock``, ``rule_groups``
+    or ``candidates``) and ends up in the DNF record's note.
+    """
+
+    reason = "resource"
+
+
+class BudgetExceeded(ResourceExhausted):
+    """The wall-clock cutoff passed (:meth:`Budget.check`)."""
+
+    reason = "wall_clock"
+
+    def __init__(self, elapsed: float, cutoff: float):
+        super().__init__(f"budget of {cutoff:.3f}s exceeded after {elapsed:.3f}s")
+        self.elapsed = elapsed
+        self.cutoff = cutoff
+
+
+class RuleBudgetExceeded(ResourceExhausted):
+    """A miner emitted more rule groups than the budget allows."""
+
+    reason = "rule_groups"
+
+    def __init__(self, count: int, limit: int):
+        super().__init__(f"{count} rule groups mined, budget allows {limit}")
+        self.count = count
+        self.limit = limit
+
+
+class CandidateBudgetExceeded(ResourceExhausted):
+    """A miner's candidate/search set outgrew the budget's memory guard."""
+
+    reason = "candidates"
+
+    def __init__(self, count: int, limit: int):
+        super().__init__(f"candidate set size {count} exceeds budget of {limit}")
+        self.count = count
+        self.limit = limit
+
+
+# ----------------------------------------------------------------------
+# Supervised worker pool
+# ----------------------------------------------------------------------
+
+
+class WorkerError(ReproError):
+    """A supervised-pool task failed for a non-algorithmic reason."""
+
+
+class WorkerCrashed(WorkerError):
+    """The worker process died (or raised) before returning a result."""
+
+
+class TaskTimeout(WorkerError):
+    """A task outran its per-task wall-clock timeout and was killed."""
+
+
+class CorruptResult(WorkerError):
+    """A worker returned a payload that failed validation."""
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+
+
+class JournalError(ReproError):
+    """A checkpoint journal could not be parsed or written."""

@@ -1,4 +1,5 @@
-"""Evaluation machinery: metrics, boxplots, budgets, the CV harness."""
+"""Evaluation machinery: metrics, boxplots, budgets, the CV harness, the
+supervised worker pool and the checkpoint journal."""
 
 from .boxplot import BoxplotStats, boxplot_stats
 from .crossval import (
@@ -11,13 +12,30 @@ from .crossval import (
     make_test,
     paper_training_sizes,
 )
+from .journal import ResultJournal, result_from_dict, result_to_dict
 from .metrics import accuracy, confusion_matrix, error_direction, mean_accuracy
-from .timing import Budget, BudgetExceeded, TimedOutcome, run_with_budget, timed
+from .resilience import (
+    RetryPolicy,
+    TaskOutcome,
+    multiprocessing_available,
+    supervised_map,
+)
+from .timing import (
+    Budget,
+    BudgetExceeded,
+    ResourceExhausted,
+    TimedOutcome,
+    run_with_budget,
+    timed,
+)
 
 __all__ = [
     "accuracy", "confusion_matrix", "error_direction", "mean_accuracy",
     "BoxplotStats", "boxplot_stats", "Budget", "BudgetExceeded",
-    "TimedOutcome", "run_with_budget", "timed", "TrainingSize", "CVTest",
-    "PhaseRecord", "TestResult", "StudyResult", "make_test",
-    "paper_training_sizes", "derive_seed",
+    "ResourceExhausted", "TimedOutcome", "run_with_budget", "timed",
+    "TrainingSize", "CVTest", "PhaseRecord", "TestResult", "StudyResult",
+    "make_test", "paper_training_sizes", "derive_seed",
+    "ResultJournal", "result_to_dict", "result_from_dict",
+    "RetryPolicy", "TaskOutcome", "supervised_map",
+    "multiprocessing_available",
 ]

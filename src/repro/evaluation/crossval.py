@@ -157,13 +157,28 @@ def make_tests(
     Every test's split and discretization derive from
     ``derive_seed(dataset_name, size.label, index)``, so the materialized
     tests are identical regardless of worker count or scheduling order.
+
+    Runs serially when multiprocessing is unavailable (no ``sem_open``).
+    Pool teardown is explicit: a failure inside the map terminates the
+    workers before re-raising, and the pool is always joined, so no worker
+    ever outlives the call.
     """
+    from .resilience import multiprocessing_available
+
     n_jobs = resolve_n_jobs(n_jobs, n_tests)
     payloads = [(data, size, i, dataset_name) for i in range(n_tests)]
-    if n_jobs <= 1 or n_tests <= 1:
+    if n_jobs <= 1 or n_tests <= 1 or not multiprocessing_available():
         return [make_test(*p) for p in payloads]
-    with multiprocessing.get_context().Pool(processes=n_jobs) as pool:
-        return pool.map(_make_test_star, payloads)
+    pool = multiprocessing.get_context().Pool(processes=n_jobs)
+    try:
+        tests = pool.map(_make_test_star, payloads)
+        pool.close()
+        return tests
+    except BaseException:
+        pool.terminate()
+        raise
+    finally:
+        pool.join()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,128 @@
+"""Journaled checkpoint/resume for cross-validation studies.
+
+A multi-hour study killed at 90% used to lose everything.  The journal fixes
+that with an append-only JSONL file: every completed
+:class:`~repro.evaluation.crossval.TestResult` is serialized and flushed as
+it lands, keyed on ``(classifier, size_label, test_index)``.  On restart
+with ``resume``, :func:`repro.evaluation.runners.run_tests` skips every
+journaled key and splices the stored results back in at their positions —
+and because each test's split and discretization derive from
+``derive_seed(dataset, size, index)``, the resumed study is bit-identical
+to an uninterrupted run (wall-clock timings of the replayed entries aside,
+which are replayed as recorded).
+
+Only genuine results are journaled.  Degraded records from the supervised
+pool (worker crash/timeout stand-ins) are *not* checkpointed, so a resume
+retries those folds instead of fossilizing an infrastructure hiccup.
+
+A corrupted line (truncated write, disk fault, hand editing) raises
+:class:`~repro.errors.JournalError` naming the offending line — a journal
+that cannot be trusted should fail loudly, not silently drop results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from ..errors import JournalError
+from .crossval import PhaseRecord, TestResult
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: ``(classifier, size_label, test_index)`` — one result's identity.
+ResultKey = Tuple[str, str, int]
+
+
+def result_key(result: TestResult) -> ResultKey:
+    return (result.classifier, result.size_label, result.test_index)
+
+
+def result_to_dict(result: TestResult) -> dict:
+    """A JSON-serializable rendering of one test result."""
+    return {
+        "classifier": result.classifier,
+        "size_label": result.size_label,
+        "test_index": result.test_index,
+        "accuracy": result.accuracy,
+        "notes": result.notes,
+        "phases": [
+            {"name": p.name, "seconds": p.seconds, "finished": p.finished}
+            for p in result.phases
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> TestResult:
+    """Inverse of :func:`result_to_dict` (raises ``KeyError``/``TypeError``
+    on malformed payloads — the journal loader wraps those)."""
+    return TestResult(
+        classifier=payload["classifier"],
+        size_label=payload["size_label"],
+        test_index=int(payload["test_index"]),
+        accuracy=payload["accuracy"],
+        phases=tuple(
+            PhaseRecord(
+                name=p["name"],
+                seconds=float(p["seconds"]),
+                finished=bool(p["finished"]),
+            )
+            for p in payload["phases"]
+        ),
+        notes=payload.get("notes", ""),
+    )
+
+
+class ResultJournal:
+    """An append-only JSONL checkpoint of completed test results.
+
+    The file is created lazily on the first append; a missing file loads as
+    an empty journal (a fresh study).  Appends open/flush/fsync per record:
+    a study killed between folds loses at most the fold in flight.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, result: TestResult) -> None:
+        """Durably append one completed result."""
+        line = json.dumps(result_to_dict(result), separators=(",", ":"))
+        try:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise JournalError(f"{self.path}: cannot append ({exc})") from exc
+
+    def load_results(self) -> Dict[ResultKey, TestResult]:
+        """All journaled results, keyed for resume lookups.
+
+        Later lines win on duplicate keys (a re-run fold supersedes its
+        earlier record).  Raises :class:`JournalError` on any unparsable
+        line, naming the file and line number.
+        """
+        results: Dict[ResultKey, TestResult] = {}
+        if not self.path.exists():
+            return results
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(f"{self.path}: cannot read ({exc})") from exc
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                result = result_from_dict(payload)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise JournalError(
+                    f"{self.path}:{line_no}: corrupted journal line ({exc})"
+                ) from exc
+            results[result_key(result)] = result
+        return results

@@ -18,7 +18,6 @@ Phase naming follows the paper's table columns:
 from __future__ import annotations
 
 import math
-import multiprocessing
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence, Tuple
@@ -30,9 +29,12 @@ from ..baselines.rcbt import RCBTClassifier
 from ..baselines.svm import SVMClassifier
 from ..baselines.tree import AdaBoostClassifier, BaggingClassifier, DecisionTree
 from ..core.classifier import BSTClassifier
+from ..testing.faults import FaultPlan
 from .crossval import CVTest, PhaseRecord, TestResult, resolve_n_jobs
+from .journal import ResultJournal
 from .metrics import accuracy
-from .timing import Budget, BudgetExceeded, engine_counters
+from .resilience import RetryPolicy, supervised_map
+from .timing import Budget, BudgetExceeded, ResourceExhausted, engine_counters
 
 #: Queries per budget poll in batched BSTC prediction.
 _PREDICT_BLOCK = 64
@@ -55,27 +57,138 @@ def _run_counted(payload: Tuple["Runner", CVTest]):
     return result, engine_counters.snapshot()
 
 
-def run_tests(
-    runner: "Runner", tests: Sequence[CVTest], n_jobs: int = 1
-) -> List[TestResult]:
-    """Run one classifier over materialized CV tests, optionally fold-parallel.
+def _run_inline(payload: Tuple["Runner", CVTest]):
+    """Serial-mode worker: the parent's counters already accumulate
+    in-process, so no snapshot protocol (and no reset!) applies."""
+    runner, test = payload
+    return runner.run(test), None
 
-    With ``n_jobs > 1`` the tests fan out over a multiprocessing pool, one
-    fold per task.  Results are returned in test order and are identical to
-    a serial run (every test was already materialized from its
-    ``derive_seed``-derived split, so no randomness crosses the fork);
-    only wall-clock phase timings differ.  Worker engine-counter activity is
-    merged into the parent's :data:`engine_counters`.
+
+def _valid_worker_value(value) -> bool:
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[0], TestResult)
+    )
+
+
+def degraded_result(
+    runner: "Runner",
+    test: CVTest,
+    failure: str,
+    attempts: int,
+    error: str,
+    policy: RetryPolicy,
+) -> TestResult:
+    """The DNF stand-in for a fold whose worker was lost.
+
+    The phase is the runner's ``dnf_phase`` (its first/primary phase name,
+    so DNF accounting matches the paper's per-phase columns); the note says
+    exactly why the fold degraded.
     """
-    n_jobs = resolve_n_jobs(n_jobs, len(tests))
-    if n_jobs <= 1 or len(tests) <= 1:
-        return [runner.run(test) for test in tests]
-    payloads = [(runner, test) for test in tests]
-    with multiprocessing.get_context().Pool(processes=n_jobs) as pool:
-        outcomes = pool.map(_run_counted, payloads)
-    for _, snapshot in outcomes:
-        engine_counters.merge(snapshot)
-    return [result for result, _ in outcomes]
+    phase = getattr(runner, "dnf_phase", runner.name.lower())
+    if failure == "timeout":
+        seconds = policy.task_timeout
+        note = (
+            f"degraded to DNF: worker killed after"
+            f" {policy.task_timeout:.4g}s task timeout"
+        )
+    else:
+        seconds = 0.0
+        note = (
+            f"degraded to DNF: worker {failure} after {attempts}"
+            f" attempt(s) ({error})"
+        )
+    return TestResult(
+        classifier=runner.name,
+        size_label=test.size.label,
+        test_index=test.index,
+        accuracy=None,
+        phases=(PhaseRecord(phase, seconds, False),),
+        notes=note,
+    )
+
+
+def run_tests(
+    runner: "Runner",
+    tests: Sequence[CVTest],
+    n_jobs: int = 1,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[ResultJournal] = None,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+) -> List[TestResult]:
+    """Run one classifier over materialized CV tests under supervision.
+
+    With ``n_jobs > 1`` the tests fan out over the supervised worker pool
+    (:mod:`repro.evaluation.resilience`): per-task timeouts, crash/corruption
+    retries with deterministic backoff, and degradation of terminally failed
+    folds to DNF records — one lost worker never aborts the study.  When
+    multiprocessing is unavailable (no ``sem_open``) execution falls back to
+    the supervised serial path automatically.
+
+    Results are returned in test order and are identical to a serial run
+    (every test was already materialized from its ``derive_seed``-derived
+    split, so no randomness crosses the fork); only wall-clock phase timings
+    differ.  A successful attempt's engine-counter snapshot is merged into
+    the parent's :data:`engine_counters` exactly once, so retried folds never
+    double-count.
+
+    With a ``journal``, each completed result is appended to the JSONL
+    checkpoint as it lands; with ``resume`` as well, tests whose
+    ``(classifier, size_label, test_index)`` key is already journaled are
+    spliced back in from the checkpoint instead of re-run — bit-identical to
+    an uninterrupted run.  Degraded DNF stand-ins are never journaled, so a
+    resume retries those folds.
+    """
+    policy = policy or RetryPolicy()
+    results: List[Optional[TestResult]] = [None] * len(tests)
+    todo = list(range(len(tests)))
+    if journal is not None and resume:
+        stored = journal.load_results()
+        todo = []
+        for pos, test in enumerate(tests):
+            key = (runner.name, test.size.label, test.index)
+            if key in stored:
+                results[pos] = stored[key]
+                engine_counters.increment("journal_skips")
+            else:
+                todo.append(pos)
+    if not todo:
+        return [r for r in results if r is not None]
+    n_jobs = resolve_n_jobs(n_jobs, len(todo))
+    payloads = [(runner, tests[pos]) for pos in todo]
+
+    def on_success(task_index: int, value) -> None:
+        result, snapshot = value
+        if snapshot is not None:
+            engine_counters.merge(snapshot)
+        if journal is not None:
+            journal.append(result)
+            engine_counters.increment("journal_appends")
+
+    def fallback(
+        task_index: int, payload, failure: str, attempts: int, error: str
+    ) -> TestResult:
+        return degraded_result(
+            runner, payload[1], failure, attempts, error, policy
+        )
+
+    outcomes = supervised_map(
+        _run_counted,
+        payloads,
+        n_jobs=n_jobs,
+        policy=policy,
+        fault_plan=fault_plan,
+        validate=_valid_worker_value,
+        fallback=fallback,
+        on_success=on_success,
+        serial_worker=_run_inline,
+    )
+    for pos, outcome in zip(todo, outcomes):
+        results[pos] = outcome.value[0] if outcome.ok else outcome.value
+    return [r for r in results if r is not None]
 
 
 @dataclass
@@ -92,6 +205,7 @@ class BSTCRunner:
     engine: str = "fast"
     cutoff: float = math.inf
     name: str = "BSTC"
+    dnf_phase: str = "bstc"
 
     def run(self, test: CVTest) -> TestResult:
         start = time.perf_counter()
@@ -134,6 +248,11 @@ class TopkRCBTRunner:
     attempted (Tables 4/6 count RCBT DNFs only over tests where Top-k
     finished).  ``rcbt_cutoff`` bounds lower-bound mining + classification.
     ``nl`` may be lowered per the paper's protocol when RCBT cannot finish.
+
+    ``max_rule_groups`` / ``max_candidates`` extend both phase budgets with
+    resource ceilings (rule groups emitted / candidate search size) —
+    exhausting either is a DNF whose note names the reason, with the phase
+    runtime recorded as the elapsed time rather than floored at the cutoff.
     """
 
     k: int = 10
@@ -141,29 +260,44 @@ class TopkRCBTRunner:
     nl: int = 20
     topk_cutoff: float = math.inf
     rcbt_cutoff: float = math.inf
+    max_rule_groups: Optional[int] = None
+    max_candidates: Optional[int] = None
     name: str = "RCBT"
+    dnf_phase: str = "topk"
+
+    def _budget(self, cutoff: float) -> Budget:
+        return Budget(
+            cutoff,
+            max_rule_groups=self.max_rule_groups,
+            max_candidates=self.max_candidates,
+        )
 
     def run(self, test: CVTest) -> TestResult:
         rcbt = RCBTClassifier(k=self.k, min_support=self.min_support, nl=self.nl)
         phases: List[PhaseRecord] = []
 
-        topk_budget = Budget(self.topk_cutoff)
+        topk_budget = self._budget(self.topk_cutoff)
         start = time.perf_counter()
         try:
             rcbt.mine_rules(test.rel_train, topk_budget)
-        except BudgetExceeded:
-            phases.append(PhaseRecord("topk", self.topk_cutoff, False))
+        except ResourceExhausted as exc:
+            if isinstance(exc, BudgetExceeded):
+                seconds, note = self.topk_cutoff, "topk DNF"
+            else:
+                seconds = time.perf_counter() - start
+                note = f"topk DNF ({exc.reason})"
+            phases.append(PhaseRecord("topk", seconds, False))
             return TestResult(
                 classifier=self.name,
                 size_label=test.size.label,
                 test_index=test.index,
                 accuracy=None,
                 phases=tuple(phases),
-                notes="topk DNF",
+                notes=note,
             )
         phases.append(PhaseRecord("topk", time.perf_counter() - start, True))
 
-        rcbt_budget = Budget(self.rcbt_cutoff)
+        rcbt_budget = self._budget(self.rcbt_cutoff)
         start = time.perf_counter()
         try:
             rcbt.build(rcbt_budget)
@@ -171,15 +305,20 @@ class TopkRCBTRunner:
             for query in test.test_queries:
                 rcbt_budget.check()
                 predictions.append(rcbt.predict(query))
-        except BudgetExceeded:
-            phases.append(PhaseRecord("rcbt", self.rcbt_cutoff, False))
+        except ResourceExhausted as exc:
+            if isinstance(exc, BudgetExceeded):
+                seconds, note = self.rcbt_cutoff, f"rcbt DNF (nl={self.nl})"
+            else:
+                seconds = time.perf_counter() - start
+                note = f"rcbt DNF (nl={self.nl}, {exc.reason})"
+            phases.append(PhaseRecord("rcbt", seconds, False))
             return TestResult(
                 classifier=self.name,
                 size_label=test.size.label,
                 test_index=test.index,
                 accuracy=None,
                 phases=tuple(phases),
-                notes=f"rcbt DNF (nl={self.nl})",
+                notes=note,
             )
         phases.append(PhaseRecord("rcbt", time.perf_counter() - start, True))
         return TestResult(
@@ -211,6 +350,7 @@ class SVMRunner:
 
     C: float = 1.0
     name: str = "SVM"
+    dnf_phase: str = "svm"
 
     def run(self, test: CVTest) -> TestResult:
         start = time.perf_counter()
@@ -237,6 +377,7 @@ class RandomForestRunner:
     n_estimators: int = 100
     seed: int = 0
     name: str = "randomForest"
+    dnf_phase: str = "rf"
 
     def run(self, test: CVTest) -> TestResult:
         start = time.perf_counter()
@@ -267,6 +408,7 @@ class CBARunner:
     max_rule_len: int = 2
     cutoff: float = math.inf
     name: str = "CBA"
+    dnf_phase: str = "cba"
 
     def run(self, test: CVTest) -> TestResult:
         start = time.perf_counter()
@@ -301,6 +443,7 @@ class IRGRunner:
     min_confidence: float = 0.8
     cutoff: float = math.inf
     name: str = "IRG"
+    dnf_phase: str = "irg"
 
     def run(self, test: CVTest) -> TestResult:
         start = time.perf_counter()
@@ -343,6 +486,7 @@ class TreeFamilyRunner:
         self.name = {"tree": "C4.5", "bagging": "Bagging", "boosting": "Boosting"}[
             self.variant
         ]
+        self.dnf_phase = self.variant
 
     def run(self, test: CVTest) -> TestResult:
         start = time.perf_counter()

@@ -1,10 +1,19 @@
-"""Wall-clock budgets and timing — the paper's 2-hour-cutoff protocol.
+"""Resource budgets and timing — the paper's 2-hour-cutoff protocol.
 
 Tables 4 and 6 run every miner/classifier under a wall-clock cutoff; runs
 that exceed it are reported as DNF ("did not finish") with their runtime
 floored at the cutoff (the "≥" rows).  :class:`Budget` implements that
 protocol cooperatively: long-running algorithms poll :meth:`Budget.check`
 and a :class:`BudgetExceeded` escape converts into a DNF record upstream.
+
+Beyond wall clock, a budget can carry two resource ceilings aimed at the
+mining phases whose output explodes on dense data (CHARM's closed sets,
+Top-k's row enumeration, the (MC)²BAR candidate semilattice): a cap on the
+cumulative number of rule groups emitted (:meth:`Budget.charge_rules`) and a
+cap on the instantaneous candidate/search set size
+(:meth:`Budget.observe_candidates`).  All three exhaustions raise under one
+hierarchy rooted at :class:`~repro.errors.ResourceExhausted`, so the runners
+convert any of them into DNF records.
 
 Budgets are monotonic-clock based and cheap to poll (a time read per check).
 """
@@ -17,31 +26,60 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple, TypeVar
 
+from ..errors import (
+    BudgetExceeded,
+    CandidateBudgetExceeded,
+    ResourceExhausted,
+    RuleBudgetExceeded,
+)
+
 T = TypeVar("T")
 
-
-class BudgetExceeded(RuntimeError):
-    """Raised by :meth:`Budget.check` once the wall-clock cutoff passes."""
-
-    def __init__(self, elapsed: float, cutoff: float):
-        super().__init__(f"budget of {cutoff:.3f}s exceeded after {elapsed:.3f}s")
-        self.elapsed = elapsed
-        self.cutoff = cutoff
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "CandidateBudgetExceeded",
+    "EngineCounters",
+    "ResourceExhausted",
+    "RuleBudgetExceeded",
+    "TimedOutcome",
+    "engine_counters",
+    "run_with_budget",
+    "timed",
+]
 
 
 class Budget:
-    """A cooperative wall-clock budget.
+    """A cooperative wall-clock + resource budget.
 
     Args:
-        seconds: the cutoff; ``math.inf`` (the default) never expires.
+        seconds: the wall-clock cutoff; ``math.inf`` (the default) never
+            expires.
+        max_rule_groups: cap on the cumulative rule groups a miner may emit
+            (``None`` = unlimited).
+        max_candidates: cap on the instantaneous candidate/search set size
+            (``None`` = unlimited) — the CHARM-style memory guard.
 
-    The clock starts at construction; :meth:`restart` resets it.
+    The clock starts at construction; :meth:`restart` resets it (and the
+    rule counter).
     """
 
-    def __init__(self, seconds: float = math.inf):
+    def __init__(
+        self,
+        seconds: float = math.inf,
+        max_rule_groups: Optional[int] = None,
+        max_candidates: Optional[int] = None,
+    ):
         if seconds <= 0:
             raise ValueError("budget must be positive")
+        if max_rule_groups is not None and max_rule_groups < 1:
+            raise ValueError("max_rule_groups must be >= 1")
+        if max_candidates is not None and max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
         self.cutoff = float(seconds)
+        self.max_rule_groups = max_rule_groups
+        self.max_candidates = max_candidates
+        self._rules = 0
         self._start = time.perf_counter()
 
     @staticmethod
@@ -50,6 +88,7 @@ class Budget:
 
     def restart(self) -> None:
         self._start = time.perf_counter()
+        self._rules = 0
 
     def elapsed(self) -> float:
         return time.perf_counter() - self._start
@@ -66,6 +105,34 @@ class Budget:
         elapsed = self.elapsed()
         if elapsed >= self.cutoff:
             raise BudgetExceeded(elapsed, self.cutoff)
+
+    @property
+    def rules_charged(self) -> int:
+        """Rule groups charged so far via :meth:`charge_rules`."""
+        return self._rules
+
+    def charge_rules(self, n: int = 1) -> None:
+        """Account for ``n`` newly emitted rule groups.
+
+        Also polls the wall clock, so miners need a single call per emission
+        site.  Raises :class:`RuleBudgetExceeded` once the cumulative count
+        passes ``max_rule_groups``.
+        """
+        self.check()
+        self._rules += n
+        if self.max_rule_groups is not None and self._rules > self.max_rule_groups:
+            raise RuleBudgetExceeded(self._rules, self.max_rule_groups)
+
+    def observe_candidates(self, count: int) -> None:
+        """Report the current candidate/search set size.
+
+        Also polls the wall clock.  Raises :class:`CandidateBudgetExceeded`
+        when ``count`` passes ``max_candidates`` — the guard against
+        CHARM-style candidate-set explosion.
+        """
+        self.check()
+        if self.max_candidates is not None and count > self.max_candidates:
+            raise CandidateBudgetExceeded(count, self.max_candidates)
 
 
 @dataclass(frozen=True)
@@ -89,21 +156,29 @@ class TimedOutcome:
 
 
 def run_with_budget(
-    step: Callable[[Budget], T], cutoff: float = math.inf
+    step: Callable[[Budget], T],
+    cutoff: float = math.inf,
+    max_rule_groups: Optional[int] = None,
+    max_candidates: Optional[int] = None,
 ) -> TimedOutcome:
     """Run ``step`` under a fresh budget and record the outcome.
 
     The step receives the budget so it can poll it.  A
     :class:`BudgetExceeded` escape becomes a DNF outcome with runtime
-    reported as the cutoff (paper Tables 4/6 protocol); other exceptions
-    propagate.
+    reported as the cutoff (paper Tables 4/6 protocol); other resource
+    exhaustions (rule/candidate caps) become DNF at the elapsed time;
+    other exceptions propagate.
     """
-    budget = Budget(cutoff)
+    budget = Budget(
+        cutoff, max_rule_groups=max_rule_groups, max_candidates=max_candidates
+    )
     start = time.perf_counter()
     try:
         value = step(budget)
     except BudgetExceeded:
         return TimedOutcome(seconds=cutoff, finished=False)
+    except ResourceExhausted:
+        return TimedOutcome(seconds=time.perf_counter() - start, finished=False)
     return TimedOutcome(
         seconds=time.perf_counter() - start, finished=True, value=value
     )

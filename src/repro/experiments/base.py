@@ -9,12 +9,15 @@ paper-sized datasets and proportionally larger cutoffs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.arithmetization import get_combiner
 from ..core.estimator import resolve_engine
 from ..datasets.profiles import DatasetProfile, profile, scaled
+from ..evaluation.journal import ResultJournal
+from ..evaluation.resilience import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -32,6 +35,17 @@ class ExperimentConfig:
         engine: BSTCE engine for BSTC runs (``fast`` or ``reference``).
         arithmetization: BSTC per-cell combiner (``min``/``product``/``mean``).
         n_jobs: CV fold parallelism (1 = serial, -1 = one worker per CPU).
+        retries: supervised-pool retry attempts for crashed/corrupt CV
+            workers before the fold degrades to a DNF record.
+        task_timeout: per-fold wall-clock ceiling; a worker past it is
+            killed and the fold recorded as DNF (``math.inf`` = no limit).
+        journal: path of the JSONL checkpoint journal; completed CV results
+            are appended as they land (``None`` = no checkpointing).
+        resume: skip tests already present in ``journal`` — a restarted
+            study is then bit-identical to an uninterrupted run.
+        max_rule_groups / max_candidates: resource ceilings on the mining
+            phases (rule groups emitted / candidate search size); exhaustion
+            is a DNF whose note names the reason.
     """
 
     scale: str = "scaled"
@@ -44,12 +58,24 @@ class ExperimentConfig:
     engine: str = "fast"
     arithmetization: str = "min"
     n_jobs: int = 1
+    retries: int = 2
+    task_timeout: float = math.inf
+    journal: Optional[str] = None
+    resume: bool = False
+    max_rule_groups: Optional[int] = None
+    max_candidates: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scale not in ("scaled", "full"):
             raise ValueError(f"unknown scale {self.scale!r}")
         if self.n_tests < 1:
             raise ValueError("n_tests must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if self.resume and self.journal is None:
+            raise ValueError("resume requires a journal path")
         resolve_engine(self.engine)
         get_combiner(self.arithmetization)
 
@@ -57,6 +83,14 @@ class ExperimentConfig:
         if self.scale == "full":
             return profile(name)
         return scaled(name)
+
+    def retry_policy(self) -> RetryPolicy:
+        """The supervised-pool policy these knobs describe."""
+        return RetryPolicy(retries=self.retries, task_timeout=self.task_timeout)
+
+    def result_journal(self) -> Optional[ResultJournal]:
+        """The checkpoint journal, or ``None`` when checkpointing is off."""
+        return ResultJournal(self.journal) if self.journal else None
 
 
 @dataclass

@@ -29,8 +29,10 @@ _CACHE: Dict[Tuple, StudyResult] = {}
 
 
 def study_cache_key(dataset_name: str, config: ExperimentConfig) -> Tuple:
-    # n_jobs is deliberately absent: parallel runs produce identical fold
-    # results, so they share cache entries with serial runs.
+    # n_jobs and the resilience knobs (retries/timeout/journal/resume) are
+    # deliberately absent: supervised-parallel and resumed runs produce
+    # identical fold results, so they share cache entries with serial runs.
+    # The resource caps DO shape results (extra DNFs), so they key.
     return (
         dataset_name,
         config.scale,
@@ -41,6 +43,8 @@ def study_cache_key(dataset_name: str, config: ExperimentConfig) -> Tuple:
         config.rcbt_nl,
         config.engine,
         config.arithmetization,
+        config.max_rule_groups,
+        config.max_candidates,
     )
 
 
@@ -64,6 +68,14 @@ def run_cv_study(
     sizes = paper_training_sizes(prof)
     study = StudyResult(dataset_name=prof.name)
 
+    policy = config.retry_policy()
+    journal = config.result_journal()
+    run_kwargs = dict(
+        n_jobs=config.n_jobs,
+        policy=policy,
+        journal=journal,
+        resume=config.resume,
+    )
     bstc = BSTCRunner(
         arithmetization=config.arithmetization, engine=config.engine
     )
@@ -71,7 +83,7 @@ def run_cv_study(
         tests: List[CVTest] = make_tests(
             data, size, config.n_tests, prof.name, n_jobs=config.n_jobs
         )
-        for result in run_tests(bstc, tests, n_jobs=config.n_jobs):
+        for result in run_tests(bstc, tests, **run_kwargs):
             study.add(result)
         if not include_rcbt:
             continue
@@ -79,8 +91,10 @@ def run_cv_study(
             nl=config.rcbt_nl,
             topk_cutoff=config.topk_cutoff,
             rcbt_cutoff=config.rcbt_cutoff,
+            max_rule_groups=config.max_rule_groups,
+            max_candidates=config.max_candidates,
         )
-        results = run_tests(rcbt, tests, n_jobs=config.n_jobs)
+        results = run_tests(rcbt, tests, **run_kwargs)
         # Paper protocol: when RCBT finished no test of a size at the default
         # nl, lower nl to 2 and retry that size (marked with a dagger).
         rcbt_attempted = [r for r in results if r.phase_finished("rcbt") is not None]
@@ -92,8 +106,10 @@ def run_cv_study(
                 nl=2,
                 topk_cutoff=config.topk_cutoff,
                 rcbt_cutoff=config.rcbt_cutoff,
+                max_rule_groups=config.max_rule_groups,
+                max_candidates=config.max_candidates,
             )
-            results = run_tests(lowered, tests, n_jobs=config.n_jobs)
+            results = run_tests(lowered, tests, **run_kwargs)
         for result in results:
             study.add(result)
     _CACHE[key] = study

@@ -52,6 +52,8 @@ def run_table3(config: ExperimentConfig) -> ExperimentResult:
                 nl=config.rcbt_nl,
                 topk_cutoff=config.topk_cutoff,
                 rcbt_cutoff=config.rcbt_cutoff,
+                max_rule_groups=config.max_rule_groups,
+                max_candidates=config.max_candidates,
             ),
             SVMRunner(),
             RandomForestRunner(n_estimators=config.forest_trees),

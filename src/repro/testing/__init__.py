@@ -1,0 +1,17 @@
+"""Test-support machinery shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness the
+resilience test suite drives the supervised worker pool with.  It lives in
+the package (not the test tree) so downstream users can exercise their own
+deployments' recovery paths the same way.
+"""
+
+from .faults import CORRUPT_PAYLOAD, FaultPlan, FaultSpec, InjectedCrash, InjectedHang
+
+__all__ = [
+    "CORRUPT_PAYLOAD",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedHang",
+]

@@ -1,0 +1,128 @@
+"""Deterministic fault injection for the supervised worker pool.
+
+The resilience layer (:mod:`repro.evaluation.resilience`) promises that a
+worker crash, a task hanging past its timeout, or a corrupted result payload
+degrade gracefully — bounded retries, then a DNF record — instead of sinking
+a multi-hour study.  This module makes every one of those paths *testable*:
+a :class:`FaultPlan` is a picklable schedule of faults keyed on
+``(task_index, attempt)``, shipped into the worker and applied there, so a
+test can say "crash task 2 on its first attempt, hang task 5 forever" and
+assert exactly which recovery branch fired.
+
+Faults are deterministic by construction (no randomness, no clocks): a spec
+fires on attempts ``1..spec.attempts`` of its task and never again, so a
+retried task succeeds on the first clean attempt.
+
+Fault kinds:
+
+* ``crash`` — the worker process dies without replying (``os._exit``); in
+  the serial fallback it raises :class:`InjectedCrash` instead.
+* ``error`` — the worker raises an exception (a crash that leaves a
+  traceback).
+* ``hang`` — the worker sleeps past any reasonable per-task timeout; in the
+  serial fallback (no preemption possible) it raises :class:`InjectedHang`,
+  which the supervisor maps to the same timeout outcome.
+* ``corrupt`` — the worker replies with :data:`CORRUPT_PAYLOAD` instead of a
+  real result, exercising payload validation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..errors import ReproError
+
+#: The garbage payload a ``corrupt`` fault substitutes for a real result.
+CORRUPT_PAYLOAD = "__repro-corrupt-payload__"
+
+#: Exit code of an injected worker crash (distinct from real crashes' codes).
+CRASH_EXIT_CODE = 23
+
+_KINDS = ("crash", "error", "hang", "corrupt")
+
+
+class FaultInjected(ReproError):
+    """Base of the exceptions injected faults raise in serial mode."""
+
+
+class InjectedCrash(FaultInjected):
+    """Serial-mode stand-in for a worker process crash."""
+
+
+class InjectedHang(FaultInjected):
+    """Serial-mode stand-in for a task hanging past its timeout."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Args:
+        task_index: position of the target task in the submitted batch.
+        kind: one of ``crash``, ``error``, ``hang``, ``corrupt``.
+        attempts: the fault fires on attempts ``1..attempts`` (so
+            ``attempts=1`` with retries enabled exercises the
+            fail-once-then-recover path, and ``attempts`` greater than the
+            retry limit exercises degradation to DNF).
+        hang_seconds: how long a ``hang`` sleeps in a worker process (must
+            exceed the supervisor's per-task timeout to be meaningful).
+    """
+
+    task_index: int
+    kind: str
+    attempts: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+
+class FaultPlan:
+    """A picklable schedule of :class:`FaultSpec` entries, one per task."""
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()):
+        self._specs: Dict[int, FaultSpec] = {}
+        for spec in specs:
+            if spec.task_index in self._specs:
+                raise ValueError(
+                    f"duplicate fault for task {spec.task_index}"
+                )
+            self._specs[spec.task_index] = spec
+
+    def __bool__(self) -> bool:
+        return bool(self._specs)
+
+    def spec_for(self, task_index: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault to apply on this ``(task, attempt)``, if any."""
+        spec = self._specs.get(task_index)
+        if spec is not None and attempt <= spec.attempts:
+            return spec
+        return None
+
+
+def apply_fault(spec: FaultSpec, serial: bool):
+    """Execute a fault inside the worker.
+
+    Returns :data:`CORRUPT_PAYLOAD` for ``corrupt`` faults (the caller
+    substitutes it for the real result), ``None`` when the worker should
+    proceed normally after the fault's side effect.
+    """
+    if spec.kind == "crash":
+        if serial:
+            raise InjectedCrash(f"injected crash on task {spec.task_index}")
+        os._exit(CRASH_EXIT_CODE)
+    if spec.kind == "error":
+        raise InjectedCrash(f"injected error on task {spec.task_index}")
+    if spec.kind == "hang":
+        if serial:
+            raise InjectedHang(f"injected hang on task {spec.task_index}")
+        time.sleep(spec.hang_seconds)
+        return None
+    # corrupt
+    return CORRUPT_PAYLOAD

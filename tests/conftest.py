@@ -1,12 +1,49 @@
-"""Shared fixtures: the running example and small random datasets."""
+"""Shared fixtures: the running example and small random datasets.
+
+Also installs a per-test wall-clock ceiling when ``REPRO_TEST_TIMEOUT`` is
+set (seconds): a SIGALRM-based guard so a hung worker or deadlocked pool
+fails the one test instead of wedging the whole suite.  CI sets it; local
+runs are unlimited unless opted in.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro.datasets.dataset import RelationalDataset, running_example
 from repro.datasets.profiles import DatasetProfile
+
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "0") or "0")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (
+        _TEST_TIMEOUT > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT:g}s wall clock"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

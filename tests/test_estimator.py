@@ -24,6 +24,7 @@ from repro.core.fast import (
     clear_evaluator_cache,
     evaluator_cache_info,
     get_evaluator,
+    set_evaluator_cache_size,
 )
 from repro.core.mcbar_classifier import MCBARClassifier
 from repro.datasets.dataset import RelationalDataset, running_example
@@ -308,6 +309,45 @@ class TestEvaluatorCache:
     def test_invalid_arithmetization_rejected_before_hashing(self, example):
         with pytest.raises(ValueError):
             get_evaluator(example, "median")
+
+    def test_set_cache_size_shrinks_and_counts_evictions(self):
+        rng = np.random.default_rng(7)
+        default_capacity = evaluator_cache_info()[1]
+        try:
+            before = engine_counters.get("evaluator_cache_evictions")
+            for _ in range(4):
+                get_evaluator(random_relational(rng), "min")
+            set_evaluator_cache_size(2)
+            entries, capacity = evaluator_cache_info()
+            assert (entries, capacity) == (2, 2)
+            assert engine_counters.get("evaluator_cache_evictions") == before + 2
+        finally:
+            set_evaluator_cache_size(default_capacity)
+
+    def test_set_cache_size_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            set_evaluator_cache_size(0)
+
+    def test_concurrent_lookups_share_one_entry(self, example):
+        import threading
+
+        results = [None] * 8
+        barrier = threading.Barrier(len(results))
+
+        def fetch(slot):
+            barrier.wait()
+            results[slot] = get_evaluator(example, "min")
+
+        threads = [
+            threading.Thread(target=fetch, args=(i,)) for i in range(len(results))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All threads resolved to one cached instance and one cache entry.
+        assert len({id(r) for r in results}) == 1
+        assert evaluator_cache_info()[0] == 1
 
     def test_fitted_classifiers_share_cached_evaluator(self, example):
         a = BSTClassifier().fit(example)

@@ -47,6 +47,25 @@ class TestExpressionTsv:
         with pytest.raises(DatasetError):
             load_expression_tsv(path)
 
+    def test_duplicate_gene_names_rejected(self, tmp_path):
+        path = tmp_path / "dup.tsv"
+        path.write_text("sample\tclass\tg0\tg1\tg0\ns1\ta\t1\t2\t3\n")
+        with pytest.raises(DatasetError, match="duplicate gene name.*g0"):
+            load_expression_tsv(path)
+
+    def test_unparsable_value_names_row_and_gene(self, tmp_path):
+        path = tmp_path / "text.tsv"
+        path.write_text("sample\tclass\tg0\tg1\ns1\ta\t1.0\toops\n")
+        with pytest.raises(DatasetError, match=r"text\.tsv:2: gene g1"):
+            load_expression_tsv(path)
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf"])
+    def test_non_finite_value_rejected(self, bad, tmp_path):
+        path = tmp_path / "nonfinite.tsv"
+        path.write_text(f"sample\tclass\tg0\tg1\ns1\ta\t1.0\t{bad}\n")
+        with pytest.raises(DatasetError, match=r"nonfinite\.tsv:2: gene g1"):
+            load_expression_tsv(path)
+
 
 class TestRelationalJson:
     def test_roundtrip(self, example, tmp_path):
@@ -65,4 +84,22 @@ class TestRelationalJson:
         path = tmp_path / "missing.json"
         path.write_text('{"item_names": []}')
         with pytest.raises(DatasetError):
+            load_relational_json(path)
+
+    def test_duplicate_item_names_rejected(self, tmp_path):
+        path = tmp_path / "dupitems.json"
+        path.write_text(
+            '{"item_names": ["g1", "g1"], "class_names": ["a"],'
+            ' "samples": [[0]], "labels": [0]}'
+        )
+        with pytest.raises(DatasetError, match="duplicate item name.*g1"):
+            load_relational_json(path)
+
+    def test_sample_label_count_mismatch(self, tmp_path):
+        path = tmp_path / "mismatch.json"
+        path.write_text(
+            '{"item_names": ["g1"], "class_names": ["a"],'
+            ' "samples": [[0], [0]], "labels": [0]}'
+        )
+        with pytest.raises(DatasetError, match="2 samples but 1 labels"):
             load_relational_json(path)

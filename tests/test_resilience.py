@@ -1,0 +1,429 @@
+"""Recovery matrix for the fault-tolerant experiment runtime.
+
+Every promised recovery path is exercised with deterministic fault
+injection (:mod:`repro.testing.faults`): crash → retry → success, crash
+exhausting retries → DNF, hang → timeout → DNF, corrupt payload →
+validation → retry, kill-and-resume via the checkpoint journal, corrupted
+journal lines, and resource-budget exhaustion inside the miners.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datasets.profiles import DatasetProfile
+from repro.datasets.synthetic import generate_expression_data
+from repro.errors import (
+    CandidateBudgetExceeded,
+    JournalError,
+    RuleBudgetExceeded,
+    TaskTimeout,
+    WorkerCrashed,
+)
+from repro.evaluation.crossval import TrainingSize, make_test
+from repro.evaluation.journal import (
+    ResultJournal,
+    result_from_dict,
+    result_key,
+    result_to_dict,
+)
+from repro.evaluation.resilience import (
+    RetryPolicy,
+    multiprocessing_available,
+    supervised_map,
+)
+from repro.evaluation.runners import BSTCRunner, TopkRCBTRunner, run_tests
+from repro.evaluation.timing import Budget, engine_counters
+from repro.testing.faults import CORRUPT_PAYLOAD, FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.faults
+
+needs_mp = pytest.mark.skipif(
+    not multiprocessing_available(), reason="multiprocessing unavailable"
+)
+
+#: Fast-failing policy for tests: no backoff sleeps.
+FAST = RetryPolicy(retries=2, backoff=0.0)
+
+
+def _square(x):
+    return x * x
+
+
+def _tag_parallel(x):
+    return "parallel"
+
+
+def _tag_serial(x):
+    return "serial"
+
+
+def _dnf_fallback(index, payload, failure, attempts, error):
+    return ("DNF", failure, attempts, error)
+
+
+@pytest.fixture(scope="module")
+def cv_tests():
+    profile = DatasetProfile(
+        name="TINY",
+        long_name="Tiny synthetic",
+        n_genes=60,
+        class_labels=("pos", "neg"),
+        class_counts=(14, 12),
+        given_training=(9, 8),
+        informative_fraction=0.2,
+        effect_size=2.2,
+    )
+    data = generate_expression_data(profile, seed=1)
+    size = TrainingSize("60%", fraction=0.6)
+    return [make_test(data, size, i, "TINY") for i in range(4)]
+
+
+def _comparable(result):
+    """Everything about a TestResult except wall-clock phase timings."""
+    return (
+        result.classifier,
+        result.size_label,
+        result.test_index,
+        result.accuracy,
+        result.notes,
+        tuple((p.name, p.finished) for p in result.phases),
+    )
+
+
+# ----------------------------------------------------------------------
+# supervised_map: the serial state machine
+# ----------------------------------------------------------------------
+
+
+class TestSupervisedSerial:
+    def test_plain_map_preserves_order(self):
+        outcomes = supervised_map(_square, [1, 2, 3], policy=FAST)
+        assert [o.value for o in outcomes] == [1, 4, 9]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_empty_payloads(self):
+        assert supervised_map(_square, [], policy=FAST) == []
+
+    def test_crash_then_retry_then_success(self):
+        plan = FaultPlan([FaultSpec(1, "error", attempts=1)])
+        engine_counters.reset()
+        outcomes = supervised_map(
+            _square, [1, 2, 3], policy=FAST, fault_plan=plan
+        )
+        assert [o.value for o in outcomes] == [1, 4, 9]
+        assert outcomes[1].ok and outcomes[1].attempts == 2
+        assert engine_counters.get("resilience_crashed") == 1
+        assert engine_counters.get("resilience_retries") == 1
+        assert engine_counters.get("resilience_degraded") == 0
+
+    def test_crash_exhausting_retries_degrades(self):
+        plan = FaultPlan([FaultSpec(0, "error", attempts=10)])
+        engine_counters.reset()
+        outcomes = supervised_map(
+            _square, [5], policy=FAST, fault_plan=plan, fallback=_dnf_fallback
+        )
+        (outcome,) = outcomes
+        assert not outcome.ok
+        assert outcome.failure == "crashed"
+        assert outcome.attempts == 3  # 1 + 2 retries
+        assert outcome.value[0] == "DNF"
+        assert "injected error" in outcome.error
+        assert engine_counters.get("resilience_degraded") == 1
+
+    def test_hang_is_not_retried(self):
+        plan = FaultPlan([FaultSpec(0, "hang")])
+        outcomes = supervised_map(
+            _square, [5], policy=FAST, fault_plan=plan, fallback=_dnf_fallback
+        )
+        (outcome,) = outcomes
+        assert outcome.failure == "timeout"
+        assert outcome.attempts == 1  # timeouts are terminal by default
+
+    def test_hang_retried_when_opted_in(self):
+        plan = FaultPlan([FaultSpec(0, "hang", attempts=1)])
+        policy = RetryPolicy(retries=2, backoff=0.0, retry_timeouts=True)
+        outcomes = supervised_map(_square, [5], policy=policy, fault_plan=plan)
+        assert outcomes[0].ok and outcomes[0].attempts == 2
+
+    def test_corrupt_payload_caught_by_validation(self):
+        plan = FaultPlan([FaultSpec(0, "corrupt", attempts=1)])
+        engine_counters.reset()
+        outcomes = supervised_map(
+            _square,
+            [5],
+            policy=FAST,
+            fault_plan=plan,
+            validate=lambda v: v != CORRUPT_PAYLOAD,
+        )
+        assert outcomes[0].ok and outcomes[0].value == 25
+        assert outcomes[0].attempts == 2
+        assert engine_counters.get("resilience_corrupt") == 1
+
+    def test_no_fallback_raises_typed_error(self):
+        plan = FaultPlan([FaultSpec(0, "error", attempts=10)])
+        with pytest.raises(WorkerCrashed):
+            supervised_map(_square, [5], policy=FAST, fault_plan=plan)
+        plan = FaultPlan([FaultSpec(0, "hang")])
+        with pytest.raises(TaskTimeout):
+            supervised_map(_square, [5], policy=FAST, fault_plan=plan)
+
+    def test_force_serial_env_overrides_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_SERIAL", "1")
+        assert not multiprocessing_available()
+        outcomes = supervised_map(
+            _tag_parallel,
+            [0, 1, 2],
+            n_jobs=3,
+            policy=FAST,
+            serial_worker=_tag_serial,
+        )
+        assert [o.value for o in outcomes] == ["serial"] * 3
+
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy(retries=3, backoff=0.1)
+        assert [policy.delay(a) for a in (1, 2, 3)] == [0.1, 0.2, 0.4]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(task_timeout=0.0)
+
+
+# ----------------------------------------------------------------------
+# supervised_map: the real process pool
+# ----------------------------------------------------------------------
+
+
+@needs_mp
+class TestSupervisedParallel:
+    def test_crash_retry_success(self):
+        plan = FaultPlan([FaultSpec(0, "crash", attempts=1)])
+        outcomes = supervised_map(
+            _square, [3, 4], n_jobs=2, policy=FAST, fault_plan=plan
+        )
+        assert [o.value for o in outcomes] == [9, 16]
+        assert outcomes[0].attempts == 2
+
+    def test_one_crasher_one_hanger_rest_finish(self):
+        """The acceptance scenario: a crashing worker and a hanging task
+        degrade to DNF stand-ins; every other task completes normally."""
+        plan = FaultPlan(
+            [
+                FaultSpec(1, "crash", attempts=10),
+                FaultSpec(2, "hang", hang_seconds=60.0),
+            ]
+        )
+        policy = RetryPolicy(retries=1, backoff=0.0, task_timeout=5.0)
+        outcomes = supervised_map(
+            _square,
+            [1, 2, 3, 4],
+            n_jobs=4,
+            policy=policy,
+            fault_plan=plan,
+            fallback=_dnf_fallback,
+        )
+        assert outcomes[0].ok and outcomes[0].value == 1
+        assert outcomes[3].ok and outcomes[3].value == 16
+        assert outcomes[1].failure == "crashed"
+        assert "exit code 23" in outcomes[1].error
+        assert outcomes[2].failure == "timeout"
+        assert "killed after" in outcomes[2].error
+
+
+# ----------------------------------------------------------------------
+# run_tests: degradation, journaling, resume
+# ----------------------------------------------------------------------
+
+
+class TestRunTestsRecovery:
+    def test_degraded_fold_is_dnf_record(self, cv_tests):
+        runner = BSTCRunner()
+        plan = FaultPlan([FaultSpec(1, "error", attempts=10)])
+        policy = RetryPolicy(retries=1, backoff=0.0)
+        results = run_tests(runner, cv_tests, policy=policy, fault_plan=plan)
+        baseline = run_tests(runner, cv_tests)
+        assert len(results) == len(cv_tests)
+        degraded = results[1]
+        assert degraded.dnf and degraded.accuracy is None
+        assert degraded.classifier == "BSTC"
+        assert degraded.test_index == cv_tests[1].index
+        assert "degraded to DNF: worker crashed after 2 attempt(s)" in degraded.notes
+        assert degraded.phases[0].name == "bstc"
+        for pos in (0, 2, 3):
+            assert _comparable(results[pos]) == _comparable(baseline[pos])
+
+    def test_journal_then_resume_bit_identical(self, cv_tests, tmp_path):
+        """A study killed halfway and resumed matches an uninterrupted run."""
+        runner = BSTCRunner()
+        baseline = run_tests(runner, cv_tests)
+
+        journal = ResultJournal(tmp_path / "study.jsonl")
+        # "Kill at 50%": only the first half of the tests ever ran.
+        run_tests(runner, cv_tests[:2], journal=journal)
+        assert len(journal.load_results()) == 2
+
+        engine_counters.reset()
+        resumed = run_tests(runner, cv_tests, journal=journal, resume=True)
+        assert engine_counters.get("journal_skips") == 2
+        assert engine_counters.get("journal_appends") == 2
+        assert [_comparable(r) for r in resumed] == [
+            _comparable(r) for r in baseline
+        ]
+        # Replayed entries carry their recorded timings verbatim.
+        stored = journal.load_results()
+        for replayed in resumed[:2]:
+            recorded = stored[result_key(replayed)]
+            assert replayed.phases == recorded.phases
+
+    def test_degraded_results_never_journaled(self, cv_tests, tmp_path):
+        runner = BSTCRunner()
+        journal = ResultJournal(tmp_path / "study.jsonl")
+        plan = FaultPlan([FaultSpec(0, "error", attempts=10)])
+        policy = RetryPolicy(retries=0, backoff=0.0)
+        results = run_tests(
+            runner,
+            cv_tests[:2],
+            policy=policy,
+            journal=journal,
+            fault_plan=plan,
+        )
+        assert results[0].dnf
+        stored = journal.load_results()
+        assert result_key(results[0]) not in stored
+        assert result_key(results[1]) in stored
+        # A resume without the fault re-runs the degraded fold for real.
+        resumed = run_tests(runner, cv_tests[:2], journal=journal, resume=True)
+        assert resumed[0].accuracy is not None
+
+    def test_resume_with_corrupted_journal_fails_loudly(self, cv_tests, tmp_path):
+        runner = BSTCRunner()
+        journal = ResultJournal(tmp_path / "study.jsonl")
+        run_tests(runner, cv_tests[:1], journal=journal)
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"classifier": "BSTC", "trunc\n')
+        with pytest.raises(JournalError, match=r"study\.jsonl:2: corrupted"):
+            run_tests(runner, cv_tests, journal=journal, resume=True)
+
+    @needs_mp
+    def test_parallel_study_with_faults_matches_serial(self, cv_tests):
+        """Parallel + crash-retry recovery reproduces the serial results."""
+        runner = BSTCRunner()
+        baseline = run_tests(runner, cv_tests)
+        plan = FaultPlan([FaultSpec(2, "crash", attempts=1)])
+        results = run_tests(
+            runner, cv_tests, n_jobs=2, policy=FAST, fault_plan=plan
+        )
+        assert [_comparable(r) for r in results] == [
+            _comparable(r) for r in baseline
+        ]
+
+    @needs_mp
+    def test_counters_merge_once_despite_retry(self, cv_tests):
+        """A retried fold's engine counters are merged exactly once."""
+        from repro.core.fast import clear_evaluator_cache
+
+        def deterministic(snapshot):
+            return {
+                name: value
+                for name, value in snapshot.items()
+                if not name.startswith("resilience_")
+                and not name.endswith("_seconds")
+            }
+
+        runner = BSTCRunner()
+        clear_evaluator_cache()
+        engine_counters.reset()
+        run_tests(runner, cv_tests[:2], n_jobs=2, policy=FAST)
+        clean = deterministic(engine_counters.snapshot())
+
+        plan = FaultPlan([FaultSpec(0, "crash", attempts=1)])
+        clear_evaluator_cache()
+        engine_counters.reset()
+        run_tests(runner, cv_tests[:2], n_jobs=2, policy=FAST, fault_plan=plan)
+        retried = deterministic(engine_counters.snapshot())
+        assert retried == clean
+
+
+# ----------------------------------------------------------------------
+# Resource budgets
+# ----------------------------------------------------------------------
+
+
+class TestResourceBudgets:
+    def test_rule_group_cap(self):
+        budget = Budget(max_rule_groups=2)
+        budget.charge_rules()
+        budget.charge_rules()
+        with pytest.raises(RuleBudgetExceeded) as exc_info:
+            budget.charge_rules()
+        assert exc_info.value.reason == "rule_groups"
+
+    def test_candidate_cap(self):
+        budget = Budget(max_candidates=4)
+        budget.observe_candidates(4)
+        with pytest.raises(CandidateBudgetExceeded) as exc_info:
+            budget.observe_candidates(5)
+        assert exc_info.value.reason == "candidates"
+
+    def test_restart_resets_rule_charges(self):
+        budget = Budget(max_rule_groups=1)
+        budget.charge_rules()
+        budget.restart()
+        budget.charge_rules()  # does not raise
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            Budget(max_rule_groups=0)
+        with pytest.raises(ValueError):
+            Budget(max_candidates=0)
+
+    def test_topk_rule_budget_exhaustion_is_dnf(self, cv_tests):
+        runner = TopkRCBTRunner(
+            k=3, min_support=0.6, nl=3, max_rule_groups=1
+        )
+        result = runner.run(cv_tests[0])
+        assert result.dnf and result.accuracy is None
+        assert result.notes == "topk DNF (rule_groups)"
+        # Resource DNFs record elapsed time, not the wall-clock cutoff.
+        assert result.phases[0].seconds < 1.0
+
+    def test_topk_candidate_budget_exhaustion_is_dnf(self, cv_tests):
+        runner = TopkRCBTRunner(
+            k=3, min_support=0.6, nl=3, max_candidates=2
+        )
+        result = runner.run(cv_tests[0])
+        assert result.dnf
+        assert result.notes == "topk DNF (candidates)"
+
+
+# ----------------------------------------------------------------------
+# Journal format
+# ----------------------------------------------------------------------
+
+
+class TestJournalFormat:
+    def test_roundtrip(self, cv_tests):
+        result = BSTCRunner().run(cv_tests[0])
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert ResultJournal(tmp_path / "nope.jsonl").load_results() == {}
+
+    def test_last_write_wins_on_duplicate_keys(self, cv_tests, tmp_path):
+        journal = ResultJournal(tmp_path / "study.jsonl")
+        first = BSTCRunner().run(cv_tests[0])
+        rerun = BSTCRunner(cutoff=1e-9).run(cv_tests[0])  # same key, DNF
+        journal.append(first)
+        journal.append(rerun)
+        stored = journal.load_results()
+        assert stored[result_key(first)] == rerun
+
+    def test_corrupt_line_names_file_and_line(self, tmp_path):
+        journal = ResultJournal(tmp_path / "study.jsonl")
+        journal.path.write_text('not json\n', encoding="utf-8")
+        with pytest.raises(JournalError, match=r"study\.jsonl:1"):
+            journal.load_results()
