@@ -77,14 +77,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "append each completed CV test result to this JSONL checkpoint"
             " journal as it lands, so an interrupted study loses at most the"
-            " fold in flight"
+            " fold in flight; records are keyed per dataset and config, so"
+            " one journal can back 'run all'"
         ),
     )
     run.add_argument(
         "--resume",
         action="store_true",
         help=(
-            "skip tests already present in the --journal checkpoint; the"
+            "skip tests already present in the --journal checkpoint (only"
+            " those journaled under the same dataset and config); the"
             " resumed study is bit-identical to an uninterrupted run"
         ),
     )

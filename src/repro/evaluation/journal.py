@@ -3,13 +3,23 @@
 A multi-hour study killed at 90% used to lose everything.  The journal fixes
 that with an append-only JSONL file: every completed
 :class:`~repro.evaluation.crossval.TestResult` is serialized and flushed as
-it lands, keyed on ``(classifier, size_label, test_index)``.  On restart
-with ``resume``, :func:`repro.evaluation.runners.run_tests` skips every
-journaled key and splices the stored results back in at their positions —
-and because each test's split and discretization derive from
-``derive_seed(dataset, size, index)``, the resumed study is bit-identical
-to an uninterrupted run (wall-clock timings of the replayed entries aside,
-which are replayed as recorded).
+it lands, keyed on ``(scope, classifier, size_label, test_index)``.  The
+``scope`` string carries the identity the result itself cannot: the dataset
+name and a fingerprint of the experiment configuration (scale, seed, engine,
+cutoffs, resource caps, effective ``nl``, ...) — without it, the size labels
+(``40%``/``60%``/``80%``) collide across datasets, and one journal shared by
+``run all`` would splice a result computed for dataset ALL into the LC/PC/OC
+studies (or across config changes) on resume.  The experiment drivers build
+scopes with :meth:`~repro.experiments.base.ExperimentConfig.journal_scope`;
+records from a different dataset or config never match and are simply left
+untouched in the file.
+
+On restart with ``resume``, :func:`repro.evaluation.runners.run_tests` skips
+every journaled key (within the active scope) and splices the stored results
+back in at their positions — and because each test's split and
+discretization derive from ``derive_seed(dataset, size, index)``, the
+resumed study is bit-identical to an uninterrupted run (wall-clock timings
+of the replayed entries aside, which are replayed as recorded).
 
 Only genuine results are journaled.  Degraded records from the supervised
 pool (worker crash/timeout stand-ins) are *not* checkpointed, so a resume
@@ -32,17 +42,20 @@ from .crossval import PhaseRecord, TestResult
 
 PathLike = Union[str, "os.PathLike[str]"]
 
-#: ``(classifier, size_label, test_index)`` — one result's identity.
-ResultKey = Tuple[str, str, int]
+#: ``(scope, classifier, size_label, test_index)`` — one result's identity.
+#: ``scope`` is the dataset/config fingerprint the study driver runs under
+#: (empty for bare ``run_tests`` calls outside an experiment).
+ResultKey = Tuple[str, str, str, int]
 
 
-def result_key(result: TestResult) -> ResultKey:
-    return (result.classifier, result.size_label, result.test_index)
+def result_key(result: TestResult, scope: str = "") -> ResultKey:
+    return (scope, result.classifier, result.size_label, result.test_index)
 
 
-def result_to_dict(result: TestResult) -> dict:
+def result_to_dict(result: TestResult, scope: str = "") -> dict:
     """A JSON-serializable rendering of one test result."""
     return {
+        "scope": scope,
         "classifier": result.classifier,
         "size_label": result.size_label,
         "test_index": result.test_index,
@@ -89,9 +102,9 @@ class ResultJournal:
     def exists(self) -> bool:
         return self.path.exists()
 
-    def append(self, result: TestResult) -> None:
-        """Durably append one completed result."""
-        line = json.dumps(result_to_dict(result), separators=(",", ":"))
+    def append(self, result: TestResult, scope: str = "") -> None:
+        """Durably append one completed result under ``scope``."""
+        line = json.dumps(result_to_dict(result, scope), separators=(",", ":"))
         try:
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
@@ -104,7 +117,9 @@ class ResultJournal:
         """All journaled results, keyed for resume lookups.
 
         Later lines win on duplicate keys (a re-run fold supersedes its
-        earlier record).  Raises :class:`JournalError` on any unparsable
+        earlier record).  Records journaled under a different scope keep
+        their own keys, so one file can hold several datasets/configs
+        without collisions.  Raises :class:`JournalError` on any unparsable
         line, naming the file and line number.
         """
         results: Dict[ResultKey, TestResult] = {}
@@ -124,5 +139,5 @@ class ResultJournal:
                 raise JournalError(
                     f"{self.path}:{line_no}: corrupted journal line ({exc})"
                 ) from exc
-            results[result_key(result)] = result
+            results[result_key(result, str(payload.get("scope", "")))] = result
         return results

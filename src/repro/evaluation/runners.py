@@ -88,11 +88,18 @@ def degraded_result(
     """
     phase = getattr(runner, "dnf_phase", runner.name.lower())
     if failure == "timeout":
-        seconds = policy.task_timeout
-        note = (
-            f"degraded to DNF: worker killed after"
-            f" {policy.task_timeout:.4g}s task timeout"
-        )
+        # Serial-mode timeouts (injected hangs, cooperative fallback) can
+        # fire with task_timeout=inf; record 0.0 rather than leaking a
+        # non-finite runtime into the study aggregates.
+        if math.isfinite(policy.task_timeout):
+            seconds = policy.task_timeout
+            note = (
+                f"degraded to DNF: worker killed after"
+                f" {policy.task_timeout:.4g}s task timeout"
+            )
+        else:
+            seconds = 0.0
+            note = f"degraded to DNF: worker timed out ({error})"
     else:
         seconds = 0.0
         note = (
@@ -117,6 +124,7 @@ def run_tests(
     policy: Optional[RetryPolicy] = None,
     journal: Optional[ResultJournal] = None,
     resume: bool = False,
+    journal_scope: str = "",
     fault_plan: Optional[FaultPlan] = None,
 ) -> List[TestResult]:
     """Run one classifier over materialized CV tests under supervision.
@@ -137,10 +145,14 @@ def run_tests(
 
     With a ``journal``, each completed result is appended to the JSONL
     checkpoint as it lands; with ``resume`` as well, tests whose
-    ``(classifier, size_label, test_index)`` key is already journaled are
-    spliced back in from the checkpoint instead of re-run — bit-identical to
-    an uninterrupted run.  Degraded DNF stand-ins are never journaled, so a
-    resume retries those folds.
+    ``(journal_scope, classifier, size_label, test_index)`` key is already
+    journaled are spliced back in from the checkpoint instead of re-run —
+    bit-identical to an uninterrupted run.  ``journal_scope`` carries the
+    identity the result itself lacks (dataset + config fingerprint, see
+    :meth:`~repro.experiments.base.ExperimentConfig.journal_scope`); records
+    journaled under a different scope are never spliced in, so one journal
+    can back several datasets/configs without cross-contamination.  Degraded
+    DNF stand-ins are never journaled, so a resume retries those folds.
     """
     policy = policy or RetryPolicy()
     results: List[Optional[TestResult]] = [None] * len(tests)
@@ -149,7 +161,7 @@ def run_tests(
         stored = journal.load_results()
         todo = []
         for pos, test in enumerate(tests):
-            key = (runner.name, test.size.label, test.index)
+            key = (journal_scope, runner.name, test.size.label, test.index)
             if key in stored:
                 results[pos] = stored[key]
                 engine_counters.increment("journal_skips")
@@ -165,7 +177,7 @@ def run_tests(
         if snapshot is not None:
             engine_counters.merge(snapshot)
         if journal is not None:
-            journal.append(result)
+            journal.append(result, journal_scope)
             engine_counters.increment("journal_appends")
 
     def fallback(

@@ -92,6 +92,41 @@ class ExperimentConfig:
         """The checkpoint journal, or ``None`` when checkpointing is off."""
         return ResultJournal(self.journal) if self.journal else None
 
+    def journal_scope(self, dataset_name: str, nl: Optional[int] = None) -> str:
+        """The journal scope string for one dataset under this config.
+
+        Journal keys must carry identity the ``TestResult`` itself lacks:
+        size labels repeat across every dataset profile and ``run all``
+        shares one journal across experiments, so without the dataset name
+        a resume would splice dataset ALL's results into the LC/PC/OC
+        studies.  The fingerprint also pins every knob that shapes fold
+        results (scale, seed, n_tests, engine, arithmetization, cutoffs,
+        resource caps) so a journal written under one config is never
+        resumed under another.  ``n_jobs`` and the retry knobs are absent
+        for the same reason they are absent from the study cache key:
+        supervised-parallel and serial runs produce identical results.
+
+        ``nl`` is the *effective* RCBT ``nl`` of the run being journaled —
+        the paper's lowered-nl dagger retry passes ``nl=2`` here so its
+        folds get their own keys and a resume can never splice the nl=20
+        DNF records back in place of the retried results.
+        """
+        parts = [
+            dataset_name,
+            f"scale={self.scale}",
+            f"n_tests={self.n_tests}",
+            f"seed={self.seed}",
+            f"topk_cutoff={self.topk_cutoff:g}",
+            f"rcbt_cutoff={self.rcbt_cutoff:g}",
+            f"engine={self.engine}",
+            f"arith={self.arithmetization}",
+            f"max_rule_groups={self.max_rule_groups}",
+            f"max_candidates={self.max_candidates}",
+        ]
+        if nl is not None:
+            parts.append(f"nl={nl}")
+        return "|".join(parts)
+
 
 @dataclass
 class ExperimentResult:

@@ -79,11 +79,17 @@ def run_cv_study(
     bstc = BSTCRunner(
         arithmetization=config.arithmetization, engine=config.engine
     )
+    # Journal keys are scoped to (dataset, config fingerprint) — and, for
+    # RCBT, the effective nl — so one journal shared across `run all`
+    # never splices another dataset's (or another nl's) records on resume.
+    bstc_scope = config.journal_scope(prof.name)
     for size in sizes:
         tests: List[CVTest] = make_tests(
             data, size, config.n_tests, prof.name, n_jobs=config.n_jobs
         )
-        for result in run_tests(bstc, tests, **run_kwargs):
+        for result in run_tests(
+            bstc, tests, journal_scope=bstc_scope, **run_kwargs
+        ):
             study.add(result)
         if not include_rcbt:
             continue
@@ -94,7 +100,12 @@ def run_cv_study(
             max_rule_groups=config.max_rule_groups,
             max_candidates=config.max_candidates,
         )
-        results = run_tests(rcbt, tests, **run_kwargs)
+        results = run_tests(
+            rcbt,
+            tests,
+            journal_scope=config.journal_scope(prof.name, nl=config.rcbt_nl),
+            **run_kwargs,
+        )
         # Paper protocol: when RCBT finished no test of a size at the default
         # nl, lower nl to 2 and retry that size (marked with a dagger).
         rcbt_attempted = [r for r in results if r.phase_finished("rcbt") is not None]
@@ -109,7 +120,16 @@ def run_cv_study(
                 max_rule_groups=config.max_rule_groups,
                 max_candidates=config.max_candidates,
             )
-            results = run_tests(lowered, tests, **run_kwargs)
+            # The retry journals under nl=2 — distinct keys from the nl=20
+            # DNF records above, so a resumed study recomputes (or splices
+            # previously retried) nl=2 folds instead of fossilizing the
+            # nl=20 DNFs.
+            results = run_tests(
+                lowered,
+                tests,
+                journal_scope=config.journal_scope(prof.name, nl=2),
+                **run_kwargs,
+            )
         for result in results:
             study.add(result)
     _CACHE[key] = study

@@ -86,6 +86,65 @@ class TestCVExperiments:
         assert result4.headers[:3] == ["Training", "BSTC", "Top-k"]
 
 
+class TestJournalScope:
+    def test_scope_pins_dataset_and_config(self):
+        scope = FAST.journal_scope("ALL")
+        assert scope.startswith("ALL|")
+        assert scope != FAST.journal_scope("LC")
+        reseeded = ExperimentConfig(
+            n_tests=2, topk_cutoff=3.0, rcbt_cutoff=3.0, forest_trees=10,
+            seed=99,
+        )
+        assert reseeded.journal_scope("ALL") != scope
+
+    def test_scope_ignores_resilience_knobs(self):
+        # Parallel/retry/journal knobs don't shape fold results, so a
+        # serial journal resumes a parallel run (and vice versa).
+        parallel = ExperimentConfig(
+            n_tests=2, topk_cutoff=3.0, rcbt_cutoff=3.0, forest_trees=10,
+            n_jobs=2, retries=5,
+        )
+        assert parallel.journal_scope("ALL") == FAST.journal_scope("ALL")
+
+    def test_scope_distinguishes_effective_nl(self):
+        assert FAST.journal_scope("ALL", nl=20) != FAST.journal_scope("ALL", nl=2)
+        assert FAST.journal_scope("ALL", nl=20) != FAST.journal_scope("ALL")
+
+    def test_study_journal_scopes_records_by_dataset(self, tmp_path):
+        """One journal backing two datasets keeps their records apart and
+        resumes each study from its own keys only."""
+        from repro.evaluation.journal import ResultJournal
+
+        clear_study_cache()
+        path = str(tmp_path / "all.jsonl")
+        cfg = ExperimentConfig(
+            n_tests=1, topk_cutoff=3.0, rcbt_cutoff=3.0, journal=path
+        )
+        first = run_cv_study("ALL", cfg, include_rcbt=False)
+        run_cv_study("LC", cfg, include_rcbt=False)
+        stored = ResultJournal(path).load_results()
+        scopes = {key[0] for key in stored}
+        assert scopes == {
+            cfg.journal_scope(cfg.profile("ALL").name),
+            cfg.journal_scope(cfg.profile("LC").name),
+        }
+
+        # Resuming the ALL study splices exactly its own records back.
+        clear_study_cache()
+        resumed_cfg = ExperimentConfig(
+            n_tests=1, topk_cutoff=3.0, rcbt_cutoff=3.0, journal=path,
+            resume=True,
+        )
+        resumed = run_cv_study("ALL", resumed_cfg, include_rcbt=False)
+        assert [
+            (r.classifier, r.size_label, r.test_index, r.accuracy, r.phases)
+            for r in resumed.results
+        ] == [
+            (r.classifier, r.size_label, r.test_index, r.accuracy, r.phases)
+            for r in first.results
+        ]
+
+
 class TestComplexity:
     def test_complexity_driver(self):
         result = run_experiment("complexity", FAST)

@@ -299,6 +299,84 @@ class TestRunTestsRecovery:
         resumed = run_tests(runner, cv_tests[:2], journal=journal, resume=True)
         assert resumed[0].accuracy is not None
 
+    def test_resume_only_splices_matching_scope(self, cv_tests, tmp_path):
+        """Records journaled under another scope (a different dataset or
+        config) are never spliced in on resume."""
+        runner = BSTCRunner()
+        journal = ResultJournal(tmp_path / "study.jsonl")
+        run_tests(runner, cv_tests[:2], journal=journal, journal_scope="ALL|a")
+
+        engine_counters.reset()
+        resumed = run_tests(
+            runner,
+            cv_tests[:2],
+            journal=journal,
+            resume=True,
+            journal_scope="LC|a",
+        )
+        assert engine_counters.get("journal_skips") == 0
+        assert all(r.accuracy is not None for r in resumed)
+        # Both scopes now coexist in the one file, each under its own keys.
+        stored = journal.load_results()
+        for test in cv_tests[:2]:
+            assert ("ALL|a", "BSTC", test.size.label, test.index) in stored
+            assert ("LC|a", "BSTC", test.size.label, test.index) in stored
+        # A same-scope resume splices everything back.
+        engine_counters.reset()
+        run_tests(
+            runner,
+            cv_tests[:2],
+            journal=journal,
+            resume=True,
+            journal_scope="ALL|a",
+        )
+        assert engine_counters.get("journal_skips") == 2
+
+    def test_lowered_nl_retry_not_defeated_by_resume(self, cv_tests, tmp_path):
+        """The dagger retry's nl=2 folds journal under their own scope, so
+        resume can never splice the nl=20 DNF records in their place."""
+        from repro.experiments.base import ExperimentConfig
+
+        config = ExperimentConfig(
+            journal=str(tmp_path / "study.jsonl"), resume=True
+        )
+        journal = config.result_journal()
+        # The nl=20 pass DNFs every fold (genuine budget DNFs, journaled).
+        dnf = TopkRCBTRunner(nl=20, topk_cutoff=1e-9)
+        scope_20 = config.journal_scope("TINY", nl=20)
+        results = run_tests(
+            dnf, cv_tests[:2], journal=journal, resume=True,
+            journal_scope=scope_20,
+        )
+        assert all(r.dnf for r in results)
+        # The retry resumes under the nl=2 scope: nothing matches, every
+        # fold genuinely re-runs (journal_skips would count splices).
+        lowered = TopkRCBTRunner(nl=2)
+        scope_2 = config.journal_scope("TINY", nl=2)
+        assert scope_2 != scope_20
+        engine_counters.reset()
+        retried = run_tests(
+            lowered, cv_tests[:2], journal=journal, resume=True,
+            journal_scope=scope_2,
+        )
+        assert engine_counters.get("journal_skips") == 0
+        assert all(not r.dnf for r in retried)
+        assert all(r.notes == "nl=2" for r in retried)
+
+    def test_serial_timeout_with_infinite_policy_records_finite_seconds(
+        self, cv_tests
+    ):
+        """An injected hang under the default task_timeout=inf must not
+        leak seconds=inf into the degraded DNF record."""
+        runner = BSTCRunner()
+        plan = FaultPlan([FaultSpec(0, "hang")])
+        results = run_tests(runner, cv_tests[:1], fault_plan=plan)
+        (degraded,) = results
+        assert degraded.dnf
+        assert math.isfinite(degraded.phases[0].seconds)
+        assert degraded.phases[0].seconds == 0.0
+        assert "infs" not in degraded.notes
+
     def test_resume_with_corrupted_journal_fails_loudly(self, cv_tests, tmp_path):
         runner = BSTCRunner()
         journal = ResultJournal(tmp_path / "study.jsonl")
