@@ -4,8 +4,16 @@ These complement the one-shot experiment benchmarks: BST construction, the
 two BSTCE engines (per-query and batched), Top-k node throughput, and
 entropy discretization, all on the scaled ALL profile's given-training
 split.
+
+The ``test_bitset_*_speedup`` pair gates the packed-bitset substrate: the
+set-based reference implementations the kernel replaced are kept here, the
+outputs are cross-checked bit for bit (always gating), and the packed path
+must run >= 5x faster.  Setting ``REPRO_BENCH_SMOKE`` relaxes only the
+timing assertion (shared CI runners make wall-clock ratios flaky); the
+bit-identity check still fails the run.
 """
 
+import os
 import time
 
 import numpy as np
@@ -20,6 +28,8 @@ from repro.datasets.discretize import EntropyDiscretizer
 from repro.datasets.profiles import scaled
 from repro.datasets.splits import given_training_split
 from repro.datasets.synthetic import generate_expression_data
+
+BENCH_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
 
 @pytest.fixture(scope="module")
@@ -128,3 +138,138 @@ def test_topk_mining(benchmark, pipeline):
         lambda: TopkMiner(rel_train, 0, k=5, min_support=0.8).mine()
     )
     assert isinstance(groups, list)
+
+
+# ----------------------------------------------------------------------
+# Packed-bitset substrate vs the set-based reference it replaced
+# ----------------------------------------------------------------------
+
+# Microarray-scale incidence: thousands of genes, a few thousand samples,
+# dense rows — the regime the paper's scalability study (Tables 4/6) runs
+# in and where support counting/closures dominate mining time.  (The
+# pipeline fixture's discretized split is only ~20x60, far too small for a
+# kernel-vs-interpreter comparison: numpy dispatch overhead would drown
+# the signal.)
+_KERNEL_ROWS, _KERNEL_COLS, _KERNEL_DENSITY = 2500, 5000, 0.5
+
+
+@pytest.fixture(scope="module")
+def kernel_workload():
+    from repro.core.bitset import BitMatrix
+
+    rng = np.random.default_rng(0)
+    dense = rng.random((_KERNEL_ROWS, _KERNEL_COLS)) < _KERNEL_DENSITY
+    rows_matrix = BitMatrix.from_bool(dense)
+    columns_matrix = rows_matrix.transpose()
+    row_sets = [
+        frozenset(np.flatnonzero(dense[i]).tolist())
+        for i in range(_KERNEL_ROWS)
+    ]
+    column_sets = [
+        frozenset(np.flatnonzero(dense[:, j]).tolist())
+        for j in range(_KERNEL_COLS)
+    ]
+    return rows_matrix, columns_matrix, row_sets, column_sets
+
+
+def _set_reduce_and(reference_sets, selection, universe_size):
+    """The pre-bitset support/closure computation: chained frozenset
+    intersection (this is the reference the kernel replaced)."""
+    result = None
+    for index in selection:
+        members = reference_sets[index]
+        result = members if result is None else result & members
+        if not result:
+            break
+    if result is None:
+        return frozenset(range(universe_size))
+    return result
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _speedup_gate(name, packed_seconds, set_seconds):
+    speedup = set_seconds / packed_seconds
+    print(f"\nbitset {name}: {speedup:.1f}x vs frozensets")
+    if not BENCH_SMOKE:
+        assert speedup >= 5.0, (
+            f"packed {name} only {speedup:.2f}x the set reference"
+        )
+
+
+def test_bitset_support_counting_speedup(kernel_workload):
+    """Support counting on packed item columns vs frozenset intersection.
+
+    Cross-check (always gating, even under REPRO_BENCH_SMOKE): both paths
+    report identical support sets for every probed itemset.  Timing gate
+    (smoke-relaxed): the word-wise AND-reduction must run >= 5x faster.
+    """
+    _, columns_matrix, _, column_sets = kernel_workload
+    rng = np.random.default_rng(7)
+    itemsets = [
+        sorted(
+            int(i) for i in rng.choice(_KERNEL_COLS, int(size), replace=False)
+        )
+        for size in rng.integers(2, 6, 300)
+    ]
+
+    packed = [
+        columns_matrix.reduce_and(s).to_frozenset() for s in itemsets
+    ]
+    reference = [
+        _set_reduce_and(column_sets, s, _KERNEL_ROWS) for s in itemsets
+    ]
+    assert packed == reference  # bit-identity gate, never relaxed
+
+    packed_seconds = _best_of(
+        3, lambda: [columns_matrix.reduce_and(s).count() for s in itemsets]
+    )
+    set_seconds = _best_of(
+        3,
+        lambda: [
+            len(_set_reduce_and(column_sets, s, _KERNEL_ROWS))
+            for s in itemsets
+        ],
+    )
+    _speedup_gate("support counting", packed_seconds, set_seconds)
+
+
+def test_bitset_closure_speedup(kernel_workload):
+    """Row closures on packed sample rows vs frozenset intersection.
+
+    The closure (items common to a row subset) is the (MC)²BAR miner's
+    hottest operation; same gating scheme as the support benchmark.
+    """
+    rows_matrix, _, row_sets, _ = kernel_workload
+    rng = np.random.default_rng(8)
+    subsets = [
+        sorted(
+            int(i) for i in rng.choice(_KERNEL_ROWS, int(size), replace=False)
+        )
+        for size in rng.integers(2, 7, 300)
+    ]
+
+    packed = [rows_matrix.reduce_and(rows).to_frozenset() for rows in subsets]
+    reference = [
+        _set_reduce_and(row_sets, rows, _KERNEL_COLS) for rows in subsets
+    ]
+    assert packed == reference  # bit-identity gate, never relaxed
+
+    packed_seconds = _best_of(
+        3, lambda: [rows_matrix.reduce_and(rows).count() for rows in subsets]
+    )
+    set_seconds = _best_of(
+        3,
+        lambda: [
+            len(_set_reduce_and(row_sets, rows, _KERNEL_COLS))
+            for rows in subsets
+        ],
+    )
+    _speedup_gate("closure", packed_seconds, set_seconds)

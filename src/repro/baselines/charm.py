@@ -14,20 +14,21 @@ The implementation uses the four CHARM tidset properties for subsumption:
 * ``t(Xi) ⊃ t(Xj)``: extend Xj by Xi, keep Xi;
 * otherwise both stay.
 
-Tidsets are Python-int bitsets; a closed set is recorded when no superset
-with the same tidset exists.
+Tidsets are packed :class:`~repro.core.bitset.BitSet`\\ s over the
+transaction universe — intersections and support counts are word-wise
+ANDs/popcounts, and closures reduce over the packed transaction rows via
+the same shared kernel the (MC)²BAR and Top-k miners use.  A closed set is
+recorded when no superset with the same tidset exists.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..core.bitset import BitMatrix, BitSet
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
-
-
-def _bit_count(mask: int) -> int:
-    return mask.bit_count()
 
 
 def charm_closed_itemsets(
@@ -52,60 +53,58 @@ def charm_closed_itemsets(
     """
     if min_support_count < 1:
         raise ValueError("min_support_count must be >= 1")
-    tidsets: Dict[int, int] = {}
-    for tid, items in enumerate(transactions):
-        for item in items:
-            tidsets[item] = tidsets.get(item, 0) | (1 << tid)
+    n_items = 1 + max(
+        (max(items) for items in transactions if items), default=-1
+    )
+    # Packed incidence of the transaction relation: rows = transactions over
+    # the item universe, columns = items over the transaction universe.
+    rows_matrix = BitMatrix.from_sets(transactions, n_items)
+    present_items = sorted(
+        {item for items in transactions for item in items}
+    )
+    columns_matrix = rows_matrix.transpose()
 
-    atoms = [
-        (frozenset((item,)), mask)
-        for item, mask in tidsets.items()
-        if _bit_count(mask) >= min_support_count
-    ]
+    atoms = []
+    for item in present_items:
+        tidset = columns_matrix.row(item)
+        if tidset.count() >= min_support_count:
+            atoms.append((frozenset((item,)), tidset))
     # CHARM orders by ascending support: small tidsets first produces more
     # subsumption merges.
-    atoms.sort(key=lambda pair: (_bit_count(pair[1]), tuple(sorted(pair[0]))))
+    atoms.sort(key=lambda pair: (pair[1].count(), tuple(sorted(pair[0]))))
 
-    closed: Dict[int, Tuple[FrozenSet[int], int]] = {}
+    closed: Dict[BitSet, Tuple[FrozenSet[int], BitSet]] = {}
 
-    def closure_of(tidmask: int) -> FrozenSet[int]:
+    def closure_of(tidset: BitSet) -> FrozenSet[int]:
         """The exact closure: items common to every transaction of the
-        tidset.  Recomputing here (rather than trusting the accumulated
-        path itemset) makes recorded patterns closed by construction."""
-        result: Optional[FrozenSet[int]] = None
-        mask = tidmask
-        while mask:
-            low = mask & -mask
-            tid = low.bit_length() - 1
-            mask ^= low
-            items = transactions[tid]
-            result = items if result is None else result & items
-            if not result:
-                break
-        return result if result is not None else frozenset()
+        tidset — one word-wise AND reduction over the packed transaction
+        rows.  Recomputing here (rather than trusting the accumulated path
+        itemset) makes recorded patterns closed by construction."""
+        return rows_matrix.reduce_and(tidset).to_frozenset()
 
-    def record(itemset: FrozenSet[int], tidmask: int) -> None:
-        if tidmask not in closed:
+    def record(itemset: FrozenSet[int], tidset: BitSet) -> None:
+        if tidset not in closed:
             if budget is not None:
                 budget.charge_rules()
-            closed[tidmask] = (closure_of(tidmask), tidmask)
+            closed[tidset] = (closure_of(tidset), tidset)
 
-    def extend(prefix_nodes: List[Tuple[FrozenSet[int], int]]) -> None:
+    def extend(prefix_nodes: List[Tuple[FrozenSet[int], BitSet]]) -> None:
         if budget is not None:
-            # The memory guard: live enumeration nodes plus recorded closed
-            # sets is exactly the candidate state CHARM keeps resident.
+            # One observation per enumeration batch: live nodes plus
+            # recorded closed sets is the candidate state CHARM keeps
+            # resident (children are observed by their own extend call).
             budget.observe_candidates(len(closed) + len(prefix_nodes))
         if max_itemsets is not None and len(closed) >= max_itemsets:
             return
         index = 0
         while index < len(prefix_nodes):
             itemset_i, tid_i = prefix_nodes[index]
-            children: List[Tuple[FrozenSet[int], int]] = []
+            children: List[Tuple[FrozenSet[int], BitSet]] = []
             j = index + 1
             while j < len(prefix_nodes):
                 itemset_j, tid_j = prefix_nodes[j]
                 tid_ij = tid_i & tid_j
-                if _bit_count(tid_ij) < min_support_count:
+                if tid_ij.count() < min_support_count:
                     j += 1
                     continue
                 if tid_ij == tid_i and tid_ij == tid_j:
@@ -131,14 +130,14 @@ def charm_closed_itemsets(
                 j += 1
             if children:
                 children.sort(
-                    key=lambda pair: (_bit_count(pair[1]), tuple(sorted(pair[0])))
+                    key=lambda pair: (pair[1].count(), tuple(sorted(pair[0])))
                 )
                 extend(children)
             record(itemset_i, tid_i)
             index += 1
 
     extend(atoms)
-    return {itemset: _bit_count(mask) for itemset, mask in closed.values()}
+    return {itemset: tidset.count() for itemset, tidset in closed.values()}
 
 
 def closed_itemsets_of_class(
@@ -152,7 +151,5 @@ def closed_itemsets_of_class(
     rows = [dataset.samples[i] for i in dataset.class_members(class_id)]
     if not rows:
         return {}
-    import math
-
     min_count = max(1, math.ceil(min_support * len(rows)))
     return charm_closed_itemsets(rows, min_count, budget=budget)

@@ -15,8 +15,10 @@ work.
 
 Implementation notes:
 
-* sample rows are represented as Python-int bitsets for fast support
-  computation;
+* sample rows and supports are packed :class:`~repro.core.bitset.BitSet`
+  columns over the row universe (the shared kernel the (MC)²BAR and CHARM
+  miners use), so support computation is a word-wise AND reduction over the
+  dataset's item columns;
 * a node is canonical iff every class row in its support set smaller than
   its last selected row was selected — each closed group is then visited
   exactly once (via prefix paths of its sorted support set);
@@ -30,20 +32,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
+from ..core.bitset import BitSet
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
 from ..rules.groups import RuleGroup
-
-
-def _bit_indices(mask: int) -> List[int]:
-    out = []
-    while mask:
-        low = mask & -mask
-        out.append(low.bit_length() - 1)
-        mask ^= low
-    return out
 
 
 @dataclass
@@ -54,13 +48,13 @@ class _MinerState:
     minsup: int
     k: int
     budget: Optional[Budget]
-    item_rows: Dict[int, int]
-    class_mask: int
+    class_mask: BitSet
     # Per class row: the confidences of the best groups covering it so far
     # (ascending, at most k) — drives the dynamic confidence pruning.
     row_thresholds: Dict[int, List[float]] = field(default_factory=dict)
     groups: Dict[FrozenSet[int], RuleGroup] = field(default_factory=dict)
     nodes_visited: int = 0
+    search_depth: int = 0
 
 
 class TopkMiner:
@@ -103,13 +97,6 @@ class TopkMiner:
         if not class_rows:
             return []
         minsup = max(1, math.ceil(self.min_support * len(class_rows)))
-        item_rows: Dict[int, int] = {}
-        for row in range(ds.n_samples):
-            for item in ds.samples[row]:
-                item_rows[item] = item_rows.get(item, 0) | (1 << row)
-        class_mask = 0
-        for row in class_rows:
-            class_mask |= 1 << row
 
         state = _MinerState(
             dataset=ds,
@@ -118,14 +105,19 @@ class TopkMiner:
             minsup=minsup,
             k=self.k,
             budget=self.budget,
-            item_rows=item_rows,
-            class_mask=class_mask,
+            class_mask=ds.class_bits(self.class_id),
         )
         for row in class_rows:
             state.row_thresholds[row] = []
 
+        n = ds.n_samples
         for row in class_rows:
-            self._visit(state, frozenset(ds.samples[row]), 1 << row, row)
+            self._visit(
+                state,
+                frozenset(ds.samples[row]),
+                BitSet.single(n, row),
+                row,
+            )
 
         # Covering union: every group that is in some row's current top-k.
         chosen: Dict[FrozenSet[int], RuleGroup] = {}
@@ -164,33 +156,37 @@ class TopkMiner:
         self,
         state: _MinerState,
         itemset: FrozenSet[int],
-        path_mask: int,
+        path_mask: BitSet,
         last_row: int,
     ) -> None:
         if state.budget is not None:
-            # The row enumeration never materializes a candidate list, so the
-            # visited-node count stands in as its search-size guard.
-            state.budget.observe_candidates(state.nodes_visited)
+            # The row enumeration never materializes a candidate list; its
+            # resident search state is the recorded groups plus the DFS
+            # stack.  Observed once per node expansion (a node is one batch
+            # of child intersections) — never cumulatively, so a candidate
+            # is counted only while it actually exists.
+            state.budget.observe_candidates(
+                len(state.groups) + state.search_depth
+            )
         state.nodes_visited += 1
         if not itemset:
             return
         ds = state.dataset
 
-        support_mask = (1 << ds.n_samples) - 1
-        for item in itemset:
-            support_mask &= state.item_rows[item]
+        # Word-wise AND reduction over the itemset's packed sample columns.
+        support_mask = ds.item_columns.reduce_and(sorted(itemset))
         class_support_mask = support_mask & state.class_mask
 
         # Canonicality (CARPENTER-style): every class-support row at or below
         # the last selected row must itself have been selected, so each
         # closed group is reached exactly once — via the path that picks the
         # leading rows of its sorted support set.
-        below = class_support_mask & ((1 << (last_row + 1)) - 1)
+        below = class_support_mask & BitSet.from_range(ds.n_samples, last_row + 1)
         if below != path_mask:
             return
 
-        class_support = frozenset(_bit_indices(class_support_mask))
-        all_support = frozenset(_bit_indices(support_mask))
+        class_support = class_support_mask.to_frozenset()
+        all_support = support_mask.to_frozenset()
         a = len(class_support)
         b = len(all_support)
         remaining = [r for r in state.class_rows if r > last_row]
@@ -241,9 +237,11 @@ class TopkMiner:
             )
             if upper < needed:
                 return
+        state.search_depth += 1
         for row in remaining:
             child = itemset & ds.samples[row]
-            self._visit(state, child, path_mask | (1 << row), row)
+            self._visit(state, child, path_mask.add(row), row)
+        state.search_depth -= 1
 
 
 def mine_topk_rule_groups(

@@ -9,51 +9,59 @@ the support set, and new candidate supports arise by intersecting visited
 supports.  Algorithm 4 repeats the mine restricted to supports containing
 each class sample, guaranteeing per-sample coverage.
 
+The candidate semilattice lives entirely on the packed-bitset substrate
+(:mod:`repro.core.bitset`): supports are :class:`BitSet`\\ s keyed directly
+into the candidate/emitted sets, closures are word-wise AND reductions over
+the dataset's sample rows, and the pairwise intersection fan-out is one
+packed AND per pair instead of a hash-set merge.  Emitted
+:class:`~repro.bst.row_bar.StructuredBAR`\\ s still carry plain frozensets,
+and every ordering key uses the ascending member tuple, so mined rule lists
+are bit-identical to the historical frozenset implementation (asserted by
+the equivalence tests).
+
 Both miners are progressive (results stream into the output list in
 discovery order) and poll an optional :class:`~repro.evaluation.timing.Budget`:
 the wall clock at every batch, the candidate-set size guard
-(:meth:`Budget.observe_candidates` — intersections can mint candidates far
-faster than rules are emitted) and the emitted-rule cap
-(:meth:`Budget.charge_rules`).
+(:meth:`Budget.observe_candidates`, called exactly once per batch after the
+intersection fan-out so freshly minted candidates are counted immediately —
+and only once) and the emitted-rule cap (:meth:`Budget.charge_rules`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..core.bitset import BitSet
 from ..evaluation.timing import Budget
 from .row_bar import StructuredBAR
 from .table import BST
 
 
-def _closure(bst: BST, support: FrozenSet[int]) -> FrozenSet[int]:
-    """Intersection of the supporting samples' item sets — the maximal CAR
-    portion supported by exactly this subset's rows (or a superset)."""
-    ds = bst.dataset
-    result: Optional[FrozenSet[int]] = None
-    for s in support:
-        items = ds.samples[s]
-        result = items if result is None else result & items
-        if not result:
-            break
-    return result if result is not None else frozenset()
+def closure_bits(bst: BST, support: BitSet) -> BitSet:
+    """Intersection of the supporting samples' packed item rows — the
+    maximal CAR portion supported by exactly this subset's rows (or a
+    superset).  Empty support yields the empty itemset."""
+    if not support:
+        return BitSet.empty(bst.dataset.n_items)
+    return bst.dataset.sample_rows.reduce_and(support)
 
 
-def _excluded_count(bst: BST, car_items: FrozenSet[int]) -> int:
-    ds = bst.dataset
-    return sum(1 for h in bst.outside if car_items <= ds.samples[h])
+def _excluded_count(bst: BST, car_items: BitSet) -> int:
+    """Outside samples expressing every CAR item (popcount, no set built)."""
+    matching = bst.dataset.item_columns.reduce_and(car_items)
+    return matching.intersection_count(bst.outside_bits)
 
 
 def _candidate_order_key(
-    bst: BST, support: FrozenSet[int], break_ties_by_confidence: bool
+    bst: BST, support: BitSet, break_ties_by_confidence: bool
 ) -> Tuple:
     """Sort key: larger supports first; optionally, among equal sizes, fewer
     excluded outside samples first (the Section 4.1 secondary ordering, which
     prefers higher-confidence CAR portions)."""
     if break_ties_by_confidence:
-        excluded = _excluded_count(bst, _closure(bst, support))
-        return (-len(support), excluded, tuple(sorted(support)))
-    return (-len(support), tuple(sorted(support)))
+        excluded = _excluded_count(bst, closure_bits(bst, support))
+        return (-support.count(), excluded, support.members())
+    return (-support.count(), support.members())
 
 
 def mine_mcmcbar(
@@ -81,7 +89,7 @@ def mine_mcmcbar(
     if k <= 0:
         return []
 
-    def admissible(support: FrozenSet[int]) -> bool:
+    def admissible(support: BitSet) -> bool:
         if not support:
             return False
         if must_contain is not None and must_contain not in support:
@@ -89,23 +97,25 @@ def mine_mcmcbar(
         return True
 
     # Line 3-6: the gene-row supports seed the candidate set (C_i_SUP).
-    candidates: Set[FrozenSet[int]] = set()
+    candidates: Set[BitSet] = set()
     for gene in bst.nonblank_genes():
-        support = bst.row_support(gene)
+        support = bst.row_support_bits(gene)
         if admissible(support):
             candidates.add(support)
+    if budget is not None:
+        budget.observe_candidates(len(candidates))
 
     rules: List[StructuredBAR] = []
-    rule_supports: List[FrozenSet[int]] = []
-    emitted: Set[FrozenSet[int]] = set()
+    rule_supports: List[BitSet] = []
+    emitted: Set[BitSet] = set()
 
     while candidates and len(rules) < k:
         if budget is not None:
-            budget.observe_candidates(len(candidates))
+            budget.check()
         # Line 8-9: take every candidate of the (current) largest size.
-        best = max(len(s) for s in candidates)
+        best = max(s.count() for s in candidates)
         batch = sorted(
-            (s for s in candidates if len(s) == best),
+            (s for s in candidates if s.count() == best),
             key=lambda s: _candidate_order_key(bst, s, break_ties_by_confidence),
         )
         for support in batch:
@@ -115,19 +125,20 @@ def mine_mcmcbar(
                 budget.charge_rules()
             # Line 10: AND all gene-row rules with support ⊇ S — their CAR
             # portions union to the closure of S.
-            car_items = _closure(bst, support)
+            car_items = closure_bits(bst, support)
             rules.append(
                 StructuredBAR(
-                    car_items=car_items,
+                    car_items=car_items.to_frozenset(),
                     consequent=bst.class_id,
-                    support=support,
+                    support=support.to_frozenset(),
                 )
             )
             rule_supports.append(support)
             emitted.add(support)
         # Lines 15-20: new candidate supports from pairwise intersections of
-        # this batch with every rule support seen so far.
-        new_supports: Set[FrozenSet[int]] = set()
+        # this batch with every rule support seen so far — one word-wise AND
+        # per pair on the packed substrate.
+        new_supports: Set[BitSet] = set()
         for s1 in batch:
             for s2 in rule_supports:
                 meet = s1 & s2
@@ -137,6 +148,12 @@ def mine_mcmcbar(
         candidates = {
             s for s in candidates if s not in emitted
         } | new_supports
+        if budget is not None:
+            # Exactly one candidate-set observation per batch, after the
+            # fan-out: each candidate is counted the moment it exists and is
+            # never re-reported within the same batch (no double-charging
+            # while the intersection loop mints new supports).
+            budget.observe_candidates(len(candidates))
     return rules
 
 
@@ -153,7 +170,8 @@ def mine_mcmcbar_per_sample(
     support set, which identifies the (MC)²BAR) is returned, largest supports
     first.
     """
-    merged: Dict[FrozenSet[int], StructuredBAR] = {}
+    merged: Dict[BitSet, StructuredBAR] = {}
+    n_samples = bst.dataset.n_samples
     for c in bst.columns:
         if budget is not None:
             budget.check()
@@ -164,7 +182,7 @@ def mine_mcmcbar_per_sample(
             break_ties_by_confidence=break_ties_by_confidence,
             must_contain=c,
         ):
-            merged.setdefault(rule.support, rule)
+            merged.setdefault(BitSet.from_indices(n_samples, rule.support), rule)
     return sorted(
         merged.values(),
         key=lambda r: (-len(r.support), tuple(sorted(r.support))),

@@ -19,7 +19,7 @@ StructuredBARs is itemset union + support intersection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from ..rules.bar import BAR
 from ..rules.boolexpr import FALSE, TRUE, And, Expr, Or, conjunction
@@ -46,9 +46,8 @@ class StructuredBAR:
         """Outside samples that express the whole CAR portion — exactly the
         samples the exclusion clauses must "actively exclude" (Theorem 2)."""
         ds = bst.dataset
-        return tuple(
-            h for h in bst.outside if self.car_items <= ds.samples[h]
-        )
+        matching = ds.support_bits_of_itemset(self.car_items)
+        return (matching & bst.outside_bits).members()
 
     def branch_clauses(self, bst: BST) -> Dict[int, Tuple[ExclusionList, ...]]:
         """For each supporting sample, the exclusion lists its branch needs."""
@@ -60,13 +59,16 @@ class StructuredBAR:
                 elist = bst.pair_exclusion_list(s, h)
                 if elist is None:
                     # No gene shared between s and h was materialized during
-                    # BST construction; derive the pair list directly.
+                    # BST construction; derive the pair list directly from
+                    # the packed item-row difference.
                     ds = bst.dataset
-                    negatives = tuple(sorted(ds.samples[h] - ds.samples[s]))
+                    negatives = (ds.sample_bits(h) - ds.sample_bits(s)).members()
                     if negatives:
                         elist = ExclusionList(h, negatives, negated=True)
                     else:
-                        positives = tuple(sorted(ds.samples[s] - ds.samples[h]))
+                        positives = (
+                            ds.sample_bits(s) - ds.sample_bits(h)
+                        ).members()
                         elist = ExclusionList(h, positives, negated=not positives)
                 clauses.append(elist)
             out[s] = tuple(clauses)
@@ -155,10 +157,7 @@ def all_gene_row_bars(bst: BST) -> List[StructuredBAR]:
 def is_maximally_complex(bst: BST, rule: StructuredBAR) -> bool:
     """Section 4.1: no gene can join the CAR portion without shrinking the
     class support set — i.e. the CAR portion is the closure of the support."""
-    ds = bst.dataset
-    closure: FrozenSet[int] = frozenset()
-    first = True
-    for s in rule.support:
-        closure = ds.samples[s] if first else closure & ds.samples[s]
-        first = False
-    return rule.car_items == closure
+    if not rule.support:
+        return rule.car_items == frozenset()
+    closure = bst.dataset.sample_rows.reduce_and(sorted(rule.support))
+    return rule.car_items == closure.to_frozenset()

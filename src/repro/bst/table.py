@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..core.bitset import BitSet
 from ..datasets.dataset import RelationalDataset
 from ..rules.boolexpr import (
     FALSE,
@@ -155,13 +156,22 @@ class BST:
             raise ValueError(f"unknown class id {class_id}")
         columns = dataset.class_members(class_id)
         outside = dataset.outside_members(class_id)
+        outside_bits = dataset.outside_bits(class_id)
 
-        outside_expressing: Dict[int, List[int]] = {}
-        for h in outside:
-            for item in dataset.samples[h]:
-                outside_expressing.setdefault(item, []).append(h)
+        # Per gene, the outside samples expressing it: one word-wise AND of
+        # the gene's packed sample column against the outside mask.
+        outside_expressing: Dict[int, Tuple[int, ...]] = {}
+
+        def expressing_outside(gene: int) -> Tuple[int, ...]:
+            found = outside_expressing.get(gene)
+            if found is None:
+                found = (dataset.item_bits(gene) & outside_bits).members()
+                outside_expressing[gene] = found
+            return found
 
         # Algorithm 1 lines 10-20: one shared exclusion list per (c, h) pair.
+        # The list contents are packed-bitset differences of the two samples'
+        # item rows (members() yields them in ascending item order).
         pair_lists: Dict[Tuple[int, int], ExclusionList] = {}
 
         def pair_list(c: int, h: int) -> ExclusionList:
@@ -169,21 +179,21 @@ class BST:
             found = pair_lists.get(key)
             if found is not None:
                 return found
-            c_items = dataset.samples[c]
-            h_items = dataset.samples[h]
-            negatives = tuple(sorted(h_items - c_items))
+            c_items = dataset.sample_bits(c)
+            h_items = dataset.sample_bits(h)
+            negatives = (h_items - c_items).members()
             if negatives:
                 elist = ExclusionList(h, negatives, negated=True)
             else:
-                positives = tuple(sorted(c_items - h_items))
+                positives = (c_items - h_items).members()
                 elist = ExclusionList(h, positives, negated=not positives)
             pair_lists[key] = elist
             return elist
 
         cells: Dict[Tuple[int, int], BSTCell] = {}
         for c in columns:
-            for gene in dataset.samples[c]:
-                expressing = outside_expressing.get(gene)
+            for gene in dataset.sample_bits(c).members():
+                expressing = expressing_outside(gene)
                 if not expressing:
                     cells[(gene, c)] = BSTCell(gene, c, True, ())
                 else:
@@ -218,9 +228,23 @@ class BST:
                 out.append(cell)
         return out
 
+    @property
+    def class_bits(self) -> BitSet:
+        """The class's sample set ``C_i`` as a packed bitset."""
+        return self.dataset.class_bits(self.class_id)
+
+    @property
+    def outside_bits(self) -> BitSet:
+        """The outside sample set ``S - C_i`` as a packed bitset."""
+        return self.dataset.outside_bits(self.class_id)
+
     def row_support(self, gene: int) -> FrozenSet[int]:
         """Class samples supporting the gene-row BAR (those expressing g)."""
-        return frozenset(c for c in self.columns if (gene, c) in self._cells)
+        return self.row_support_bits(gene).to_frozenset()
+
+    def row_support_bits(self, gene: int) -> BitSet:
+        """Packed row support: the gene's sample column ANDed with C_i."""
+        return self.dataset.item_bits(gene) & self.class_bits
 
     def nonblank_genes(self) -> FrozenSet[int]:
         """Genes expressed by at least one class sample."""

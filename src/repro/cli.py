@@ -23,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from .core.arithmetization import COMBINERS
+from .core.bitset import flush_kernel_counters
 from .core.estimator import ENGINES
 from .evaluation.timing import engine_counters
 from .experiments.base import ExperimentConfig
@@ -195,6 +196,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(result.render())
         print()
+    # Fold the bitset kernel's op tallies (set ops, popcounts, row
+    # reductions, matrix builds) into the shared counters before printing.
+    flush_kernel_counters(engine_counters)
     print(engine_counters.report(title="engine counters"))
     return 0
 

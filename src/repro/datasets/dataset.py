@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.bitset import BitMatrix, BitSet
 from ..errors import ReproError
 
 
@@ -115,6 +116,54 @@ class RelationalDataset:
     def label_array(self) -> np.ndarray:
         return np.asarray(self.labels, dtype=np.int64)
 
+    # ------------------------------------------------------------------
+    # Packed-bitset views (the repro.core.bitset substrate)
+    # ------------------------------------------------------------------
+    @cached_property
+    def sample_rows(self) -> BitMatrix:
+        """Sample-major incidence: row ``i`` is the packed item set of
+        sample ``i`` (universe = items).  ``sample_rows.reduce_and(rows)``
+        is the closure of a row subset."""
+        return BitMatrix.from_bool(self.bool_matrix)
+
+    @cached_property
+    def item_columns(self) -> BitMatrix:
+        """Item-major incidence: row ``j`` is the packed set of samples
+        expressing item ``j`` (universe = samples).
+        ``item_columns.reduce_and(items)`` is an itemset's support set."""
+        return BitMatrix.from_bool(self.bool_matrix.T)
+
+    def sample_bits(self, index: int) -> BitSet:
+        """Sample ``index``'s item set as a packed bitset."""
+        return self.sample_rows.row(index)
+
+    def item_bits(self, item: int) -> BitSet:
+        """The samples expressing ``item`` as a packed bitset."""
+        return self.item_columns.row(item)
+
+    @cached_property
+    def _class_bits(self) -> Tuple[BitSet, ...]:
+        masks = np.zeros((self.n_classes, self.n_samples), dtype=bool)
+        for i, lab in enumerate(self.labels):
+            masks[lab, i] = True
+        matrix = BitMatrix.from_bool(masks)
+        return tuple(matrix.row(c) for c in range(self.n_classes))
+
+    def class_bits(self, class_id: int) -> BitSet:
+        """Samples of ``class_id`` (the set C_i) as a packed bitset."""
+        return self._class_bits[class_id]
+
+    def outside_bits(self, class_id: int) -> BitSet:
+        """Samples outside ``class_id`` (the set S - C_i) as a bitset."""
+        return ~self._class_bits[class_id]
+
+    def support_bits_of_itemset(self, itemset: Iterable[int]) -> BitSet:
+        """Packed support set: samples whose items contain ``itemset``
+        (the empty itemset is contained by every sample)."""
+        return self.item_columns.reduce_and(
+            sorted(int(i) for i in set(itemset))
+        )
+
     @cached_property
     def fingerprint(self) -> str:
         """Content hash of the boolean relation (items x samples x labels).
@@ -151,10 +200,7 @@ class RelationalDataset:
 
     def support_of_itemset(self, itemset: Iterable[int]) -> FrozenSet[int]:
         """All sample indices whose expressed items contain ``itemset``."""
-        wanted = frozenset(itemset)
-        return frozenset(
-            i for i, sample in enumerate(self.samples) if wanted <= sample
-        )
+        return self.support_bits_of_itemset(itemset).to_frozenset()
 
     @staticmethod
     def from_bool_matrix(

@@ -28,6 +28,7 @@ from ..baselines.irg import IRGClassifier
 from ..baselines.rcbt import RCBTClassifier
 from ..baselines.svm import SVMClassifier
 from ..baselines.tree import AdaBoostClassifier, BaggingClassifier, DecisionTree
+from ..core.bitset import flush_kernel_counters
 from ..core.classifier import BSTClassifier
 from ..testing.faults import FaultPlan
 from .crossval import CVTest, PhaseRecord, TestResult, resolve_n_jobs
@@ -52,8 +53,11 @@ def _run_counted(payload: Tuple["Runner", CVTest]):
     """Pool worker: run one test, returning the result plus the engine
     counter activity it generated (merged back into the parent)."""
     runner, test = payload
+    flush_kernel_counters(engine_counters)  # drain pre-fold kernel tallies
     engine_counters.reset()
     result = runner.run(test)
+    # Fold this fold's bitset-kernel ops into the snapshot sent home.
+    flush_kernel_counters(engine_counters)
     return result, engine_counters.snapshot()
 
 

@@ -198,7 +198,12 @@ class EngineCounters:
     report into one shared instance (:data:`engine_counters`): tables built,
     cache hits/misses, batch calls and sizes, and per-phase wall time.
     Counts and seconds share one namespace; time entries end in
-    ``_seconds`` by convention.
+    ``_seconds`` by convention.  The packed-bitset kernel keeps its own
+    hot-path tallies (``bitset_set_ops``, ``bitset_popcounts``,
+    ``bitset_row_reductions``, ``bitset_matrix_builds``) in a local
+    accumulator; call
+    :func:`repro.core.bitset.flush_kernel_counters` to fold them in here
+    (the CLI does so before printing its report).
 
     Parallel CV merges each worker's snapshot back into the parent via
     :meth:`merge`, so the printed totals cover fold work done in

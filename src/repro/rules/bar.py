@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import AbstractSet, FrozenSet
 
+from ..core.bitset import BitSet
 from ..datasets.dataset import RelationalDataset
 from .boolexpr import Expr
 
@@ -27,30 +28,51 @@ class BAR:
     def matches(self, expressed: AbstractSet[int]) -> bool:
         return self.antecedent.evaluate(expressed)
 
-    def support_set(self, dataset: RelationalDataset) -> FrozenSet[int]:
-        """Consequent-class samples evaluating the antecedent to true."""
-        return frozenset(
-            i
-            for i in dataset.class_members(self.consequent)
-            if self.antecedent.evaluate(dataset.samples[i])
+    def _vectorizable(self, dataset: RelationalDataset) -> bool:
+        """The packed path needs every atom to be an item index; arbitrary
+        hashable atoms (e.g. gene-name strings) take the scalar loop."""
+        n_items = dataset.n_items
+        return all(
+            isinstance(atom, int) and 0 <= atom < n_items
+            for atom in self.antecedent.atoms()
         )
 
+    def matching_bits(self, dataset: RelationalDataset) -> BitSet:
+        """Packed set of every sample evaluating the antecedent to true."""
+        if self._vectorizable(dataset):
+            return self.antecedent.evaluate_all(dataset.item_columns)
+        return BitSet.from_indices(
+            dataset.n_samples,
+            (
+                i
+                for i in range(dataset.n_samples)
+                if self.antecedent.evaluate(dataset.samples[i])
+            ),
+        )
+
+    def support_bits(self, dataset: RelationalDataset) -> BitSet:
+        """Packed support set (consequent-class matches only)."""
+        return self.matching_bits(dataset) & dataset.class_bits(self.consequent)
+
+    def support_set(self, dataset: RelationalDataset) -> FrozenSet[int]:
+        """Consequent-class samples evaluating the antecedent to true."""
+        return self.support_bits(dataset).to_frozenset()
+
     def support(self, dataset: RelationalDataset) -> int:
-        return len(self.support_set(dataset))
+        return self.support_bits(dataset).count()
 
     def all_matching(self, dataset: RelationalDataset) -> FrozenSet[int]:
         """Every sample (any class) evaluating the antecedent to true."""
-        return frozenset(
-            i
-            for i in range(dataset.n_samples)
-            if self.antecedent.evaluate(dataset.samples[i])
-        )
+        return self.matching_bits(dataset).to_frozenset()
 
     def confidence(self, dataset: RelationalDataset) -> float:
-        matching = self.all_matching(dataset)
-        if not matching:
+        matching = self.matching_bits(dataset)
+        total = matching.count()
+        if not total:
             return 0.0
-        return self.support(dataset) / len(matching)
+        return matching.intersection_count(
+            dataset.class_bits(self.consequent)
+        ) / total
 
     def describe(self, dataset: RelationalDataset) -> str:
         from .boolexpr import pretty

@@ -8,12 +8,23 @@ with evaluation, simplification, and pretty-printing.
 
 Atoms are opaque hashable values (item indices in practice, strings in the
 running example).  A sample is represented by the set of atoms it expresses.
+
+Alongside the scalar ``evaluate`` (one sample at a time), every expression
+supports vectorized :meth:`Expr.evaluate_all`: handed the item-major
+incidence :class:`~repro.core.bitset.BitMatrix` of a dataset (row ``j`` =
+packed set of samples expressing item ``j``), it returns the packed
+:class:`~repro.core.bitset.BitSet` of *all* samples satisfying the
+expression via word-wise AND/OR/NOT — one pass instead of a Python loop
+over samples.  The vectorized path requires integer atoms (item indices).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Any, FrozenSet, Hashable, Iterable, Tuple
+from typing import TYPE_CHECKING, AbstractSet, Any, FrozenSet, Hashable, Iterable, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..core.bitset import BitMatrix, BitSet
 
 Atom = Hashable
 
@@ -27,6 +38,16 @@ class Expr:
 
     def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
         """Evaluate against the set of atoms expressed by a sample."""
+        raise NotImplementedError
+
+    def evaluate_all(self, columns: "BitMatrix") -> "BitSet":
+        """Evaluate against every sample at once.
+
+        ``columns`` is the item-major incidence matrix (row ``j`` = samples
+        expressing item ``j``); the result is the bitset of samples whose
+        expressed items satisfy this expression.  Atoms must be item
+        indices within ``columns``.
+        """
         raise NotImplementedError
 
     def atoms(self) -> FrozenSet[Atom]:
@@ -55,6 +76,9 @@ class _Const(Expr):
     def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
         return self.value
 
+    def evaluate_all(self, columns: "BitMatrix") -> "BitSet":
+        return columns.full_row() if self.value else columns.empty_row()
+
     def atoms(self) -> FrozenSet[Atom]:
         return frozenset()
 
@@ -75,6 +99,9 @@ class Var(Expr):
     def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
         return self.atom in expressed
 
+    def evaluate_all(self, columns: "BitMatrix") -> "BitSet":
+        return columns.row(self.atom)
+
     def atoms(self) -> FrozenSet[Atom]:
         return frozenset((self.atom,))
 
@@ -88,6 +115,9 @@ class Not(Expr):
 
     def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
         return not self.operand.evaluate(expressed)
+
+    def evaluate_all(self, columns: "BitMatrix") -> "BitSet":
+        return ~self.operand.evaluate_all(columns)
 
     def atoms(self) -> FrozenSet[Atom]:
         return self.operand.atoms()
@@ -126,6 +156,14 @@ class And(Expr):
     def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
         return all(part.evaluate(expressed) for part in self.parts)
 
+    def evaluate_all(self, columns: "BitMatrix") -> "BitSet":
+        result = columns.full_row()
+        for part in self.parts:
+            result = result & part.evaluate_all(columns)
+            if not result:
+                break
+        return result
+
     def atoms(self) -> FrozenSet[Atom]:
         result: FrozenSet[Atom] = frozenset()
         for part in self.parts:
@@ -162,6 +200,12 @@ class Or(Expr):
 
     def evaluate(self, expressed: AbstractSet[Atom]) -> bool:
         return any(part.evaluate(expressed) for part in self.parts)
+
+    def evaluate_all(self, columns: "BitMatrix") -> "BitSet":
+        result = columns.empty_row()
+        for part in self.parts:
+            result = result | part.evaluate_all(columns)
+        return result
 
     def atoms(self) -> FrozenSet[Atom]:
         result: FrozenSet[Atom] = frozenset()

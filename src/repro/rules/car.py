@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import AbstractSet, FrozenSet, Iterable
 
+from ..core.bitset import BitSet
 from ..datasets.dataset import RelationalDataset
 from .boolexpr import Expr, conjunction
 
@@ -33,28 +34,35 @@ class CAR:
     def antecedent_expr(self) -> Expr:
         return conjunction(sorted(self.antecedent))
 
+    def matching_bits(self, dataset: RelationalDataset) -> BitSet:
+        """Packed set of every sample containing the antecedent."""
+        return dataset.support_bits_of_itemset(self.antecedent)
+
+    def support_bits(self, dataset: RelationalDataset) -> BitSet:
+        """Packed support set (consequent-class matches only)."""
+        return self.matching_bits(dataset) & dataset.class_bits(self.consequent)
+
     def support_set(self, dataset: RelationalDataset) -> FrozenSet[int]:
         """Consequent-class samples containing the antecedent."""
-        return frozenset(
-            i
-            for i in dataset.class_members(self.consequent)
-            if self.antecedent <= dataset.samples[i]
-        )
+        return self.support_bits(dataset).to_frozenset()
 
     def support(self, dataset: RelationalDataset) -> int:
-        return len(self.support_set(dataset))
+        return self.support_bits(dataset).count()
 
     def all_matching(self, dataset: RelationalDataset) -> FrozenSet[int]:
         """Every sample (any class) containing the antecedent."""
-        return dataset.support_of_itemset(self.antecedent)
+        return self.matching_bits(dataset).to_frozenset()
 
     def confidence(self, dataset: RelationalDataset) -> float:
         """``supp / |{samples containing the antecedent}|``; 0 when no sample
         matches."""
-        matching = self.all_matching(dataset)
-        if not matching:
+        matching = self.matching_bits(dataset)
+        total = matching.count()
+        if not total:
             return 0.0
-        return self.support(dataset) / len(matching)
+        return matching.intersection_count(
+            dataset.class_bits(self.consequent)
+        ) / total
 
     def describe(self, dataset: RelationalDataset) -> str:
         items = ", ".join(

@@ -14,13 +14,24 @@ miner and RCBT's lower-bound BFS.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from itertools import combinations
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
 
+from ..core.bitset import BitSet
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
+
+
+def closure_bits_of_rows(dataset: RelationalDataset, rows: Iterable[int]) -> BitSet:
+    """Packed closure: word-wise AND of the given samples' item rows.
+
+    Empty input yields the *empty* itemset (matching the historical
+    frozenset convention, not the intersection identity).
+    """
+    indices = rows.members() if isinstance(rows, BitSet) else tuple(rows)
+    if not indices:
+        return BitSet.empty(dataset.n_items)
+    return dataset.sample_rows.reduce_and(indices)
 
 
 def closure_of_rows(
@@ -31,13 +42,7 @@ def closure_of_rows(
     This is the unique rule-group upper bound for the support set ``rows``
     (empty input yields the empty itemset by convention).
     """
-    result: Optional[FrozenSet[int]] = None
-    for row in rows:
-        items = dataset.samples[row]
-        result = items if result is None else result & items
-        if not result:
-            break
-    return result if result is not None else frozenset()
+    return closure_bits_of_rows(dataset, rows).to_frozenset()
 
 
 @dataclass(frozen=True)
@@ -138,30 +143,22 @@ def find_lower_bounds(
 
     n = dataset.n_samples
     if within_rows is None:
-        universe_mask = (1 << n) - 1
+        universe_mask = BitSet.full(n)
         target_rows = group.support_rows
     else:
-        universe_mask = 0
-        for row in within_rows:
-            universe_mask |= 1 << row
+        universe_mask = BitSet.from_indices(n, within_rows)
         target_rows = group.class_support
     all_rows_mask = universe_mask
-    target_mask = 0
-    for row in target_rows:
-        target_mask |= 1 << row
-    target_mask &= universe_mask
-    item_masks = {}
-    for item in items:
-        mask = 0
-        for row in dataset.support_of_itemset((item,)):
-            mask |= 1 << row
-        item_masks[item] = mask & universe_mask
+    target_mask = BitSet.from_indices(n, target_rows) & universe_mask
+    item_masks = {
+        item: dataset.item_bits(item) & universe_mask for item in items
+    }
 
     found: List[FrozenSet[int]] = []
     level = 1
     # frontier holds (itemset, support_mask) pairs that are not lower bounds
     # and may still be extended.
-    frontier: List[Tuple[Tuple[int, ...], int]] = [((), all_rows_mask)]
+    frontier: List[Tuple[Tuple[int, ...], BitSet]] = [((), all_rows_mask)]
     while frontier and len(found) < limit:
         if max_level is not None and level > max_level:
             break
