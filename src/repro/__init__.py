@@ -19,9 +19,16 @@ Quickstart::
 from .bst.mining import mine_mcmcbar, mine_mcmcbar_per_sample
 from .bst.row_bar import StructuredBAR, all_gene_row_bars, gene_row_bar
 from .bst.table import BST, BSTCell, ExclusionList, build_all_bsts
+from .core.artifact import (
+    ArtifactError,
+    DatasetSummary,
+    load_artifact,
+    save_artifact,
+)
 from .core.bstce import bstce, bstce_detail
 from .core.classifier import BSTClassifier, NotFittedError
 from .core.explain import Explanation, explain_classification
+from .serving import PredictionService, ServiceClosed
 from .datasets.dataset import (
     DatasetError,
     ExpressionMatrix,
@@ -61,6 +68,7 @@ from .rules.groups import RuleGroup, closure_of_rows, find_lower_bounds
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactError",
     "BAR",
     "BST",
     "BSTCell",
@@ -72,6 +80,7 @@ __all__ = [
     "CorruptResult",
     "DatasetError",
     "DatasetProfile",
+    "DatasetSummary",
     "EntropyDiscretizer",
     "ExclusionList",
     "Explanation",
@@ -84,6 +93,7 @@ __all__ = [
     "MULTICLASS_PROFILE",
     "NotFittedError",
     "PAPER_PROFILES",
+    "PredictionService",
     "RelationalDataset",
     "ReproError",
     "ResourceExhausted",
@@ -91,6 +101,7 @@ __all__ = [
     "RetryPolicy",
     "RuleBudgetExceeded",
     "RuleGroup",
+    "ServiceClosed",
     "StructuredBAR",
     "TaskTimeout",
     "WorkerCrashed",
@@ -105,12 +116,14 @@ __all__ = [
     "find_lower_bounds",
     "gene_row_bar",
     "generate_expression_data",
+    "load_artifact",
     "mdlp_cut_points",
     "mine_mcmcbar",
     "mine_mcmcbar_per_sample",
     "profile",
     "run_experiment",
     "running_example",
+    "save_artifact",
     "scaled",
     "supervised_map",
 ]

@@ -53,15 +53,21 @@ def _excluded_count(bst: BST, car_items: BitSet) -> int:
 
 
 def _candidate_order_key(
-    bst: BST, support: BitSet, break_ties_by_confidence: bool
+    bst: BST,
+    support: BitSet,
+    break_ties_by_confidence: bool,
+    count: Optional[int] = None,
 ) -> Tuple:
     """Sort key: larger supports first; optionally, among equal sizes, fewer
     excluded outside samples first (the Section 4.1 secondary ordering, which
-    prefers higher-confidence CAR portions)."""
+    prefers higher-confidence CAR portions).  ``count`` lets callers that
+    already know the support size (the size-bucketed miner) skip the
+    popcount."""
+    size = support.count() if count is None else count
     if break_ties_by_confidence:
         excluded = _excluded_count(bst, closure_bits(bst, support))
-        return (-support.count(), excluded, support.members())
-    return (-support.count(), support.members())
+        return (-size, excluded, support.members())
+    return (-size, support.members())
 
 
 def mine_mcmcbar(
@@ -96,27 +102,32 @@ def mine_mcmcbar(
             return False
         return True
 
-    # Line 3-6: the gene-row supports seed the candidate set (C_i_SUP).
-    candidates: Set[BitSet] = set()
+    # Line 3-6: the gene-row supports seed the candidate set (C_i_SUP),
+    # bucketed by support size so each batch comes straight out of its
+    # bucket — no per-batch popcount scan over every live candidate.
+    buckets: Dict[int, Set[BitSet]] = {}
     for gene in bst.nonblank_genes():
         support = bst.row_support_bits(gene)
         if admissible(support):
-            candidates.add(support)
+            buckets.setdefault(support.count(), set()).add(support)
     if budget is not None:
-        budget.observe_candidates(len(candidates))
+        budget.observe_candidates(sum(map(len, buckets.values())))
 
     rules: List[StructuredBAR] = []
     rule_supports: List[BitSet] = []
     emitted: Set[BitSet] = set()
 
-    while candidates and len(rules) < k:
+    while buckets and len(rules) < k:
         if budget is not None:
             budget.check()
         # Line 8-9: take every candidate of the (current) largest size.
-        best = max(s.count() for s in candidates)
+        best = max(buckets)
+        bucket = buckets[best]
         batch = sorted(
-            (s for s in candidates if s.count() == best),
-            key=lambda s: _candidate_order_key(bst, s, break_ties_by_confidence),
+            bucket,
+            key=lambda s: _candidate_order_key(
+                bst, s, break_ties_by_confidence, count=best
+            ),
         )
         for support in batch:
             if len(rules) >= k:
@@ -135,25 +146,28 @@ def mine_mcmcbar(
             )
             rule_supports.append(support)
             emitted.add(support)
+            # Line 21 (first half): emitted supports leave the candidate
+            # set.  Un-emitted batch members stay (k can land mid-batch).
+            bucket.discard(support)
+        if not bucket:
+            del buckets[best]
         # Lines 15-20: new candidate supports from pairwise intersections of
         # this batch with every rule support seen so far — one word-wise AND
-        # per pair on the packed substrate.
-        new_supports: Set[BitSet] = set()
+        # per pair on the packed substrate.  Each lands in its size bucket;
+        # set semantics deduplicate, and a meet of size ``best`` can only be
+        # an un-emitted batch member (possible once ``k`` lands mid-batch),
+        # so it re-enters the current bucket without growing it.
         for s1 in batch:
             for s2 in rule_supports:
                 meet = s1 & s2
                 if admissible(meet) and meet not in emitted:
-                    new_supports.add(meet)
-        # Line 21: drop the processed batch, merge in the new supports.
-        candidates = {
-            s for s in candidates if s not in emitted
-        } | new_supports
+                    buckets.setdefault(meet.count(), set()).add(meet)
         if budget is not None:
             # Exactly one candidate-set observation per batch, after the
             # fan-out: each candidate is counted the moment it exists and is
             # never re-reported within the same batch (no double-charging
             # while the intersection loop mints new supports).
-            budget.observe_candidates(len(candidates))
+            budget.observe_candidates(sum(map(len, buckets.values())))
     return rules
 
 

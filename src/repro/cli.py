@@ -10,9 +10,14 @@ Usage::
     python -m repro.cli run fig6 --jobs -1 --journal fig6.jsonl --task-timeout 600
     python -m repro.cli run fig6 --jobs -1 --journal fig6.jsonl --resume
     python -m repro.cli demo          # the Table 1 running example end to end
+    python -m repro.cli predict --train train.json --data queries.json \
+        --save-artifact model.npz
+    python -m repro.cli predict --artifact model.npz --data queries.json
+    python -m repro.cli serve-bench --artifact model.npz --threads 8
 
-Every ``run`` prints the engine counters afterwards: evaluator cache
-hits/misses, class tables built, batch sizes, and per-phase wall time.
+Every command prints the engine counters afterwards: evaluator cache
+hits/misses and entries/capacity, class tables built, batch sizes, serving
+latency/occupancy, and per-phase wall time.
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ from typing import List, Optional
 from .core.arithmetization import COMBINERS
 from .core.bitset import flush_kernel_counters
 from .core.estimator import ENGINES
+from .core.fast import evaluator_cache_info, set_evaluator_cache_size
+from .errors import ReproError
 from .evaluation.timing import engine_counters
 from .experiments.base import ExperimentConfig
 from .experiments.registry import experiment_ids, run_experiment
@@ -35,6 +42,17 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=(
             "BSTC reproduction (ICDE 2008): run paper tables/figures and demos"
+        ),
+    )
+    parser.add_argument(
+        "--evaluator-cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bound on the process-wide evaluator LRU cache (each entry holds"
+            " dense per-class tables); the counter dump reports"
+            " entries/capacity"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -131,6 +149,103 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("demo", help="run the Table 1 running example end to end")
+
+    predict = sub.add_parser(
+        "predict",
+        help=(
+            "classify query samples with a fitted BSTC — from a compiled"
+            " model artifact or by fitting training data"
+        ),
+    )
+    predict_model = predict.add_mutually_exclusive_group(required=True)
+    predict_model.add_argument(
+        "--artifact",
+        metavar="PATH",
+        help="compiled .npz model artifact (see 'predict --save-artifact')",
+    )
+    predict_model.add_argument(
+        "--train",
+        metavar="PATH",
+        help="relational JSON training dataset to fit on",
+    )
+    predict.add_argument(
+        "--data",
+        metavar="PATH",
+        required=True,
+        help="relational JSON file whose samples are the queries",
+    )
+    predict.add_argument(
+        "--arithmetization",
+        choices=sorted(COMBINERS),
+        default="min",
+        help="per-cell combiner when fitting with --train (default: min)",
+    )
+    predict.add_argument(
+        "--expect-fingerprint",
+        metavar="SHA",
+        default=None,
+        help=(
+            "require the artifact to carry exactly this training-data"
+            " fingerprint (refuses to serve a stale model)"
+        ),
+    )
+    predict.add_argument(
+        "--save-artifact",
+        metavar="PATH",
+        default=None,
+        help="after fitting, write the compiled model artifact here",
+    )
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help=(
+            "measure micro-batched serving throughput (PredictionService)"
+            " against serial single-query evaluation"
+        ),
+    )
+    serve_model = serve.add_mutually_exclusive_group(required=True)
+    serve_model.add_argument(
+        "--artifact", metavar="PATH", help="compiled .npz model artifact"
+    )
+    serve_model.add_argument(
+        "--train",
+        metavar="PATH",
+        help="relational JSON training dataset to fit on",
+    )
+    serve.add_argument(
+        "--arithmetization",
+        choices=sorted(COMBINERS),
+        default="min",
+        help="per-cell combiner when fitting with --train (default: min)",
+    )
+    serve.add_argument(
+        "--threads", type=int, default=8, help="concurrent callers (default: 8)"
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=64,
+        help="total prediction requests (default: 64)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="largest coalesced kernel batch (default: 8)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=1.0,
+        help="how long an open batch waits for stragglers (default: 1.0)",
+    )
+    serve.add_argument(
+        "--query-items",
+        type=int,
+        default=None,
+        help="expressed items per synthetic query (default: n_items/20)",
+    )
+    serve.add_argument("--seed", type=int, default=1)
     return parser
 
 
@@ -154,6 +269,112 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         max_rule_groups=args.max_rule_groups,
         max_candidates=args.max_candidates,
     )
+
+
+def _print_counters() -> None:
+    """The shared counter dump: kernel tallies folded in, evaluator cache
+    occupancy recorded, then the report."""
+    flush_kernel_counters(engine_counters)
+    entries, capacity = evaluator_cache_info()
+    engine_counters.observe_max("evaluator_cache_entries", entries)
+    engine_counters.observe_max("evaluator_cache_capacity", capacity)
+    print(engine_counters.report(title="engine counters"))
+
+
+def _load_model(args: argparse.Namespace):
+    """The classifier behind ``predict``/``serve-bench``: loaded from a
+    compiled artifact, or fitted on --train data."""
+    from .core.classifier import BSTClassifier
+    from .datasets.io import load_relational_json
+
+    if args.artifact:
+        return BSTClassifier.load(
+            args.artifact,
+            expected_fingerprint=getattr(args, "expect_fingerprint", None),
+        )
+    dataset = load_relational_json(args.train)
+    return BSTClassifier(arithmetization=args.arithmetization).fit(dataset)
+
+
+def _run_predict(args: argparse.Namespace) -> int:
+    from .datasets.io import load_relational_json
+
+    clf = _load_model(args)
+    if args.save_artifact:
+        print(f"artifact written: {clf.save(args.save_artifact)}")
+    data = load_relational_json(args.data)
+    if data.n_items != clf.dataset.n_items:
+        print(
+            f"error: query data has {data.n_items} items but the model was"
+            f" trained on {clf.dataset.n_items}",
+            file=sys.stderr,
+        )
+        return 2
+    predictions = clf.predict_batch(data.bool_matrix)
+    class_names = clf.dataset.class_names
+    for i, label in enumerate(predictions):
+        name = (
+            data.sample_names[i] if data.sample_names is not None else f"q{i}"
+        )
+        print(f"{name}\t{class_names[int(label)]}")
+    return 0
+
+
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    import threading
+    import time
+
+    import numpy as np
+
+    from .serving import PredictionService
+
+    clf = _load_model(args)
+    n_items = clf.dataset.n_items
+    rng = np.random.default_rng(args.seed)
+    per_query = args.query_items or max(1, n_items // 20)
+    per_query = min(per_query, n_items)
+    queries = np.zeros((args.requests, n_items), dtype=bool)
+    for row in queries:
+        row[rng.choice(n_items, size=per_query, replace=False)] = True
+
+    started = time.perf_counter()
+    for query in queries:
+        clf.classification_values(query)
+    serial_elapsed = time.perf_counter() - started
+    serial_qps = args.requests / serial_elapsed if serial_elapsed else 0.0
+
+    per_thread = max(1, args.requests // args.threads)
+    with PredictionService(
+        clf, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+    ) as service:
+
+        def caller(thread_id: int) -> None:
+            lo = thread_id * per_thread
+            for query in queries[lo : lo + per_thread]:
+                service.predict(query)
+
+        threads = [
+            threading.Thread(target=caller, args=(i,))
+            for i in range(args.threads)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service_elapsed = time.perf_counter() - started
+    served = per_thread * args.threads
+    service_qps = served / service_elapsed if service_elapsed else 0.0
+
+    print(f"serial   : {args.requests} requests, {serial_qps:10.1f} q/s")
+    print(
+        f"service  : {served} requests over {args.threads} threads,"
+        f" {service_qps:10.1f} q/s"
+        f" (max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms})"
+    )
+    if serial_qps > 0:
+        print(f"speedup  : {service_qps / serial_qps:.2f}x")
+    return 0
 
 
 def _run_demo() -> int:
@@ -181,6 +402,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "demo":
         return _run_demo()
+    if args.evaluator_cache_size is not None:
+        try:
+            set_evaluator_cache_size(args.evaluator_cache_size)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.command in ("predict", "serve-bench"):
+        engine_counters.reset()
+        handler = _run_predict if args.command == "predict" else _run_serve_bench
+        try:
+            code = handler(args)
+        except (ReproError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _print_counters()
+        return code
     try:
         config = _config_from_args(args)
     except ValueError as exc:
@@ -196,10 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(result.render())
         print()
-    # Fold the bitset kernel's op tallies (set ops, popcounts, row
-    # reductions, matrix builds) into the shared counters before printing.
-    flush_kernel_counters(engine_counters)
-    print(engine_counters.report(title="engine counters"))
+    _print_counters()
     return 0
 
 

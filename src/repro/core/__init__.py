@@ -31,6 +31,13 @@ _EXPORTS = {
     "clear_evaluator_cache": "fast",
     "evaluator_cache_info": "fast",
     "get_evaluator": "fast",
+    "register_evaluator": "fast",
+    "set_evaluator_cache_size": "fast",
+    "ARTIFACT_FORMAT_VERSION": "artifact",
+    "ArtifactError": "artifact",
+    "DatasetSummary": "artifact",
+    "load_artifact": "artifact",
+    "save_artifact": "artifact",
     "AutoBSTClassifier": "auto",
     "MCBARClassifier": "mcbar_classifier",
     "rule_satisfaction": "mcbar_classifier",
@@ -61,6 +68,13 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         classification_confidence,
         get_combiner,
     )
+    from .artifact import (  # noqa: F401
+        ARTIFACT_FORMAT_VERSION,
+        ArtifactError,
+        DatasetSummary,
+        load_artifact,
+        save_artifact,
+    )
     from .auto import AutoBSTClassifier  # noqa: F401
     from .bitset import (  # noqa: F401
         BitMatrix,
@@ -86,5 +100,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         clear_evaluator_cache,
         evaluator_cache_info,
         get_evaluator,
+        register_evaluator,
+        set_evaluator_cache_size,
     )
     from .mcbar_classifier import MCBARClassifier, rule_satisfaction  # noqa: F401

@@ -1,0 +1,371 @@
+"""Compiled model artifacts: export a fitted evaluator, reload with zero rebuild.
+
+BSTC's selling point is that classification needs no expensive offline model —
+but the vectorized engine still pays the full :class:`FastBSTCEvaluator` table
+build (dense per-class matmuls over the whole training matrix) on every cold
+start.  This module removes that cost from the serving path:
+
+* :func:`save_artifact` exports a fitted evaluator's per-class
+  :class:`~repro.core.fast._ClassTables` arrays, the arithmetization, the
+  training-data fingerprint and a format version into a single uncompressed
+  ``.npz`` file;
+* :func:`load_artifact` reconstructs a working evaluator **without rebuilding
+  any table**: every stored array is memory-mapped straight out of the zip
+  archive (``np.savez`` stores members uncompressed, so each embedded ``.npy``
+  payload is a contiguous byte range that :class:`numpy.memmap` can address
+  directly).  Cold start becomes a zip-directory parse plus a few header
+  reads; table pages fault in lazily as the first queries touch them.
+
+A loaded evaluator carries a :class:`DatasetSummary` instead of the full
+training :class:`~repro.datasets.dataset.RelationalDataset`: the evaluation
+kernels only need the item/class geometry and the fingerprint.  The
+fingerprint is the safety rail — it is stored at save time and checked by
+:func:`load_artifact` when the caller states which training data it expects,
+so a stale artifact can never silently answer for the wrong model.
+
+Predictions from a loaded evaluator are bit-identical to the in-memory one
+(property-tested across all arithmetizations): the same arrays feed the same
+kernels, whether their pages live on the heap or in the page cache.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ReproError
+from ..evaluation.timing import engine_counters
+from .arithmetization import get_combiner
+from .fast import FastBSTCEvaluator, _ClassTables
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactError",
+    "DatasetSummary",
+    "load_artifact",
+    "save_artifact",
+]
+
+#: Bumped whenever the stored array layout changes incompatibly.  Loaders
+#: refuse unknown versions instead of guessing.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: The per-class arrays an artifact stores, in ``_ClassTables`` field order.
+#: ``inside_f``/``outside_f`` are stored even though they are casts of
+#: ``inside``/``outside``: they are the matmul operands, and storing them
+#: keeps the hot kernels running on memory-mapped pages instead of forcing a
+#: full in-memory cast at load time.
+_TABLE_FIELDS: Tuple[str, ...] = (
+    "inside",
+    "outside",
+    "inside_f",
+    "outside_f",
+    "len_neg",
+    "len_pos",
+    "negated",
+    "empty",
+    "inside_sizes",
+    "gene_mask",
+    "outside_counts",
+    "blackdot_mask",
+    "h_flat",
+    "h_offsets",
+    "inside_rows",
+    "inside_row_offsets",
+)
+
+
+class ArtifactError(ReproError, ValueError):
+    """Raised when a model artifact is malformed, truncated, from an
+    unknown format version, or carries the wrong training-data fingerprint."""
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """The slice of a training dataset an evaluator actually consumes.
+
+    Stands in for the full :class:`~repro.datasets.dataset.RelationalDataset`
+    on artifact-loaded evaluators: the kernels need only the geometry
+    (``n_items``, ``n_classes``), the display vocabularies, and the content
+    ``fingerprint`` that keys the evaluator cache and validates reloads.
+    """
+
+    n_items: int
+    n_classes: int
+    n_samples: int
+    fingerprint: str
+    item_names: Tuple[str, ...]
+    class_names: Tuple[str, ...]
+
+
+# ----------------------------------------------------------------------
+# Saving
+# ----------------------------------------------------------------------
+
+
+def save_artifact(evaluator: FastBSTCEvaluator, path: PathLike) -> Path:
+    """Export a fitted evaluator as a single ``.npz`` model artifact.
+
+    The file is written uncompressed (``np.savez``) on purpose: compression
+    would defeat the memory-mapped zero-copy load path, and boolean/float32
+    tables are already compact.  Returns the path written.
+    """
+    dataset = evaluator.dataset
+    arrays: Dict[str, np.ndarray] = {
+        "meta_format_version": np.array(ARTIFACT_FORMAT_VERSION, dtype=np.int64),
+        "meta_arithmetization": np.array(evaluator.arithmetization),
+        "meta_fingerprint": np.array(dataset.fingerprint),
+        "meta_n_items": np.array(dataset.n_items, dtype=np.int64),
+        "meta_n_classes": np.array(dataset.n_classes, dtype=np.int64),
+        "meta_n_samples": np.array(dataset.n_samples, dtype=np.int64),
+        "meta_item_names": np.array(list(dataset.item_names)),
+        "meta_class_names": np.array(list(dataset.class_names)),
+        "meta_has_table": np.array(
+            [t is not None for t in evaluator._tables], dtype=bool
+        ),
+    }
+    for class_id, tables in enumerate(evaluator._tables):
+        if tables is None:
+            continue
+        for field_name in _TABLE_FIELDS:
+            arrays[f"class{class_id}_{field_name}"] = np.ascontiguousarray(
+                getattr(tables, field_name)
+            )
+    path = Path(path)
+    with path.open("wb") as handle:
+        np.savez(handle, **arrays)
+    engine_counters.increment("artifact_saves")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Memory-mapped member access
+# ----------------------------------------------------------------------
+
+_LOCAL_HEADER_SIGNATURE = b"PK\x03\x04"
+_LOCAL_HEADER_SIZE = 30
+
+
+def _stored_member_offsets(path: Path) -> Optional[Dict[str, int]]:
+    """Byte offset of each member's payload inside the zip, or ``None``
+    when any member is compressed (mmap needs raw stored bytes)."""
+    offsets: Dict[str, int] = {}
+    with zipfile.ZipFile(path) as archive, path.open("rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            raw.seek(info.header_offset)
+            header = raw.read(_LOCAL_HEADER_SIZE)
+            if (
+                len(header) != _LOCAL_HEADER_SIZE
+                or header[:4] != _LOCAL_HEADER_SIGNATURE
+            ):
+                return None
+            # The local header's own name/extra lengths (they can differ
+            # from the central directory's copies).
+            name_len, extra_len = struct.unpack("<HH", header[26:30])
+            offsets[info.filename] = (
+                info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+            )
+    return offsets
+
+
+def _mmap_member(path: Path, offset: int) -> Optional[np.ndarray]:
+    """Memory-map one stored ``.npy`` member; ``None`` if it cannot be
+    mapped (object dtype, unknown npy version, empty payload)."""
+    with path.open("rb") as handle:
+        handle.seek(offset)
+        try:
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+        except ValueError:
+            return None
+        if dtype.hasobject:
+            return None
+        data_offset = handle.tell()
+    if int(np.prod(shape, dtype=np.int64)) == 0:
+        # mmap cannot address a zero-length range; an empty array is free.
+        return np.empty(shape, dtype=dtype, order="F" if fortran else "C")
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=data_offset,
+        shape=tuple(int(s) for s in shape),
+        order="F" if fortran else "C",
+    )
+
+
+class _ArtifactReader:
+    """Array access over an artifact: memory-mapped when the archive is
+    stored uncompressed, eagerly loaded otherwise."""
+
+    def __init__(self, path: Path, mmap: bool):
+        self._path = path
+        self._npz = np.load(path, allow_pickle=False)
+        self._offsets: Optional[Dict[str, int]] = None
+        if mmap:
+            try:
+                self._offsets = _stored_member_offsets(path)
+            except (OSError, zipfile.BadZipFile):
+                self._offsets = None
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._npz.files)
+
+    def eager(self, name: str) -> np.ndarray:
+        """In-memory copy (metadata scalars and string vocabularies)."""
+        if name not in self._npz.files:
+            raise ArtifactError(
+                f"{self._path}: artifact is missing required entry {name!r}"
+            )
+        return self._npz[name]
+
+    def array(self, name: str) -> np.ndarray:
+        """Table payload: memory-mapped when possible, eager otherwise."""
+        if self._offsets is not None:
+            offset = self._offsets.get(f"{name}.npy")
+            if offset is not None:
+                mapped = _mmap_member(self._path, offset)
+                if mapped is not None:
+                    return mapped
+        return self.eager(name)
+
+    def close(self) -> None:
+        self._npz.close()
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+
+def _check_shape(
+    path: Path, name: str, array: np.ndarray, expected: Tuple[int, ...]
+) -> np.ndarray:
+    if tuple(array.shape) != expected:
+        raise ArtifactError(
+            f"{path}: entry {name!r} has shape {tuple(array.shape)},"
+            f" expected {expected}"
+        )
+    return array
+
+
+def load_artifact(
+    path: PathLike,
+    expected_fingerprint: Optional[str] = None,
+    mmap: bool = True,
+) -> FastBSTCEvaluator:
+    """Reconstruct a :class:`FastBSTCEvaluator` from a saved artifact.
+
+    No table is rebuilt: the per-class arrays are handed to the evaluator
+    exactly as stored, memory-mapped out of the archive when ``mmap`` is
+    true (the default).  The evaluator's ``dataset`` attribute is a
+    :class:`DatasetSummary`.
+
+    Args:
+        path: the ``.npz`` file written by :func:`save_artifact`.
+        expected_fingerprint: when given, the artifact must carry exactly
+            this training-data fingerprint — pass
+            ``dataset.fingerprint`` to guarantee the loaded model answers
+            for that training data, or a fingerprint recorded elsewhere.
+        mmap: memory-map the table arrays (set False to force an eager,
+            self-contained load, e.g. before deleting the file).
+
+    Raises:
+        ArtifactError: missing/malformed entries, an unknown format
+            version, or a fingerprint mismatch.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"{path}: no such artifact")
+    try:
+        reader = _ArtifactReader(path, mmap=mmap)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise ArtifactError(f"{path}: not a model artifact: {exc}") from exc
+    try:
+        version = int(reader.eager("meta_format_version"))
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise ArtifactError(
+                f"{path}: artifact format version {version} is not supported"
+                f" (this build reads version {ARTIFACT_FORMAT_VERSION})"
+            )
+        arithmetization = str(reader.eager("meta_arithmetization"))
+        try:
+            get_combiner(arithmetization)
+        except ValueError as exc:
+            raise ArtifactError(f"{path}: {exc}") from exc
+        fingerprint = str(reader.eager("meta_fingerprint"))
+        if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+            raise ArtifactError(
+                f"{path}: artifact fingerprint {fingerprint[:12]}... does not"
+                f" match the expected training data"
+                f" ({expected_fingerprint[:12]}...); refusing to serve a stale"
+                " model"
+            )
+        n_items = int(reader.eager("meta_n_items"))
+        n_classes = int(reader.eager("meta_n_classes"))
+        n_samples = int(reader.eager("meta_n_samples"))
+        item_names = tuple(str(s) for s in reader.eager("meta_item_names"))
+        class_names = tuple(str(s) for s in reader.eager("meta_class_names"))
+        has_table = reader.eager("meta_has_table")
+        if len(item_names) != n_items or len(class_names) != n_classes:
+            raise ArtifactError(f"{path}: vocabulary lengths disagree with metadata")
+        if has_table.shape != (n_classes,):
+            raise ArtifactError(f"{path}: meta_has_table does not cover every class")
+
+        summary = DatasetSummary(
+            n_items=n_items,
+            n_classes=n_classes,
+            n_samples=n_samples,
+            fingerprint=fingerprint,
+            item_names=item_names,
+            class_names=class_names,
+        )
+        tables: List[Optional[_ClassTables]] = []
+        for class_id in range(n_classes):
+            if not bool(has_table[class_id]):
+                tables.append(None)
+                continue
+            fields = {
+                field_name: reader.array(f"class{class_id}_{field_name}")
+                for field_name in _TABLE_FIELDS
+            }
+            inside = fields["inside"]
+            if inside.ndim != 2 or inside.shape[1] != n_items:
+                raise ArtifactError(
+                    f"{path}: class {class_id} tables disagree with the"
+                    f" item vocabulary ({inside.shape} vs {n_items} items)"
+                )
+            n_c, n_o = inside.shape[0], fields["outside"].shape[0]
+            _check_shape(path, "outside", fields["outside"], (n_o, n_items))
+            _check_shape(path, "len_neg", fields["len_neg"], (n_c, n_o))
+            _check_shape(path, "gene_mask", fields["gene_mask"], (n_items,))
+            _check_shape(
+                path,
+                "inside_row_offsets",
+                fields["inside_row_offsets"],
+                (n_items + 1,),
+            )
+            tables.append(_ClassTables(class_id=class_id, **fields))
+        with engine_counters.track("artifact_load"):
+            evaluator = FastBSTCEvaluator._from_tables(
+                summary, arithmetization, tables
+            )
+        engine_counters.increment("artifact_loads")
+        return evaluator
+    finally:
+        reader.close()

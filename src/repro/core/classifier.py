@@ -21,7 +21,16 @@ cross-checked in the test suite.  ``BSTClassifier`` conforms to the
 
 from __future__ import annotations
 
-from typing import AbstractSet, Iterable, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import (
+    AbstractSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -30,7 +39,7 @@ from ..datasets.dataset import RelationalDataset
 from .arithmetization import classification_confidence, get_combiner
 from .bstce import bstce
 from .estimator import NotFittedError, resolve_engine, warn_deprecated_alias
-from .fast import FastBSTCEvaluator, Query, get_evaluator
+from .fast import FastBSTCEvaluator, Query, get_evaluator, register_evaluator
 
 __all__ = ["BSTClassifier", "NotFittedError"]
 
@@ -87,8 +96,66 @@ class BSTClassifier:
         if self._dataset is None:
             raise NotFittedError("call fit() before using the classifier")
         if self._bsts is None:
+            if not isinstance(self._dataset, RelationalDataset):
+                raise ValueError(
+                    "explicit BSTs need the training samples, which a model"
+                    " artifact does not carry; refit on the training dataset"
+                    " to inspect BSTs"
+                )
             self._bsts = build_all_bsts(self._dataset)
         return self._bsts
+
+    # ------------------------------------------------------------------
+    # Model artifacts
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Export the fitted model as a compiled ``.npz`` artifact.
+
+        The artifact carries the vectorized per-class tables, the
+        arithmetization, and the training-data fingerprint (see
+        :mod:`repro.core.artifact`).  Works under either engine — the
+        vectorized tables are fetched from the evaluator cache (built on
+        demand for a reference-engine fit).  Returns the path written.
+        """
+        from .artifact import save_artifact
+
+        if self._dataset is None:
+            raise NotFittedError("call fit() before saving the classifier")
+        evaluator = self._fast
+        if evaluator is None:
+            if not isinstance(self._dataset, RelationalDataset):
+                raise ValueError(
+                    "cannot rebuild tables from an artifact-loaded"
+                    " classifier without its fast evaluator"
+                )
+            evaluator = get_evaluator(self._dataset, self.arithmetization)
+        return save_artifact(evaluator, path)
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        expected_fingerprint: Optional[str] = None,
+        mmap: bool = True,
+    ) -> "BSTClassifier":
+        """Reconstruct a fitted classifier from a saved artifact — zero
+        table rebuild (see :func:`repro.core.artifact.load_artifact`).
+
+        The loaded evaluator is registered in the process-wide cache, so a
+        later ``fit`` on the same training data reuses it.  The returned
+        classifier predicts bit-identically to the one that was saved; its
+        ``dataset`` is a :class:`~repro.core.artifact.DatasetSummary` (the
+        training samples themselves are not stored).
+        """
+        from .artifact import load_artifact
+
+        evaluator = load_artifact(
+            path, expected_fingerprint=expected_fingerprint, mmap=mmap
+        )
+        clf = cls(arithmetization=evaluator.arithmetization, engine="fast")
+        clf._dataset = evaluator.dataset
+        clf._fast = register_evaluator(evaluator)
+        return clf
 
     # ------------------------------------------------------------------
     # Prediction

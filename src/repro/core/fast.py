@@ -45,6 +45,9 @@ _GENE_CHUNK = 256
 _BATCH_BLOCK = 64
 #: Element cap for the (block, n_c, n_o, genes) reduction working array.
 _CELL_BUDGET = 1 << 23
+#: Item-count floor for the sparse-column matmul restriction: below this the
+#: pair-value matmuls are dispatch-bound and slicing only adds overhead.
+_SPARSE_MIN_ITEMS = 256
 
 
 @dataclass
@@ -66,6 +69,8 @@ class _ClassTables:
     blackdot_mask: np.ndarray   # bool (n_items,): relevant genes no h expresses
     h_flat: np.ndarray       # int64 (nnz,): outside-row ids, gene-major
     h_offsets: np.ndarray    # int64 (n_items,): start of each gene in h_flat
+    inside_rows: np.ndarray  # int64 (nnz,): inside rows per gene, gene-major
+    inside_row_offsets: np.ndarray  # int64 (n_items + 1,): CSR offsets
 
 
 class FastBSTCEvaluator:
@@ -111,6 +116,16 @@ class FastBSTCEvaluator:
                 del gene_ids  # np.nonzero order guarantees gene-major h_ids
                 h_offsets = np.zeros(matrix.shape[1], dtype=np.int64)
                 np.cumsum(outside_counts[:-1], out=h_offsets[1:])
+                # Gene-major CSR of ``inside`` — which class rows express
+                # each gene, i.e. the non-blank cells the batched segment
+                # reduction visits.  Precomputed here (and shipped in model
+                # artifacts) so no query ever pays for it.
+                ins_gene_ids, inside_rows = np.nonzero(inside.T)
+                del ins_gene_ids
+                inside_row_offsets = np.zeros(
+                    matrix.shape[1] + 1, dtype=np.int64
+                )
+                np.cumsum(inside.sum(axis=0), out=inside_row_offsets[1:])
                 self._tables.append(
                     _ClassTables(
                         class_id=class_id,
@@ -128,12 +143,38 @@ class FastBSTCEvaluator:
                         blackdot_mask=gene_mask & (outside_counts == 0),
                         h_flat=h_ids.astype(np.int64),
                         h_offsets=h_offsets,
+                        inside_rows=inside_rows.astype(np.int64),
+                        inside_row_offsets=inside_row_offsets,
                     )
                 )
         engine_counters.increment("evaluator_builds")
         engine_counters.increment(
             "class_tables_built", sum(t is not None for t in self._tables)
         )
+
+    @classmethod
+    def _from_tables(
+        cls,
+        dataset,
+        arithmetization: str,
+        tables: List[Optional[_ClassTables]],
+    ) -> "FastBSTCEvaluator":
+        """Restore an evaluator around prebuilt per-class tables.
+
+        The zero-rebuild path behind :func:`repro.core.artifact.load_artifact`:
+        nothing is recomputed, the arrays (typically memory-mapped) are
+        adopted as-is.  ``dataset`` may be a full
+        :class:`~repro.datasets.dataset.RelationalDataset` or the
+        :class:`~repro.core.artifact.DatasetSummary` shim — the kernels only
+        touch ``n_items``/``n_classes``/``fingerprint``.
+        """
+        get_combiner(arithmetization)
+        self = cls.__new__(cls)
+        self.dataset = dataset
+        self.arithmetization = arithmetization
+        self._tables = list(tables)
+        engine_counters.increment("evaluator_restores")
+        return self
 
     # ------------------------------------------------------------------
     def _as_vector(self, query: Query) -> np.ndarray:
@@ -166,13 +207,43 @@ class FastBSTCEvaluator:
             return np.zeros((0, self.dataset.n_items), dtype=bool)
         return np.stack(rows)
 
+    @staticmethod
+    def _sparse_columns(qmat: np.ndarray) -> Optional[np.ndarray]:
+        """Expressed item columns of a (batch of) boolean queries, when
+        restricting the pair-value matmuls to them saves real work.
+
+        Every inner product behind the pair values only accumulates over
+        items the query expresses (the other terms are exact ``+0.0``), so
+        for sparse queries the dominant ``(n_c x |G|) @ (|G| x n_o)`` matmul
+        shrinks to the expressed columns — the cold-start/single-query
+        serving path stops paying for the full item vocabulary.  Returns
+        ``None`` when the batch is dense enough (or the vocabulary small
+        enough) that the full-width matmul is cheaper than slicing.
+        """
+        n_items = qmat.shape[-1]
+        if n_items < _SPARSE_MIN_ITEMS:
+            return None
+        expressed = qmat.any(axis=0) if qmat.ndim == 2 else qmat
+        cols = np.flatnonzero(expressed)
+        if cols.size > n_items // 2:
+            return None
+        return cols
+
     def _pair_values(self, tables: _ClassTables, qvec: np.ndarray) -> np.ndarray:
         """V[c, h]: satisfied-literal fraction of each shared pair list."""
-        q = qvec.astype(np.float32)
-        hq = tables.outside_f @ q          # |h ∩ Q|
-        cq = tables.inside_f @ q           # |c ∩ Q|
-        masked_inside = tables.inside_f * q[None, :]
-        chq = masked_inside @ tables.outside_f.T  # |c∩h∩Q|
+        cols = self._sparse_columns(qvec)
+        if cols is not None:
+            q = qvec[cols].astype(np.float32)
+            inside_f = tables.inside_f[:, cols]
+            outside_f = tables.outside_f[:, cols]
+        else:
+            q = qvec.astype(np.float32)
+            inside_f = tables.inside_f
+            outside_f = tables.outside_f
+        hq = outside_f @ q                 # |h ∩ Q|
+        cq = inside_f @ q                  # |c ∩ Q|
+        masked_inside = inside_f * q[None, :]
+        chq = masked_inside @ outside_f.T  # |c∩h∩Q|
         with np.errstate(divide="ignore", invalid="ignore"):
             sat_neg = tables.len_neg - (hq[None, :] - chq)
             v_neg = np.where(tables.len_neg > 0, sat_neg / tables.len_neg, 0.0)
@@ -191,13 +262,21 @@ class FastBSTCEvaluator:
         single ``(B·n_c x |G|) @ (|G| x n_o)`` matmul — the batched kernel's
         dominant-cost amortization.
         """
-        Qf = qmat.astype(np.float32)                        # (B, |G|)
-        hq = Qf @ tables.outside_f.T                        # (B, n_o)
-        cq = Qf @ tables.inside_f.T                         # (B, n_c)
-        n_b, n_items = Qf.shape
+        cols = self._sparse_columns(qmat)
+        if cols is not None:
+            Qf = qmat[:, cols].astype(np.float32)           # (B, |cols|)
+            inside_f = tables.inside_f[:, cols]
+            outside_f = tables.outside_f[:, cols]
+        else:
+            Qf = qmat.astype(np.float32)                    # (B, |G|)
+            inside_f = tables.inside_f
+            outside_f = tables.outside_f
+        hq = Qf @ outside_f.T                               # (B, n_o)
+        cq = Qf @ inside_f.T                                # (B, n_c)
+        n_b, n_width = Qf.shape
         n_c = tables.inside.shape[0]
-        masked = tables.inside_f[None, :, :] * Qf[:, None, :]
-        chq = (masked.reshape(n_b * n_c, n_items) @ tables.outside_f.T).reshape(
+        masked = inside_f[None, :, :] * Qf[:, None, :]
+        chq = (masked.reshape(n_b * n_c, n_width) @ outside_f.T).reshape(
             n_b, n_c, -1
         )                                                   # (B, n_c, n_o)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -246,22 +325,29 @@ class FastBSTCEvaluator:
     def _reduce_segments(
         self, gathered: np.ndarray, starts: np.ndarray, lengths: np.ndarray
     ) -> np.ndarray:
-        """Combine contiguous pair-value segments (one per non-black-dot
-        cell) along the last axis — the arithmetization applied without any
-        dense masking."""
+        """Combine contiguous pair-value segments (one per non-blank,
+        non-black-dot cell) of a flat stream — the arithmetization applied
+        without any dense masking."""
         if self.arithmetization == "min":
-            return np.minimum.reduceat(gathered, starts, axis=1)
+            return np.minimum.reduceat(gathered, starts)
         if self.arithmetization == "product":
-            return np.multiply.reduceat(gathered, starts, axis=1)
-        sums = np.add.reduceat(gathered, starts, axis=1)
-        return sums / lengths[None, :]
+            return np.multiply.reduceat(gathered, starts)
+        sums = np.add.reduceat(gathered, starts)
+        return sums / lengths
 
     def class_value(self, class_id: int, query: Query) -> float:
         """BSTCE(T(class_id), Q) — Algorithm 5's classification value."""
         tables = self._tables[class_id]
         if tables is None:
             return 0.0
-        qvec = self._as_vector(query)
+        return self._class_value_from_vec(tables, self._as_vector(query))
+
+    def _class_value_from_vec(
+        self, tables: _ClassTables, qvec: np.ndarray
+    ) -> float:
+        """:meth:`class_value` on an already-converted indicator vector, so
+        the per-class loop of :meth:`classification_values` converts the
+        query once instead of once per class."""
         genes = np.flatnonzero(qvec & tables.gene_mask)
         if genes.size == 0:
             return 0.0
@@ -288,11 +374,13 @@ class FastBSTCEvaluator:
         """BSTCE values of one class for a block of stacked queries.
 
         Column counts and black-dot contributions are two batched boolean
-        matmuls.  The remaining cells reduce over *only* the outside rows
-        that actually express each gene: every (query, gene) cell is one
-        contiguous segment of a gathered pair-value array, combined with a
-        single ``reduceat`` per chunk instead of a dense masked pass over
-        all ``n_o`` rows.
+        matmuls.  The remaining cells reduce over *only* the non-blank
+        (query, gene, inside-row) combinations: each such cell is one
+        contiguous segment — the outside rows expressing its gene — of a
+        flat gathered pair-value stream, combined with a single ``reduceat``
+        per chunk.  Blank cells (inside row lacks the gene) never enter the
+        stream, so the reduction work scales with the matrix density instead
+        of the full ``n_c`` height.
         """
         n_b = qmat.shape[0]
         values = np.zeros(n_b, dtype=np.float64)
@@ -312,49 +400,69 @@ class FastBSTCEvaluator:
         if b_idx.size:
             pair_values = self._pair_values_block(tables, qmat)  # (B, n_c, n_o)
             flat_pairs = pair_values.transpose(1, 0, 2).reshape(n_c, n_b * n_o)
+            flat1 = flat_pairs.ravel()
+            # Gene-major CSR of ``inside`` (precomputed at fit time): which
+            # class rows express each gene — exactly the non-blank cells of
+            # each (query, gene) pair.
+            ins_c = tables.inside_rows
+            ins_offsets = tables.inside_row_offsets
+            rows_per_seg = ins_offsets[g_idx + 1] - ins_offsets[g_idx]
+            keep = rows_per_seg > 0
+            if not keep.all():
+                b_idx = b_idx[keep]
+                g_idx = g_idx[keep]
+                rows_per_seg = rows_per_seg[keep]
+        if b_idx.size:
             seg_lengths = tables.outside_counts[g_idx]
-            seg_ends = np.cumsum(seg_lengths)
-            seg_starts = seg_ends - seg_lengths
-            total = int(seg_ends[-1])
-            # Gather index: for segment s, h_flat[h_offsets[g]:+len] shifted
-            # into query b's slice of the flattened pair values.
-            pos = (
-                np.arange(total, dtype=np.int64)
-                - np.repeat(seg_starts, seg_lengths)
-                + np.repeat(tables.h_offsets[g_idx], seg_lengths)
-            )
-            sel = tables.h_flat[pos] + np.repeat(b_idx, seg_lengths) * n_o
-            # Chunk segments so the (n_c, chunk) gather respects the budget.
-            seg_chunk = max(1, _CELL_BUDGET // max(1, n_c))
+            seg_stream = rows_per_seg * seg_lengths
+            cum_stream = np.cumsum(seg_stream)
             n_segs = g_idx.size
+            # Chunk segments so the flat stream (values + index temporaries)
+            # respects the element budget.
+            stream_budget = max(1, _CELL_BUDGET >> 2)
             start_seg = 0
             while start_seg < n_segs:
-                end_seg = start_seg
-                chunk_elems = 0
-                while end_seg < n_segs:
-                    length = int(seg_lengths[end_seg])
-                    if chunk_elems and chunk_elems + length > seg_chunk:
-                        break
-                    chunk_elems += length
-                    end_seg += 1
-                lo, hi = int(seg_starts[start_seg]), int(seg_ends[end_seg - 1])
-                gathered = flat_pairs[:, sel[lo:hi]]  # (n_c, chunk_elems)
-                cells = self._reduce_segments(
-                    gathered,
-                    (seg_starts[start_seg:end_seg] - lo).astype(np.int64),
-                    seg_lengths[start_seg:end_seg].astype(np.float32),
-                ).astype(np.float64)
-                # Blank cells (inside row lacks the gene) contribute nothing.
-                cells *= tables.inside[:, g_idx[start_seg:end_seg]]
-                # Accumulate per query: segments are query-major, so one
-                # more reduceat collapses them onto their queries.
-                b_chunk = b_idx[start_seg:end_seg]
-                q_starts = np.flatnonzero(
-                    np.concatenate(([True], b_chunk[1:] != b_chunk[:-1]))
+                base = int(cum_stream[start_seg]) - int(seg_stream[start_seg])
+                end_seg = int(
+                    np.searchsorted(cum_stream, base + stream_budget, "left")
+                ) + 1
+                end_seg = min(max(end_seg, start_seg + 1), n_segs)
+                g_ch = g_idx[start_seg:end_seg]
+                b_ch = b_idx[start_seg:end_seg]
+                rc_ch = rows_per_seg[start_seg:end_seg]
+                len_ch = seg_lengths[start_seg:end_seg]
+                # One cell per (segment, expressing inside row).
+                cum_rc = np.cumsum(rc_ch)
+                n_cells = int(cum_rc[-1])
+                cell_seg = np.repeat(np.arange(end_seg - start_seg), rc_ch)
+                cell_row = ins_c[
+                    np.arange(n_cells, dtype=np.int64)
+                    - np.repeat(cum_rc - rc_ch, rc_ch)
+                    + np.repeat(ins_offsets[g_ch], rc_ch)
+                ]
+                # Each cell's segment: the outside rows expressing its gene,
+                # gathered from query b's slice of the flat pair values.
+                cell_len = len_ch[cell_seg]
+                cum_e = np.cumsum(cell_len)
+                e_starts = cum_e - cell_len
+                total_e = int(cum_e[-1])
+                # h_flat positions: one shifted arange per cell, expanded in
+                # a single repeat (cell-level math stays tiny).
+                h_base = tables.h_offsets[g_ch][cell_seg]
+                pos = np.arange(total_e, dtype=np.int64) + np.repeat(
+                    h_base - e_starts, cell_len
                 )
-                col_sum[b_chunk[q_starts]] += np.add.reduceat(
-                    cells, q_starts, axis=1
-                ).T
+                cell_base = cell_row * (n_b * n_o) + b_ch[cell_seg] * n_o
+                flat_idx = np.repeat(cell_base, cell_len) + tables.h_flat[pos]
+                cell_vals = self._reduce_segments(
+                    flat1[flat_idx], e_starts, cell_len.astype(np.float32)
+                ).astype(np.float64)
+                # Accumulate each cell onto its (query, class) column sum.
+                col_sum += np.bincount(
+                    b_ch[cell_seg] * n_c + cell_row,
+                    weights=cell_vals,
+                    minlength=n_b * n_c,
+                ).reshape(n_b, n_c)
                 start_seg = end_seg
         nonblank = col_count > 0
         safe_count = np.where(nonblank, col_count, 1.0)
@@ -370,7 +478,12 @@ class FastBSTCEvaluator:
         with engine_counters.track("query"):
             engine_counters.increment("query_calls")
             return np.array(
-                [self.class_value(i, qvec) for i in range(self.dataset.n_classes)],
+                [
+                    0.0
+                    if tables is None
+                    else self._class_value_from_vec(tables, qvec)
+                    for tables in self._tables
+                ],
                 dtype=np.float64,
             )
 
@@ -465,6 +578,26 @@ def get_evaluator(
         existing = _EVALUATOR_CACHE.get(key)
         if existing is not None:
             # A concurrent build won the race; keep the cached one.
+            _EVALUATOR_CACHE.move_to_end(key)
+            return existing
+        _EVALUATOR_CACHE[key] = evaluator
+        _evict_over_capacity_locked()
+    return evaluator
+
+
+def register_evaluator(evaluator: FastBSTCEvaluator) -> FastBSTCEvaluator:
+    """Seed the cache with an already-built evaluator (e.g. one restored
+    from a model artifact), keyed like :func:`get_evaluator`.
+
+    Returns the canonical instance: if an evaluator for the same
+    ``(fingerprint, arithmetization)`` is already cached, that one wins and
+    is returned, so artifact loads and in-memory fits converge on one
+    evaluator per model.
+    """
+    key = (evaluator.dataset.fingerprint, evaluator.arithmetization)
+    with _EVALUATOR_LOCK:
+        existing = _EVALUATOR_CACHE.get(key)
+        if existing is not None:
             _EVALUATOR_CACHE.move_to_end(key)
             return existing
         _EVALUATOR_CACHE[key] = evaluator

@@ -1,0 +1,12 @@
+"""Serving layer: compiled model artifacts + the micro-batching service.
+
+The production-facing composition of the repository's fast pieces:
+:func:`repro.core.artifact.load_artifact` restores a fitted evaluator with
+zero table rebuild, and :class:`PredictionService` multiplexes concurrent
+single-query callers onto the batched BSTCE kernel.  See
+``docs/SERVING.md`` for the artifact format and the micro-batching knobs.
+"""
+
+from .service import PredictionService, ServiceClosed
+
+__all__ = ["PredictionService", "ServiceClosed"]

@@ -1,0 +1,259 @@
+"""Micro-batching prediction service.
+
+Single-query callers never benefit from the batched BSTCE kernel: each
+``classification_values`` call pays the full per-query dispatch and matmul
+cost alone.  :class:`PredictionService` closes that gap for concurrent
+callers — requests are enqueued, a dedicated worker thread coalesces
+whatever has accumulated (up to ``max_batch``, waiting at most
+``max_wait_ms`` for stragglers) into one
+``classification_values_batch`` call, and each caller gets exactly its own
+row back.  Under concurrent load the per-query cost converges to the batched
+kernel's amortized cost; an idle service adds at most ``max_wait_ms`` of
+latency to a lone request.
+
+Design points:
+
+* **Bounded queue with backpressure** — at most ``max_pending`` requests
+  wait in the queue; further submitters block until the worker drains
+  (memory stays bounded no matter how fast callers arrive).
+* **Clean shutdown** — :meth:`PredictionService.close` (or leaving the
+  ``with`` block) stops accepting new work, answers every request that was
+  already accepted, then joins the worker.  Every accepted request is
+  answered exactly once: with its result row, or with the evaluation error
+  that destroyed its batch.  Submission after close raises
+  :class:`ServiceClosed`.
+* **Observable** — per-request latency, batch occupancy, and compute time
+  flow into the shared
+  :data:`~repro.evaluation.timing.engine_counters` (``service_*`` keys), so
+  the CLI counter report shows how well micro-batching is working.
+
+The model can be anything exposing ``classification_values_batch`` — a
+:class:`~repro.core.fast.FastBSTCEvaluator` (typically restored from a
+model artifact via :func:`repro.core.artifact.load_artifact`) or a fitted
+:class:`~repro.core.classifier.BSTClassifier`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..evaluation.timing import EngineCounters, engine_counters
+
+__all__ = ["PredictionService", "ServiceClosed"]
+
+
+class ServiceClosed(ReproError, RuntimeError):
+    """Raised when a request is submitted to a closed service."""
+
+
+#: Queue sentinel marking the end of accepted work.
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Request:
+    """One in-flight prediction request."""
+
+    query: Any
+    enqueued_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    values: Optional[np.ndarray] = None
+    error: Optional[BaseException] = None
+
+
+class PredictionService:
+    """Coalesce concurrent single-query predictions into batched kernel calls.
+
+    Args:
+        model: object with ``classification_values_batch`` (and
+            ``dataset.n_classes`` for shape fallbacks) — an evaluator or a
+            fitted classifier.
+        max_batch: largest batch the worker hands to the kernel.
+        max_wait_ms: how long the worker holds an open batch for stragglers
+            once it has at least one request.  ``0`` batches only what is
+            already queued.
+        max_pending: bound on queued requests; submitters past it block
+            until the worker catches up (backpressure).
+        counters: counter sink (defaults to the process-wide
+            :data:`~repro.evaluation.timing.engine_counters`).
+
+    The worker thread starts immediately; the service is usable as a
+    context manager and closes cleanly on exit.
+    """
+
+    def __init__(
+        self,
+        model: Any,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+        counters: Optional[EngineCounters] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._model = model
+        self._max_batch = int(max_batch)
+        self._max_wait = float(max_wait_ms) / 1000.0
+        self._counters = counters if counters is not None else engine_counters
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=int(max_pending))
+        #: Serializes submissions against close(), so the shutdown sentinel
+        #: is strictly the last queue entry — the worker drains everything
+        #: accepted before it, then stops.
+        self._submit_lock = threading.Lock()
+        self._closed = False
+        self._answered = 0
+        self._worker = threading.Thread(
+            target=self._run, name="prediction-service", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def classification_values(
+        self, query: Any, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """Per-class values for one query, computed inside a coalesced batch.
+
+        Blocks until the worker answers (or ``timeout`` seconds elapse, then
+        :class:`TimeoutError`).  Raises the batch's evaluation error if the
+        kernel failed, and :class:`ServiceClosed` if the service no longer
+        accepts work.
+        """
+        request = self._submit(query)
+        if not request.done.wait(timeout):
+            raise TimeoutError(
+                f"prediction not answered within {timeout} seconds"
+            )
+        if request.error is not None:
+            raise request.error
+        assert request.values is not None
+        return request.values
+
+    def predict(self, query: Any, timeout: Optional[float] = None) -> int:
+        """Classify one query (Algorithm 6's first-argmax) via the batch
+        queue."""
+        values = self.classification_values(query, timeout)
+        return int(np.argmax(values))
+
+    def close(self) -> None:
+        """Stop accepting work, answer everything already accepted, join the
+        worker.  Idempotent."""
+        with self._submit_lock:
+            if not self._closed:
+                self._closed = True
+                self._queue.put(_SHUTDOWN)
+        self._worker.join()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def answered(self) -> int:
+        """Requests answered so far (result or error)."""
+        return self._answered
+
+    def pending(self) -> int:
+        """Requests currently waiting in the queue (approximate)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _submit(self, query: Any) -> _Request:
+        request = _Request(query=query, enqueued_at=time.monotonic())
+        with self._submit_lock:
+            if self._closed:
+                self._counters.increment("service_rejected")
+                raise ServiceClosed(
+                    "prediction service is closed; no new requests accepted"
+                )
+            # Blocking put = backpressure: with the queue at max_pending the
+            # submitter (still holding the lock) waits for the worker.  The
+            # worker never takes this lock, so draining always proceeds.
+            self._queue.put(request)
+        self._counters.increment("service_requests")
+        return request
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                # close() guarantees nothing was accepted after the
+                # sentinel, and everything before it was dequeued first.
+                return
+            batch = [item]
+            deadline = time.monotonic() + self._max_wait
+            saw_shutdown = False
+            while len(batch) < self._max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # Batch window closed; take only what is already queued.
+                    try:
+                        extra = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                else:
+                    try:
+                        extra = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                if extra is _SHUTDOWN:
+                    saw_shutdown = True
+                    break
+                batch.append(extra)
+            self._evaluate(batch)
+            if saw_shutdown:
+                return
+
+    def _evaluate(self, batch: list) -> None:
+        started = time.monotonic()
+        try:
+            values = np.asarray(
+                self._model.classification_values_batch(
+                    [request.query for request in batch]
+                )
+            )
+            if values.shape[0] != len(batch):
+                raise RuntimeError(
+                    f"model answered {values.shape[0]} rows for a batch of"
+                    f" {len(batch)}"
+                )
+        except BaseException as exc:  # answered exactly once, even on failure
+            self._counters.increment("service_batch_errors")
+            for request in batch:
+                request.error = exc
+                self._answered += 1
+                request.done.set()
+            return
+        finished = time.monotonic()
+        self._counters.increment("service_batches")
+        self._counters.increment("service_batched_queries", len(batch))
+        self._counters.observe_max("max_service_batch", len(batch))
+        self._counters.add_seconds("service_compute", finished - started)
+        for row, request in zip(values, batch):
+            request.values = row
+            self._counters.add_seconds(
+                "service_latency", finished - request.enqueued_at
+            )
+            self._answered += 1
+            request.done.set()

@@ -1,0 +1,226 @@
+"""Compiled model artifacts: round trips, validation, zero-rebuild loads."""
+
+import numpy as np
+import pytest
+
+from conftest import random_relational
+from repro.core.arithmetization import COMBINERS
+from repro.core.artifact import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactError,
+    DatasetSummary,
+    load_artifact,
+    save_artifact,
+)
+from repro.core.classifier import BSTClassifier
+from repro.core.fast import (
+    FastBSTCEvaluator,
+    clear_evaluator_cache,
+    evaluator_cache_info,
+    get_evaluator,
+)
+from repro.datasets.dataset import RelationalDataset
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_evaluator_cache()
+    yield
+    clear_evaluator_cache()
+
+
+def _random_queries(rng, dataset, n=16):
+    return rng.random((n, dataset.n_items)) < rng.uniform(0.1, 0.6)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("arithmetization", sorted(COMBINERS))
+    def test_bit_identical_across_arithmetizations(
+        self, tmp_path, arithmetization
+    ):
+        rng = np.random.default_rng(7)
+        for case in range(5):
+            dataset = random_relational(rng)
+            evaluator = FastBSTCEvaluator(dataset, arithmetization)
+            path = save_artifact(
+                evaluator, tmp_path / f"{arithmetization}{case}.npz"
+            )
+            loaded = load_artifact(path)
+            queries = _random_queries(rng, dataset)
+            assert np.array_equal(
+                evaluator.classification_values_batch(queries),
+                loaded.classification_values_batch(queries),
+            )
+            for query in queries[:4]:
+                assert np.array_equal(
+                    evaluator.classification_values(query),
+                    loaded.classification_values(query),
+                )
+
+    def test_dataset_summary(self, tmp_path, example):
+        evaluator = FastBSTCEvaluator(example)
+        loaded = load_artifact(save_artifact(evaluator, tmp_path / "m.npz"))
+        summary = loaded.dataset
+        assert isinstance(summary, DatasetSummary)
+        assert summary.n_items == example.n_items
+        assert summary.n_classes == example.n_classes
+        assert summary.n_samples == example.n_samples
+        assert summary.fingerprint == example.fingerprint
+        assert summary.item_names == example.item_names
+        assert summary.class_names == example.class_names
+        assert loaded.arithmetization == evaluator.arithmetization
+
+    def test_tables_are_memory_mapped(self, tmp_path, example):
+        evaluator = FastBSTCEvaluator(example)
+        loaded = load_artifact(save_artifact(evaluator, tmp_path / "m.npz"))
+        mapped = [
+            t.inside_f
+            for t in loaded._tables
+            if t is not None and t.inside_f.size
+        ]
+        assert mapped and all(isinstance(a, np.memmap) for a in mapped)
+
+    def test_eager_load(self, tmp_path, example):
+        evaluator = FastBSTCEvaluator(example)
+        path = save_artifact(evaluator, tmp_path / "m.npz")
+        loaded = load_artifact(path, mmap=False)
+        assert not any(
+            isinstance(t.inside_f, np.memmap)
+            for t in loaded._tables
+            if t is not None
+        )
+        query = np.zeros(example.n_items, dtype=bool)
+        query[:2] = True
+        assert np.array_equal(
+            evaluator.classification_values(query),
+            loaded.classification_values(query),
+        )
+
+    def test_empty_class_round_trip(self, tmp_path):
+        # A class with no training samples has no table; the artifact must
+        # record and restore that hole.
+        dataset = RelationalDataset(
+            item_names=("a", "b", "c"),
+            class_names=("x", "y", "z"),
+            samples=(frozenset({0, 1}), frozenset({2})),
+            labels=(0, 2),
+        )
+        evaluator = FastBSTCEvaluator(dataset)
+        loaded = load_artifact(save_artifact(evaluator, tmp_path / "m.npz"))
+        assert loaded._tables[1] is None
+        queries = np.eye(3, dtype=bool)
+        assert np.array_equal(
+            evaluator.classification_values_batch(queries),
+            loaded.classification_values_batch(queries),
+        )
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no such artifact"):
+            load_artifact(tmp_path / "absent.npz")
+
+    def test_not_an_artifact(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"definitely not a zip file")
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+
+    def test_missing_entry(self, tmp_path, example):
+        evaluator = FastBSTCEvaluator(example)
+        path = save_artifact(evaluator, tmp_path / "m.npz")
+        with np.load(path) as npz:
+            arrays = {k: npz[k] for k in npz.files if k != "meta_fingerprint"}
+        stripped = tmp_path / "stripped.npz"
+        with stripped.open("wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ArtifactError, match="meta_fingerprint"):
+            load_artifact(stripped)
+
+    def test_unknown_format_version(self, tmp_path, example):
+        evaluator = FastBSTCEvaluator(example)
+        path = save_artifact(evaluator, tmp_path / "m.npz")
+        with np.load(path) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        arrays["meta_format_version"] = np.array(
+            ARTIFACT_FORMAT_VERSION + 1, dtype=np.int64
+        )
+        future = tmp_path / "future.npz"
+        with future.open("wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ArtifactError, match="format version"):
+            load_artifact(future)
+
+    def test_fingerprint_mismatch(self, tmp_path, example):
+        evaluator = FastBSTCEvaluator(example)
+        path = save_artifact(evaluator, tmp_path / "m.npz")
+        loaded = load_artifact(path, expected_fingerprint=example.fingerprint)
+        assert loaded.dataset.fingerprint == example.fingerprint
+        with pytest.raises(ArtifactError, match="stale"):
+            load_artifact(path, expected_fingerprint="0" * 40)
+
+    def test_shape_mismatch(self, tmp_path, example):
+        evaluator = FastBSTCEvaluator(example)
+        path = save_artifact(evaluator, tmp_path / "m.npz")
+        with np.load(path) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        arrays["class0_len_neg"] = arrays["class0_len_neg"][:, :-1]
+        bad = tmp_path / "bad.npz"
+        with bad.open("wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ArtifactError, match="shape"):
+            load_artifact(bad)
+
+
+class TestClassifierSaveLoad:
+    def test_round_trip_predictions(self, tmp_path):
+        rng = np.random.default_rng(11)
+        dataset = random_relational(rng)
+        clf = BSTClassifier().fit(dataset)
+        path = clf.save(tmp_path / "clf.npz")
+        clear_evaluator_cache()
+        loaded = BSTClassifier.load(path)
+        queries = _random_queries(rng, dataset)
+        assert np.array_equal(
+            clf.predict_batch(queries), loaded.predict_batch(queries)
+        )
+        assert np.array_equal(
+            clf.classification_values(queries[0]),
+            loaded.classification_values(queries[0]),
+        )
+
+    def test_load_registers_in_cache(self, tmp_path, example):
+        clf = BSTClassifier().fit(example)
+        path = clf.save(tmp_path / "clf.npz")
+        clear_evaluator_cache()
+        loaded = BSTClassifier.load(path)
+        assert evaluator_cache_info()[0] == 1
+        # A later fit on the same training data reuses the loaded evaluator:
+        # zero table rebuild end to end.
+        assert get_evaluator(example) is loaded._fast
+
+    def test_save_reference_engine(self, tmp_path, example):
+        clf = BSTClassifier(engine="reference").fit(example)
+        loaded = BSTClassifier.load(clf.save(tmp_path / "clf.npz"))
+        query = np.zeros(example.n_items, dtype=bool)
+        query[[0, 3, 4]] = True
+        assert loaded.predict(query) == clf.predict(query)
+
+    def test_loaded_classifier_has_no_bsts(self, tmp_path, example):
+        clf = BSTClassifier().fit(example)
+        loaded = BSTClassifier.load(clf.save(tmp_path / "clf.npz"))
+        with pytest.raises(ValueError, match="artifact"):
+            loaded.bsts
+
+    def test_unfitted_save(self, tmp_path):
+        from repro.core.estimator import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            BSTClassifier().save(tmp_path / "clf.npz")
+
+    def test_expected_fingerprint(self, tmp_path, example):
+        clf = BSTClassifier().fit(example)
+        path = clf.save(tmp_path / "clf.npz")
+        BSTClassifier.load(path, expected_fingerprint=example.fingerprint)
+        with pytest.raises(ArtifactError):
+            BSTClassifier.load(path, expected_fingerprint="f" * 40)

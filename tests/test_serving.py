@@ -1,0 +1,315 @@
+"""Micro-batching prediction service and evaluator-cache concurrency."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from conftest import random_relational
+from repro.core.fast import (
+    FastBSTCEvaluator,
+    clear_evaluator_cache,
+    evaluator_cache_info,
+    get_evaluator,
+    set_evaluator_cache_size,
+)
+from repro.evaluation.timing import EngineCounters
+from repro.serving import PredictionService, ServiceClosed
+
+
+@pytest.fixture
+def evaluator(example):
+    return FastBSTCEvaluator(example)
+
+
+def _queries(rng, n_items, n=24):
+    return [rng.random(n_items) < 0.4 for _ in range(n)]
+
+
+class TestCorrectness:
+    def test_values_match_direct_evaluation(self, evaluator):
+        rng = np.random.default_rng(3)
+        queries = _queries(rng, evaluator.dataset.n_items)
+        with PredictionService(evaluator, counters=EngineCounters()) as service:
+            served = [service.classification_values(q) for q in queries]
+        direct = evaluator.classification_values_batch(queries)
+        assert np.array_equal(np.asarray(served), direct)
+
+    def test_predict_matches_argmax(self, evaluator):
+        query = np.zeros(evaluator.dataset.n_items, dtype=bool)
+        query[[0, 3, 4]] = True
+        with PredictionService(evaluator, counters=EngineCounters()) as service:
+            label = service.predict(query)
+        assert label == int(np.argmax(evaluator.classification_values(query)))
+
+    def test_concurrent_callers_get_their_own_rows(self, evaluator):
+        rng = np.random.default_rng(5)
+        queries = _queries(rng, evaluator.dataset.n_items, n=64)
+        expected = evaluator.classification_values_batch(queries)
+        results = [None] * len(queries)
+
+        def call(i):
+            results[i] = service.classification_values(queries[i])
+
+        with PredictionService(
+            evaluator, max_batch=8, max_wait_ms=5.0, counters=EngineCounters()
+        ) as service:
+            threads = [
+                threading.Thread(target=call, args=(i,))
+                for i in range(len(queries))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert np.array_equal(np.asarray(results), expected)
+
+
+class TestBatching:
+    def test_concurrent_load_coalesces(self, evaluator):
+        counters = EngineCounters()
+        rng = np.random.default_rng(9)
+        queries = _queries(rng, evaluator.dataset.n_items, n=32)
+        barrier = threading.Barrier(len(queries))
+
+        def call(q):
+            barrier.wait()
+            service.classification_values(q)
+
+        with PredictionService(
+            evaluator, max_batch=8, max_wait_ms=20.0, counters=counters
+        ) as service:
+            threads = [
+                threading.Thread(target=call, args=(q,)) for q in queries
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        snap = counters.snapshot()
+        assert snap["service_requests"] == len(queries)
+        assert snap["service_batched_queries"] == len(queries)
+        # 32 simultaneous callers over batches of <= 8 must coalesce at
+        # least once; all-singleton batching would mean 32 batches.
+        assert snap["max_service_batch"] > 1
+        assert snap["service_batches"] < len(queries)
+        assert snap["service_compute_seconds"] > 0
+        assert snap["service_latency_seconds"] > 0
+
+    def test_lone_request_is_answered(self, evaluator):
+        counters = EngineCounters()
+        with PredictionService(
+            evaluator, max_wait_ms=0.0, counters=counters
+        ) as service:
+            query = np.zeros(evaluator.dataset.n_items, dtype=bool)
+            service.classification_values(query)
+        assert counters.get("service_batches") == 1
+        assert counters.get("max_service_batch") == 1
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, evaluator):
+        counters = EngineCounters()
+        service = PredictionService(evaluator, counters=counters)
+        service.close()
+        assert service.closed
+        with pytest.raises(ServiceClosed):
+            service.classification_values(
+                np.zeros(evaluator.dataset.n_items, dtype=bool)
+            )
+        assert counters.get("service_rejected") == 1
+        service.close()  # idempotent
+
+    def test_timeout(self, example):
+        class Stuck:
+            dataset = example
+
+            def classification_values_batch(self, queries):
+                event.wait()
+                return np.zeros((len(queries), example.n_classes))
+
+        event = threading.Event()
+        service = PredictionService(Stuck(), counters=EngineCounters())
+        try:
+            with pytest.raises(TimeoutError):
+                service.classification_values(
+                    np.zeros(example.n_items, dtype=bool), timeout=0.05
+                )
+        finally:
+            event.set()
+            service.close()
+
+    def test_batch_error_propagates_to_every_caller(self, example):
+        class Broken:
+            dataset = example
+
+            def classification_values_batch(self, queries):
+                raise RuntimeError("kernel exploded")
+
+        counters = EngineCounters()
+        errors = []
+
+        def call(service):
+            try:
+                service.classification_values(
+                    np.zeros(example.n_items, dtype=bool)
+                )
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        with PredictionService(
+            Broken(), max_wait_ms=10.0, counters=counters
+        ) as service:
+            threads = [
+                threading.Thread(target=call, args=(service,))
+                for _ in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(errors) == 6
+        assert all("kernel exploded" in str(e) for e in errors)
+        assert counters.get("service_batch_errors") >= 1
+        assert service.answered == 6
+
+    def test_backpressure_queue_stays_bounded(self, evaluator):
+        # With max_pending=2 the queue can never hold more than 2 requests;
+        # submitters block instead.  The run must still answer everything.
+        rng = np.random.default_rng(13)
+        queries = _queries(rng, evaluator.dataset.n_items, n=20)
+        with PredictionService(
+            evaluator,
+            max_batch=4,
+            max_wait_ms=1.0,
+            max_pending=2,
+            counters=EngineCounters(),
+        ) as service:
+            results = [None] * len(queries)
+
+            def call(i):
+                results[i] = service.classification_values(queries[i])
+                assert service.pending() <= 2
+
+            threads = [
+                threading.Thread(target=call, args=(i,))
+                for i in range(len(queries))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert all(r is not None for r in results)
+        assert service.answered == len(queries)
+
+    def test_invalid_parameters(self, evaluator):
+        with pytest.raises(ValueError):
+            PredictionService(evaluator, max_batch=0)
+        with pytest.raises(ValueError):
+            PredictionService(evaluator, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            PredictionService(evaluator, max_pending=0)
+
+
+class TestShutdownStress:
+    def test_every_request_answered_exactly_once_under_shutdown(
+        self, evaluator
+    ):
+        # Hammer the service from many threads while the main thread closes
+        # it mid-flight.  Every submission must end in exactly one outcome:
+        # an answer (counted by the service) or a ServiceClosed rejection.
+        # No request may hang or be answered twice.
+        for round_seed in range(5):
+            rng = np.random.default_rng(round_seed)
+            counters = EngineCounters()
+            service = PredictionService(
+                evaluator,
+                max_batch=4,
+                max_wait_ms=0.5,
+                max_pending=8,
+                counters=counters,
+            )
+            n_threads, per_thread = 8, 16
+            answered = [0] * n_threads
+            rejected = [0] * n_threads
+            start = threading.Barrier(n_threads + 1)
+
+            def call(slot):
+                q = rng.random(evaluator.dataset.n_items) < 0.4
+                start.wait()
+                for _ in range(per_thread):
+                    try:
+                        values = service.classification_values(q, timeout=30)
+                        assert values.shape == (evaluator.dataset.n_classes,)
+                        answered[slot] += 1
+                    except ServiceClosed:
+                        rejected[slot] += 1
+
+            threads = [
+                threading.Thread(target=call, args=(i,))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            start.wait()
+            service.close()  # race the close against in-flight submissions
+            for t in threads:
+                t.join()
+            submitted = n_threads * per_thread
+            assert sum(answered) + sum(rejected) == submitted
+            assert service.answered == sum(answered)
+            snap = counters.snapshot()
+            assert snap.get("service_requests", 0) == sum(answered)
+            assert snap.get("service_rejected", 0) == sum(rejected)
+
+
+class TestEvaluatorCacheConcurrency:
+    def test_concurrent_get_evaluator_hammer(self):
+        # Threads race cache misses, hits, and LRU evictions across more
+        # datasets than the cache holds; the cache must stay internally
+        # consistent and every caller must get a correct evaluator.
+        rng = np.random.default_rng(21)
+        datasets = [random_relational(rng) for _ in range(6)]
+        queries = [
+            rng.random((4, ds.n_items)) < 0.4 for ds in datasets
+        ]
+        expected = [
+            FastBSTCEvaluator(ds).classification_values_batch(q)
+            for ds, q in zip(datasets, queries)
+        ]
+        clear_evaluator_cache()
+        old_capacity = evaluator_cache_info()[1]
+        set_evaluator_cache_size(2)
+        failures = []
+        start = threading.Barrier(8)
+
+        def hammer(seed):
+            order = np.random.default_rng(seed).permutation(
+                len(datasets) * 5
+            )
+            start.wait()
+            for j in order:
+                i = int(j) % len(datasets)
+                evaluator = get_evaluator(datasets[i])
+                got = evaluator.classification_values_batch(queries[i])
+                if not np.array_equal(got, expected[i]):
+                    failures.append(i)
+
+        try:
+            threads = [
+                threading.Thread(target=hammer, args=(s,)) for s in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not failures
+            entries, capacity = evaluator_cache_info()
+            assert capacity == 2
+            assert 0 < entries <= 2
+            # A hit after the storm returns the cached instance.
+            ds = datasets[0]
+            assert get_evaluator(ds) is get_evaluator(ds)
+        finally:
+            set_evaluator_cache_size(old_capacity)
+            clear_evaluator_cache()
