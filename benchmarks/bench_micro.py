@@ -333,6 +333,13 @@ def test_artifact_cold_start_speedup(tmp_path):
     the precompiled tables and pays only the first batch.  Gate: load+first
     >= 5x faster than rebuild+first (best of 3 cold starts each; under
     REPRO_BENCH_SMOKE the profile shrinks and only bit-identity gates).
+
+    The 5x gate times an unverified load (``verify="off"``) — the same
+    measurement this gate was introduced on, isolating the artifact
+    subsystem from integrity checking.  The default (lazy-verified) path
+    additionally pays one deferred CRC pass over the tables on the first
+    query; it is timed here too and must still beat the rebuild by >= 2.5x
+    (its load-time share is gated by ``test_artifact_integrity_overhead``).
     """
     if BENCH_SMOKE:
         n_samples, n_items = 200, 800
@@ -357,25 +364,88 @@ def test_artifact_cold_start_speedup(tmp_path):
         return get_evaluator(fresh).classification_values_batch(query)
 
     def load_and_answer():
-        return load_artifact(path).classification_values_batch(query)
+        return load_artifact(path, verify="off").classification_values_batch(
+            query
+        )
+
+    def load_verified_and_answer():
+        return load_artifact(path, verify="lazy").classification_values_batch(
+            query
+        )
 
     rebuilt = rebuild_and_answer()
     loaded = load_and_answer()
     assert np.array_equal(rebuilt, loaded)  # bit-identity gate, never relaxed
+    assert np.array_equal(rebuilt, load_verified_and_answer())
 
     rebuild_seconds = _best_of(3, rebuild_and_answer)
     load_seconds = _best_of(3, load_and_answer)
+    verified_seconds = _best_of(3, load_verified_and_answer)
     clear_evaluator_cache()
 
     speedup = rebuild_seconds / load_seconds
+    verified_speedup = rebuild_seconds / verified_seconds
     _BENCH_RECORD["artifact_cold_start_speedup"] = speedup
+    _BENCH_RECORD["artifact_cold_start_speedup_verified"] = verified_speedup
     print(
-        f"\nartifact cold start: load+first {load_seconds * 1e3:.1f}ms vs"
-        f" rebuild+first {rebuild_seconds * 1e3:.1f}ms ({speedup:.1f}x)"
+        f"\nartifact cold start: load+first {load_seconds * 1e3:.1f}ms"
+        f" (verified {verified_seconds * 1e3:.1f}ms) vs"
+        f" rebuild+first {rebuild_seconds * 1e3:.1f}ms"
+        f" ({speedup:.1f}x / {verified_speedup:.1f}x verified)"
     )
     if not BENCH_SMOKE:
         assert speedup >= 5.0, (
             f"artifact cold start only {speedup:.2f}x faster than a rebuild"
+        )
+        assert verified_speedup >= 2.5, (
+            f"verified cold start only {verified_speedup:.2f}x faster than"
+            " a rebuild"
+        )
+
+
+def test_artifact_integrity_overhead(tmp_path):
+    """Integrity verification must stay cheap on the serving cold start.
+
+    Loads the same artifact with verification off and with the default lazy
+    mode (manifest parsed, root digest recomputed from the zip central
+    directory, table CRCs deferred to the first query).  Gate: the lazy
+    path costs at most 20% over the unverified load (best of 3 each;
+    relaxed under REPRO_BENCH_SMOKE).  As a correctness anchor that never
+    relaxes, an eager load of a byte-flipped copy must raise
+    ``ArtifactCorrupt``.
+    """
+    from repro.core.artifact import ArtifactCorrupt
+    from repro.testing import corrupt_artifact_member
+
+    if BENCH_SMOKE:
+        n_samples, n_items = 200, 800
+    else:
+        n_samples, n_items = 1000, 4000
+    dataset = _serving_dataset(n_samples, n_items, 3, 0.3, seed=7)
+    path = save_artifact(FastBSTCEvaluator(dataset), tmp_path / "model.npz")
+
+    plain_seconds = _best_of(3, lambda: load_artifact(path, verify="off"))
+    lazy_seconds = _best_of(3, lambda: load_artifact(path, verify="lazy"))
+
+    # Detection gate, never relaxed: a flipped byte in a table member must
+    # surface as ArtifactCorrupt under eager verification.
+    corrupt = tmp_path / "corrupt.npz"
+    corrupt.write_bytes(path.read_bytes())
+    corrupt_artifact_member(corrupt, "class0_inside.npy")
+    with pytest.raises(ArtifactCorrupt):
+        load_artifact(corrupt, verify="eager", on_corrupt="fail")
+
+    overhead = lazy_seconds / plain_seconds - 1.0
+    _BENCH_RECORD["artifact_integrity_overhead"] = overhead
+    print(
+        f"\nartifact integrity: lazy verify {lazy_seconds * 1e3:.1f}ms vs"
+        f" unverified {plain_seconds * 1e3:.1f}ms"
+        f" ({overhead * 100:+.1f}% overhead)"
+    )
+    if not BENCH_SMOKE:
+        assert overhead <= 0.20, (
+            f"lazy integrity verification adds {overhead * 100:.1f}% to the"
+            " cold-start load (gate: 20%)"
         )
 
 
@@ -390,6 +460,11 @@ def test_service_threaded_throughput_speedup():
     are checked bit-identical to the serial ones (always gating); the
     timing gate is relaxed under REPRO_BENCH_SMOKE, where the profile also
     shrinks.
+
+    The service runs with its full self-healing stack enabled — per-request
+    deadlines, load shedding, and the circuit breaker — so the gate also
+    proves the robustness machinery adds no meaningful overhead on the
+    happy path (the thresholds are set high enough never to fire here).
     """
     if BENCH_SMOKE:
         n_samples, n_items, n_requests = 100, 200, 16
@@ -417,7 +492,12 @@ def test_service_threaded_throughput_speedup():
             served[i] = service.classification_values(queries[i])
 
     with PredictionService(
-        evaluator, max_batch=8, max_wait_ms=1.0
+        evaluator,
+        max_batch=8,
+        max_wait_ms=1.0,
+        default_deadline_ms=60_000.0,
+        shed_high=4 * n_requests,
+        breaker_threshold=5,
     ) as service:
         threads = [
             threading.Thread(target=caller, args=(i,))

@@ -20,7 +20,9 @@ from .bst.mining import mine_mcmcbar, mine_mcmcbar_per_sample
 from .bst.row_bar import StructuredBAR, all_gene_row_bars, gene_row_bar
 from .bst.table import BST, BSTCell, ExclusionList, build_all_bsts
 from .core.artifact import (
+    ArtifactCorrupt,
     ArtifactError,
+    ArtifactStale,
     DatasetSummary,
     load_artifact,
     save_artifact,
@@ -28,7 +30,16 @@ from .core.artifact import (
 from .core.bstce import bstce, bstce_detail
 from .core.classifier import BSTClassifier, NotFittedError
 from .core.explain import Explanation, explain_classification
-from .serving import PredictionService, ServiceClosed
+from .serving import (
+    CircuitOpen,
+    DeadlineExceeded,
+    PredictionService,
+    QueryError,
+    ServiceClosed,
+    ServiceError,
+    ServiceHealth,
+    ServiceOverloaded,
+)
 from .datasets.dataset import (
     DatasetError,
     ExpressionMatrix,
@@ -68,7 +79,9 @@ from .rules.groups import RuleGroup, closure_of_rows, find_lower_bounds
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCorrupt",
     "ArtifactError",
+    "ArtifactStale",
     "BAR",
     "BST",
     "BSTCell",
@@ -77,10 +90,12 @@ __all__ = [
     "BudgetExceeded",
     "CAR",
     "CandidateBudgetExceeded",
+    "CircuitOpen",
     "CorruptResult",
     "DatasetError",
     "DatasetProfile",
     "DatasetSummary",
+    "DeadlineExceeded",
     "EntropyDiscretizer",
     "ExclusionList",
     "Explanation",
@@ -94,6 +109,7 @@ __all__ = [
     "NotFittedError",
     "PAPER_PROFILES",
     "PredictionService",
+    "QueryError",
     "RelationalDataset",
     "ReproError",
     "ResourceExhausted",
@@ -102,6 +118,9 @@ __all__ = [
     "RuleBudgetExceeded",
     "RuleGroup",
     "ServiceClosed",
+    "ServiceError",
+    "ServiceHealth",
+    "ServiceOverloaded",
     "StructuredBAR",
     "TaskTimeout",
     "WorkerCrashed",

@@ -28,13 +28,21 @@ import sys
 from typing import List, Optional
 
 from .core.arithmetization import COMBINERS
+from .core.artifact import ArtifactCorrupt, ArtifactStale
 from .core.bitset import flush_kernel_counters
 from .core.estimator import ENGINES
 from .core.fast import evaluator_cache_info, set_evaluator_cache_size
-from .errors import ReproError
+from .errors import CircuitOpen, ReproError, ServiceOverloaded
 from .evaluation.timing import engine_counters
 from .experiments.base import ExperimentConfig
 from .experiments.registry import experiment_ids, run_experiment
+
+# Exit codes for the model-serving commands, so scripts and CI can react to
+# the failure class without parsing stderr.
+EXIT_ERROR = 2  #: generic failure (bad arguments, I/O, malformed data)
+EXIT_CORRUPT = 3  #: artifact failed integrity verification (ArtifactCorrupt)
+EXIT_STALE = 4  #: artifact fingerprint mismatch (ArtifactStale)
+EXIT_OVERLOAD = 5  #: service shed load / circuit breaker open
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -157,16 +165,28 @@ def _build_parser() -> argparse.ArgumentParser:
             " model artifact or by fitting training data"
         ),
     )
-    predict_model = predict.add_mutually_exclusive_group(required=True)
-    predict_model.add_argument(
+    predict.add_argument(
         "--artifact",
         metavar="PATH",
         help="compiled .npz model artifact (see 'predict --save-artifact')",
     )
-    predict_model.add_argument(
+    predict.add_argument(
         "--train",
         metavar="PATH",
-        help="relational JSON training dataset to fit on",
+        help=(
+            "relational JSON training dataset to fit on (with --artifact"
+            " and --on-corrupt rebuild: the rebuild source)"
+        ),
+    )
+    predict.add_argument(
+        "--on-corrupt",
+        choices=("fail", "quarantine", "rebuild"),
+        default="quarantine",
+        help=(
+            "what to do when the artifact fails integrity verification:"
+            " fail in place, quarantine it (default), or quarantine and"
+            " refit from --train (default: quarantine)"
+        ),
     )
     predict.add_argument(
         "--data",
@@ -203,14 +223,25 @@ def _build_parser() -> argparse.ArgumentParser:
             " against serial single-query evaluation"
         ),
     )
-    serve_model = serve.add_mutually_exclusive_group(required=True)
-    serve_model.add_argument(
+    serve.add_argument(
         "--artifact", metavar="PATH", help="compiled .npz model artifact"
     )
-    serve_model.add_argument(
+    serve.add_argument(
         "--train",
         metavar="PATH",
-        help="relational JSON training dataset to fit on",
+        help=(
+            "relational JSON training dataset to fit on (with --artifact"
+            " and --on-corrupt rebuild: the rebuild source)"
+        ),
+    )
+    serve.add_argument(
+        "--on-corrupt",
+        choices=("fail", "quarantine", "rebuild"),
+        default="quarantine",
+        help=(
+            "what to do when the artifact fails integrity verification"
+            " (default: quarantine)"
+        ),
     )
     serve.add_argument(
         "--arithmetization",
@@ -283,14 +314,32 @@ def _print_counters() -> None:
 
 def _load_model(args: argparse.Namespace):
     """The classifier behind ``predict``/``serve-bench``: loaded from a
-    compiled artifact, or fitted on --train data."""
+    compiled artifact, or fitted on --train data.
+
+    ``--artifact`` and ``--train`` are exclusive unless ``--on-corrupt
+    rebuild`` asks for the refit fallback, which needs both.
+    """
     from .core.classifier import BSTClassifier
     from .datasets.io import load_relational_json
 
+    on_corrupt = getattr(args, "on_corrupt", "quarantine")
+    if not args.artifact and not args.train:
+        raise ValueError("one of --artifact or --train is required")
+    if args.artifact and args.train and on_corrupt != "rebuild":
+        raise ValueError(
+            "--artifact and --train are mutually exclusive unless"
+            " --on-corrupt rebuild uses --train as the rebuild source"
+        )
     if args.artifact:
+        train_dataset = (
+            load_relational_json(args.train) if args.train else None
+        )
         return BSTClassifier.load(
             args.artifact,
             expected_fingerprint=getattr(args, "expect_fingerprint", None),
+            on_corrupt=on_corrupt,
+            train_dataset=train_dataset,
+            arithmetization=args.arithmetization,
         )
     dataset = load_relational_json(args.train)
     return BSTClassifier(arithmetization=args.arithmetization).fit(dataset)
@@ -326,7 +375,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from .serving import PredictionService
+    from .serving import PredictionService, ServiceError
 
     clf = _load_model(args)
     n_items = clf.dataset.n_items
@@ -344,6 +393,9 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     serial_qps = args.requests / serial_elapsed if serial_elapsed else 0.0
 
     per_thread = max(1, args.requests // args.threads)
+    outcomes_lock = threading.Lock()
+    outcomes = {"ok": 0, "rejected": 0}
+    last_rejection: List[ServiceError] = []
     with PredictionService(
         clf, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
     ) as service:
@@ -351,7 +403,15 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         def caller(thread_id: int) -> None:
             lo = thread_id * per_thread
             for query in queries[lo : lo + per_thread]:
-                service.predict(query)
+                try:
+                    service.predict(query)
+                except (ServiceOverloaded, CircuitOpen) as exc:
+                    with outcomes_lock:
+                        outcomes["rejected"] += 1
+                        last_rejection[:] = [exc]
+                else:
+                    with outcomes_lock:
+                        outcomes["ok"] += 1
 
         threads = [
             threading.Thread(target=caller, args=(i,))
@@ -363,7 +423,11 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         for thread in threads:
             thread.join()
         service_elapsed = time.perf_counter() - started
-    served = per_thread * args.threads
+    served = outcomes["ok"]
+    if served == 0 and last_rejection:
+        # The service refused every request — surface the overload class
+        # to the exit-code mapping instead of reporting 0 q/s as success.
+        raise last_rejection[0]
     service_qps = served / service_elapsed if service_elapsed else 0.0
 
     print(f"serial   : {args.requests} requests, {serial_qps:10.1f} q/s")
@@ -372,6 +436,8 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         f" {service_qps:10.1f} q/s"
         f" (max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms})"
     )
+    if outcomes["rejected"]:
+        print(f"rejected : {outcomes['rejected']} requests (overload/breaker)")
     if serial_qps > 0:
         print(f"speedup  : {service_qps / serial_qps:.2f}x")
     return 0
@@ -413,9 +479,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         handler = _run_predict if args.command == "predict" else _run_serve_bench
         try:
             code = handler(args)
+        except ArtifactCorrupt as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            _print_counters()
+            return EXIT_CORRUPT
+        except ArtifactStale as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_STALE
+        except (ServiceOverloaded, CircuitOpen) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            _print_counters()
+            return EXIT_OVERLOAD
         except (ReproError, OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_ERROR
         _print_counters()
         return code
     try:

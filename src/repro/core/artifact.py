@@ -26,12 +26,33 @@ so a stale artifact can never silently answer for the wrong model.
 Predictions from a loaded evaluator are bit-identical to the in-memory one
 (property-tested across all arithmetizations): the same arrays feed the same
 kernels, whether their pages live on the heap or in the page cache.
+
+**Integrity.** The memmap fast path deliberately bypasses ``zipfile`` — and
+with it the zip CRC check — so a bit-rotted or truncated artifact could
+otherwise serve garbage silently.  :func:`save_artifact` therefore appends
+an ``integrity.json`` member recording each member's payload CRC-32 and
+size plus a whole-file root digest (SHA-256 over the sorted member
+records).  :func:`load_artifact` verifies the manifest and the metadata
+members on every load, and the (large) table members either eagerly
+(``verify="eager"``) or on the first query that touches the evaluator
+(``verify="lazy"``, the default — cold start stays a directory parse).  A
+detected corruption raises :class:`ArtifactCorrupt` and, under the default
+``on_corrupt="quarantine"``, moves the file into ``<path>.quarantine/`` so
+a crash-looping loader cannot keep re-serving the same bad bytes.
+Artifacts written before this scheme (no ``integrity.json``) still load;
+the skip is counted under ``artifact_unverified_loads``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import struct
+import threading
 import zipfile
+import zlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -41,13 +62,15 @@ import numpy as np
 from ..errors import ReproError
 from ..evaluation.timing import engine_counters
 from .arithmetization import get_combiner
-from .fast import FastBSTCEvaluator, _ClassTables
+from .fast import FastBSTCEvaluator, _ClassTables, discard_evaluator
 
 PathLike = Union[str, Path]
 
 __all__ = [
     "ARTIFACT_FORMAT_VERSION",
+    "ArtifactCorrupt",
     "ArtifactError",
+    "ArtifactStale",
     "DatasetSummary",
     "load_artifact",
     "save_artifact",
@@ -82,9 +105,48 @@ _TABLE_FIELDS: Tuple[str, ...] = (
 )
 
 
+#: Zip member carrying the per-member CRCs and the root digest.
+_INTEGRITY_MEMBER = "integrity.json"
+
+
 class ArtifactError(ReproError, ValueError):
     """Raised when a model artifact is malformed, truncated, from an
     unknown format version, or carries the wrong training-data fingerprint."""
+
+
+class ArtifactStale(ArtifactError):
+    """The artifact's training-data fingerprint does not match the one the
+    caller expects — the file is intact, but it answers for the wrong
+    model.  Never quarantined."""
+
+
+class ArtifactCorrupt(ArtifactError):
+    """The artifact's bytes disagree with its integrity manifest.
+
+    Attributes:
+        path: the artifact as it was opened.
+        member: the first member whose payload failed its CRC (``None``
+            when the manifest itself is damaged).
+        quarantine_path: where the file was moved when the quarantine
+            policy applied, else ``None``.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        detail: str,
+        member: Optional[str] = None,
+        quarantine_path: Optional[Path] = None,
+    ):
+        message = f"{path}: corrupt artifact ({detail})"
+        if member is not None:
+            message += f" [member {member!r}]"
+        if quarantine_path is not None:
+            message += f"; quarantined to {quarantine_path}"
+        super().__init__(message)
+        self.path = Path(path)
+        self.member = member
+        self.quarantine_path = quarantine_path
 
 
 @dataclass(frozen=True)
@@ -141,8 +203,42 @@ def save_artifact(evaluator: FastBSTCEvaluator, path: PathLike) -> Path:
     path = Path(path)
     with path.open("wb") as handle:
         np.savez(handle, **arrays)
+    _append_integrity(path)
     engine_counters.increment("artifact_saves")
     return path
+
+
+def _integrity_root(members: Dict[str, Dict[str, int]]) -> str:
+    """Whole-file digest: SHA-256 over the sorted member records, so one
+    flipped bit anywhere in the manifest (or a dropped/added member) breaks
+    the root without the manifest having to hash itself."""
+    digest = hashlib.sha256()
+    for name in sorted(members):
+        record = members[name]
+        digest.update(
+            f"{name}:{record['size']}:{record['crc32']:08x}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+def _append_integrity(path: Path) -> None:
+    """Record each stored member's payload CRC-32 + size and the root
+    digest in an appended ``integrity.json`` member.  The CRCs come from
+    the zip central directory ``np.savez`` already computed, so saving
+    stays write-once."""
+    with zipfile.ZipFile(path) as archive:
+        members = {
+            info.filename: {"crc32": int(info.CRC), "size": int(info.file_size)}
+            for info in archive.infolist()
+        }
+    payload = {
+        "version": 1,
+        "algorithm": "crc32",
+        "members": members,
+        "root_sha256": _integrity_root(members),
+    }
+    with zipfile.ZipFile(path, "a", zipfile.ZIP_STORED) as archive:
+        archive.writestr(_INTEGRITY_MEMBER, json.dumps(payload, sort_keys=True))
 
 
 # ----------------------------------------------------------------------
@@ -208,6 +304,191 @@ def _mmap_member(path: Path, offset: int) -> Optional[np.ndarray]:
     )
 
 
+# ----------------------------------------------------------------------
+# Integrity verification and quarantine
+# ----------------------------------------------------------------------
+
+_VERIFY_MODES = ("lazy", "eager", "off")
+_CORRUPT_POLICIES = ("fail", "quarantine")
+_CRC_CHUNK = 1 << 20
+
+
+def _quarantine(path: Path) -> Optional[Path]:
+    """Move a corrupt artifact into ``<path>.quarantine/`` so the next load
+    attempt cannot re-serve the same bad bytes.  Returns the new location,
+    or ``None`` when the move itself failed (the corruption error still
+    propagates either way)."""
+    try:
+        directory = path.with_name(path.name + ".quarantine")
+        directory.mkdir(exist_ok=True)
+        destination = directory / path.name
+        suffix = 0
+        while destination.exists():
+            suffix += 1
+            destination = directory / f"{path.name}.{suffix}"
+        os.replace(path, destination)
+    except OSError:
+        return None
+    engine_counters.increment("artifact_quarantines")
+    return destination
+
+
+def _raise_corrupt(
+    path: Path, detail: str, member: Optional[str], on_corrupt: str
+) -> None:
+    engine_counters.increment("artifact_corrupt")
+    quarantine_path = _quarantine(path) if on_corrupt == "quarantine" else None
+    raise ArtifactCorrupt(
+        path, detail, member=member, quarantine_path=quarantine_path
+    )
+
+
+def _read_integrity(path: Path) -> Optional[Dict[str, Dict[str, int]]]:
+    """The artifact's member records, or ``None`` for pre-integrity files.
+    Raises ``ValueError`` when the manifest is present but damaged."""
+    with zipfile.ZipFile(path) as archive:
+        if _INTEGRITY_MEMBER not in archive.namelist():
+            return None
+        raw = archive.read(_INTEGRITY_MEMBER)
+    try:
+        payload = json.loads(raw.decode())
+        members = {
+            str(name): {"crc32": int(rec["crc32"]), "size": int(rec["size"])}
+            for name, rec in payload["members"].items()
+        }
+        recorded_root = str(payload["root_sha256"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"unreadable integrity manifest: {exc}") from exc
+    if _integrity_root(members) != recorded_root:
+        raise ValueError("integrity manifest does not match its root digest")
+    return members
+
+
+def _member_crc(
+    path: Path, name: str, size: int, offset: Optional[int]
+) -> int:
+    """CRC-32 of one member's payload — straight off the stored byte range
+    when the offset map is available, through ``zipfile`` otherwise."""
+    if offset is None:
+        with zipfile.ZipFile(path) as archive:
+            return zlib.crc32(archive.read(name))
+    crc = 0
+    remaining = size
+    with path.open("rb") as handle:
+        handle.seek(offset)
+        while remaining > 0:
+            chunk = handle.read(min(_CRC_CHUNK, remaining))
+            if not chunk:
+                raise ValueError(f"member {name!r} payload is truncated")
+            crc = zlib.crc32(chunk, crc)
+            remaining -= len(chunk)
+    return crc
+
+
+def _verify_members(
+    path: Path,
+    names: List[str],
+    records: Dict[str, Dict[str, int]],
+    offsets: Optional[Dict[str, int]],
+    on_corrupt: str,
+) -> None:
+    """Check each named member's payload against its recorded CRC.
+
+    Payload CRCs are computed on a small thread pool (``zlib.crc32``
+    releases the GIL on large buffers, so this scales to real cores and
+    keeps the serving cold start cheap on multi-megabyte tables).  Results
+    are then checked sequentially in ``names`` order, so the member blamed
+    for a corruption is deterministic regardless of thread scheduling.
+    """
+
+    def member_crc(name: str):
+        try:
+            return _member_crc(
+                path,
+                name,
+                records[name]["size"],
+                None if offsets is None else offsets.get(name),
+            )
+        except (OSError, ValueError, zipfile.BadZipFile, zlib.error) as exc:
+            return exc
+
+    with engine_counters.track("artifact_verify"):
+        if len(names) > 1:
+            workers = min(4, len(names), os.cpu_count() or 1)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = dict(zip(names, pool.map(member_crc, names)))
+        else:
+            outcomes = {name: member_crc(name) for name in names}
+        for name in names:
+            outcome = outcomes[name]
+            if isinstance(outcome, Exception):
+                _raise_corrupt(path, str(outcome), name, on_corrupt)
+            if outcome != records[name]["crc32"]:
+                _raise_corrupt(
+                    path,
+                    f"payload CRC {outcome:08x} !="
+                    f" recorded {records[name]['crc32']:08x}",
+                    name,
+                    on_corrupt,
+                )
+            engine_counters.increment("artifact_members_verified")
+
+
+class _IntegrityGuard:
+    """Deferred table verification, run once on the evaluator's first query.
+
+    ``verify="lazy"`` keeps cold start at a directory parse: the guard
+    carries the member records and byte offsets captured at load time and
+    checks the table payloads from the serving thread that first touches
+    them.  Thread-safe; a detected corruption is cached and re-raised on
+    every subsequent call, and the poisoned evaluator is dropped from the
+    process-wide cache so a refit cannot pick it up.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        names: List[str],
+        records: Dict[str, Dict[str, int]],
+        offsets: Optional[Dict[str, int]],
+        on_corrupt: str,
+        fingerprint: str,
+        arithmetization: str,
+    ):
+        self._path = path
+        self._names = names
+        self._records = records
+        self._offsets = offsets
+        self._on_corrupt = on_corrupt
+        self._fingerprint = fingerprint
+        self._arithmetization = arithmetization
+        self._lock = threading.Lock()
+        self._verified = False
+        self._error: Optional[ArtifactCorrupt] = None
+
+    def __call__(self) -> None:
+        if self._verified:
+            return
+        with self._lock:
+            if self._verified:
+                return
+            if self._error is not None:
+                raise self._error
+            try:
+                _verify_members(
+                    self._path,
+                    self._names,
+                    self._records,
+                    self._offsets,
+                    self._on_corrupt,
+                )
+            except ArtifactCorrupt as exc:
+                self._error = exc
+                discard_evaluator(self._fingerprint, self._arithmetization)
+                raise
+            self._verified = True
+
+
 class _ArtifactReader:
     """Array access over an artifact: memory-mapped when the archive is
     stored uncompressed, eagerly loaded otherwise."""
@@ -268,6 +549,9 @@ def load_artifact(
     path: PathLike,
     expected_fingerprint: Optional[str] = None,
     mmap: bool = True,
+    *,
+    verify: str = "lazy",
+    on_corrupt: str = "quarantine",
 ) -> FastBSTCEvaluator:
     """Reconstruct a :class:`FastBSTCEvaluator` from a saved artifact.
 
@@ -284,12 +568,27 @@ def load_artifact(
             for that training data, or a fingerprint recorded elsewhere.
         mmap: memory-map the table arrays (set False to force an eager,
             self-contained load, e.g. before deleting the file).
+        verify: integrity checking against the embedded manifest —
+            ``"lazy"`` (default) checks the manifest and metadata now and
+            the table payloads on the evaluator's first query, ``"eager"``
+            checks everything before returning, ``"off"`` skips payload
+            checks entirely.  Artifacts without a manifest load unverified
+            (counted under ``artifact_unverified_loads``).
+        on_corrupt: ``"quarantine"`` (default) moves a corrupt file into
+            ``<path>.quarantine/`` before raising; ``"fail"`` raises in
+            place.
 
     Raises:
-        ArtifactError: missing/malformed entries, an unknown format
-            version, or a fingerprint mismatch.
+        ArtifactError: missing/malformed entries or an unknown format
+            version; :class:`ArtifactStale` on a fingerprint mismatch;
+            :class:`ArtifactCorrupt` when the bytes disagree with the
+            integrity manifest.
     """
     path = Path(path)
+    if verify not in _VERIFY_MODES:
+        raise ValueError(f"verify must be one of {_VERIFY_MODES}")
+    if on_corrupt not in _CORRUPT_POLICIES:
+        raise ValueError(f"on_corrupt must be one of {_CORRUPT_POLICIES}")
     if not path.exists():
         raise ArtifactError(f"{path}: no such artifact")
     try:
@@ -297,6 +596,45 @@ def load_artifact(
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise ArtifactError(f"{path}: not a model artifact: {exc}") from exc
     try:
+        deferred: Optional[Tuple[List[str], Dict[str, Dict[str, int]], Optional[Dict[str, int]]]] = None
+        if verify != "off":
+            try:
+                records = _read_integrity(path)
+            except (OSError, ValueError, zipfile.BadZipFile) as exc:
+                records = None
+                _raise_corrupt(path, str(exc), _INTEGRITY_MEMBER, on_corrupt)
+            if records is None:
+                engine_counters.increment("artifact_unverified_loads")
+            else:
+                with zipfile.ZipFile(path) as archive:
+                    present = set(archive.namelist()) - {_INTEGRITY_MEMBER}
+                if present != set(records):
+                    _raise_corrupt(
+                        path,
+                        "member list disagrees with the integrity manifest",
+                        None,
+                        on_corrupt,
+                    )
+                try:
+                    verify_offsets = _stored_member_offsets(path)
+                except (OSError, zipfile.BadZipFile):
+                    verify_offsets = None
+                meta_names = sorted(
+                    n for n in records if n.startswith("meta_")
+                )
+                table_names = sorted(set(records) - set(meta_names))
+                # Metadata is consumed right here, so always check it now.
+                _verify_members(
+                    path, meta_names, records, verify_offsets, on_corrupt
+                )
+                if verify == "eager" or not mmap:
+                    # Eager loads pull every payload through zipfile anyway;
+                    # checking now keeps detection ahead of first use.
+                    _verify_members(
+                        path, table_names, records, verify_offsets, on_corrupt
+                    )
+                elif table_names:
+                    deferred = (table_names, records, verify_offsets)
         version = int(reader.eager("meta_format_version"))
         if version != ARTIFACT_FORMAT_VERSION:
             raise ArtifactError(
@@ -309,8 +647,13 @@ def load_artifact(
         except ValueError as exc:
             raise ArtifactError(f"{path}: {exc}") from exc
         fingerprint = str(reader.eager("meta_fingerprint"))
+        guard: Optional[_IntegrityGuard] = None
+        if deferred is not None:
+            guard = _IntegrityGuard(
+                path, *deferred, on_corrupt, fingerprint, arithmetization
+            )
         if expected_fingerprint is not None and fingerprint != expected_fingerprint:
-            raise ArtifactError(
+            raise ArtifactStale(
                 f"{path}: artifact fingerprint {fingerprint[:12]}... does not"
                 f" match the expected training data"
                 f" ({expected_fingerprint[:12]}...); refusing to serve a stale"
@@ -340,10 +683,15 @@ def load_artifact(
             if not bool(has_table[class_id]):
                 tables.append(None)
                 continue
-            fields = {
-                field_name: reader.array(f"class{class_id}_{field_name}")
-                for field_name in _TABLE_FIELDS
-            }
+            try:
+                fields = {
+                    field_name: reader.array(f"class{class_id}_{field_name}")
+                    for field_name in _TABLE_FIELDS
+                }
+            except (zipfile.BadZipFile, zlib.error) as exc:
+                # Eager zipfile reads CRC-check implicitly; translate a
+                # payload mismatch into the structured corruption error.
+                _raise_corrupt(path, str(exc), None, on_corrupt)
             inside = fields["inside"]
             if inside.ndim != 2 or inside.shape[1] != n_items:
                 raise ArtifactError(
@@ -365,6 +713,9 @@ def load_artifact(
             evaluator = FastBSTCEvaluator._from_tables(
                 summary, arithmetization, tables
             )
+        # Lazy mode: the table payloads are checked by the first query that
+        # touches the evaluator, before any prediction is produced.
+        evaluator._integrity_guard = guard
         engine_counters.increment("artifact_loads")
         return evaluator
     finally:

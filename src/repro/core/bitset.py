@@ -27,6 +27,9 @@ Two types:
 
 Population counts go through :func:`numpy.bitwise_count` when available
 (numpy >= 2.0) and fall back to a vectorized SWAR popcount otherwise.
+Setting the ``REPRO_FORCE_SWAR`` environment variable (to anything but
+``""``/``"0"``) before import forces the SWAR path, so the numpy < 2
+fallback stays testable on modern numpy.
 
 The kernel keeps cheap module-level operation counters (set ops, popcounts,
 row reductions); :func:`flush_kernel_counters` folds them into the
@@ -36,6 +39,7 @@ process-wide :data:`~repro.evaluation.timing.engine_counters` under
 
 from __future__ import annotations
 
+import os
 from typing import FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -45,24 +49,31 @@ _U64 = np.uint64
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
-if hasattr(np, "bitwise_count"):
+def _swar_popcount_words(words: np.ndarray) -> int:
+    """Vectorized SWAR popcount — the numpy < 2.0 fallback, always defined
+    so it stays testable (and forceable via ``REPRO_FORCE_SWAR``)."""
+    x = words.copy()
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    x -= (x >> np.uint64(1)) & m1
+    x = (x & m2) + ((x >> np.uint64(2)) & m2)
+    x = (x + (x >> np.uint64(4))) & m4
+    return int(((x * h01) >> np.uint64(56)).sum())
 
-    def _popcount_words(words: np.ndarray) -> int:
-        """Total set bits across an array of uint64 words."""
-        return int(np.bitwise_count(words).sum())
 
-else:  # pragma: no cover - numpy < 2.0 fallback
+def _native_popcount_words(words: np.ndarray) -> int:
+    """Total set bits across an array of uint64 words (numpy >= 2.0)."""
+    return int(np.bitwise_count(words).sum())
 
-    def _popcount_words(words: np.ndarray) -> int:
-        x = words.copy()
-        m1 = np.uint64(0x5555555555555555)
-        m2 = np.uint64(0x3333333333333333)
-        m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
-        h01 = np.uint64(0x0101010101010101)
-        x -= (x >> np.uint64(1)) & m1
-        x = (x & m2) + ((x >> np.uint64(2)) & m2)
-        x = (x + (x >> np.uint64(4))) & m4
-        return int(((x * h01) >> np.uint64(56)).sum())
+
+_FORCE_SWAR = os.environ.get("REPRO_FORCE_SWAR", "") not in ("", "0")
+
+if hasattr(np, "bitwise_count") and not _FORCE_SWAR:
+    _popcount_words = _native_popcount_words
+else:
+    _popcount_words = _swar_popcount_words
 
 
 class _KernelStats:

@@ -35,6 +35,7 @@ from typing import (
 import numpy as np
 
 from ..bst.table import BST, build_all_bsts
+from ..evaluation.timing import engine_counters
 from ..datasets.dataset import RelationalDataset
 from .arithmetization import classification_confidence, get_combiner
 from .bstce import bstce
@@ -137,6 +138,11 @@ class BSTClassifier:
         path: Union[str, Path],
         expected_fingerprint: Optional[str] = None,
         mmap: bool = True,
+        *,
+        verify: str = "lazy",
+        on_corrupt: str = "quarantine",
+        train_dataset: Optional[RelationalDataset] = None,
+        arithmetization: str = "min",
     ) -> "BSTClassifier":
         """Reconstruct a fitted classifier from a saved artifact — zero
         table rebuild (see :func:`repro.core.artifact.load_artifact`).
@@ -146,12 +152,41 @@ class BSTClassifier:
         classifier predicts bit-identically to the one that was saved; its
         ``dataset`` is a :class:`~repro.core.artifact.DatasetSummary` (the
         training samples themselves are not stored).
-        """
-        from .artifact import load_artifact
 
-        evaluator = load_artifact(
-            path, expected_fingerprint=expected_fingerprint, mmap=mmap
-        )
+        ``verify`` and ``on_corrupt`` control integrity checking
+        (:func:`~repro.core.artifact.load_artifact`).  ``on_corrupt`` also
+        accepts ``"rebuild"`` here: a corrupt artifact is quarantined and,
+        when ``train_dataset`` is supplied, the classifier is refit from
+        scratch (using ``arithmetization``) instead of failing.  Rebuild
+        forces eager verification so corruption surfaces at load time, not
+        mid-prediction.
+        """
+        from .artifact import ArtifactCorrupt, load_artifact
+
+        if on_corrupt == "rebuild":
+            try:
+                evaluator = load_artifact(
+                    path,
+                    expected_fingerprint=expected_fingerprint,
+                    mmap=mmap,
+                    verify="eager",
+                    on_corrupt="quarantine",
+                )
+            except ArtifactCorrupt:
+                if train_dataset is None:
+                    raise
+                engine_counters.increment("artifact_rebuilds")
+                return cls(
+                    arithmetization=arithmetization, engine="fast"
+                ).fit(train_dataset)
+        else:
+            evaluator = load_artifact(
+                path,
+                expected_fingerprint=expected_fingerprint,
+                mmap=mmap,
+                verify=verify,
+                on_corrupt=on_corrupt,
+            )
         clf = cls(arithmetization=evaluator.arithmetization, engine="fast")
         clf._dataset = evaluator.dataset
         clf._fast = register_evaluator(evaluator)

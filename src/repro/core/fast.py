@@ -147,6 +147,9 @@ class FastBSTCEvaluator:
                         inside_row_offsets=inside_row_offsets,
                     )
                 )
+        #: Deferred artifact verification (set by ``load_artifact`` under
+        #: ``verify="lazy"``); runs before the first query's kernel work.
+        self._integrity_guard = None
         engine_counters.increment("evaluator_builds")
         engine_counters.increment(
             "class_tables_built", sum(t is not None for t in self._tables)
@@ -173,6 +176,7 @@ class FastBSTCEvaluator:
         self.dataset = dataset
         self.arithmetization = arithmetization
         self._tables = list(tables)
+        self._integrity_guard = None
         engine_counters.increment("evaluator_restores")
         return self
 
@@ -337,6 +341,8 @@ class FastBSTCEvaluator:
 
     def class_value(self, class_id: int, query: Query) -> float:
         """BSTCE(T(class_id), Q) — Algorithm 5's classification value."""
+        if self._integrity_guard is not None:
+            self._integrity_guard()
         tables = self._tables[class_id]
         if tables is None:
             return 0.0
@@ -474,6 +480,8 @@ class FastBSTCEvaluator:
 
     def classification_values(self, query: Query) -> np.ndarray:
         """CV(i) for every class, as Algorithm 6 line 4 computes them."""
+        if self._integrity_guard is not None:
+            self._integrity_guard()
         qvec = self._as_vector(query)
         with engine_counters.track("query"):
             engine_counters.increment("query_calls")
@@ -498,6 +506,8 @@ class FastBSTCEvaluator:
         matmuls and a gene reduction shared across each block of
         ``_BATCH_BLOCK`` queries.
         """
+        if self._integrity_guard is not None:
+            self._integrity_guard()
         qmat = self._as_matrix(queries)
         n_q = qmat.shape[0]
         out = np.zeros((n_q, self.dataset.n_classes), dtype=np.float64)
@@ -609,6 +619,17 @@ def clear_evaluator_cache() -> None:
     """Drop every cached evaluator (tests and memory-sensitive callers)."""
     with _EVALUATOR_LOCK:
         _EVALUATOR_CACHE.clear()
+
+
+def discard_evaluator(fingerprint: str, arithmetization: str = "min") -> bool:
+    """Evict one cached evaluator, e.g. after its artifact failed integrity
+    verification — a poisoned entry must not serve later ``get_evaluator``
+    calls.  Returns whether an entry was dropped."""
+    with _EVALUATOR_LOCK:
+        if _EVALUATOR_CACHE.pop((fingerprint, arithmetization), None) is not None:
+            engine_counters.increment("evaluator_cache_discards")
+            return True
+    return False
 
 
 def evaluator_cache_info() -> Tuple[int, int]:

@@ -13,6 +13,13 @@ Two branches matter to the cross-validation harness:
 * :class:`WorkerError` — the supervised pool lost a worker (crash, per-task
   timeout, corrupt payload).  After bounded retries these degrade to DNF
   records too, so one bad fold never sinks a multi-hour study.
+
+The serving layer adds a third: :class:`ServiceError` covers every way the
+prediction service refuses or fails a request (closed, overloaded, deadline
+passed, circuit breaker open), and :class:`QueryError` rejects malformed
+queries at submission time.  Artifact failures
+(:class:`~repro.core.artifact.ArtifactError` and its ``Corrupt``/``Stale``
+subclasses) live next to the artifact format in :mod:`repro.core.artifact`.
 """
 
 from __future__ import annotations
@@ -98,3 +105,71 @@ class CorruptResult(WorkerError):
 
 class JournalError(ReproError):
     """A checkpoint journal could not be parsed or written."""
+
+
+# ----------------------------------------------------------------------
+# Prediction service
+# ----------------------------------------------------------------------
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A prediction-service request could not be served.
+
+    Every way the serving layer refuses or fails a request derives from
+    here, so a frontend can catch one type and map each subclass to its
+    own response (503, 504, 429, ...).
+    """
+
+
+class ServiceClosed(ServiceError):
+    """Raised when a request is submitted to a closed service."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Load shedding: the request queue crossed its high-water mark.
+
+    The service fails fast instead of blocking the submitter; hysteresis
+    re-admits once the queue drains to the low-water mark.  Retry later.
+    """
+
+    def __init__(self, depth: int, high_water: int):
+        super().__init__(
+            f"service overloaded: {depth} requests queued"
+            f" (shedding above {high_water}); retry later"
+        )
+        self.depth = depth
+        self.high_water = high_water
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline passed before the worker could evaluate it.
+
+    Expired requests are answered immediately instead of occupying a
+    batch slot, so a backed-up service sheds dead work first.
+    """
+
+
+class CircuitOpen(ServiceError):
+    """The service's circuit breaker is rejecting requests.
+
+    Repeated evaluation failures tripped the breaker; it rejects for a
+    cooldown window, then half-opens to probe recovery with a single
+    request.  ``retry_after`` is the remaining cooldown in seconds (0.0
+    while a half-open probe is already in flight).
+    """
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"circuit breaker open after repeated evaluation failures;"
+            f" retry in {max(retry_after, 0.0):.3f}s"
+        )
+        self.retry_after = max(float(retry_after), 0.0)
+
+
+class QueryError(ReproError, ValueError):
+    """A query was rejected at submission time (wrong gene count, NaN/inf
+    values, non-numeric dtype, out-of-range item index).
+
+    Raised by the service *before* the query reaches the worker, so a
+    malformed request can never poison the batch it would have joined.
+    """

@@ -3,10 +3,30 @@
 The production-facing composition of the repository's fast pieces:
 :func:`repro.core.artifact.load_artifact` restores a fitted evaluator with
 zero table rebuild, and :class:`PredictionService` multiplexes concurrent
-single-query callers onto the batched BSTCE kernel.  See
-``docs/SERVING.md`` for the artifact format and the micro-batching knobs.
+single-query callers onto the batched BSTCE kernel — with per-request
+deadlines, load shedding, poison-query isolation, supervised worker
+restarts, and a circuit breaker.  See ``docs/SERVING.md`` for the artifact
+format, the micro-batching knobs, and the failure-mode matrix.
 """
 
-from .service import PredictionService, ServiceClosed
+from .service import (
+    CircuitOpen,
+    DeadlineExceeded,
+    PredictionService,
+    QueryError,
+    ServiceClosed,
+    ServiceError,
+    ServiceHealth,
+    ServiceOverloaded,
+)
 
-__all__ = ["PredictionService", "ServiceClosed"]
+__all__ = [
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "PredictionService",
+    "QueryError",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceHealth",
+    "ServiceOverloaded",
+]

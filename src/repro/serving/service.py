@@ -1,4 +1,4 @@
-"""Micro-batching prediction service.
+"""Micro-batching prediction service with self-healing failure handling.
 
 Single-query callers never benefit from the batched BSTCE kernel: each
 ``classification_values`` call pays the full per-query dispatch and matmul
@@ -15,17 +15,34 @@ Design points:
 
 * **Bounded queue with backpressure** — at most ``max_pending`` requests
   wait in the queue; further submitters block until the worker drains
-  (memory stays bounded no matter how fast callers arrive).
+  (memory stays bounded no matter how fast callers arrive).  Optional
+  load shedding (``shed_high``/``shed_low``) turns that blocking into a
+  fast :class:`ServiceOverloaded` rejection with hysteresis.
+* **Deadlines** — a per-request deadline (``deadline_ms``) travels with
+  the request into the batch loop; an expired request is answered with
+  :class:`DeadlineExceeded` instead of occupying a batch slot.
+* **Poison-query isolation** — an evaluator exception fails only the
+  offending batch: the worker bisects the batch to isolate the poison
+  query, which gets a per-query error while its batchmates are re-run
+  (BSTC values are per-query independent, so the re-run rows are
+  bit-identical to a clean batch).
+* **Worker supervision** — an escape that kills the worker thread answers
+  its in-flight batch with :class:`~repro.errors.WorkerCrashed`, then the
+  worker is restarted with deterministic exponential backoff
+  (``service_worker_restarts`` counts them).  Repeated failures trip a
+  circuit breaker that rejects with :class:`CircuitOpen` for a cooldown
+  window and half-opens to probe recovery with a single request.
 * **Clean shutdown** — :meth:`PredictionService.close` (or leaving the
   ``with`` block) stops accepting new work, answers every request that was
-  already accepted, then joins the worker.  Every accepted request is
-  answered exactly once: with its result row, or with the evaluation error
-  that destroyed its batch.  Submission after close raises
+  already accepted, then joins the worker (including any supervised
+  replacement).  Every accepted request is answered exactly once: with its
+  result row, or with a typed error.  Submission after close raises
   :class:`ServiceClosed`.
-* **Observable** — per-request latency, batch occupancy, and compute time
-  flow into the shared
-  :data:`~repro.evaluation.timing.engine_counters` (``service_*`` keys), so
-  the CLI counter report shows how well micro-batching is working.
+* **Observable** — per-request latency, batch occupancy, compute time and
+  every failure-mode tally flow into the shared
+  :data:`~repro.evaluation.timing.engine_counters` (``service_*`` keys),
+  and :meth:`PredictionService.health` snapshots readiness (state, breaker
+  status, queue depth, restart count) for probes.
 
 The model can be anything exposing ``classification_values_batch`` — a
 :class:`~repro.core.fast.FastBSTCEvaluator` (typically restored from a
@@ -39,22 +56,42 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    QueryError,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    WorkerCrashed,
+)
 from ..evaluation.timing import EngineCounters, engine_counters
 
-__all__ = ["PredictionService", "ServiceClosed"]
-
-
-class ServiceClosed(ReproError, RuntimeError):
-    """Raised when a request is submitted to a closed service."""
+__all__ = [
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "PredictionService",
+    "QueryError",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceHealth",
+    "ServiceOverloaded",
+]
 
 
 #: Queue sentinel marking the end of accepted work.
 _SHUTDOWN = object()
+
+#: Ceiling on the supervised worker's restart backoff.
+_RESTART_BACKOFF_CAP = 1.0
+
+_BREAKER_CLOSED = "closed"
+_BREAKER_OPEN = "open"
+_BREAKER_HALF_OPEN = "half-open"
 
 
 @dataclass
@@ -63,9 +100,34 @@ class _Request:
 
     query: Any
     enqueued_at: float
+    deadline: Optional[float] = None  # absolute monotonic seconds
     done: threading.Event = field(default_factory=threading.Event)
     values: Optional[np.ndarray] = None
     error: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """Readiness snapshot returned by :meth:`PredictionService.health`."""
+
+    state: str                 # "serving" or "closed"
+    breaker: str               # "closed", "open", or "half-open"
+    queue_depth: int
+    worker_alive: bool
+    worker_restarts: int
+    consecutive_failures: int
+    shedding: bool
+    answered: int
+
+    @property
+    def ready(self) -> bool:
+        """True when the service would accept a request right now."""
+        return (
+            self.state == "serving"
+            and self.breaker != _BREAKER_OPEN
+            and self.worker_alive
+            and not self.shedding
+        )
 
 
 class PredictionService:
@@ -83,6 +145,22 @@ class PredictionService:
             until the worker catches up (backpressure).
         counters: counter sink (defaults to the process-wide
             :data:`~repro.evaluation.timing.engine_counters`).
+        default_deadline_ms: deadline applied to requests that do not carry
+            their own (``None`` = no default deadline).
+        shed_high: queue depth at which new submissions are rejected with
+            :class:`ServiceOverloaded` instead of blocking (``None``
+            disables shedding; backpressure alone then bounds the queue).
+        shed_low: queue depth at which shedding stops re-admitting
+            (hysteresis; defaults to ``shed_high // 2``).
+        breaker_threshold: consecutive failed batches that trip the circuit
+            breaker (``None`` disables the breaker).
+        breaker_cooldown: seconds the tripped breaker rejects before
+            half-opening to probe recovery.
+        restart_backoff: base of the crashed worker's deterministic
+            exponential restart backoff (``backoff * 2**(restarts-1)``,
+            capped at 1s).
+        validate_queries: reject malformed queries at submission time with
+            :class:`QueryError` instead of letting them reach the worker.
 
     The worker thread starts immediately; the service is usable as a
     context manager and closes cleanly on exit.
@@ -96,6 +174,13 @@ class PredictionService:
         max_wait_ms: float = 2.0,
         max_pending: int = 1024,
         counters: Optional[EngineCounters] = None,
+        default_deadline_ms: Optional[float] = None,
+        shed_high: Optional[int] = None,
+        shed_low: Optional[int] = None,
+        breaker_threshold: Optional[int] = 5,
+        breaker_cooldown: float = 1.0,
+        restart_backoff: float = 0.05,
+        validate_queries: bool = True,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -103,19 +188,60 @@ class PredictionService:
             raise ValueError("max_wait_ms must be >= 0")
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
+        if shed_low is not None and shed_high is None:
+            raise ValueError("shed_low needs shed_high")
+        if shed_high is not None:
+            if shed_high < 1:
+                raise ValueError("shed_high must be >= 1")
+            if shed_low is None:
+                shed_low = shed_high // 2
+            if not 0 <= shed_low < shed_high:
+                raise ValueError("need 0 <= shed_low < shed_high")
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1 (or None)")
+        if breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be >= 0")
+        if restart_backoff < 0:
+            raise ValueError("restart_backoff must be >= 0")
         self._model = model
         self._max_batch = int(max_batch)
         self._max_wait = float(max_wait_ms) / 1000.0
         self._counters = counters if counters is not None else engine_counters
+        self._default_deadline = (
+            None
+            if default_deadline_ms is None
+            else float(default_deadline_ms) / 1000.0
+        )
+        self._shed_high = shed_high
+        self._shed_low = shed_low
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = float(breaker_cooldown)
+        self._restart_backoff = float(restart_backoff)
+        self._validate = bool(validate_queries)
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=int(max_pending))
         #: Serializes submissions against close(), so the shutdown sentinel
         #: is strictly the last queue entry — the worker drains everything
-        #: accepted before it, then stops.
+        #: accepted before it, then stops.  Held across the blocking
+        #: queue.put (backpressure), so the worker must NEVER take it.
         self._submit_lock = threading.Lock()
+        #: Guards the cheap mutable state (breaker, shedding flag, worker
+        #: handle, restart count).  Never held across anything blocking, so
+        #: the worker may take it freely without deadlocking backpressure.
+        self._state_lock = threading.Lock()
         self._closed = False
         self._answered = 0
+        self._restarts = 0
+        self._failures = 0            # consecutive failed batches
+        self._breaker = _BREAKER_CLOSED
+        self._breaker_open_until = 0.0
+        self._half_open_probe = False  # a half-open probe is in flight
+        self._shedding = False
+        self._inflight: Optional[List[_Request]] = None
+        self._saw_shutdown = False
         self._worker = threading.Thread(
-            target=self._run, name="prediction-service", daemon=True
+            target=self._worker_main, name="prediction-service", daemon=True
         )
         self._worker.start()
 
@@ -123,16 +249,24 @@ class PredictionService:
     # Client API
     # ------------------------------------------------------------------
     def classification_values(
-        self, query: Any, timeout: Optional[float] = None
+        self,
+        query: Any,
+        timeout: Optional[float] = None,
+        *,
+        deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """Per-class values for one query, computed inside a coalesced batch.
 
         Blocks until the worker answers (or ``timeout`` seconds elapse, then
-        :class:`TimeoutError`).  Raises the batch's evaluation error if the
-        kernel failed, and :class:`ServiceClosed` if the service no longer
-        accepts work.
+        :class:`TimeoutError`).  ``deadline_ms`` bounds how stale an answer
+        may be: a request still queued when its deadline passes is answered
+        with :class:`DeadlineExceeded` instead of evaluated.  Raises the
+        request's evaluation error if the kernel failed, :class:`QueryError`
+        for a malformed query, and :class:`ServiceClosed` /
+        :class:`ServiceOverloaded` / :class:`CircuitOpen` when the service
+        is not accepting work.
         """
-        request = self._submit(query)
+        request = self._submit(query, deadline_ms)
         if not request.done.wait(timeout):
             raise TimeoutError(
                 f"prediction not answered within {timeout} seconds"
@@ -142,20 +276,40 @@ class PredictionService:
         assert request.values is not None
         return request.values
 
-    def predict(self, query: Any, timeout: Optional[float] = None) -> int:
+    def predict(
+        self,
+        query: Any,
+        timeout: Optional[float] = None,
+        *,
+        deadline_ms: Optional[float] = None,
+    ) -> int:
         """Classify one query (Algorithm 6's first-argmax) via the batch
         queue."""
-        values = self.classification_values(query, timeout)
+        values = self.classification_values(
+            query, timeout, deadline_ms=deadline_ms
+        )
         return int(np.argmax(values))
 
     def close(self) -> None:
         """Stop accepting work, answer everything already accepted, join the
-        worker.  Idempotent."""
+        worker (and any supervised replacement).  Idempotent."""
         with self._submit_lock:
             if not self._closed:
                 self._closed = True
                 self._queue.put(_SHUTDOWN)
-        self._worker.join()
+        # The worker handle may change while we wait: a crash mid-drain
+        # spawns a replacement (under _state_lock, already started), which
+        # finishes the drain.  Join until the handle stops moving.
+        while True:
+            with self._state_lock:
+                worker = self._worker
+            if worker is None or worker is threading.current_thread():
+                return
+            worker.join()
+            with self._state_lock:
+                if self._worker is worker:
+                    self._worker = None
+                    return
 
     def __enter__(self) -> "PredictionService":
         return self
@@ -176,17 +330,51 @@ class PredictionService:
         """Requests currently waiting in the queue (approximate)."""
         return self._queue.qsize()
 
+    def health(self) -> ServiceHealth:
+        """A readiness snapshot for probes — never blocks on the queue."""
+        with self._state_lock:
+            worker = self._worker
+            return ServiceHealth(
+                state="closed" if self._closed else "serving",
+                breaker=self._breaker,
+                queue_depth=self._queue.qsize(),
+                worker_alive=worker is not None and worker.is_alive(),
+                worker_restarts=self._restarts,
+                consecutive_failures=self._failures,
+                shedding=self._shedding,
+                answered=self._answered,
+            )
+
     # ------------------------------------------------------------------
-    # Internals
+    # Submission path
     # ------------------------------------------------------------------
-    def _submit(self, query: Any) -> _Request:
-        request = _Request(query=query, enqueued_at=time.monotonic())
+    def _submit(self, query: Any, deadline_ms: Optional[float]) -> _Request:
+        if self._validate:
+            self._validate_query(query)
+        now = time.monotonic()
+        if deadline_ms is None:
+            deadline = (
+                None
+                if self._default_deadline is None
+                else now + self._default_deadline
+            )
+        else:
+            if deadline_ms < 0:
+                raise ValueError("deadline_ms must be >= 0")
+            deadline = now + float(deadline_ms) / 1000.0
+        request = _Request(query=query, enqueued_at=now, deadline=deadline)
+        if deadline is not None and deadline <= now:
+            self._counters.increment("service_deadline_exceeded")
+            raise DeadlineExceeded(
+                "request deadline of 0ms expired before submission"
+            )
         with self._submit_lock:
             if self._closed:
                 self._counters.increment("service_rejected")
                 raise ServiceClosed(
                     "prediction service is closed; no new requests accepted"
                 )
+            self._check_admission(now)
             # Blocking put = backpressure: with the queue at max_pending the
             # submitter (still holding the lock) waits for the worker.  The
             # worker never takes this lock, so draining always proceeds.
@@ -194,13 +382,102 @@ class PredictionService:
         self._counters.increment("service_requests")
         return request
 
+    def _check_admission(self, now: float) -> None:
+        """Load shedding + circuit breaker, under the state lock.  Raises
+        instead of admitting; called with the submit lock held."""
+        with self._state_lock:
+            if self._shed_high is not None:
+                depth = self._queue.qsize()
+                if self._shedding:
+                    if depth <= self._shed_low:
+                        self._shedding = False
+                elif depth >= self._shed_high:
+                    self._shedding = True
+                    self._counters.increment("service_shed_trips")
+                if self._shedding:
+                    self._counters.increment("service_shed")
+                    raise ServiceOverloaded(depth, self._shed_high)
+            if self._breaker == _BREAKER_OPEN:
+                if now < self._breaker_open_until:
+                    self._counters.increment("service_breaker_rejections")
+                    raise CircuitOpen(self._breaker_open_until - now)
+                self._breaker = _BREAKER_HALF_OPEN
+                self._half_open_probe = False
+                self._counters.increment("service_breaker_half_opens")
+            if self._breaker == _BREAKER_HALF_OPEN:
+                if self._half_open_probe:
+                    self._counters.increment("service_breaker_rejections")
+                    raise CircuitOpen(0.0)
+                # This request is the probe; its batch outcome decides.
+                self._half_open_probe = True
+
+    def _validate_query(self, query: Any) -> None:
+        n_items = getattr(getattr(self._model, "dataset", None), "n_items", None)
+        if isinstance(query, np.ndarray):
+            if query.ndim != 1:
+                self._counters.increment("service_query_rejects")
+                raise QueryError(
+                    f"query must be a 1-D gene vector, got shape"
+                    f" {tuple(query.shape)}"
+                )
+            if n_items is not None and query.shape[0] != n_items:
+                self._counters.increment("service_query_rejects")
+                raise QueryError(
+                    f"query has {query.shape[0]} genes, model expects"
+                    f" {n_items}"
+                )
+            if query.dtype.kind not in "biuf":
+                self._counters.increment("service_query_rejects")
+                raise QueryError(
+                    f"query dtype {query.dtype} is not boolean/numeric"
+                )
+            if query.dtype.kind == "f":
+                bad = ~np.isfinite(query)
+                if bad.any():
+                    index = int(np.flatnonzero(bad)[0])
+                    self._counters.increment("service_query_rejects")
+                    raise QueryError(
+                        f"query gene {index} is {query[index]!r}"
+                        " (values must be finite)"
+                    )
+            return
+        try:
+            items = [int(i) for i in query]
+        except (TypeError, ValueError) as exc:
+            self._counters.increment("service_query_rejects")
+            raise QueryError(
+                f"query must be an indicator vector or an item-index set:"
+                f" {exc}"
+            ) from exc
+        if n_items is not None:
+            for index in items:
+                if not 0 <= index < n_items:
+                    self._counters.increment("service_query_rejects")
+                    raise QueryError(
+                        f"query item index {index} is outside the model's"
+                        f" [0, {n_items}) gene range"
+                    )
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _worker_main(self) -> None:
+        try:
+            self._run()
+        except BaseException as exc:  # supervised: restart + fail over
+            self._on_worker_crash(exc)
+
     def _run(self) -> None:
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 # close() guarantees nothing was accepted after the
                 # sentinel, and everything before it was dequeued first.
+                self._saw_shutdown = True
                 return
+            if self._expired(item):
+                self._answer_expired(item)
+                continue
             batch = [item]
             deadline = time.monotonic() + self._max_wait
             saw_shutdown = False
@@ -220,12 +497,56 @@ class PredictionService:
                 if extra is _SHUTDOWN:
                     saw_shutdown = True
                     break
+                if self._expired(extra):
+                    self._answer_expired(extra)
+                    continue
                 batch.append(extra)
-            self._evaluate(batch)
+            if saw_shutdown:
+                # Record before evaluating: if the model kills the worker
+                # now, the supervisor must not wait for a second sentinel.
+                self._saw_shutdown = True
+            self._process(batch)
             if saw_shutdown:
                 return
 
-    def _evaluate(self, batch: list) -> None:
+    def _process(self, batch: List[_Request]) -> None:
+        # _inflight stays set while evaluation runs so a worker-killing
+        # escape can fail over exactly the unanswered requests.
+        self._inflight = batch
+        any_success = self._evaluate_split(batch)
+        self._inflight = None
+        if any_success:
+            self._record_success()
+        else:
+            self._record_failure()
+
+    def _evaluate_split(self, batch: List[_Request]) -> bool:
+        """Evaluate a batch, bisecting on failure to isolate poison queries.
+
+        Returns True when at least one kernel call succeeded (the breaker's
+        definition of a live model).  A batch of one that still fails is the
+        poison query: it alone gets the error.  Bit-identity of the
+        re-evaluated batchmates is guaranteed by the kernel's row
+        independence (gated in bench_micro).
+        """
+        error = self._try_batch(batch)
+        if error is None:
+            return True
+        self._counters.increment("service_batch_errors")
+        if len(batch) == 1:
+            self._counters.increment("service_poison_queries")
+            self._answer_error(batch[0], error)
+            return False
+        self._counters.increment("service_bisections")
+        mid = len(batch) // 2
+        left = self._evaluate_split(batch[:mid])
+        right = self._evaluate_split(batch[mid:])
+        return left or right
+
+    def _try_batch(self, batch: List[_Request]) -> Optional[Exception]:
+        """One kernel call; answers the batch on success, returns the
+        exception on evaluation failure.  Non-``Exception`` escapes
+        (thread-killing faults) propagate to the supervisor."""
         started = time.monotonic()
         try:
             values = np.asarray(
@@ -238,13 +559,8 @@ class PredictionService:
                     f"model answered {values.shape[0]} rows for a batch of"
                     f" {len(batch)}"
                 )
-        except BaseException as exc:  # answered exactly once, even on failure
-            self._counters.increment("service_batch_errors")
-            for request in batch:
-                request.error = exc
-                self._answered += 1
-                request.done.set()
-            return
+        except Exception as exc:
+            return exc
         finished = time.monotonic()
         self._counters.increment("service_batches")
         self._counters.increment("service_batched_queries", len(batch))
@@ -257,3 +573,100 @@ class PredictionService:
             )
             self._answered += 1
             request.done.set()
+        return None
+
+    def _on_worker_crash(self, exc: BaseException) -> None:
+        """Supervisor: fail over the in-flight batch, restart the worker
+        with deterministic backoff.  Runs on the dying worker thread."""
+        self._counters.increment("service_worker_crashes")
+        batch = self._inflight or []
+        self._inflight = None
+        error = WorkerCrashed(
+            f"prediction worker died evaluating this batch: {exc!r}"
+        )
+        error.__cause__ = exc
+        for request in batch:
+            if not request.done.is_set():
+                self._answer_error(request, error)
+        self._record_failure()
+        if self._saw_shutdown:
+            # The shutdown sentinel was already consumed; a replacement
+            # would block on an empty queue forever.  Nothing can still be
+            # queued (the sentinel is strictly last), so just retire.
+            with self._state_lock:
+                self._worker = None
+            return
+        with self._state_lock:
+            self._restarts += 1
+            restarts = self._restarts
+        self._counters.increment("service_worker_restarts")
+        if self._restart_backoff > 0:
+            delay = min(
+                self._restart_backoff * 2 ** (restarts - 1),
+                _RESTART_BACKOFF_CAP,
+            )
+            time.sleep(delay)
+        replacement = threading.Thread(
+            target=self._worker_main,
+            name=f"prediction-service-r{restarts}",
+            daemon=True,
+        )
+        with self._state_lock:
+            # Swap and start under the lock so close() either joins the old
+            # worker (and re-reads the handle after) or a started one.
+            self._worker = replacement
+            replacement.start()
+
+    # ------------------------------------------------------------------
+    # Outcome bookkeeping
+    # ------------------------------------------------------------------
+    def _expired(self, request: _Request) -> bool:
+        return (
+            request.deadline is not None
+            and time.monotonic() >= request.deadline
+        )
+
+    def _answer_expired(self, request: _Request) -> None:
+        self._counters.increment("service_deadline_exceeded")
+        self._answer_error(
+            request,
+            DeadlineExceeded(
+                "request deadline expired while queued; not evaluated"
+            ),
+        )
+
+    def _answer_error(self, request: _Request, error: BaseException) -> None:
+        request.error = error
+        self._answered += 1
+        request.done.set()
+
+    def _record_success(self) -> None:
+        with self._state_lock:
+            self._failures = 0
+            self._half_open_probe = False
+            if self._breaker == _BREAKER_HALF_OPEN:
+                self._breaker = _BREAKER_CLOSED
+                self._counters.increment("service_breaker_closes")
+
+    def _record_failure(self) -> None:
+        with self._state_lock:
+            self._failures += 1
+            self._half_open_probe = False
+            if self._breaker_threshold is None:
+                return
+            if self._breaker == _BREAKER_HALF_OPEN:
+                # The probe failed: reopen for another cooldown.
+                self._breaker = _BREAKER_OPEN
+                self._breaker_open_until = (
+                    time.monotonic() + self._breaker_cooldown
+                )
+                self._counters.increment("service_breaker_reopens")
+            elif (
+                self._breaker == _BREAKER_CLOSED
+                and self._failures >= self._breaker_threshold
+            ):
+                self._breaker = _BREAKER_OPEN
+                self._breaker_open_until = (
+                    time.monotonic() + self._breaker_cooldown
+                )
+                self._counters.increment("service_breaker_trips")

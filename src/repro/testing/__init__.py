@@ -1,17 +1,37 @@
 """Test-support machinery shipped with the package.
 
 :mod:`repro.testing.faults` is the deterministic fault-injection harness the
-resilience test suite drives the supervised worker pool with.  It lives in
-the package (not the test tree) so downstream users can exercise their own
-deployments' recovery paths the same way.
+resilience test suite drives the supervised worker pool with, plus the
+service-layer fault kit (:class:`FlakyBatchModel`, :class:`ServiceFault`,
+:func:`corrupt_artifact_member`) the serving resilience tests use.  It lives
+in the package (not the test tree) so downstream users can exercise their
+own deployments' recovery paths the same way.
 """
 
-from .faults import CORRUPT_PAYLOAD, FaultPlan, FaultSpec, InjectedCrash, InjectedHang
+from .faults import (
+    CORRUPT_PAYLOAD,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    FlakyBatchModel,
+    InjectedCrash,
+    InjectedHang,
+    PoisonQueryError,
+    ServiceFault,
+    WorkerKilled,
+    corrupt_artifact_member,
+)
 
 __all__ = [
     "CORRUPT_PAYLOAD",
+    "FaultInjected",
     "FaultPlan",
     "FaultSpec",
+    "FlakyBatchModel",
     "InjectedCrash",
     "InjectedHang",
+    "PoisonQueryError",
+    "ServiceFault",
+    "WorkerKilled",
+    "corrupt_artifact_member",
 ]

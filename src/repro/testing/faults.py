@@ -1,4 +1,5 @@
-"""Deterministic fault injection for the supervised worker pool.
+"""Deterministic fault injection for the supervised worker pool and the
+prediction service.
 
 The resilience layer (:mod:`repro.evaluation.resilience`) promises that a
 worker crash, a task hanging past its timeout, or a corrupted result payload
@@ -24,14 +25,25 @@ Fault kinds:
   which the supervisor maps to the same timeout outcome.
 * ``corrupt`` — the worker replies with :data:`CORRUPT_PAYLOAD` instead of a
   real result, exercising payload validation.
+
+The serving half of the module drives :class:`repro.serving.PredictionService`
+recovery paths the same way: :class:`FlakyBatchModel` wraps a real model and
+applies a :class:`ServiceFault` schedule keyed on *batch-evaluation call
+index* (raise, kill the worker thread, run slow) plus an optional poison
+predicate that fails any batch containing a matching query — exactly what
+the service's bisection must isolate.  :func:`corrupt_artifact_member` flips
+one payload byte of a stored artifact member so integrity tests can assert
+every single-bit corruption is caught.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Union
 
 from ..errors import ReproError
 
@@ -126,3 +138,153 @@ def apply_fault(spec: FaultSpec, serial: bool):
         return None
     # corrupt
     return CORRUPT_PAYLOAD
+
+
+# ----------------------------------------------------------------------
+# Prediction-service faults
+# ----------------------------------------------------------------------
+
+
+class PoisonQueryError(FaultInjected):
+    """Raised by :class:`FlakyBatchModel` for any batch containing a query
+    matching its poison predicate — the failure the service's bisection
+    must isolate down to the single offending request."""
+
+
+class WorkerKilled(BaseException):
+    """Injected worker-thread death.
+
+    Deliberately a :class:`BaseException`: the service's batch evaluation
+    retries plain ``Exception`` s via bisection, so only a
+    ``BaseException`` escapes to the supervisor and exercises the
+    crash-restart path the way a real thread death would.
+    """
+
+
+_SERVICE_KINDS = ("error", "kill", "slow")
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """One scheduled service-model fault.
+
+    Args:
+        call_index: which batch-evaluation call (0-based, counted across
+            the model's lifetime) the fault fires on.
+        kind: ``error`` (raise :class:`FaultInjected` — recoverable, feeds
+            the bisection/breaker paths), ``kill`` (raise
+            :class:`WorkerKilled` — escapes to the supervisor and kills
+            the worker thread), or ``slow`` (sleep ``seconds`` before
+            evaluating — wedges the batch loop for deadline tests).
+        seconds: sleep duration for ``slow`` faults.
+    """
+
+    call_index: int
+    kind: str
+    seconds: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SERVICE_KINDS:
+            raise ValueError(f"unknown service fault kind {self.kind!r}")
+        if self.call_index < 0:
+            raise ValueError("call_index must be >= 0")
+
+
+class FlakyBatchModel:
+    """A model wrapper that injects :class:`ServiceFault` s deterministically.
+
+    Wraps any object with ``dataset`` and ``classification_values_batch``
+    (a :class:`~repro.core.fast.FastBSTCEvaluator`, a fitted
+    :class:`~repro.core.classifier.BSTClassifier`'s evaluator, ...) and
+    delegates to it, applying at most one fault per batch-evaluation call:
+
+    * faults are keyed on a thread-safely incremented call counter, so a
+      schedule like ``[ServiceFault(0, "kill")]`` means "the first batch
+      kills the worker, every later batch is clean";
+    * ``poison`` is a predicate over a single query row (1-D
+      ``np.ndarray``); any batch containing a matching row raises
+      :class:`PoisonQueryError` *before* evaluation, so bisection is the
+      only way through — the poison query alone keeps failing while its
+      batchmates re-run clean.
+    """
+
+    def __init__(
+        self,
+        inner,
+        faults: Iterable[ServiceFault] = (),
+        poison: Optional[Callable[["object"], bool]] = None,
+    ):
+        self.inner = inner
+        self._faults: Dict[int, ServiceFault] = {}
+        for fault in faults:
+            if fault.call_index in self._faults:
+                raise ValueError(
+                    f"duplicate service fault for call {fault.call_index}"
+                )
+            self._faults[fault.call_index] = fault
+        self._poison = poison
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    @property
+    def dataset(self):
+        return self.inner.dataset
+
+    @property
+    def calls(self) -> int:
+        """How many batch evaluations have been attempted so far."""
+        with self._lock:
+            return self._calls
+
+    def classification_values_batch(self, queries):
+        with self._lock:
+            index = self._calls
+            self._calls += 1
+        fault = self._faults.get(index)
+        if fault is not None:
+            if fault.kind == "error":
+                raise FaultInjected(f"injected error on call {index}")
+            if fault.kind == "kill":
+                raise WorkerKilled(f"injected worker death on call {index}")
+            time.sleep(fault.seconds)  # slow
+        if self._poison is not None:
+            for row in queries:
+                if self._poison(row):
+                    raise PoisonQueryError("injected poison query in batch")
+        return self.inner.classification_values_batch(queries)
+
+    def classification_values(self, query):
+        return self.inner.classification_values(query)
+
+
+def corrupt_artifact_member(
+    path: Union[str, Path],
+    member: str,
+    byte_index: int = 0,
+    flip: int = 0xFF,
+) -> int:
+    """Flip bits of one payload byte of a stored artifact member, in place.
+
+    Returns the absolute file offset that was corrupted.  Only works on
+    ``ZIP_STORED`` archives (which :func:`repro.core.artifact.save_artifact`
+    always writes) — the byte is flipped inside the member's raw payload,
+    past the zip local header, so the archive still parses but the
+    member's CRC no longer matches.
+    """
+    from ..core.artifact import _stored_member_offsets
+
+    path = Path(path)
+    offsets = _stored_member_offsets(path)
+    if offsets is None or member not in offsets:
+        raise ValueError(f"no stored member {member!r} in {path}")
+    target = offsets[member] + byte_index
+    with path.open("r+b") as handle:
+        handle.seek(target)
+        byte = handle.read(1)
+        if len(byte) != 1:
+            raise ValueError(
+                f"byte {byte_index} is past the end of member {member!r}"
+            )
+        handle.seek(target)
+        handle.write(bytes([byte[0] ^ (flip & 0xFF)]))
+    return target

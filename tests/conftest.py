@@ -4,10 +4,19 @@ Also installs a per-test wall-clock ceiling when ``REPRO_TEST_TIMEOUT`` is
 set (seconds): a SIGALRM-based guard so a hung worker or deadlocked pool
 fails the one test instead of wedging the whole suite.  CI sets it; local
 runs are unlimited unless opted in.
+
+When ``REPRO_COUNTER_DUMP`` is set to a path, the process-wide engine
+counters accumulated across the whole run are written there as JSON at
+session end — CI uploads the dump from the fault-suite step so a failing
+resilience run leaves its counter evidence behind.  Several tests call
+``engine_counters.reset()`` mid-run, so the dump is built from per-test
+positive deltas (captured at each teardown) rather than one final
+snapshot a reset could have wiped.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import threading
@@ -19,6 +28,41 @@ from repro.datasets.dataset import RelationalDataset, running_example
 from repro.datasets.profiles import DatasetProfile
 
 _TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "0") or "0")
+_COUNTER_DUMP = os.environ.get("REPRO_COUNTER_DUMP", "")
+
+
+_counter_total: dict = {}
+_counter_last: dict = {}
+
+
+def _accumulate_counters() -> None:
+    from repro.evaluation.timing import engine_counters
+
+    snapshot = engine_counters.snapshot()
+    for name, value in snapshot.items():
+        previous = _counter_last.get(name, 0.0)
+        # A value below its last observation means the counter was reset
+        # since then; everything currently on it is new.
+        delta = value - previous if value >= previous else value
+        if delta > 0:
+            _counter_total[name] = _counter_total.get(name, 0.0) + delta
+    _counter_last.clear()
+    _counter_last.update(snapshot)
+
+
+def pytest_runtest_teardown(item, nextitem):
+    if _COUNTER_DUMP:
+        _accumulate_counters()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _COUNTER_DUMP:
+        return
+    _accumulate_counters()
+    payload = dict(_counter_total)
+    payload["_exitstatus"] = int(exitstatus)
+    with open(_COUNTER_DUMP, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
 
 
 @pytest.hookimpl(hookwrapper=True)

@@ -1,4 +1,9 @@
-"""Compiled model artifacts: round trips, validation, zero-rebuild loads."""
+"""Compiled model artifacts: round trips, validation, zero-rebuild loads,
+integrity verification and quarantine."""
+
+import json
+import shutil
+import zipfile
 
 import numpy as np
 import pytest
@@ -7,8 +12,11 @@ from conftest import random_relational
 from repro.core.arithmetization import COMBINERS
 from repro.core.artifact import (
     ARTIFACT_FORMAT_VERSION,
+    ArtifactCorrupt,
     ArtifactError,
+    ArtifactStale,
     DatasetSummary,
+    _INTEGRITY_MEMBER,
     load_artifact,
     save_artifact,
 )
@@ -20,6 +28,7 @@ from repro.core.fast import (
     get_evaluator,
 )
 from repro.datasets.dataset import RelationalDataset
+from repro.testing import corrupt_artifact_member
 
 
 @pytest.fixture(autouse=True)
@@ -170,6 +179,272 @@ class TestValidation:
             np.savez(handle, **arrays)
         with pytest.raises(ArtifactError, match="shape"):
             load_artifact(bad)
+
+
+@pytest.mark.faults
+class TestIntegrity:
+    def test_manifest_written_and_valid(self, tmp_path, example):
+        path = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        with zipfile.ZipFile(path) as archive:
+            names = archive.namelist()
+            manifest = json.loads(archive.read(_INTEGRITY_MEMBER).decode())
+            recorded = {
+                info.filename: int(info.CRC)
+                for info in archive.infolist()
+                if info.filename != _INTEGRITY_MEMBER
+            }
+        assert _INTEGRITY_MEMBER in names
+        assert set(manifest["members"]) == set(recorded)
+        for name, crc in recorded.items():
+            assert manifest["members"][name]["crc32"] == crc
+
+    def test_every_member_byte_flip_detected_eagerly(self, tmp_path, example):
+        # One artifact per member: flip one payload byte, demand an eager
+        # load, and require detection + quarantine before any prediction.
+        source = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        with zipfile.ZipFile(source) as archive:
+            members = [
+                info.filename
+                for info in archive.infolist()
+                if info.file_size > 0
+            ]
+        assert len(members) > 10
+        for index, member in enumerate(members):
+            path = tmp_path / f"flip{index}.npz"
+            shutil.copy(source, path)
+            corrupt_artifact_member(path, member, byte_index=0)
+            with pytest.raises(ArtifactCorrupt):
+                load_artifact(path, verify="eager", on_corrupt="quarantine")
+            assert not path.exists()  # quarantined
+            quarantined = path.with_name(path.name + ".quarantine")
+            assert (quarantined / path.name).exists()
+
+    def test_lazy_load_detects_before_first_prediction(
+        self, tmp_path, example
+    ):
+        path = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        with zipfile.ZipFile(path) as archive:
+            table_info = next(
+                info
+                for info in archive.infolist()
+                if info.filename.startswith("class") and info.file_size > 128
+            )
+        # Flip a data byte (not the npy header) so the member still maps
+        # cleanly — only the deferred CRC check can catch it.
+        corrupt_artifact_member(
+            path, table_info.filename, byte_index=table_info.file_size - 1
+        )
+        loaded = load_artifact(path, verify="lazy", on_corrupt="fail")
+        query = np.zeros(example.n_items, dtype=bool)
+        with pytest.raises(ArtifactCorrupt):
+            loaded.classification_values(query)
+        with pytest.raises(ArtifactCorrupt):  # cached, raised again
+            loaded.classification_values_batch([query])
+
+    def test_lazy_clean_artifact_verifies_once_then_serves(
+        self, tmp_path, example
+    ):
+        evaluator = FastBSTCEvaluator(example)
+        path = save_artifact(evaluator, tmp_path / "m.npz")
+        loaded = load_artifact(path, verify="lazy")
+        queries = np.eye(example.n_items, dtype=bool)
+        assert np.array_equal(
+            loaded.classification_values_batch(queries),
+            evaluator.classification_values_batch(queries),
+        )
+
+    def test_verify_off_skips_checking(self, tmp_path, example):
+        path = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        with zipfile.ZipFile(path) as archive:
+            table_info = next(
+                info
+                for info in archive.infolist()
+                if info.filename.startswith("class") and info.file_size > 8
+            )
+        # Flip the payload's last byte (past the npy header) so the archive
+        # still parses; verify="off" must load without complaint.
+        corrupt_artifact_member(
+            path, table_info.filename, byte_index=table_info.file_size - 1
+        )
+        load_artifact(path, verify="off")
+        assert path.exists()
+
+    def test_manifest_tamper_detected(self, tmp_path, example):
+        path = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        corrupt_artifact_member(path, _INTEGRITY_MEMBER, byte_index=5)
+        with pytest.raises(ArtifactCorrupt):
+            load_artifact(path, on_corrupt="fail")
+        assert path.exists()  # on_corrupt="fail" leaves the file in place
+
+    def test_missing_manifest_loads_unverified(self, tmp_path, example):
+        from repro.evaluation.timing import engine_counters
+
+        evaluator = FastBSTCEvaluator(example)
+        path = save_artifact(evaluator, tmp_path / "m.npz")
+        with np.load(path) as npz:
+            arrays = {k: npz[k] for k in npz.files if k != _INTEGRITY_MEMBER}
+        legacy = tmp_path / "legacy.npz"
+        with legacy.open("wb") as handle:
+            np.savez(handle, **arrays)
+        before = engine_counters.get("artifact_unverified_loads")
+        loaded = load_artifact(legacy)
+        assert engine_counters.get("artifact_unverified_loads") == before + 1
+        query = np.zeros(example.n_items, dtype=bool)
+        assert np.array_equal(
+            loaded.classification_values(query),
+            evaluator.classification_values(query),
+        )
+
+    def test_quarantine_collision_numbers_files(self, tmp_path, example):
+        for round_index in range(2):
+            path = save_artifact(
+                FastBSTCEvaluator(example), tmp_path / "m.npz"
+            )
+            corrupt_artifact_member(path, "meta_fingerprint.npy")
+            with pytest.raises(ArtifactCorrupt):
+                load_artifact(path, verify="eager")
+        quarantine = tmp_path / "m.npz.quarantine"
+        assert (quarantine / "m.npz").exists()
+        assert (quarantine / "m.npz.1").exists()
+
+    def test_corrupt_error_carries_structure(self, tmp_path, example):
+        path = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        corrupt_artifact_member(path, "meta_fingerprint.npy")
+        with pytest.raises(ArtifactCorrupt) as info:
+            load_artifact(path, verify="eager", on_corrupt="quarantine")
+        assert info.value.member == "meta_fingerprint.npy"
+        assert info.value.quarantine_path is not None
+        assert info.value.quarantine_path.exists()
+
+    def test_stale_is_not_quarantined(self, tmp_path, example):
+        path = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        with pytest.raises(ArtifactStale):
+            load_artifact(path, expected_fingerprint="0" * 40)
+        assert path.exists()  # intact file, wrong model: never quarantined
+
+    def test_extra_member_detected(self, tmp_path, example):
+        path = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        with zipfile.ZipFile(path, "a") as archive:
+            archive.writestr("sneaky.npy", b"not in the manifest")
+        with pytest.raises(ArtifactCorrupt, match="member list"):
+            load_artifact(path, on_corrupt="fail")
+
+    def test_invalid_parameters(self, tmp_path, example):
+        path = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        with pytest.raises(ValueError, match="verify"):
+            load_artifact(path, verify="sometimes")
+        with pytest.raises(ValueError, match="on_corrupt"):
+            load_artifact(path, on_corrupt="shrug")
+
+
+class TestReaderFallbacks:
+    def _recompress(self, source, destination):
+        """Rewrite an artifact with every member deflated (payload CRCs are
+        computed over uncompressed bytes, so the manifest stays valid)."""
+        with zipfile.ZipFile(source) as archive:
+            payloads = {
+                info.filename: archive.read(info.filename)
+                for info in archive.infolist()
+            }
+        with zipfile.ZipFile(
+            destination, "w", zipfile.ZIP_DEFLATED
+        ) as archive:
+            for name, payload in payloads.items():
+                archive.writestr(name, payload)
+        return destination
+
+    def test_compressed_members_fall_back_to_eager(self, tmp_path, example):
+        evaluator = FastBSTCEvaluator(example)
+        source = save_artifact(evaluator, tmp_path / "m.npz")
+        packed = self._recompress(source, tmp_path / "packed.npz")
+        loaded = load_artifact(packed, verify="eager")
+        assert not any(
+            isinstance(t.inside_f, np.memmap)
+            for t in loaded._tables
+            if t is not None
+        )
+        queries = np.eye(example.n_items, dtype=bool)
+        assert np.array_equal(
+            loaded.classification_values_batch(queries),
+            evaluator.classification_values_batch(queries),
+        )
+
+    def test_compressed_corruption_still_detected(self, tmp_path, example):
+        import struct
+
+        source = save_artifact(FastBSTCEvaluator(example), tmp_path / "m.npz")
+        packed = self._recompress(source, tmp_path / "packed.npz")
+        # No stored offsets in a deflated archive, so corrupt_artifact_member
+        # refuses; locate one member's compressed payload by hand and flip a
+        # byte in the middle of it.
+        with zipfile.ZipFile(packed) as archive:
+            info = next(
+                i for i in archive.infolist() if i.filename.startswith("class")
+            )
+        data = bytearray(packed.read_bytes())
+        name_len, extra_len = struct.unpack_from("<HH", data, info.header_offset + 26)
+        payload_start = info.header_offset + 30 + name_len + extra_len
+        data[payload_start + info.compress_size // 2] ^= 0xFF
+        packed.write_bytes(bytes(data))
+        with pytest.raises((ArtifactCorrupt, ArtifactError)):
+            load_artifact(packed, verify="eager", on_corrupt="fail")
+
+    def test_mmap_member_refusal_falls_back_to_eager(
+        self, tmp_path, example, monkeypatch
+    ):
+        import repro.core.artifact as artifact_module
+
+        evaluator = FastBSTCEvaluator(example)
+        path = save_artifact(evaluator, tmp_path / "m.npz")
+        monkeypatch.setattr(
+            artifact_module, "_mmap_member", lambda path, offset: None
+        )
+        loaded = load_artifact(path)
+        assert not any(
+            isinstance(t.inside_f, np.memmap)
+            for t in loaded._tables
+            if t is not None
+        )
+        queries = np.eye(example.n_items, dtype=bool)
+        assert np.array_equal(
+            loaded.classification_values_batch(queries),
+            evaluator.classification_values_batch(queries),
+        )
+
+
+@pytest.mark.faults
+class TestRebuildFallback:
+    def test_rebuild_from_training_data(self, tmp_path, example):
+        clf = BSTClassifier().fit(example)
+        path = clf.save(tmp_path / "clf.npz")
+        corrupt_artifact_member(path, "meta_fingerprint.npy")
+        clear_evaluator_cache()
+        rebuilt = BSTClassifier.load(
+            path, on_corrupt="rebuild", train_dataset=example
+        )
+        assert not path.exists()  # corrupt file was quarantined first
+        query = np.zeros(example.n_items, dtype=bool)
+        query[[0, 3, 4]] = True
+        assert rebuilt.predict(query) == clf.predict(query)
+
+    def test_rebuild_without_training_data_reraises(self, tmp_path, example):
+        clf = BSTClassifier().fit(example)
+        path = clf.save(tmp_path / "clf.npz")
+        corrupt_artifact_member(path, "meta_fingerprint.npy")
+        clear_evaluator_cache()
+        with pytest.raises(ArtifactCorrupt):
+            BSTClassifier.load(path, on_corrupt="rebuild")
+
+    def test_clean_artifact_ignores_rebuild_policy(self, tmp_path, example):
+        clf = BSTClassifier().fit(example)
+        path = clf.save(tmp_path / "clf.npz")
+        clear_evaluator_cache()
+        loaded = BSTClassifier.load(
+            path, on_corrupt="rebuild", train_dataset=example
+        )
+        assert path.exists()
+        query = np.zeros(example.n_items, dtype=bool)
+        assert loaded.predict(query) == clf.predict(query)
 
 
 class TestClassifierSaveLoad:

@@ -498,3 +498,62 @@ class TestRandomDatasetEquivalence:
                 assert [
                     (r.car_items, r.consequent, r.support) for r in mined
                 ] == _ref_mine_mcmcbar(bst, k=6)
+
+
+class TestSwarPopcount:
+    """The numpy < 2 SWAR fallback stays correct and forceable on modern
+    numpy via the REPRO_FORCE_SWAR env toggle."""
+
+    def test_swar_matches_native(self):
+        from repro.core.bitset import (
+            _native_popcount_words,
+            _swar_popcount_words,
+        )
+
+        rng = np.random.default_rng(7)
+        cases = [
+            np.zeros(4, dtype=np.uint64),
+            np.full(3, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64),
+            np.array([1, 2, 4, 8, 0x8000000000000000], dtype=np.uint64),
+        ] + [
+            rng.integers(0, 2**64, size=size, dtype=np.uint64)
+            for size in (1, 7, 64, 1000)
+        ]
+        for words in cases:
+            assert _swar_popcount_words(words) == _native_popcount_words(
+                words
+            )
+            # The SWAR path must not mutate its input.
+            assert _swar_popcount_words(words.copy()) == _swar_popcount_words(
+                words
+            )
+
+    def test_force_swar_env_toggle(self):
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.core import bitset\n"
+            "assert bitset._popcount_words is bitset._swar_popcount_words\n"
+            "b = bitset.BitSet.from_indices(130, {1, 5, 63, 64})\n"
+            "assert len(b) == 4\n"
+            "print('forced-swar-ok')\n"
+        )
+        import os
+
+        env = dict(os.environ, REPRO_FORCE_SWAR="1")
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "forced-swar-ok" in result.stdout
+
+    def test_default_prefers_native_when_available(self):
+        from repro.core import bitset
+
+        if hasattr(np, "bitwise_count") and not bitset._FORCE_SWAR:
+            assert bitset._popcount_words is bitset._native_popcount_words

@@ -138,7 +138,7 @@ class TestPredictCommand:
                 "0" * 40,
             ]
         )
-        assert code == 2
+        assert code == 4
         assert "stale" in capsys.readouterr().err
 
     def test_missing_artifact_fails(self, capsys, tmp_path, relational_files):
@@ -260,3 +260,152 @@ class TestServeBenchCommand:
         )
         assert code == 0
         assert "q/s" in capsys.readouterr().out
+
+
+def _saved_artifact(tmp_path, relational_files, capsys):
+    train_path, query_path = relational_files
+    artifact = tmp_path / "model.npz"
+    assert (
+        main(
+            [
+                "predict",
+                "--train",
+                str(train_path),
+                "--data",
+                str(query_path),
+                "--save-artifact",
+                str(artifact),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    clear_evaluator_cache()
+    return artifact, train_path, query_path
+
+
+@pytest.mark.faults
+class TestExitCodes:
+    """Failure classes map to distinct non-zero exit codes (scripts/CI can
+    branch on them): 2 generic, 3 corrupt, 4 stale, 5 overload."""
+
+    def test_corrupt_artifact_exits_3_and_quarantines(
+        self, capsys, tmp_path, relational_files
+    ):
+        from repro.testing import corrupt_artifact_member
+
+        artifact, _, query_path = _saved_artifact(
+            tmp_path, relational_files, capsys
+        )
+        corrupt_artifact_member(artifact, "meta_fingerprint.npy")
+        code = main(
+            ["predict", "--artifact", str(artifact), "--data", str(query_path)]
+        )
+        assert code == 3
+        assert "corrupt" in capsys.readouterr().err
+        assert not artifact.exists()  # default policy quarantined it
+        quarantine = artifact.with_name(artifact.name + ".quarantine")
+        assert (quarantine / artifact.name).exists()
+
+    def test_corrupt_artifact_on_corrupt_fail_keeps_file(
+        self, capsys, tmp_path, relational_files
+    ):
+        from repro.testing import corrupt_artifact_member
+
+        artifact, _, query_path = _saved_artifact(
+            tmp_path, relational_files, capsys
+        )
+        corrupt_artifact_member(artifact, "meta_fingerprint.npy")
+        code = main(
+            [
+                "predict",
+                "--artifact",
+                str(artifact),
+                "--data",
+                str(query_path),
+                "--on-corrupt",
+                "fail",
+            ]
+        )
+        assert code == 3
+        assert artifact.exists()
+
+    def test_corrupt_artifact_rebuilds_from_train(
+        self, capsys, tmp_path, relational_files
+    ):
+        from repro.testing import corrupt_artifact_member
+
+        artifact, train_path, query_path = _saved_artifact(
+            tmp_path, relational_files, capsys
+        )
+        corrupt_artifact_member(artifact, "meta_fingerprint.npy")
+        code = main(
+            [
+                "predict",
+                "--artifact",
+                str(artifact),
+                "--train",
+                str(train_path),
+                "--data",
+                str(query_path),
+                "--on-corrupt",
+                "rebuild",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "qa" in out
+        assert "artifact_rebuilds" in out
+
+    def test_artifact_and_train_conflict_without_rebuild(
+        self, capsys, tmp_path, relational_files
+    ):
+        artifact, train_path, query_path = _saved_artifact(
+            tmp_path, relational_files, capsys
+        )
+        code = main(
+            [
+                "predict",
+                "--artifact",
+                str(artifact),
+                "--train",
+                str(train_path),
+                "--data",
+                str(query_path),
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_neither_artifact_nor_train(self, capsys, relational_files):
+        _, query_path = relational_files
+        code = main(["predict", "--data", str(query_path)])
+        assert code == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_overloaded_serve_bench_exits_5(
+        self, capsys, tmp_path, relational_files, monkeypatch
+    ):
+        import repro.serving as serving
+        from repro.errors import ServiceOverloaded
+
+        artifact, _, _ = _saved_artifact(tmp_path, relational_files, capsys)
+
+        class AlwaysOverloaded(serving.PredictionService):
+            def _check_admission(self, now):
+                raise ServiceOverloaded(depth=99, high_water=1)
+
+        monkeypatch.setattr(serving, "PredictionService", AlwaysOverloaded)
+        code = main(
+            [
+                "serve-bench",
+                "--artifact",
+                str(artifact),
+                "--threads",
+                "2",
+                "--requests",
+                "8",
+            ]
+        )
+        assert code == 5
+        assert "overloaded" in capsys.readouterr().err

@@ -1,6 +1,7 @@
 """Micro-batching prediction service and evaluator-cache concurrency."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -13,8 +14,53 @@ from repro.core.fast import (
     get_evaluator,
     set_evaluator_cache_size,
 )
+from repro.errors import WorkerCrashed
 from repro.evaluation.timing import EngineCounters
-from repro.serving import PredictionService, ServiceClosed
+from repro.serving import (
+    CircuitOpen,
+    DeadlineExceeded,
+    PredictionService,
+    QueryError,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.testing import FlakyBatchModel, PoisonQueryError, ServiceFault
+
+
+def _poll(predicate, timeout=5.0, interval=0.002):
+    """Spin until ``predicate()`` is true (tests only; bounded)."""
+    limit = time.monotonic() + timeout
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class _GatedModel:
+    """Delegates to an inner model, blocking selected calls on an event so
+    tests can wedge the worker at a known point."""
+
+    def __init__(self, inner, gates):
+        self.inner = inner
+        self._gates = dict(gates)  # call index -> threading.Event
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.started = threading.Event()
+
+    @property
+    def dataset(self):
+        return self.inner.dataset
+
+    def classification_values_batch(self, queries):
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+        self.started.set()
+        gate = self._gates.get(index)
+        if gate is not None:
+            gate.wait()
+        return self.inner.classification_values_batch(queries)
 
 
 @pytest.fixture
@@ -158,7 +204,7 @@ class TestLifecycle:
                 errors.append(exc)
 
         with PredictionService(
-            Broken(), max_wait_ms=10.0, counters=counters
+            Broken(), max_wait_ms=10.0, counters=counters, breaker_threshold=None
         ) as service:
             threads = [
                 threading.Thread(target=call, args=(service,))
@@ -261,6 +307,487 @@ class TestShutdownStress:
             snap = counters.snapshot()
             assert snap.get("service_requests", 0) == sum(answered)
             assert snap.get("service_rejected", 0) == sum(rejected)
+
+
+class TestQueryValidation:
+    def test_wrong_gene_count(self, evaluator):
+        counters = EngineCounters()
+        with PredictionService(evaluator, counters=counters) as service:
+            with pytest.raises(QueryError, match="genes"):
+                service.classification_values(
+                    np.zeros(evaluator.dataset.n_items + 3, dtype=bool)
+                )
+        assert counters.get("service_query_rejects") == 1
+
+    def test_nan_names_offending_gene(self, evaluator):
+        query = np.zeros(evaluator.dataset.n_items, dtype=float)
+        query[2] = np.nan
+        with PredictionService(evaluator, counters=EngineCounters()) as service:
+            with pytest.raises(QueryError, match="gene 2"):
+                service.classification_values(query)
+
+    def test_inf_rejected(self, evaluator):
+        query = np.zeros(evaluator.dataset.n_items, dtype=float)
+        query[-1] = np.inf
+        with PredictionService(evaluator, counters=EngineCounters()) as service:
+            with pytest.raises(QueryError, match="finite"):
+                service.classification_values(query)
+
+    def test_non_numeric_dtype(self, evaluator):
+        query = np.array(["a"] * evaluator.dataset.n_items)
+        with PredictionService(evaluator, counters=EngineCounters()) as service:
+            with pytest.raises(QueryError, match="dtype"):
+                service.classification_values(query)
+
+    def test_two_dimensional_rejected(self, evaluator):
+        query = np.zeros((2, evaluator.dataset.n_items), dtype=bool)
+        with PredictionService(evaluator, counters=EngineCounters()) as service:
+            with pytest.raises(QueryError, match="1-D"):
+                service.classification_values(query)
+
+    def test_item_index_out_of_range(self, evaluator):
+        with PredictionService(evaluator, counters=EngineCounters()) as service:
+            with pytest.raises(QueryError, match="outside"):
+                service.classification_values({0, evaluator.dataset.n_items})
+
+    def test_item_index_set_accepted(self, evaluator):
+        with PredictionService(evaluator, counters=EngineCounters()) as service:
+            values = service.classification_values({0, 3, 4})
+        assert np.array_equal(
+            values, evaluator.classification_values({0, 3, 4})
+        )
+
+    def test_validation_can_be_disabled(self, evaluator):
+        # With validation off, a wrong-width query reaches the kernel and
+        # fails there instead (as a per-query evaluation error).
+        query = np.zeros(evaluator.dataset.n_items + 3, dtype=bool)
+        with PredictionService(
+            evaluator,
+            counters=EngineCounters(),
+            validate_queries=False,
+            breaker_threshold=None,
+        ) as service:
+            with pytest.raises(Exception) as info:
+                service.classification_values(query)
+        assert not isinstance(info.value, QueryError)
+
+
+class TestDeadlines:
+    def test_zero_deadline_rejected_at_submission(self, evaluator):
+        counters = EngineCounters()
+        with PredictionService(evaluator, counters=counters) as service:
+            with pytest.raises(DeadlineExceeded):
+                service.classification_values(
+                    np.zeros(evaluator.dataset.n_items, dtype=bool),
+                    deadline_ms=0,
+                )
+        assert counters.get("service_deadline_exceeded") == 1
+        assert counters.get("service_requests") == 0  # never enqueued
+
+    def test_expired_request_never_occupies_a_batch_slot(self, evaluator):
+        # Wedge the worker inside batch 0, let a deadlined request expire in
+        # the queue, then release: the worker must answer it with
+        # DeadlineExceeded without ever handing it to the model.
+        gate = threading.Event()
+        model = _GatedModel(evaluator, {0: gate})
+        counters = EngineCounters()
+        zeros = np.zeros(evaluator.dataset.n_items, dtype=bool)
+        outcome = {}
+        with PredictionService(
+            model, max_batch=1, max_wait_ms=0.0, counters=counters
+        ) as service:
+            wedge = threading.Thread(
+                target=service.classification_values, args=(zeros,)
+            )
+            wedge.start()
+            assert model.started.wait(5.0)
+
+            def call():
+                try:
+                    outcome["value"] = service.classification_values(
+                        zeros, deadline_ms=20.0
+                    )
+                except Exception as exc:
+                    outcome["error"] = exc
+
+            deadlined = threading.Thread(target=call)
+            deadlined.start()
+            time.sleep(0.08)  # let the queued deadline expire
+            gate.set()
+            wedge.join()
+            deadlined.join()
+        assert isinstance(outcome.get("error"), DeadlineExceeded)
+        assert model.calls == 1  # the expired request never reached the model
+        assert counters.get("service_deadline_exceeded") == 1
+
+    def test_default_deadline_applies(self, evaluator):
+        gate = threading.Event()
+        model = _GatedModel(evaluator, {0: gate})
+        zeros = np.zeros(evaluator.dataset.n_items, dtype=bool)
+        errors = []
+        with PredictionService(
+            model,
+            max_batch=1,
+            max_wait_ms=0.0,
+            default_deadline_ms=20.0,
+            counters=EngineCounters(),
+        ) as service:
+            threads = [
+                threading.Thread(
+                    target=lambda: errors.append(
+                        _call_capture(service, zeros)
+                    )
+                )
+                for _ in range(2)
+            ]
+            threads[0].start()
+            assert model.started.wait(5.0)
+            threads[1].start()
+            time.sleep(0.08)
+            gate.set()
+            for t in threads:
+                t.join()
+        # The wedged request was evaluated in time or not — but the queued
+        # one must have hit the service-wide default deadline.
+        assert any(isinstance(e, DeadlineExceeded) for e in errors)
+
+
+def _call_capture(service, query):
+    try:
+        return service.classification_values(query)
+    except Exception as exc:
+        return exc
+
+
+class TestAdmissionControl:
+    def test_shedding_trips_and_readmits(self, evaluator):
+        gate = threading.Event()
+        model = _GatedModel(evaluator, {0: gate})
+        counters = EngineCounters()
+        zeros = np.zeros(evaluator.dataset.n_items, dtype=bool)
+        service = PredictionService(
+            model,
+            max_batch=1,
+            max_wait_ms=0.0,
+            shed_high=2,
+            shed_low=0,
+            counters=counters,
+        )
+        try:
+            threads = [
+                threading.Thread(
+                    target=service.classification_values, args=(zeros,)
+                )
+            ]
+            threads[0].start()
+            assert model.started.wait(5.0)  # worker wedged in batch 0
+            for _ in range(2):  # fill the queue to the high-water mark
+                t = threading.Thread(
+                    target=service.classification_values, args=(zeros,)
+                )
+                t.start()
+                threads.append(t)
+            assert _poll(lambda: service.pending() >= 2)
+            with pytest.raises(ServiceOverloaded):
+                service.classification_values(zeros)
+            assert counters.get("service_shed_trips") == 1
+            assert counters.get("service_shed") == 1
+            assert service.health().shedding
+            gate.set()
+            for t in threads:
+                t.join()
+            assert _poll(lambda: service.pending() == 0)
+            # Hysteresis: once drained to the low-water mark, re-admitted.
+            values = service.classification_values(zeros)
+            assert values.shape == (evaluator.dataset.n_classes,)
+            assert not service.health().shedding
+        finally:
+            gate.set()
+            service.close()
+
+    def test_shed_parameters_validated(self, evaluator):
+        with pytest.raises(ValueError):
+            PredictionService(evaluator, shed_low=1)
+        with pytest.raises(ValueError):
+            PredictionService(evaluator, shed_high=0)
+        with pytest.raises(ValueError):
+            PredictionService(evaluator, shed_high=2, shed_low=2)
+
+
+class TestHealth:
+    def test_ready_service_snapshot(self, evaluator):
+        with PredictionService(evaluator, counters=EngineCounters()) as service:
+            health = service.health()
+            assert health.ready
+            assert health.state == "serving"
+            assert health.breaker == "closed"
+            assert health.worker_alive
+            assert health.worker_restarts == 0
+            assert health.queue_depth == 0
+            assert not health.shedding
+        health = service.health()
+        assert health.state == "closed"
+        assert not health.ready
+
+
+@pytest.mark.faults
+class TestPoisonIsolation:
+    def test_poison_query_fails_alone_batchmates_bit_identical(
+        self, evaluator
+    ):
+        n_items = evaluator.dataset.n_items
+        clean = [np.eye(n_items, dtype=bool)[i % n_items] for i in range(7)]
+        poison = np.ones(n_items, dtype=bool)
+        expected = evaluator.classification_values_batch(clean)
+        flaky = FlakyBatchModel(
+            evaluator, poison=lambda row: bool(np.asarray(row).all())
+        )
+        gate = threading.Event()
+        model = _GatedModel(flaky, {0: gate})
+        counters = EngineCounters()
+        zeros = np.zeros(n_items, dtype=bool)
+        results = {}
+
+        def call(key, query):
+            try:
+                results[key] = service.classification_values(query, timeout=30)
+            except Exception as exc:
+                results[key] = exc
+
+        with PredictionService(
+            model, max_batch=8, max_wait_ms=50.0, counters=counters
+        ) as service:
+            wedge = threading.Thread(target=call, args=("wedge", zeros))
+            wedge.start()
+            assert model.started.wait(5.0)
+            threads = [
+                threading.Thread(target=call, args=(i, q))
+                for i, q in enumerate(clean)
+            ] + [threading.Thread(target=call, args=("poison", poison))]
+            for t in threads:
+                t.start()
+            assert _poll(lambda: service.pending() >= 8)
+            gate.set()
+            wedge.join()
+            for t in threads:
+                t.join()
+        assert isinstance(results["poison"], PoisonQueryError)
+        for i in range(7):
+            assert np.array_equal(results[i], expected[i])  # bit-identical
+        snap = counters.snapshot()
+        assert snap["service_poison_queries"] == 1
+        assert snap["service_bisections"] >= 1
+        assert snap["service_batch_errors"] >= 1
+        # The poisoned batch still produced successes, so no breaker trip.
+        assert snap.get("service_breaker_trips", 0) == 0
+
+
+@pytest.mark.faults
+class TestWorkerSupervision:
+    def test_crash_answers_request_and_restarts(self, evaluator):
+        flaky = FlakyBatchModel(evaluator, faults=[ServiceFault(0, "kill")])
+        counters = EngineCounters()
+        query = np.zeros(evaluator.dataset.n_items, dtype=bool)
+        with PredictionService(
+            flaky,
+            max_wait_ms=0.0,
+            restart_backoff=0.0,
+            breaker_threshold=None,
+            counters=counters,
+        ) as service:
+            with pytest.raises(WorkerCrashed):
+                service.classification_values(query, timeout=30)
+            # The restarted worker serves subsequent traffic.
+            values = service.classification_values(query, timeout=30)
+            assert np.array_equal(
+                values, evaluator.classification_values(query)
+            )
+            health = service.health()
+            assert health.worker_restarts == 1
+            assert health.worker_alive
+        assert counters.get("service_worker_crashes") == 1
+        assert counters.get("service_worker_restarts") == 1
+
+    def test_every_pending_request_answered_exactly_once(self, evaluator):
+        # Kill the worker on its first batch while more requests wait in
+        # the queue: the in-flight batch fails over to WorkerCrashed, the
+        # replacement serves the rest, nothing hangs, nothing doubles.
+        flaky = FlakyBatchModel(evaluator, faults=[ServiceFault(0, "kill")])
+        counters = EngineCounters()
+        n_items = evaluator.dataset.n_items
+        queries = [np.eye(n_items, dtype=bool)[i % n_items] for i in range(6)]
+        expected = evaluator.classification_values_batch(queries)
+        outcomes = [None] * len(queries)
+        barrier = threading.Barrier(len(queries))
+
+        def call(i):
+            barrier.wait()
+            try:
+                outcomes[i] = service.classification_values(
+                    queries[i], timeout=30
+                )
+            except WorkerCrashed as exc:
+                outcomes[i] = exc
+
+        with PredictionService(
+            flaky,
+            max_batch=4,
+            max_wait_ms=20.0,
+            restart_backoff=0.0,
+            breaker_threshold=None,
+            counters=counters,
+        ) as service:
+            threads = [
+                threading.Thread(target=call, args=(i,))
+                for i in range(len(queries))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            crashed = [
+                o for o in outcomes if isinstance(o, WorkerCrashed)
+            ]
+            served = [
+                (i, o)
+                for i, o in enumerate(outcomes)
+                if isinstance(o, np.ndarray)
+            ]
+            assert len(crashed) + len(served) == len(queries)
+            assert len(crashed) >= 1  # the killed batch failed over
+            for i, values in served:
+                assert np.array_equal(values, expected[i])
+            # The replacement keeps serving.
+            follow_up = service.classification_values(queries[0], timeout=30)
+            assert np.array_equal(follow_up, expected[0])
+        assert service.answered == len(queries) + 1
+        assert counters.get("service_worker_restarts") == 1
+
+
+@pytest.mark.faults
+class TestCircuitBreaker:
+    def test_trip_reject_recover(self, evaluator):
+        flaky = FlakyBatchModel(
+            evaluator,
+            faults=[ServiceFault(0, "error"), ServiceFault(1, "error")],
+        )
+        counters = EngineCounters()
+        query = np.zeros(evaluator.dataset.n_items, dtype=bool)
+        with PredictionService(
+            flaky,
+            max_wait_ms=0.0,
+            breaker_threshold=2,
+            breaker_cooldown=0.2,
+            counters=counters,
+        ) as service:
+            for _ in range(2):  # two consecutive failed batches trip it
+                with pytest.raises(Exception, match="injected error"):
+                    service.classification_values(query, timeout=30)
+            assert _poll(lambda: service.health().breaker == "open")
+            with pytest.raises(CircuitOpen) as info:
+                service.classification_values(query)
+            assert info.value.retry_after >= 0.0
+            assert not service.health().ready
+            time.sleep(0.25)  # cooldown passes; next request is the probe
+            values = service.classification_values(query, timeout=30)
+            assert np.array_equal(
+                values, evaluator.classification_values(query)
+            )
+            assert _poll(lambda: service.health().breaker == "closed")
+            # Fully recovered: subsequent traffic is admitted normally.
+            service.classification_values(query, timeout=30)
+        snap = counters.snapshot()
+        assert snap["service_breaker_trips"] == 1
+        assert snap["service_breaker_rejections"] >= 1
+        assert snap["service_breaker_half_opens"] == 1
+        assert snap["service_breaker_closes"] == 1
+
+    def test_failed_probe_reopens(self, evaluator):
+        flaky = FlakyBatchModel(
+            evaluator,
+            faults=[ServiceFault(0, "error"), ServiceFault(1, "error")],
+        )
+        counters = EngineCounters()
+        query = np.zeros(evaluator.dataset.n_items, dtype=bool)
+        with PredictionService(
+            flaky,
+            max_wait_ms=0.0,
+            breaker_threshold=1,
+            breaker_cooldown=0.15,
+            counters=counters,
+        ) as service:
+            with pytest.raises(Exception, match="injected error"):
+                service.classification_values(query, timeout=30)
+            assert _poll(lambda: service.health().breaker == "open")
+            time.sleep(0.2)
+            with pytest.raises(Exception, match="injected error"):
+                service.classification_values(query, timeout=30)  # probe fails
+            assert _poll(lambda: service.health().breaker == "open")
+            with pytest.raises(CircuitOpen):
+                service.classification_values(query)
+            time.sleep(0.2)
+            service.classification_values(query, timeout=30)  # probe succeeds
+            assert _poll(lambda: service.health().breaker == "closed")
+        assert counters.get("service_breaker_reopens") == 1
+        assert counters.get("service_breaker_closes") == 1
+
+
+@pytest.mark.faults
+class TestCloseCrashStress:
+    def test_no_hung_futures_with_crashes_and_close(self, evaluator):
+        # Interleave submissions, injected worker deaths, and close() across
+        # 8 threads.  Every submission must resolve within its timeout to a
+        # value or a typed error — no future may hang.
+        for round_seed in range(3):
+            flaky = FlakyBatchModel(
+                evaluator,
+                faults=[
+                    ServiceFault(1, "kill"),
+                    ServiceFault(3, "kill"),
+                    ServiceFault(6, "kill"),
+                ],
+            )
+            service = PredictionService(
+                flaky,
+                max_batch=4,
+                max_wait_ms=0.5,
+                restart_backoff=0.0,
+                breaker_threshold=None,
+                counters=EngineCounters(),
+            )
+            n_threads, per_thread = 8, 8
+            outcomes = [0] * n_threads
+            start = threading.Barrier(n_threads + 1)
+            rng = np.random.default_rng(round_seed)
+            query = rng.random(evaluator.dataset.n_items) < 0.4
+
+            def call(slot):
+                start.wait()
+                for _ in range(per_thread):
+                    try:
+                        values = service.classification_values(
+                            query, timeout=30
+                        )
+                        assert values.shape == (
+                            evaluator.dataset.n_classes,
+                        )
+                    except (ServiceClosed, WorkerCrashed):
+                        pass
+                    outcomes[slot] += 1
+
+            threads = [
+                threading.Thread(target=call, args=(i,))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            start.wait()
+            time.sleep(0.01)
+            service.close()  # race close against crashes and submissions
+            for t in threads:
+                t.join()
+            assert sum(outcomes) == n_threads * per_thread
+            assert service.health().state == "closed"
 
 
 class TestEvaluatorCacheConcurrency:
