@@ -36,7 +36,7 @@ from repro.datasets.discretize import EntropyDiscretizer
 from repro.datasets.profiles import scaled
 from repro.datasets.splits import given_training_split
 from repro.datasets.synthetic import generate_expression_data
-from repro.serving import PredictionService
+from repro.serving import ModelRegistry, PredictionService, ServeConfig
 
 BENCH_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
@@ -493,11 +493,13 @@ def test_service_threaded_throughput_speedup():
 
     with PredictionService(
         evaluator,
-        max_batch=8,
-        max_wait_ms=1.0,
-        default_deadline_ms=60_000.0,
-        shed_high=4 * n_requests,
-        breaker_threshold=5,
+        ServeConfig(
+            max_batch=8,
+            max_wait_ms=1.0,
+            default_deadline_ms=60_000.0,
+            shed_high=4 * n_requests,
+            breaker_threshold=5,
+        ),
     ) as service:
         threads = [
             threading.Thread(target=caller, args=(i,))
@@ -530,4 +532,131 @@ def test_service_threaded_throughput_speedup():
     if not BENCH_SMOKE:
         assert speedup >= 3.0, (
             f"micro-batched serving only {speedup:.2f}x the serial path"
+        )
+
+
+def test_registry_aggregate_throughput_speedup():
+    """N-model registry vs one service shared across those N models.
+
+    The same offered load — threads pinned to models, every request for a
+    specific model — is pushed through two deployments:
+
+    * **shared**: one ``PredictionService`` fronting a dispatcher that
+      routes each query to its model.  A shared queue cannot coalesce,
+      because one batch would mix rows belonging to different models, so a
+      correct shared service degrades to singleton kernel calls
+      (``max_batch=1``).
+    * **registry**: a ``ModelRegistry`` giving each model its own slot and
+      micro-batch queue, so concurrent callers of the same model coalesce
+      into batched kernel calls again.
+
+    Aggregate registry throughput must be >= 2x the shared service's
+    (relaxed under REPRO_BENCH_SMOKE; the bit-identity check against
+    direct batch evaluation always gates).
+    """
+    n_models = 4
+    if BENCH_SMOKE:
+        n_samples, n_items, per_thread, threads_per_model = 100, 200, 2, 2
+    else:
+        n_samples, n_items, per_thread, threads_per_model = 300, 600, 6, 8
+    datasets = [
+        _serving_dataset(n_samples, n_items, 3, 0.3, seed=20 + i)
+        for i in range(n_models)
+    ]
+    evaluators = [FastBSTCEvaluator(ds) for ds in datasets]
+    rng = np.random.default_rng(21)
+    n_threads = n_models * threads_per_model
+    queries = rng.random((n_threads, per_thread, n_items)) < 0.3
+    for evaluator in evaluators:
+        evaluator.classification_values_batch(queries[0][:2])  # warm up
+
+    class _Dispatcher:
+        """The shared-service model: query rows carry a model-id prefix."""
+
+        dataset = None  # heterogeneous models; no single query shape
+
+        def classification_values_batch(self, rows):
+            out = []
+            for row in rows:
+                model_id = int(row[0])
+                out.append(
+                    evaluators[model_id].classification_values(
+                        np.asarray(row[1:], dtype=bool)
+                    )
+                )
+            return np.stack(out)
+
+    def drive(submit):
+        """Run the pinned-thread load; returns (seconds, results)."""
+        results = [None] * n_threads
+
+        def caller(thread_id):
+            model_id = thread_id % n_models
+            rows = queries[thread_id]
+            results[thread_id] = np.stack(
+                [submit(model_id, row) for row in rows]
+            )
+
+        workers = [
+            threading.Thread(target=caller, args=(i,))
+            for i in range(n_threads)
+        ]
+        start = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        return time.perf_counter() - start, results
+
+    with PredictionService(
+        _Dispatcher(),
+        ServeConfig(max_batch=1, max_wait_ms=0.0, validate_queries=False,
+                    default_deadline_ms=60_000.0),
+    ) as shared:
+
+        def submit_shared(model_id, row):
+            tagged = np.empty(n_items + 1, dtype=np.float64)
+            tagged[0] = model_id
+            tagged[1:] = row
+            return shared.classification_values(tagged)
+
+        shared_seconds, shared_results = drive(submit_shared)
+
+    registry = ModelRegistry(
+        ServeConfig(max_batch=8, max_wait_ms=4.0,
+                    default_deadline_ms=60_000.0)
+    )
+    try:
+        for i, evaluator in enumerate(evaluators):
+            registry.deploy_model(f"m{i}", evaluator)
+        registry_seconds, registry_results = drive(
+            lambda model_id, row: registry.classification_values(
+                f"m{model_id}", row
+            )
+        )
+    finally:
+        registry.close()
+
+    # Correctness gates, never relaxed: both deployments must agree with
+    # direct batch evaluation on every model's own queries.
+    for thread_id in range(n_threads):
+        expected = evaluators[thread_id % n_models].\
+            classification_values_batch(queries[thread_id])
+        assert np.array_equal(registry_results[thread_id], expected)
+        np.testing.assert_allclose(
+            shared_results[thread_id], expected, atol=1e-6
+        )
+
+    n_requests = n_threads * per_thread
+    speedup = shared_seconds / registry_seconds
+    _BENCH_RECORD["registry_aggregate_throughput_speedup"] = speedup
+    print(
+        f"\nmodel registry: {n_requests / registry_seconds:.1f} q/s over"
+        f" {n_models} slots vs {n_requests / shared_seconds:.1f} q/s"
+        f" shared service ({speedup:.1f}x)"
+    )
+    if not BENCH_SMOKE:
+        assert speedup >= 2.0, (
+            f"registry aggregate throughput only {speedup:.2f}x the shared"
+            " single-service path"
         )

@@ -33,8 +33,16 @@ from .core.explain import Explanation, explain_classification
 from .serving import (
     CircuitOpen,
     DeadlineExceeded,
+    GatewayServer,
+    ModelInfo,
+    ModelNotFound,
+    ModelRegistry,
+    NotSupportedError,
     PredictionService,
     QueryError,
+    QuotaExceeded,
+    RegistryHealth,
+    ServeConfig,
     ServiceClosed,
     ServiceError,
     ServiceHealth,
@@ -104,12 +112,19 @@ __all__ = [
     "ExpressionMatrix",
     "FaultPlan",
     "FaultSpec",
+    "GatewayServer",
     "JournalError",
     "MULTICLASS_PROFILE",
+    "ModelInfo",
+    "ModelNotFound",
+    "ModelRegistry",
     "NotFittedError",
+    "NotSupportedError",
     "PAPER_PROFILES",
     "PredictionService",
     "QueryError",
+    "QuotaExceeded",
+    "RegistryHealth",
     "RelationalDataset",
     "ReproError",
     "ResourceExhausted",
@@ -117,6 +132,7 @@ __all__ = [
     "RetryPolicy",
     "RuleBudgetExceeded",
     "RuleGroup",
+    "ServeConfig",
     "ServiceClosed",
     "ServiceError",
     "ServiceHealth",

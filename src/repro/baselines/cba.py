@@ -23,7 +23,11 @@ from typing import AbstractSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.estimator import NotFittedError, predictions_array, warn_deprecated_alias
+from ..core.estimator import (
+    NotFittedError,
+    explain_not_supported,
+    predictions_array,
+)
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
 from ..rules.car import CAR
@@ -180,12 +184,10 @@ class CBAClassifier:
         self._require_fitted()
         return predictions_array(self.predict(q) for q in queries)
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
-        """Deprecated alias of :meth:`predict_batch`."""
-        warn_deprecated_alias("CBAClassifier.predict_many", "predict_batch")
-        return self.predict_batch(queries)
-
-    def predict_dataset(self, dataset: RelationalDataset) -> np.ndarray:
-        """Deprecated alias of :meth:`predict_batch` over ``dataset.samples``."""
-        warn_deprecated_alias("CBAClassifier.predict_dataset", "predict_batch")
-        return self.predict_batch(dataset.samples)
+    def explain(self, query: AbstractSet[int], **kwargs: object) -> None:
+        """CBA reports no rule evidence (Estimator-protocol ``explain``)."""
+        raise explain_not_supported(
+            "CBAClassifier",
+            "per-classification cell-rule evidence is a BSTC feature"
+            " (Section 5.3.2); CBA fires a single ranked rule",
+        )

@@ -13,7 +13,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from ..core.estimator import NotFittedError
+from ..core.estimator import NotFittedError, explain_not_supported
 from .tree import DecisionTree
 
 
@@ -76,6 +76,14 @@ class RandomForestClassifier:
     def classification_values(self, x: np.ndarray) -> np.ndarray:
         """Per-class tree-vote fractions for one feature vector."""
         return self._vote_fractions(np.atleast_2d(np.asarray(x, dtype=np.float64)))[0]
+
+    def explain(self, x: np.ndarray, **kwargs: object) -> None:
+        """Forests report no rule evidence (Estimator-protocol ``explain``)."""
+        raise explain_not_supported(
+            "RandomForestClassifier",
+            "per-classification cell-rule evidence is a BSTC feature"
+            " (Section 5.3.2); forests vote over continuous thresholds",
+        )
 
     def predict(self, X: np.ndarray) -> Union[int, np.ndarray]:
         """Classify features: a 1-D sample returns an ``int`` (the Estimator

@@ -21,7 +21,11 @@ from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.estimator import NotFittedError, predictions_array, warn_deprecated_alias
+from ..core.estimator import (
+    NotFittedError,
+    explain_not_supported,
+    predictions_array,
+)
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
 from .charm import closed_itemsets_of_class
@@ -155,10 +159,13 @@ class IRGClassifier:
         self._require_fitted()
         return predictions_array(self.predict(q) for q in queries)
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
-        """Deprecated alias of :meth:`predict_batch`."""
-        warn_deprecated_alias("IRGClassifier.predict_many", "predict_batch")
-        return self.predict_batch(queries)
+    def explain(self, query: AbstractSet[int], **kwargs: object) -> None:
+        """IRG reports no rule evidence (Estimator-protocol ``explain``)."""
+        raise explain_not_supported(
+            "IRGClassifier",
+            "per-classification cell-rule evidence is a BSTC feature"
+            " (Section 5.3.2); IRG scores interesting rule groups",
+        )
 
     def n_groups(self) -> int:
         return sum(len(v) for v in self._require_fitted().values())

@@ -26,7 +26,11 @@ from typing import AbstractSet, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.estimator import NotFittedError, predictions_array, warn_deprecated_alias
+from ..core.estimator import (
+    NotFittedError,
+    explain_not_supported,
+    predictions_array,
+)
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
 from ..rules.groups import RuleGroup, find_lower_bounds
@@ -219,15 +223,13 @@ class RCBTClassifier:
         self._require_fitted()
         return predictions_array(self.predict(q) for q in queries)
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
-        """Deprecated alias of :meth:`predict_batch`."""
-        warn_deprecated_alias("RCBTClassifier.predict_many", "predict_batch")
-        return self.predict_batch(queries)
-
-    def predict_dataset(self, dataset: RelationalDataset) -> np.ndarray:
-        """Deprecated alias of :meth:`predict_batch` over ``dataset.samples``."""
-        warn_deprecated_alias("RCBTClassifier.predict_dataset", "predict_batch")
-        return self.predict_batch(dataset.samples)
+    def explain(self, query: AbstractSet[int], **kwargs: object) -> None:
+        """RCBT reports no rule evidence (Estimator-protocol ``explain``)."""
+        raise explain_not_supported(
+            "RCBTClassifier",
+            "per-classification cell-rule evidence is a BSTC feature"
+            " (Section 5.3.2); RCBT votes committee rule groups",
+        )
 
     # ------------------------------------------------------------------
     @property

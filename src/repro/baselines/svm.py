@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..core.estimator import NotFittedError
+from ..core.estimator import NotFittedError, explain_not_supported
 
 
 def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
@@ -216,6 +216,14 @@ class SVMClassifier:
         votes = self._votes(np.atleast_2d(np.asarray(x, dtype=np.float64)))[0]
         total = max(1, len(self._machines))
         return votes / total
+
+    def explain(self, x: np.ndarray, **kwargs: object) -> None:
+        """SVMs report no rule evidence (Estimator-protocol ``explain``)."""
+        raise explain_not_supported(
+            "SVMClassifier",
+            "per-classification cell-rule evidence is a BSTC feature"
+            " (Section 5.3.2); SVM margins carry no boolean rules",
+        )
 
     def predict(self, X: np.ndarray) -> Union[int, np.ndarray]:
         """Classify features: a 1-D sample returns an ``int`` (the Estimator

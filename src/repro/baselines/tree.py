@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..core.estimator import NotFittedError
+from ..core.estimator import NotFittedError, explain_not_supported
 
 
 @dataclass
@@ -233,6 +233,14 @@ class DecisionTree:
         probs[node.prediction] = 1.0
         return probs
 
+    def explain(self, x: np.ndarray, **kwargs: object) -> None:
+        """Trees report no rule evidence (Estimator-protocol ``explain``)."""
+        raise explain_not_supported(
+            "DecisionTree",
+            "per-classification cell-rule evidence is a BSTC feature"
+            " (Section 5.3.2); trees split on continuous thresholds",
+        )
+
     def _predict_row(self, row: np.ndarray) -> int:
         node = self._root
         assert node is not None
@@ -302,6 +310,15 @@ class BaggingClassifier:
     def classification_values(self, x: np.ndarray) -> np.ndarray:
         """Per-class tree-vote fractions for one feature vector."""
         return self._vote_fractions(np.atleast_2d(np.asarray(x, dtype=np.float64)))[0]
+
+    def explain(self, x: np.ndarray, **kwargs: object) -> None:
+        """Ensembles report no rule evidence (Estimator-protocol
+        ``explain``)."""
+        raise explain_not_supported(
+            "BaggingClassifier",
+            "per-classification cell-rule evidence is a BSTC feature"
+            " (Section 5.3.2); bagged trees vote over thresholds",
+        )
 
     def predict(self, X: np.ndarray) -> Union[int, np.ndarray]:
         """Classify features: a 1-D sample returns an ``int`` (the Estimator
@@ -373,6 +390,15 @@ class AdaBoostClassifier:
         scores = self._stage_scores(np.atleast_2d(np.asarray(x, dtype=np.float64)))[0]
         total = scores.sum()
         return scores / total if total > 0 else scores
+
+    def explain(self, x: np.ndarray, **kwargs: object) -> None:
+        """Ensembles report no rule evidence (Estimator-protocol
+        ``explain``)."""
+        raise explain_not_supported(
+            "AdaBoostClassifier",
+            "per-classification cell-rule evidence is a BSTC feature"
+            " (Section 5.3.2); boosting weights threshold stumps",
+        )
 
     def predict(self, X: np.ndarray) -> Union[int, np.ndarray]:
         """Classify features: a 1-D sample returns an ``int`` (the Estimator

@@ -13,7 +13,14 @@ Usage::
     python -m repro.cli predict --train train.json --data queries.json \
         --save-artifact model.npz
     python -m repro.cli predict --artifact model.npz --data queries.json
-    python -m repro.cli serve-bench --artifact model.npz --threads 8
+    python -m repro.cli explain --train train.json --data queries.json
+    python -m repro.cli serve --model tumor=model.npz --port 8000
+    python -m repro.cli bench --artifact model.npz --threads 8
+
+The model-serving subcommands mirror the HTTP gateway's verbs —
+``predict``, ``explain``, ``serve`` — and share its error surface: exit
+codes map 1:1 onto the HTTP statuses of :mod:`repro.serving.surface`.
+(``serve-bench`` remains a hidden alias of ``bench``.)
 
 Every command prints the engine counters afterwards: evaluator cache
 hits/misses and entries/capacity, class tables built, batch sizes, serving
@@ -28,7 +35,6 @@ import sys
 from typing import List, Optional
 
 from .core.arithmetization import COMBINERS
-from .core.artifact import ArtifactCorrupt, ArtifactStale
 from .core.bitset import flush_kernel_counters
 from .core.estimator import ENGINES
 from .core.fast import evaluator_cache_info, set_evaluator_cache_size
@@ -36,13 +42,20 @@ from .errors import CircuitOpen, ReproError, ServiceOverloaded
 from .evaluation.timing import engine_counters
 from .experiments.base import ExperimentConfig
 from .experiments.registry import experiment_ids, run_experiment
+from .serving.surface import (
+    EXIT_CORRUPT,
+    EXIT_ERROR,
+    EXIT_OVERLOAD,
+    EXIT_STALE,
+    exit_code,
+)
 
-# Exit codes for the model-serving commands, so scripts and CI can react to
-# the failure class without parsing stderr.
-EXIT_ERROR = 2  #: generic failure (bad arguments, I/O, malformed data)
-EXIT_CORRUPT = 3  #: artifact failed integrity verification (ArtifactCorrupt)
-EXIT_STALE = 4  #: artifact fingerprint mismatch (ArtifactStale)
-EXIT_OVERLOAD = 5  #: service shed load / circuit breaker open
+#: The serving subcommands (one per HTTP verb, plus the benchmark); these
+#: share the surface's exit-code mapping and print the counter dump.
+_SERVING_COMMANDS = ("predict", "explain", "serve", "bench")
+
+#: Old command spellings kept working (hidden — not listed in --help).
+_COMMAND_ALIASES = {"serve-bench": "bench"}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -216,25 +229,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="after fitting, write the compiled model artifact here",
     )
 
-    serve = sub.add_parser(
-        "serve-bench",
+    explain = sub.add_parser(
+        "explain",
         help=(
-            "measure micro-batched serving throughput (PredictionService)"
-            " against serial single-query evaluation"
+            "report the cell rules supporting each classification"
+            " (Section 5.3.2) — needs the training samples, so fit with"
+            " --train (artifact-only models cannot explain)"
         ),
     )
-    serve.add_argument(
-        "--artifact", metavar="PATH", help="compiled .npz model artifact"
-    )
-    serve.add_argument(
-        "--train",
+    explain.add_argument(
+        "--artifact",
         metavar="PATH",
         help=(
-            "relational JSON training dataset to fit on (with --artifact"
-            " and --on-corrupt rebuild: the rebuild source)"
+            "compiled .npz model artifact (explain will be refused: the"
+            " artifact does not carry the training samples)"
         ),
     )
-    serve.add_argument(
+    explain.add_argument(
+        "--train",
+        metavar="PATH",
+        help="relational JSON training dataset to fit on",
+    )
+    explain.add_argument(
         "--on-corrupt",
         choices=("fail", "quarantine", "rebuild"),
         default="quarantine",
@@ -243,41 +259,210 @@ def _build_parser() -> argparse.ArgumentParser:
             " (default: quarantine)"
         ),
     )
+    explain.add_argument(
+        "--data",
+        metavar="PATH",
+        required=True,
+        help="relational JSON file whose samples are the queries",
+    )
+    explain.add_argument(
+        "--arithmetization",
+        choices=sorted(COMBINERS),
+        default="min",
+        help="per-cell combiner when fitting with --train (default: min)",
+    )
+    explain.add_argument(
+        "--min-satisfaction",
+        type=float,
+        default=0.5,
+        help=(
+            "the Section 5.3.2 threshold c: only cell rules at or above"
+            " this satisfaction are reported (default: 0.5)"
+        ),
+    )
+    explain.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap reported rules per query, highest satisfaction first",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the multi-tenant HTTP model gateway (POST"
+            " /v1/models/{name}:predict, :explain, GET /v1/models, /health)"
+        ),
+    )
+    serve.add_argument(
+        "--model",
+        action="append",
+        default=None,
+        metavar="NAME=PATH",
+        help=(
+            "deploy the compiled .npz artifact PATH under NAME (repeat for"
+            " several models)"
+        ),
+    )
+    serve.add_argument(
+        "--artifact",
+        metavar="PATH",
+        help="shorthand for --model default=PATH",
+    )
+    serve.add_argument(
+        "--train",
+        metavar="PATH",
+        help=(
+            "fit on this relational JSON training dataset and deploy the"
+            " fitted (explain-capable) model under --name"
+        ),
+    )
+    serve.add_argument(
+        "--name",
+        default="default",
+        help="slot name for the --train deployment (default: default)",
+    )
     serve.add_argument(
         "--arithmetization",
         choices=sorted(COMBINERS),
         default="min",
         help="per-cell combiner when fitting with --train (default: min)",
     )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
-        "--threads", type=int, default=8, help="concurrent callers (default: 8)"
+        "--port",
+        type=int,
+        default=8000,
+        help="bind port (0 picks an ephemeral port; default: 8000)",
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "per-slot multi-process evaluation pool size for artifact"
+            " deployments (0 = in-process; the memmapped artifact shares"
+            " table pages across workers)"
+        ),
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        help=(
+            "max in-flight requests per named tenant across the registry"
+            " (default: no quota)"
+        ),
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="largest coalesced kernel batch per slot (default: 32)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long an open batch waits for stragglers (default: 2.0)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline (default: none)",
+    )
+    serve.add_argument(
+        "--shed-high",
+        type=int,
+        default=None,
+        help="queue depth that trips load shedding (default: disabled)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help=(
+            "measure micro-batched serving throughput (PredictionService)"
+            " against serial single-query evaluation"
+        ),
+    )
+    bench.add_argument(
+        "--artifact", metavar="PATH", help="compiled .npz model artifact"
+    )
+    bench.add_argument(
+        "--train",
+        metavar="PATH",
+        help=(
+            "relational JSON training dataset to fit on (with --artifact"
+            " and --on-corrupt rebuild: the rebuild source)"
+        ),
+    )
+    bench.add_argument(
+        "--on-corrupt",
+        choices=("fail", "quarantine", "rebuild"),
+        default="quarantine",
+        help=(
+            "what to do when the artifact fails integrity verification"
+            " (default: quarantine)"
+        ),
+    )
+    bench.add_argument(
+        "--arithmetization",
+        choices=sorted(COMBINERS),
+        default="min",
+        help="per-cell combiner when fitting with --train (default: min)",
+    )
+    bench.add_argument(
+        "--threads", type=int, default=8, help="concurrent callers (default: 8)"
+    )
+    bench.add_argument(
         "--requests",
         type=int,
         default=64,
         help="total prediction requests (default: 64)",
     )
-    serve.add_argument(
+    bench.add_argument(
         "--max-batch",
         type=int,
         default=8,
         help="largest coalesced kernel batch (default: 8)",
     )
-    serve.add_argument(
+    bench.add_argument(
         "--max-wait-ms",
         type=float,
         default=1.0,
         help="how long an open batch waits for stragglers (default: 1.0)",
     )
-    serve.add_argument(
+    bench.add_argument(
         "--query-items",
         type=int,
         default=None,
         help="expressed items per synthetic query (default: n_items/20)",
     )
-    serve.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--seed", type=int, default=1)
     return parser
+
+
+def _canonical_argv(argv: List[str]) -> List[str]:
+    """Map hidden legacy command spellings onto their canonical names.
+
+    Only the token in command position is rewritten; flags (and the value
+    of the one top-level option that takes one) are skipped, so file
+    arguments that happen to match an alias are never touched.
+    """
+    argv = list(argv)
+    i = 0
+    while i < len(argv):
+        token = argv[i]
+        if token == "--evaluator-cache-size":
+            i += 2
+            continue
+        if token.startswith("-"):
+            i += 1
+            continue
+        argv[i] = _COMMAND_ALIASES.get(token, token)
+        break
+    return argv
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -313,8 +498,8 @@ def _print_counters() -> None:
 
 
 def _load_model(args: argparse.Namespace):
-    """The classifier behind ``predict``/``serve-bench``: loaded from a
-    compiled artifact, or fitted on --train data.
+    """The classifier behind ``predict``/``explain``/``bench``: loaded from
+    a compiled artifact, or fitted on --train data.
 
     ``--artifact`` and ``--train`` are exclusive unless ``--on-corrupt
     rebuild`` asks for the refit fallback, which needs both.
@@ -369,13 +554,114 @@ def _run_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_explain(args: argparse.Namespace) -> int:
+    from .datasets.io import load_relational_json
+    from .rules.boolexpr import pretty
+
+    clf = _load_model(args)
+    data = load_relational_json(args.data)
+    if data.n_items != clf.dataset.n_items:
+        print(
+            f"error: query data has {data.n_items} items but the model was"
+            f" trained on {clf.dataset.n_items}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    class_names = clf.dataset.class_names
+    item_names = clf.dataset.item_names
+    for i, row in enumerate(data.bool_matrix):
+        explanation = clf.explain(
+            row, min_satisfaction=args.min_satisfaction, limit=args.limit
+        )
+        name = (
+            data.sample_names[i] if data.sample_names is not None else f"q{i}"
+        )
+        values = ", ".join(f"{v:.4f}" for v in explanation.class_values)
+        print(
+            f"{name}\t{class_names[explanation.predicted]}"
+            f"\t(class values: {values})"
+        )
+        for e in explanation.evidence:
+            print(
+                f"  [{e.satisfaction:.3f}] {item_names[e.gene]}:"
+                f" {pretty(e.rule, item_names)}"
+            )
+    return 0
+
+
+def _parse_model_specs(args: argparse.Namespace) -> List[tuple]:
+    """``--model NAME=PATH`` (repeated) plus the ``--artifact`` shorthand."""
+    specs: List[tuple] = []
+    for spec in args.model or ():
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ValueError(
+                f"--model expects NAME=PATH, got {spec!r}"
+            )
+        specs.append((name, path))
+    if args.artifact:
+        specs.append(("default", args.artifact))
+    return specs
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .serving import GatewayServer, ModelRegistry, ServeConfig
+
+    specs = _parse_model_specs(args)
+    if not specs and not args.train:
+        raise ValueError(
+            "nothing to serve: pass --model NAME=PATH, --artifact PATH,"
+            " or --train PATH"
+        )
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        default_deadline_ms=args.deadline_ms,
+        shed_high=args.shed_high,
+        workers=args.workers,
+    )
+    registry = ModelRegistry(config, tenant_quota=args.tenant_quota)
+    try:
+        for name, path in specs:
+            info = registry.deploy(name, path)
+            print(
+                f"deployed {info.name} v{info.version}"
+                f" ({info.n_classes} classes, {info.n_items} items,"
+                f" workers={info.workers})"
+            )
+        if args.train:
+            from .core.classifier import BSTClassifier
+            from .datasets.io import load_relational_json
+
+            dataset = load_relational_json(args.train)
+            clf = BSTClassifier(arithmetization=args.arithmetization).fit(
+                dataset
+            )
+            info = registry.deploy_model(args.name, clf)
+            print(
+                f"deployed {info.name} v{info.version} (fitted in-memory,"
+                " explain-capable)"
+            )
+        gateway = GatewayServer(registry, args.host, args.port)
+        print(f"gateway listening on {gateway.url}")
+        try:
+            gateway.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        finally:
+            gateway.close()
+    finally:
+        registry.close()
+    return 0
+
+
 def _run_serve_bench(args: argparse.Namespace) -> int:
     import threading
     import time
 
     import numpy as np
 
-    from .serving import PredictionService, ServiceError
+    from .serving import PredictionService, ServeConfig, ServiceError
 
     clf = _load_model(args)
     n_items = clf.dataset.n_items
@@ -397,7 +683,8 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     outcomes = {"ok": 0, "rejected": 0}
     last_rejection: List[ServiceError] = []
     with PredictionService(
-        clf, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+        clf,
+        ServeConfig(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms),
     ) as service:
 
         def caller(thread_id: int) -> None:
@@ -461,7 +748,9 @@ def _run_demo() -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = _build_parser().parse_args(_canonical_argv(argv))
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
@@ -474,23 +763,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    if args.command in ("predict", "serve-bench"):
+    if args.command in _SERVING_COMMANDS:
         engine_counters.reset()
-        handler = _run_predict if args.command == "predict" else _run_serve_bench
+        handler = {
+            "predict": _run_predict,
+            "explain": _run_explain,
+            "serve": _run_serve,
+            "bench": _run_serve_bench,
+        }[args.command]
         try:
             code = handler(args)
-        except ArtifactCorrupt as exc:
+        except ReproError as exc:
+            # One error surface: the exception class decides the exit code
+            # exactly as it decides the gateway's HTTP status.
             print(f"error: {exc}", file=sys.stderr)
             _print_counters()
-            return EXIT_CORRUPT
-        except ArtifactStale as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return EXIT_STALE
-        except (ServiceOverloaded, CircuitOpen) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            _print_counters()
-            return EXIT_OVERLOAD
-        except (ReproError, OSError, ValueError) as exc:
+            return exit_code(exc)
+        except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_ERROR
         _print_counters()

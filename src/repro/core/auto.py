@@ -18,7 +18,7 @@ import numpy as np
 
 from ..datasets.dataset import RelationalDataset
 from .arithmetization import classification_confidence
-from .estimator import NotFittedError, predictions_array, warn_deprecated_alias
+from .estimator import NotFittedError, explain_not_supported, predictions_array
 from .fast import FastBSTCEvaluator, Query, get_evaluator
 
 
@@ -84,7 +84,11 @@ class AutoBSTClassifier:
         self._require_fitted()
         return predictions_array(self.predict(q) for q in queries)
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
-        """Deprecated alias of :meth:`predict_batch`."""
-        warn_deprecated_alias("AutoBSTClassifier.predict_many", "predict_batch")
-        return self.predict_batch(queries)
+    def explain(self, query: Query, **kwargs: object) -> None:
+        """Arithmetization selection breaks per-rule evidence (protocol
+        ``explain``): the winning variant's values are not Algorithm 5's."""
+        raise explain_not_supported(
+            "AutoBSTClassifier",
+            "explanations assume the min arithmetization (Algorithm 5);"
+            " fit a plain BSTClassifier to explain classifications",
+        )

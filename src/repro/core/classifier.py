@@ -24,11 +24,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import (
     AbstractSet,
-    Iterable,
     List,
     Optional,
     Sequence,
     Tuple,
+    TYPE_CHECKING,
     Union,
 )
 
@@ -39,8 +39,11 @@ from ..evaluation.timing import engine_counters
 from ..datasets.dataset import RelationalDataset
 from .arithmetization import classification_confidence, get_combiner
 from .bstce import bstce
-from .estimator import NotFittedError, resolve_engine, warn_deprecated_alias
+from .estimator import NotFittedError, explain_not_supported, resolve_engine
 from .fast import FastBSTCEvaluator, Query, get_evaluator, register_evaluator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .explain import Explanation
 
 __all__ = ["BSTClassifier", "NotFittedError"]
 
@@ -237,27 +240,52 @@ class BSTClassifier:
             return np.zeros(0, dtype=np.int64)
         return np.argmax(values, axis=1).astype(np.int64)
 
-    def predict_many(self, queries: Iterable[Query]) -> np.ndarray:
-        """Deprecated alias of :meth:`predict_batch`."""
-        warn_deprecated_alias("BSTClassifier.predict_many", "predict_batch")
-        return self.predict_batch(list(queries))
-
-    def predict_dataset(self, dataset: RelationalDataset) -> np.ndarray:
-        """Deprecated: classify every sample of a test dataset sharing this
-        classifier's item vocabulary (labels in ``dataset`` are ignored).
-        Use :meth:`predict_batch` with ``dataset.samples``."""
-        warn_deprecated_alias("BSTClassifier.predict_dataset", "predict_batch")
-        if dataset.n_items != self.dataset.n_items:
-            raise ValueError(
-                "test dataset item vocabulary differs from training"
-            )
-        return self.predict_batch(dataset.bool_matrix)
-
     def predict_with_confidence(self, query: Query) -> Tuple[int, float]:
         """Prediction plus the Section 8 confidence measure (the normalized
         gap between the best and second-best class values)."""
         values = self.classification_values(query)
         return int(np.argmax(values)), classification_confidence(values.tolist())
+
+    # ------------------------------------------------------------------
+    # Explanation
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: Query,
+        *,
+        min_satisfaction: float = 0.5,
+        class_id: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> "Explanation":
+        """The cell rules supporting this classification (Section 5.3.2).
+
+        Protocol form of :func:`repro.core.explain.explain_classification`.
+        Needs the explicit per-class BSTs, which require the training
+        samples: an artifact-loaded classifier (whose ``dataset`` is a
+        summary, not the samples) raises
+        :class:`~repro.errors.NotSupportedError` — refit on the training
+        data to explain.
+        """
+        if self._dataset is None:
+            raise NotFittedError("call fit() before using the classifier")
+        if self._bsts is None and not isinstance(
+            self._dataset, RelationalDataset
+        ):
+            raise explain_not_supported(
+                "BSTClassifier",
+                "this model was loaded from a compiled artifact, which"
+                " does not carry the training samples the explicit BSTs"
+                " are built from; refit on the training dataset to explain",
+            )
+        from .explain import explain_classification
+
+        return explain_classification(
+            self,
+            self._as_set(query),
+            min_satisfaction=min_satisfaction,
+            class_id=class_id,
+            limit=limit,
+        )
 
     # ------------------------------------------------------------------
     def _as_set(self, query: Query) -> AbstractSet[int]:

@@ -11,6 +11,12 @@ baselines — conforms to one structural :class:`Estimator` protocol:
 * ``classification_values(sample)`` returns the per-class score vector the
   prediction argmaxes over (BSTCE values, vote fractions, rule
   confidences, ... depending on the model);
+* ``explain(sample)`` reports the rule evidence behind a classification —
+  BSTC returns a :class:`repro.core.explain.Explanation`; models with no
+  rule evidence to show (the continuous-feature baselines, artifact-loaded
+  models without their training samples) raise the typed
+  :class:`repro.errors.NotSupportedError` instead of ``AttributeError``,
+  so callers can branch on capability uniformly;
 * using any of these before ``fit`` raises :class:`NotFittedError`.
 
 Set-based classifiers take item-set queries (``AbstractSet[int]`` or boolean
@@ -26,10 +32,11 @@ the identical error message.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Iterable, Protocol, Tuple, runtime_checkable
 
 import numpy as np
+
+from ..errors import NotSupportedError
 
 #: The interchangeable BSTCE evaluation engines.
 ENGINES: Tuple[str, ...] = ("fast", "reference")
@@ -65,16 +72,20 @@ class Estimator(Protocol):
 
     def classification_values(self, sample: Any) -> np.ndarray: ...
 
+    def explain(self, sample: Any, **kwargs: Any) -> Any: ...
+
 
 def predictions_array(labels: Iterable[int]) -> np.ndarray:
     """Normalize an iterable of predicted labels to the protocol's dtype."""
     return np.asarray(list(labels), dtype=np.int64)
 
 
-def warn_deprecated_alias(old: str, new: str) -> None:
-    """Emit the shared deprecation warning for legacy prediction aliases."""
-    warnings.warn(
-        f"{old} is deprecated; use {new} (returns an np.ndarray)",
-        DeprecationWarning,
-        stacklevel=3,
+def explain_not_supported(owner: str, why: str) -> "NotSupportedError":
+    """The shared ``explain`` refusal, so every model words it identically.
+
+    Returns the exception (callers ``raise explain_not_supported(...)``), so
+    tracebacks point at the refusing method, not this helper.
+    """
+    return NotSupportedError(
+        f"{owner}.explain is not supported: {why}"
     )

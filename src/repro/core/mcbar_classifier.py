@@ -36,7 +36,7 @@ from ..bst.row_bar import StructuredBAR
 from ..bst.table import BST, build_all_bsts
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import Budget
-from .estimator import NotFittedError, predictions_array, warn_deprecated_alias
+from .estimator import NotFittedError, explain_not_supported, predictions_array
 
 
 def rule_satisfaction(
@@ -126,10 +126,13 @@ class MCBARClassifier:
         self._require_fitted()
         return predictions_array(self.predict(q) for q in queries)
 
-    def predict_many(self, queries: Sequence[AbstractSet[int]]) -> np.ndarray:
-        """Deprecated alias of :meth:`predict_batch`."""
-        warn_deprecated_alias("MCBARClassifier.predict_many", "predict_batch")
-        return self.predict_batch(queries)
+    def explain(self, query: AbstractSet[int], **kwargs: object) -> None:
+        """(MC)²BAR reports no cell-rule evidence (protocol ``explain``)."""
+        raise explain_not_supported(
+            "MCBARClassifier",
+            "per-classification cell-rule evidence is a BSTC feature"
+            " (Section 5.3.2); (MC)²BAR scores mined boolean rules",
+        )
 
     def n_rules(self) -> int:
         _, rules = self._require_fitted()

@@ -118,6 +118,10 @@ def load_relational_json(path: PathLike) -> RelationalDataset:
         labels = tuple(payload["labels"])
     except KeyError as exc:
         raise DatasetError(f"{path}: missing field {exc}") from exc
+    except TypeError as exc:
+        raise DatasetError(
+            f"{path}: not a relational dataset object ({exc})"
+        ) from exc
     duplicates = [name for name, n in Counter(item_names).items() if n > 1]
     if duplicates:
         raise DatasetError(

@@ -173,3 +173,53 @@ class QueryError(ReproError, ValueError):
     Raised by the service *before* the query reaches the worker, so a
     malformed request can never poison the batch it would have joined.
     """
+
+
+class NotSupportedError(ReproError, NotImplementedError):
+    """The estimator does not implement this optional protocol operation.
+
+    The :class:`~repro.core.estimator.Estimator` protocol makes ``explain``
+    a uniform method, but only rule-structured models can justify their
+    predictions; baselines (and artifact-loaded models without their
+    training samples) raise this instead of guessing.  The serving surface
+    maps it to HTTP 501.
+    """
+
+
+# ----------------------------------------------------------------------
+# Model registry (multi-tenant gateway)
+# ----------------------------------------------------------------------
+
+
+class ModelNotFound(ReproError, KeyError):
+    """No model is deployed under the requested registry name."""
+
+    def __init__(self, name: str, available: "tuple" = ()):
+        detail = f"no model deployed under {name!r}"
+        if available:
+            detail += f" (deployed: {', '.join(sorted(available))})"
+        # KeyError quotes its lone arg on str(); go through Exception to
+        # keep the rendered message readable in HTTP bodies and CLI output.
+        Exception.__init__(self, detail)
+        self.name = name
+        self.available = tuple(available)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+class QuotaExceeded(ServiceError):
+    """A tenant exhausted its per-tenant in-flight request quota.
+
+    The registry sheds the request instead of letting one tenant starve
+    the others; the per-model service queue never sees it.  Retry later.
+    """
+
+    def __init__(self, tenant: str, in_flight: int, quota: int):
+        super().__init__(
+            f"tenant {tenant!r} has {in_flight} requests in flight"
+            f" (quota {quota}); retry later"
+        )
+        self.tenant = tenant
+        self.in_flight = in_flight
+        self.quota = quota

@@ -1,14 +1,38 @@
-"""Serving layer: compiled model artifacts + the micro-batching service.
+"""Serving layer: artifacts, micro-batch services, and the model gateway.
 
-The production-facing composition of the repository's fast pieces:
-:func:`repro.core.artifact.load_artifact` restores a fitted evaluator with
-zero table rebuild, and :class:`PredictionService` multiplexes concurrent
-single-query callers onto the batched BSTCE kernel — with per-request
-deadlines, load shedding, poison-query isolation, supervised worker
-restarts, and a circuit breaker.  See ``docs/SERVING.md`` for the artifact
-format, the micro-batching knobs, and the failure-mode matrix.
+The production-facing composition of the repository's fast pieces, bottom
+up:
+
+* :func:`repro.core.artifact.load_artifact` restores a fitted evaluator
+  with zero table rebuild (memmapped, integrity-verified);
+* :class:`PredictionService` multiplexes concurrent single-query callers
+  onto the batched BSTCE kernel — per-request deadlines, load shedding,
+  poison-query isolation, supervised worker restarts, circuit breaker —
+  configured by one validated :class:`ServeConfig`;
+* :class:`ModelRegistry` serves many named models concurrently, each slot
+  its own service queue, with zero-downtime hot swap
+  (:meth:`~repro.serving.registry.ModelRegistry.deploy`), per-tenant
+  quotas, and an optional per-slot multi-process worker pool sharing the
+  memmapped tables;
+* :class:`GatewayServer` puts a stdlib HTTP front end on the registry
+  (``POST /v1/models/{name}:predict`` / ``:explain``, ``GET /v1/models``,
+  ``GET /health``) — ``python -m repro.cli serve`` from the command line.
+
+Failures surface uniformly: one table in :mod:`repro.serving.surface`
+maps every serving exception onto its HTTP status and CLI exit code.
+
+See ``docs/SERVING.md`` for the artifact format and service internals and
+``docs/GATEWAY.md`` for the gateway API, tenancy, and swap semantics.
 """
 
+from ..errors import (
+    ModelNotFound,
+    NotSupportedError,
+    QuotaExceeded,
+)
+from .config import ServeConfig
+from .http import GatewayServer
+from .registry import ModelInfo, ModelRegistry, RegistryHealth
 from .service import (
     CircuitOpen,
     DeadlineExceeded,
@@ -19,14 +43,40 @@ from .service import (
     ServiceHealth,
     ServiceOverloaded,
 )
+from .surface import (
+    ERROR_SURFACE,
+    EXIT_CORRUPT,
+    EXIT_ERROR,
+    EXIT_OVERLOAD,
+    EXIT_STALE,
+    error_body,
+    exit_code,
+    http_status,
+)
 
 __all__ = [
     "CircuitOpen",
     "DeadlineExceeded",
+    "ERROR_SURFACE",
+    "EXIT_CORRUPT",
+    "EXIT_ERROR",
+    "EXIT_OVERLOAD",
+    "EXIT_STALE",
+    "GatewayServer",
+    "ModelInfo",
+    "ModelNotFound",
+    "ModelRegistry",
+    "NotSupportedError",
     "PredictionService",
     "QueryError",
+    "QuotaExceeded",
+    "RegistryHealth",
+    "ServeConfig",
     "ServiceClosed",
     "ServiceError",
     "ServiceHealth",
     "ServiceOverloaded",
+    "error_body",
+    "exit_code",
+    "http_status",
 ]

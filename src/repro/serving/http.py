@@ -1,0 +1,387 @@
+"""A stdlib HTTP front end for the model registry.
+
+:class:`GatewayServer` wraps a :class:`~repro.serving.registry.ModelRegistry`
+in a :class:`http.server.ThreadingHTTPServer` — no third-party web stack,
+one connection thread per client, every request funnelled through the
+registry's admission (tenant quotas) and each slot's micro-batch queue.
+Because the service coalesces concurrent callers into batched kernel calls,
+the thread-per-connection model is exactly what the batcher wants: many
+blocked submitter threads, one hot worker per slot.
+
+Endpoints (all JSON)::
+
+    GET  /health                       registry + per-model readiness
+    GET  /v1/models                    deployed model metadata
+    GET  /v1/models/{name}             one model's metadata
+    POST /v1/models/{name}:predict     {"vector": [...]} or {"items": [...]}
+    POST /v1/models/{name}:explain     same query + explanation knobs
+
+Request bodies may carry ``tenant`` (quota accounting) and ``deadline_ms``
+(per-request staleness bound); ``:explain`` adds ``min_satisfaction``,
+``class_id`` and ``limit``.  Failures map onto the shared error surface of
+:mod:`repro.serving.surface`: the body is :func:`~repro.serving.surface.
+error_body`, the status :func:`~repro.serving.surface.http_status`, and a
+``Retry-After`` header rides along when the breaker knows its cooldown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+import numpy as np
+
+from ..errors import QueryError, ReproError
+from ..rules.boolexpr import pretty
+from .registry import ModelInfo, ModelRegistry
+from .surface import error_body, http_status
+
+__all__ = ["GatewayServer"]
+
+_JSON = "application/json"
+
+
+def _model_info_json(info: ModelInfo) -> Dict[str, Any]:
+    return {
+        "name": info.name,
+        "version": info.version,
+        "fingerprint": info.fingerprint,
+        "n_items": info.n_items,
+        "n_classes": info.n_classes,
+        "class_names": list(info.class_names),
+        "artifact_path": info.artifact_path,
+        "workers": info.workers,
+        "supports_explain": info.supports_explain,
+    }
+
+
+def _parse_query(body: Dict[str, Any]) -> Any:
+    """The query payload: ``vector`` (dense) xor ``items`` (sparse ids)."""
+    has_vector = "vector" in body
+    has_items = "items" in body
+    if has_vector == has_items:
+        raise QueryError(
+            "request body must carry exactly one of 'vector' (dense"
+            " indicator list) or 'items' (expressed item ids)"
+        )
+    if has_vector:
+        vector = body["vector"]
+        if not isinstance(vector, list):
+            raise QueryError("'vector' must be a JSON array of numbers")
+        try:
+            return np.asarray(vector, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise QueryError(f"'vector' is not numeric: {exc}") from exc
+    items = body["items"]
+    if not isinstance(items, list):
+        raise QueryError("'items' must be a JSON array of item ids")
+    try:
+        return frozenset(int(i) for i in items)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"'items' entries must be integers: {exc}") from exc
+
+
+def _optional_number(
+    body: Dict[str, Any], key: str, kind: type = float
+) -> Optional[Any]:
+    value = body.get(key)
+    if value is None:
+        return None
+    try:
+        return kind(value)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"{key!r} must be a number: {exc}") from exc
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """One request; the registry hangs off the server object."""
+
+    server_version = "repro-gateway"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> ModelRegistry:
+        return self.server.registry  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Observability flows through the shared counters, not stderr.
+        pass
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", _JSON)
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, error: BaseException) -> None:
+        headers: Tuple[Tuple[str, str], ...] = ()
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is not None:
+            headers = (("Retry-After", f"{float(retry_after):.3f}"),)
+        self._send_json(http_status(error), error_body(error), headers)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise QueryError("request body must be a JSON object")
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise QueryError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise QueryError("request body must be a JSON object")
+        return body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            path = urlparse(self.path).path
+            if path == "/health":
+                return self._get_health()
+            if path == "/v1/models":
+                return self._get_models()
+            if path.startswith("/v1/models/"):
+                return self._get_model(path[len("/v1/models/") :])
+            self._send_json(404, {"error": {
+                "type": "NotFound",
+                "message": f"no route for GET {path}",
+                "status": 404,
+            }})
+        except Exception as exc:  # pragma: no cover - defensive envelope
+            self._send_error_json(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            path = urlparse(self.path).path
+            if path.startswith("/v1/models/") and ":" in path:
+                name, _, verb = path[len("/v1/models/") :].rpartition(":")
+                if verb == "predict":
+                    return self._post_predict(name)
+                if verb == "explain":
+                    return self._post_explain(name)
+            self._send_json(404, {"error": {
+                "type": "NotFound",
+                "message": f"no route for POST {path}",
+                "status": 404,
+            }})
+        except Exception as exc:
+            self._send_error_json(exc)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _get_health(self) -> None:
+        health = self.registry.health()
+        payload = {
+            "state": health.state,
+            "ready": health.ready,
+            "tenants_in_flight": health.tenants_in_flight,
+            "models": {
+                name: {
+                    "state": h.state,
+                    "ready": h.ready,
+                    "breaker": h.breaker,
+                    "queue_depth": h.queue_depth,
+                    "worker_alive": h.worker_alive,
+                    "worker_restarts": h.worker_restarts,
+                    "shedding": h.shedding,
+                    "answered": h.answered,
+                }
+                for name, h in health.models.items()
+            },
+        }
+        self._send_json(200 if health.ready else 503, payload)
+
+    def _get_models(self) -> None:
+        self._send_json(
+            200,
+            {"models": [_model_info_json(m) for m in self.registry.models()]},
+        )
+
+    def _get_model(self, name: str) -> None:
+        try:
+            info = self.registry.model_info(name)
+        except ReproError as exc:
+            return self._send_error_json(exc)
+        self._send_json(200, _model_info_json(info))
+
+    def _post_predict(self, name: str) -> None:
+        try:
+            body = self._read_body()
+            query = _parse_query(body)
+            tenant = body.get("tenant")
+            deadline_ms = _optional_number(body, "deadline_ms")
+            values = self.registry.classification_values(
+                name, query, tenant=tenant, deadline_ms=deadline_ms
+            )
+        except ReproError as exc:
+            return self._send_error_json(exc)
+        info = self.registry.model_info(name)
+        label = int(np.argmax(values))
+        self._send_json(
+            200,
+            {
+                "model": info.name,
+                "version": info.version,
+                "prediction": label,
+                "class_name": (
+                    info.class_names[label]
+                    if label < len(info.class_names)
+                    else str(label)
+                ),
+                "values": [float(v) for v in values],
+            },
+        )
+
+    def _post_explain(self, name: str) -> None:
+        try:
+            body = self._read_body()
+            query = _parse_query(body)
+            tenant = body.get("tenant")
+            kwargs: Dict[str, Any] = {}
+            min_satisfaction = _optional_number(body, "min_satisfaction")
+            if min_satisfaction is not None:
+                kwargs["min_satisfaction"] = min_satisfaction
+            class_id = _optional_number(body, "class_id", int)
+            if class_id is not None:
+                kwargs["class_id"] = class_id
+            limit = _optional_number(body, "limit", int)
+            if limit is not None:
+                kwargs["limit"] = limit
+            explanation = self.registry.explain(
+                name, query, tenant=tenant, **kwargs
+            )
+        except ReproError as exc:
+            return self._send_error_json(exc)
+        info = self.registry.model_info(name)
+        item_names = self.registry.item_names(name)
+        names = list(item_names) if item_names else None
+        self._send_json(
+            200,
+            {
+                "model": info.name,
+                "version": info.version,
+                "prediction": explanation.predicted,
+                "class_name": (
+                    info.class_names[explanation.predicted]
+                    if explanation.predicted < len(info.class_names)
+                    else str(explanation.predicted)
+                ),
+                "class_values": list(explanation.class_values),
+                "evidence": [
+                    {
+                        "gene": e.gene,
+                        "gene_name": (
+                            names[e.gene]
+                            if names and e.gene < len(names)
+                            else str(e.gene)
+                        ),
+                        "sample": e.sample,
+                        "satisfaction": e.satisfaction,
+                        "rule": pretty(e.rule, names),
+                    }
+                    for e in explanation.evidence
+                ],
+            },
+        )
+
+
+class GatewayServer:
+    """The multi-tenant HTTP gateway over a model registry.
+
+    Args:
+        registry: the :class:`~repro.serving.registry.ModelRegistry` to
+            front (the caller keeps ownership — closing the gateway does
+            not close the registry).
+        host: bind address (default loopback).
+        port: bind port (default 0 = ephemeral; read :attr:`port` after
+            construction).
+
+    ``start()`` serves on a daemon thread (tests, embedding);
+    ``serve_forever()`` serves on the calling thread (the CLI).  Usable as
+    a context manager.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._registry = registry
+        self._server = ThreadingHTTPServer((host, port), _GatewayHandler)
+        self._server.registry = registry  # type: ignore[attr-defined]
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._served = False  # BaseServer.shutdown hangs unless it ran
+
+    @property
+    def registry(self) -> ModelRegistry:
+        return self._registry
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "GatewayServer":
+        """Serve on a background daemon thread; returns immediately."""
+        if self._thread is None:
+            self._served = True
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="gateway-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (the CLI path)."""
+        self._served = True
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting connections and release the socket.  Idempotent.
+
+        The registry is left serving — gateways are disposable, models are
+        not."""
+        if self._served:
+            # shutdown() blocks on serve_forever's exit handshake and would
+            # hang forever on a server that never served.
+            self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

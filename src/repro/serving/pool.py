@@ -1,0 +1,144 @@
+"""Optional multi-process evaluation behind a registry model slot.
+
+One :class:`~repro.serving.service.PredictionService` worker thread can
+push the batched BSTCE kernel hard, but a single process still serializes
+the pure-python batch plumbing on the GIL.  The memmapped artifact format
+makes the escape cheap: every worker process ``load_artifact``'s the same
+``.npz`` and the OS page cache backs all of them with **one** physical
+copy of the tables, so an N-process pool costs N × (a zip directory parse)
+of memory, not N × (the model).
+
+:class:`ProcessPoolModel` looks like any other model to the service —
+``dataset`` plus ``classification_values_batch`` — but splits each batch
+into contiguous chunks and evaluates them on the pool.  Row order is
+preserved, so served values are bit-identical to the in-process path
+(each row is computed by the same kernel on the same mapped bytes).
+
+The pool is best-effort by design: platforms without working process
+pools (no ``sem_open``, restricted sandboxes) silently degrade to the
+in-process evaluator, which is always constructed first and also serves
+as the metadata source and the small-batch fast path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..evaluation.timing import engine_counters
+
+__all__ = ["ProcessPoolModel"]
+
+#: Batches at or below this many rows skip the pool: chunk pickling and
+#: result marshalling would cost more than the GIL they save.
+_MIN_POOL_BATCH = 4
+
+#: Per-process evaluator, loaded once by the pool initializer.
+_WORKER_EVALUATOR: Optional[Any] = None
+
+
+def _pool_initializer(artifact_path: str) -> None:
+    """Load the artifact inside the worker process.
+
+    ``verify="off"``: the registry verified the artifact eagerly before the
+    slot flipped, and the memmap load means these pages are the *same*
+    physical bytes the parent verified.
+    """
+    global _WORKER_EVALUATOR
+    from ..core.artifact import load_artifact
+
+    _WORKER_EVALUATOR = load_artifact(
+        artifact_path, mmap=True, verify="off", on_corrupt="fail"
+    )
+
+
+def _pool_evaluate(chunk: Any) -> np.ndarray:
+    assert _WORKER_EVALUATOR is not None, "pool initializer did not run"
+    return np.asarray(_WORKER_EVALUATOR.classification_values_batch(chunk))
+
+
+class ProcessPoolModel:
+    """Fan batch evaluation out over worker processes sharing one memmap.
+
+    Args:
+        inner: the in-process evaluator (metadata, fallback, small batches).
+        artifact_path: the verified ``.npz`` the workers load.
+        workers: pool size (>= 1).
+
+    The pool spins up eagerly so a broken platform degrades at construction
+    time, not on the first query; ``pool_workers`` reports what actually
+    started (0 = in-process fallback).
+    """
+
+    def __init__(self, inner: Any, artifact_path: Union[str, Path], workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._inner = inner
+        self._workers = int(workers)
+        self._pool = None
+        try:
+            self._pool = multiprocessing.get_context().Pool(
+                processes=self._workers,
+                initializer=_pool_initializer,
+                initargs=(str(artifact_path),),
+            )
+            # Surface initializer failures (missing file, bad platform)
+            # now rather than inside the first served batch.
+            self._pool.apply(_probe)
+        except Exception:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool = None
+            engine_counters.increment("registry_pool_fallbacks")
+
+    @property
+    def dataset(self) -> Any:
+        return self._inner.dataset
+
+    @property
+    def pool_workers(self) -> int:
+        """Worker processes actually serving (0 = in-process fallback)."""
+        return self._workers if self._pool is not None else 0
+
+    def classification_values(self, query: Any) -> np.ndarray:
+        return self._inner.classification_values(query)
+
+    def classification_values_batch(self, queries: Any) -> np.ndarray:
+        n = len(queries)
+        if self._pool is None or n <= _MIN_POOL_BATCH:
+            return self._inner.classification_values_batch(queries)
+        chunks: List[Any] = []
+        step = -(-n // self._workers)  # ceil division, preserves row order
+        for start in range(0, n, step):
+            chunks.append(
+                queries[start : start + step]
+                if isinstance(queries, np.ndarray)
+                else list(queries[start : start + step])
+            )
+        try:
+            rows = self._pool.map(_pool_evaluate, chunks)
+        except Exception:
+            # A dead pool must not take the serving thread with it: fall
+            # back to the in-process evaluator for this and all future
+            # batches.
+            self._pool.terminate()
+            self._pool = None
+            engine_counters.increment("registry_pool_fallbacks")
+            return self._inner.classification_values_batch(queries)
+        engine_counters.increment("registry_pool_batches")
+        return np.concatenate(rows, axis=0)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+
+def _probe() -> bool:
+    """Pool health probe run once at construction (must be picklable)."""
+    return _WORKER_EVALUATOR is not None

@@ -70,12 +70,14 @@ from ..errors import (
     WorkerCrashed,
 )
 from ..evaluation.timing import EngineCounters, engine_counters
+from .config import ServeConfig, coalesce_config
 
 __all__ = [
     "CircuitOpen",
     "DeadlineExceeded",
     "PredictionService",
     "QueryError",
+    "ServeConfig",
     "ServiceClosed",
     "ServiceError",
     "ServiceHealth",
@@ -137,30 +139,16 @@ class PredictionService:
         model: object with ``classification_values_batch`` (and
             ``dataset.n_classes`` for shape fallbacks) — an evaluator or a
             fitted classifier.
-        max_batch: largest batch the worker hands to the kernel.
-        max_wait_ms: how long the worker holds an open batch for stragglers
-            once it has at least one request.  ``0`` batches only what is
-            already queued.
-        max_pending: bound on queued requests; submitters past it block
-            until the worker catches up (backpressure).
+        config: the validated :class:`ServeConfig` knob bundle (batching,
+            deadlines, shedding, breaker, supervision).  Defaults to
+            ``ServeConfig()``.
         counters: counter sink (defaults to the process-wide
             :data:`~repro.evaluation.timing.engine_counters`).
-        default_deadline_ms: deadline applied to requests that do not carry
-            their own (``None`` = no default deadline).
-        shed_high: queue depth at which new submissions are rejected with
-            :class:`ServiceOverloaded` instead of blocking (``None``
-            disables shedding; backpressure alone then bounds the queue).
-        shed_low: queue depth at which shedding stops re-admitting
-            (hysteresis; defaults to ``shed_high // 2``).
-        breaker_threshold: consecutive failed batches that trip the circuit
-            breaker (``None`` disables the breaker).
-        breaker_cooldown: seconds the tripped breaker rejects before
-            half-opening to probe recovery.
-        restart_backoff: base of the crashed worker's deterministic
-            exponential restart backoff (``backoff * 2**(restarts-1)``,
-            capped at 1s).
-        validate_queries: reject malformed queries at submission time with
-            :class:`QueryError` instead of letting them reach the worker.
+
+    Passing the config fields as individual keyword arguments
+    (``PredictionService(model, max_batch=8)``) is deprecated: they are
+    folded into the config with a :class:`DeprecationWarning` and will be
+    removed one release after the registry API landed.
 
     The worker thread starts immediately; the service is usable as a
     context manager and closes cleanly on exit.
@@ -169,58 +157,31 @@ class PredictionService:
     def __init__(
         self,
         model: Any,
+        config: Optional[ServeConfig] = None,
         *,
-        max_batch: int = 32,
-        max_wait_ms: float = 2.0,
-        max_pending: int = 1024,
         counters: Optional[EngineCounters] = None,
-        default_deadline_ms: Optional[float] = None,
-        shed_high: Optional[int] = None,
-        shed_low: Optional[int] = None,
-        breaker_threshold: Optional[int] = 5,
-        breaker_cooldown: float = 1.0,
-        restart_backoff: float = 0.05,
-        validate_queries: bool = True,
+        **legacy: Any,
     ):
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        if max_wait_ms < 0:
-            raise ValueError("max_wait_ms must be >= 0")
-        if max_pending < 1:
-            raise ValueError("max_pending must be >= 1")
-        if default_deadline_ms is not None and default_deadline_ms <= 0:
-            raise ValueError("default_deadline_ms must be positive")
-        if shed_low is not None and shed_high is None:
-            raise ValueError("shed_low needs shed_high")
-        if shed_high is not None:
-            if shed_high < 1:
-                raise ValueError("shed_high must be >= 1")
-            if shed_low is None:
-                shed_low = shed_high // 2
-            if not 0 <= shed_low < shed_high:
-                raise ValueError("need 0 <= shed_low < shed_high")
-        if breaker_threshold is not None and breaker_threshold < 1:
-            raise ValueError("breaker_threshold must be >= 1 (or None)")
-        if breaker_cooldown < 0:
-            raise ValueError("breaker_cooldown must be >= 0")
-        if restart_backoff < 0:
-            raise ValueError("restart_backoff must be >= 0")
+        config = coalesce_config(config, legacy, "PredictionService")
+        self._config = config
         self._model = model
-        self._max_batch = int(max_batch)
-        self._max_wait = float(max_wait_ms) / 1000.0
+        self._max_batch = int(config.max_batch)
+        self._max_wait = float(config.max_wait_ms) / 1000.0
         self._counters = counters if counters is not None else engine_counters
         self._default_deadline = (
             None
-            if default_deadline_ms is None
-            else float(default_deadline_ms) / 1000.0
+            if config.default_deadline_ms is None
+            else float(config.default_deadline_ms) / 1000.0
         )
-        self._shed_high = shed_high
-        self._shed_low = shed_low
-        self._breaker_threshold = breaker_threshold
-        self._breaker_cooldown = float(breaker_cooldown)
-        self._restart_backoff = float(restart_backoff)
-        self._validate = bool(validate_queries)
-        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=int(max_pending))
+        self._shed_high = config.shed_high
+        self._shed_low = config.shed_low
+        self._breaker_threshold = config.breaker_threshold
+        self._breaker_cooldown = float(config.breaker_cooldown)
+        self._restart_backoff = float(config.restart_backoff)
+        self._validate = bool(config.validate_queries)
+        self._queue: "queue.Queue[Any]" = queue.Queue(
+            maxsize=int(config.max_pending)
+        )
         #: Serializes submissions against close(), so the shutdown sentinel
         #: is strictly the last queue entry — the worker drains everything
         #: accepted before it, then stops.  Held across the blocking
@@ -316,6 +277,16 @@ class PredictionService:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+    @property
+    def config(self) -> ServeConfig:
+        """The validated configuration this service was built from."""
+        return self._config
+
+    @property
+    def model(self) -> Any:
+        """The model behind the batch queue (read-only)."""
+        return self._model
 
     @property
     def closed(self) -> bool:

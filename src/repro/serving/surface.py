@@ -1,0 +1,120 @@
+"""The stable error surface: one table, three projections.
+
+Every failure the serving stack can hand a caller — the
+:class:`~repro.errors.ServiceError` tree, query rejection, registry
+lookups, and the artifact integrity errors — maps 1:1 onto an HTTP status
+(used by :mod:`repro.serving.http`) and a CLI exit code (used by
+:mod:`repro.cli`).  ``health()`` snapshots carry the same class names in
+their ``error`` fields, so a probe, a script branching on ``$?``, and an
+HTTP client all speak the same vocabulary.
+
+The table is the single source of truth; a test enumerates every class in
+the exception tree and asserts it resolves here, so adding an error type
+without deciding its surface is a test failure, not a silent 500.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Type
+
+from ..core.artifact import ArtifactCorrupt, ArtifactError, ArtifactStale
+from ..core.estimator import NotFittedError
+from ..errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    ModelNotFound,
+    NotSupportedError,
+    QueryError,
+    QuotaExceeded,
+    ReproError,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    WorkerCrashed,
+    WorkerError,
+)
+
+__all__ = [
+    "ERROR_SURFACE",
+    "EXIT_CORRUPT",
+    "EXIT_ERROR",
+    "EXIT_OVERLOAD",
+    "EXIT_STALE",
+    "error_body",
+    "exit_code",
+    "http_status",
+]
+
+# Exit codes for the model-serving commands, so scripts and CI can react to
+# the failure class without parsing stderr.
+EXIT_ERROR = 2  #: generic failure (bad arguments, I/O, malformed data)
+EXIT_CORRUPT = 3  #: artifact failed integrity verification (ArtifactCorrupt)
+EXIT_STALE = 4  #: artifact fingerprint mismatch (ArtifactStale)
+EXIT_OVERLOAD = 5  #: service shed load / circuit breaker open / closed
+
+#: exception class -> (HTTP status, CLI exit code).  Resolution walks the
+#: exception's MRO, so a subclass without its own row inherits its parent's
+#: surface; order here is documentation only.
+ERROR_SURFACE: Dict[Type[BaseException], Tuple[int, int]] = {
+    # Caller mistakes: reject, nothing to retry.
+    QueryError: (400, EXIT_ERROR),
+    ModelNotFound: (404, EXIT_ERROR),
+    NotSupportedError: (501, EXIT_ERROR),
+    NotFittedError: (409, EXIT_ERROR),
+    # Load and lifecycle: retryable refusals.
+    ServiceOverloaded: (429, EXIT_OVERLOAD),
+    QuotaExceeded: (429, EXIT_OVERLOAD),
+    CircuitOpen: (503, EXIT_OVERLOAD),
+    ServiceClosed: (503, EXIT_OVERLOAD),
+    DeadlineExceeded: (504, EXIT_OVERLOAD),
+    ServiceError: (503, EXIT_OVERLOAD),
+    # Worker loss mid-evaluation: the caller may retry a fresh request.
+    WorkerCrashed: (500, EXIT_OVERLOAD),
+    WorkerError: (500, EXIT_ERROR),
+    # Artifact failures: corrupt bytes, wrong model, malformed file.
+    ArtifactCorrupt: (500, EXIT_CORRUPT),
+    ArtifactStale: (409, EXIT_STALE),
+    ArtifactError: (400, EXIT_ERROR),
+    # Everything structured but otherwise unmapped.
+    ReproError: (500, EXIT_ERROR),
+}
+
+
+def _resolve(error: BaseException) -> Optional[Tuple[int, int]]:
+    for klass in type(error).__mro__:
+        surface = ERROR_SURFACE.get(klass)
+        if surface is not None:
+            return surface
+    return None
+
+
+def http_status(error: BaseException) -> int:
+    """The HTTP status for an exception (500 for unmapped types)."""
+    surface = _resolve(error)
+    return surface[0] if surface is not None else 500
+
+
+def exit_code(error: BaseException) -> int:
+    """The CLI exit code for an exception (:data:`EXIT_ERROR` if unmapped)."""
+    surface = _resolve(error)
+    return surface[1] if surface is not None else EXIT_ERROR
+
+
+def error_body(error: BaseException) -> Dict[str, Any]:
+    """The JSON error body every HTTP endpoint returns on failure.
+
+    ``type`` is the exception class name (the same name ``health()``
+    snapshots and tracebacks show), ``status`` the mapped HTTP status, and
+    ``retry_after`` the breaker's remaining cooldown when one applies.
+    """
+    body: Dict[str, Any] = {
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "status": http_status(error),
+        }
+    }
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        body["error"]["retry_after"] = float(retry_after)
+    return body

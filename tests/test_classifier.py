@@ -54,21 +54,16 @@ class TestAPI:
         assert isinstance(batch, np.ndarray)
         assert batch.tolist() == [0, 0]
 
-    def test_predict_many_deprecated_alias(self, example):
+    def test_deprecated_aliases_removed(self, example):
+        # predict_many/predict_dataset finished their deprecation cycle;
+        # predict_batch is the one batch surface.
         clf = BSTClassifier().fit(example)
-        with pytest.warns(DeprecationWarning):
-            assert clf.predict_many([Q, Q]).tolist() == [0, 0]
+        assert not hasattr(clf, "predict_many")
+        assert not hasattr(clf, "predict_dataset")
 
-    def test_predict_dataset_checks_vocabulary(self, example):
+    def test_predict_batch_on_training_matrix(self, example):
         clf = BSTClassifier().fit(example)
-        other = RelationalDataset(("x",), ("a",), (frozenset(),), (0,))
-        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
-            clf.predict_dataset(other)
-
-    def test_predict_dataset_on_training(self, example):
-        clf = BSTClassifier().fit(example)
-        with pytest.warns(DeprecationWarning):
-            predictions = clf.predict_dataset(example)
+        predictions = clf.predict_batch(example.bool_matrix)
         # Training samples classify to their own class on this clean example.
         assert predictions.tolist() == list(example.labels)
 

@@ -433,24 +433,48 @@ class TestParallelCrossValidation:
         assert engine_counters.get("batch_calls") > before
 
 
-class TestDeprecatedAliases:
-    def test_predict_many_warns_and_returns_array(self, example):
+class TestExplainProtocol:
+    """``explain`` is a uniform Estimator method: BSTC explains, every
+    other model refuses with the typed NotSupportedError (never an
+    AttributeError)."""
+
+    def test_bstc_explains(self, example):
+        from repro.core.explain import Explanation
+
         clf = BSTClassifier().fit(example)
-        with pytest.warns(DeprecationWarning, match="predict_many"):
-            result = clf.predict_many([Q])
-        assert isinstance(result, np.ndarray)
+        explanation = clf.explain(Q)
+        assert isinstance(explanation, Explanation)
+        assert explanation.predicted == clf.predict(Q)
 
-    def test_mcbar_predict_many_warns(self, example):
+    def test_deprecated_aliases_removed(self, example):
+        for clf in (
+            BSTClassifier().fit(example),
+            MCBARClassifier(k=2).fit(example),
+            CBAClassifier(min_support=0.2, min_confidence=0.6).fit(example),
+        ):
+            assert not hasattr(clf, "predict_many")
+            assert not hasattr(clf, "predict_dataset")
+
+    def test_mcbar_refuses_typed(self, example):
+        from repro.errors import NotSupportedError
+
         clf = MCBARClassifier(k=2).fit(example)
-        with pytest.warns(DeprecationWarning):
-            result = clf.predict_many([Q])
-        assert isinstance(result, np.ndarray)
+        with pytest.raises(NotSupportedError, match="explain"):
+            clf.explain(Q)
 
-    def test_cba_predict_dataset_warns(self, example):
+    def test_cba_refuses_typed(self, example):
+        from repro.errors import NotSupportedError
+
         clf = CBAClassifier(min_support=0.2, min_confidence=0.6).fit(example)
-        with pytest.warns(DeprecationWarning):
-            result = clf.predict_dataset(example)
-        assert isinstance(result, np.ndarray)
+        with pytest.raises(NotSupportedError, match="explain"):
+            clf.explain(Q)
+
+    def test_not_supported_is_not_implemented(self):
+        # Typed refusals still satisfy except NotImplementedError handlers.
+        from repro.errors import NotSupportedError, ReproError
+
+        assert issubclass(NotSupportedError, NotImplementedError)
+        assert issubclass(NotSupportedError, ReproError)
 
 
 class TestCLIFlags:

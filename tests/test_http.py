@@ -1,0 +1,233 @@
+"""HTTP gateway tests: a live stdlib server against a live registry."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import BSTClassifier
+from repro.evaluation.timing import EngineCounters
+from repro.serving import GatewayServer, ModelRegistry, ServeConfig
+
+Q_ITEMS = [0, 3, 4]
+
+
+@pytest.fixture
+def gateway(tmp_path, example):
+    clf = BSTClassifier().fit(example)
+    artifact = clf.save(tmp_path / "model.npz")
+    registry = ModelRegistry(
+        ServeConfig(max_wait_ms=0.5),
+        tenant_quota=4,
+        counters=EngineCounters(),
+    )
+    registry.deploy("exp", artifact)
+    registry.deploy_model("mem", clf)
+    with GatewayServer(registry) as server:
+        yield server
+    registry.close()
+
+
+def _request(url, body=None):
+    """(status, parsed-json) for a GET, or a POST when body is given."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRoutes:
+    def test_health_ready(self, gateway):
+        status, payload = _request(f"{gateway.url}/health")
+        assert status == 200
+        assert payload["ready"]
+        assert set(payload["models"]) == {"exp", "mem"}
+        assert payload["models"]["exp"]["state"] == "serving"
+
+    def test_models_listing(self, gateway):
+        status, payload = _request(f"{gateway.url}/v1/models")
+        assert status == 200
+        names = [m["name"] for m in payload["models"]]
+        assert names == ["exp", "mem"]
+        status, one = _request(f"{gateway.url}/v1/models/exp")
+        assert status == 200
+        assert one["version"] == 1
+        assert one["supports_explain"] is False
+
+    def test_predict_items(self, gateway, example):
+        expected = BSTClassifier().fit(example).predict(frozenset(Q_ITEMS))
+        status, payload = _request(
+            f"{gateway.url}/v1/models/exp:predict", {"items": Q_ITEMS}
+        )
+        assert status == 200
+        assert payload["prediction"] == expected
+        assert payload["class_name"] == example.class_names[expected]
+        assert len(payload["values"]) == example.n_classes
+        assert payload["model"] == "exp"
+
+    def test_predict_vector(self, gateway, example):
+        vector = [0.0] * example.n_items
+        for i in Q_ITEMS:
+            vector[i] = 1.0
+        status, payload = _request(
+            f"{gateway.url}/v1/models/exp:predict", {"vector": vector}
+        )
+        assert status == 200
+        _, by_items = _request(
+            f"{gateway.url}/v1/models/exp:predict", {"items": Q_ITEMS}
+        )
+        assert payload["values"] == by_items["values"]
+
+    def test_predict_with_tenant_and_deadline(self, gateway):
+        status, payload = _request(
+            f"{gateway.url}/v1/models/exp:predict",
+            {"items": Q_ITEMS, "tenant": "acme", "deadline_ms": 5000},
+        )
+        assert status == 200
+        assert "prediction" in payload
+
+    def test_explain_in_memory_model(self, gateway, example):
+        status, payload = _request(
+            f"{gateway.url}/v1/models/mem:explain",
+            {"items": Q_ITEMS, "min_satisfaction": 0.5},
+        )
+        assert status == 200
+        assert payload["prediction"] == 0
+        assert payload["evidence"]
+        first = payload["evidence"][0]
+        assert first["gene_name"] in example.item_names
+        assert "rule" in first and first["rule"]
+
+    def test_concurrent_requests_coalesce(self, gateway, example):
+        import concurrent.futures
+
+        def hit(_):
+            return _request(
+                f"{gateway.url}/v1/models/exp:predict", {"items": Q_ITEMS}
+            )
+
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            results = list(pool.map(hit, range(24)))
+        assert all(status == 200 for status, _ in results)
+        values = {tuple(payload["values"]) for _, payload in results}
+        assert len(values) == 1  # identical answers
+
+
+class TestErrorMapping:
+    def test_unknown_model_is_404(self, gateway):
+        status, payload = _request(
+            f"{gateway.url}/v1/models/nope:predict", {"items": Q_ITEMS}
+        )
+        assert status == 404
+        assert payload["error"]["type"] == "ModelNotFound"
+
+    def test_bad_query_is_400(self, gateway):
+        status, payload = _request(
+            f"{gateway.url}/v1/models/exp:predict", {"items": "zero"}
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "QueryError"
+
+    def test_both_vector_and_items_is_400(self, gateway):
+        status, payload = _request(
+            f"{gateway.url}/v1/models/exp:predict",
+            {"items": Q_ITEMS, "vector": [0.0]},
+        )
+        assert status == 400
+        assert "exactly one" in payload["error"]["message"]
+
+    def test_wrong_length_vector_is_400(self, gateway, example):
+        status, payload = _request(
+            f"{gateway.url}/v1/models/exp:predict",
+            {"vector": [1.0] * (example.n_items + 5)},
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "QueryError"
+
+    def test_explain_artifact_model_is_501(self, gateway):
+        status, payload = _request(
+            f"{gateway.url}/v1/models/exp:explain", {"items": Q_ITEMS}
+        )
+        assert status == 501
+        assert payload["error"]["type"] == "NotSupportedError"
+
+    def test_empty_body_is_400(self, gateway):
+        status, payload = _request(
+            f"{gateway.url}/v1/models/exp:predict", {}
+        )
+        assert status == 400
+
+    def test_unknown_route_is_404(self, gateway):
+        status, payload = _request(f"{gateway.url}/nope")
+        assert status == 404
+        assert payload["error"]["type"] == "NotFound"
+
+    def test_quota_exceeded_is_429_with_error_body(self, gateway):
+        # The fixture quota is 4 concurrent; sequential requests never
+        # trip it, so assert the mapping directly through a wedged slot
+        # is covered in test_registry — here we just confirm a tenant
+        # rides through unharmed.
+        status, _ = _request(
+            f"{gateway.url}/v1/models/exp:predict",
+            {"items": Q_ITEMS, "tenant": "t"},
+        )
+        assert status == 200
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_url(self, gateway):
+        assert gateway.port > 0
+        assert gateway.url.startswith("http://127.0.0.1:")
+
+    def test_close_never_served_does_not_hang(self, example):
+        registry = ModelRegistry(counters=EngineCounters())
+        server = GatewayServer(registry)
+        server.close()  # never started: must return, not hang
+        registry.close()
+
+    def test_close_releases_port(self, example):
+        registry = ModelRegistry(counters=EngineCounters())
+        server = GatewayServer(registry).start()
+        port = server.port
+        server.close()
+        # The port is free again: a new server can bind it.
+        rebound = GatewayServer(registry, port=port)
+        rebound.close()
+        registry.close()
+
+    def test_health_degrades_after_registry_close(self, example):
+        registry = ModelRegistry(counters=EngineCounters())
+        registry.deploy_model("mem", BSTClassifier().fit(example))
+        with GatewayServer(registry) as server:
+            status, _ = _request(f"{server.url}/health")
+            assert status == 200
+            registry.close()
+            status, payload = _request(f"{server.url}/health")
+            assert status == 503
+            assert payload["state"] == "closed"
+
+    def test_swap_visible_through_gateway(self, tmp_path, example):
+        artifact = BSTClassifier().fit(example).save(tmp_path / "m.npz")
+        registry = ModelRegistry(counters=EngineCounters())
+        registry.deploy("exp", artifact)
+        with GatewayServer(registry) as server:
+            _, before = _request(f"{server.url}/v1/models/exp")
+            registry.deploy("exp", artifact)  # hot swap
+            _, after = _request(f"{server.url}/v1/models/exp")
+            status, payload = _request(
+                f"{server.url}/v1/models/exp:predict", {"items": Q_ITEMS}
+            )
+        registry.close()
+        assert before["version"] == 1
+        assert after["version"] == 2
+        assert status == 200
+        assert payload["version"] == 2

@@ -21,10 +21,19 @@ from repro.serving import (
     DeadlineExceeded,
     PredictionService,
     QueryError,
+    ServeConfig,
     ServiceClosed,
     ServiceOverloaded,
 )
 from repro.testing import FlakyBatchModel, PoisonQueryError, ServiceFault
+
+
+def make_service(model, *args, counters=None, **cfg):
+    """A service from new-style config kwargs (the post-redesign surface)."""
+    if args:  # a ServeConfig passed positionally
+        (config,) = args
+        return PredictionService(model, config, counters=counters)
+    return PredictionService(model, ServeConfig(**cfg), counters=counters)
 
 
 def _poll(predicate, timeout=5.0, interval=0.002):
@@ -76,7 +85,7 @@ class TestCorrectness:
     def test_values_match_direct_evaluation(self, evaluator):
         rng = np.random.default_rng(3)
         queries = _queries(rng, evaluator.dataset.n_items)
-        with PredictionService(evaluator, counters=EngineCounters()) as service:
+        with make_service(evaluator, counters=EngineCounters()) as service:
             served = [service.classification_values(q) for q in queries]
         direct = evaluator.classification_values_batch(queries)
         assert np.array_equal(np.asarray(served), direct)
@@ -84,7 +93,7 @@ class TestCorrectness:
     def test_predict_matches_argmax(self, evaluator):
         query = np.zeros(evaluator.dataset.n_items, dtype=bool)
         query[[0, 3, 4]] = True
-        with PredictionService(evaluator, counters=EngineCounters()) as service:
+        with make_service(evaluator, counters=EngineCounters()) as service:
             label = service.predict(query)
         assert label == int(np.argmax(evaluator.classification_values(query)))
 
@@ -97,7 +106,7 @@ class TestCorrectness:
         def call(i):
             results[i] = service.classification_values(queries[i])
 
-        with PredictionService(
+        with make_service(
             evaluator, max_batch=8, max_wait_ms=5.0, counters=EngineCounters()
         ) as service:
             threads = [
@@ -122,7 +131,7 @@ class TestBatching:
             barrier.wait()
             service.classification_values(q)
 
-        with PredictionService(
+        with make_service(
             evaluator, max_batch=8, max_wait_ms=20.0, counters=counters
         ) as service:
             threads = [
@@ -144,7 +153,7 @@ class TestBatching:
 
     def test_lone_request_is_answered(self, evaluator):
         counters = EngineCounters()
-        with PredictionService(
+        with make_service(
             evaluator, max_wait_ms=0.0, counters=counters
         ) as service:
             query = np.zeros(evaluator.dataset.n_items, dtype=bool)
@@ -156,7 +165,7 @@ class TestBatching:
 class TestLifecycle:
     def test_submit_after_close_raises(self, evaluator):
         counters = EngineCounters()
-        service = PredictionService(evaluator, counters=counters)
+        service = make_service(evaluator, counters=counters)
         service.close()
         assert service.closed
         with pytest.raises(ServiceClosed):
@@ -175,7 +184,7 @@ class TestLifecycle:
                 return np.zeros((len(queries), example.n_classes))
 
         event = threading.Event()
-        service = PredictionService(Stuck(), counters=EngineCounters())
+        service = make_service(Stuck(), counters=EngineCounters())
         try:
             with pytest.raises(TimeoutError):
                 service.classification_values(
@@ -203,7 +212,7 @@ class TestLifecycle:
             except RuntimeError as exc:
                 errors.append(exc)
 
-        with PredictionService(
+        with make_service(
             Broken(), max_wait_ms=10.0, counters=counters, breaker_threshold=None
         ) as service:
             threads = [
@@ -224,7 +233,7 @@ class TestLifecycle:
         # submitters block instead.  The run must still answer everything.
         rng = np.random.default_rng(13)
         queries = _queries(rng, evaluator.dataset.n_items, n=20)
-        with PredictionService(
+        with make_service(
             evaluator,
             max_batch=4,
             max_wait_ms=1.0,
@@ -250,11 +259,11 @@ class TestLifecycle:
 
     def test_invalid_parameters(self, evaluator):
         with pytest.raises(ValueError):
-            PredictionService(evaluator, max_batch=0)
+            make_service(evaluator, max_batch=0)
         with pytest.raises(ValueError):
-            PredictionService(evaluator, max_wait_ms=-1.0)
+            make_service(evaluator, max_wait_ms=-1.0)
         with pytest.raises(ValueError):
-            PredictionService(evaluator, max_pending=0)
+            make_service(evaluator, max_pending=0)
 
 
 class TestShutdownStress:
@@ -268,7 +277,7 @@ class TestShutdownStress:
         for round_seed in range(5):
             rng = np.random.default_rng(round_seed)
             counters = EngineCounters()
-            service = PredictionService(
+            service = make_service(
                 evaluator,
                 max_batch=4,
                 max_wait_ms=0.5,
@@ -312,7 +321,7 @@ class TestShutdownStress:
 class TestQueryValidation:
     def test_wrong_gene_count(self, evaluator):
         counters = EngineCounters()
-        with PredictionService(evaluator, counters=counters) as service:
+        with make_service(evaluator, counters=counters) as service:
             with pytest.raises(QueryError, match="genes"):
                 service.classification_values(
                     np.zeros(evaluator.dataset.n_items + 3, dtype=bool)
@@ -322,36 +331,36 @@ class TestQueryValidation:
     def test_nan_names_offending_gene(self, evaluator):
         query = np.zeros(evaluator.dataset.n_items, dtype=float)
         query[2] = np.nan
-        with PredictionService(evaluator, counters=EngineCounters()) as service:
+        with make_service(evaluator, counters=EngineCounters()) as service:
             with pytest.raises(QueryError, match="gene 2"):
                 service.classification_values(query)
 
     def test_inf_rejected(self, evaluator):
         query = np.zeros(evaluator.dataset.n_items, dtype=float)
         query[-1] = np.inf
-        with PredictionService(evaluator, counters=EngineCounters()) as service:
+        with make_service(evaluator, counters=EngineCounters()) as service:
             with pytest.raises(QueryError, match="finite"):
                 service.classification_values(query)
 
     def test_non_numeric_dtype(self, evaluator):
         query = np.array(["a"] * evaluator.dataset.n_items)
-        with PredictionService(evaluator, counters=EngineCounters()) as service:
+        with make_service(evaluator, counters=EngineCounters()) as service:
             with pytest.raises(QueryError, match="dtype"):
                 service.classification_values(query)
 
     def test_two_dimensional_rejected(self, evaluator):
         query = np.zeros((2, evaluator.dataset.n_items), dtype=bool)
-        with PredictionService(evaluator, counters=EngineCounters()) as service:
+        with make_service(evaluator, counters=EngineCounters()) as service:
             with pytest.raises(QueryError, match="1-D"):
                 service.classification_values(query)
 
     def test_item_index_out_of_range(self, evaluator):
-        with PredictionService(evaluator, counters=EngineCounters()) as service:
+        with make_service(evaluator, counters=EngineCounters()) as service:
             with pytest.raises(QueryError, match="outside"):
                 service.classification_values({0, evaluator.dataset.n_items})
 
     def test_item_index_set_accepted(self, evaluator):
-        with PredictionService(evaluator, counters=EngineCounters()) as service:
+        with make_service(evaluator, counters=EngineCounters()) as service:
             values = service.classification_values({0, 3, 4})
         assert np.array_equal(
             values, evaluator.classification_values({0, 3, 4})
@@ -361,7 +370,7 @@ class TestQueryValidation:
         # With validation off, a wrong-width query reaches the kernel and
         # fails there instead (as a per-query evaluation error).
         query = np.zeros(evaluator.dataset.n_items + 3, dtype=bool)
-        with PredictionService(
+        with make_service(
             evaluator,
             counters=EngineCounters(),
             validate_queries=False,
@@ -375,7 +384,7 @@ class TestQueryValidation:
 class TestDeadlines:
     def test_zero_deadline_rejected_at_submission(self, evaluator):
         counters = EngineCounters()
-        with PredictionService(evaluator, counters=counters) as service:
+        with make_service(evaluator, counters=counters) as service:
             with pytest.raises(DeadlineExceeded):
                 service.classification_values(
                     np.zeros(evaluator.dataset.n_items, dtype=bool),
@@ -393,7 +402,7 @@ class TestDeadlines:
         counters = EngineCounters()
         zeros = np.zeros(evaluator.dataset.n_items, dtype=bool)
         outcome = {}
-        with PredictionService(
+        with make_service(
             model, max_batch=1, max_wait_ms=0.0, counters=counters
         ) as service:
             wedge = threading.Thread(
@@ -425,7 +434,7 @@ class TestDeadlines:
         model = _GatedModel(evaluator, {0: gate})
         zeros = np.zeros(evaluator.dataset.n_items, dtype=bool)
         errors = []
-        with PredictionService(
+        with make_service(
             model,
             max_batch=1,
             max_wait_ms=0.0,
@@ -465,7 +474,7 @@ class TestAdmissionControl:
         model = _GatedModel(evaluator, {0: gate})
         counters = EngineCounters()
         zeros = np.zeros(evaluator.dataset.n_items, dtype=bool)
-        service = PredictionService(
+        service = make_service(
             model,
             max_batch=1,
             max_wait_ms=0.0,
@@ -507,16 +516,16 @@ class TestAdmissionControl:
 
     def test_shed_parameters_validated(self, evaluator):
         with pytest.raises(ValueError):
-            PredictionService(evaluator, shed_low=1)
+            make_service(evaluator, shed_low=1)
         with pytest.raises(ValueError):
-            PredictionService(evaluator, shed_high=0)
+            make_service(evaluator, shed_high=0)
         with pytest.raises(ValueError):
-            PredictionService(evaluator, shed_high=2, shed_low=2)
+            make_service(evaluator, shed_high=2, shed_low=2)
 
 
 class TestHealth:
     def test_ready_service_snapshot(self, evaluator):
-        with PredictionService(evaluator, counters=EngineCounters()) as service:
+        with make_service(evaluator, counters=EngineCounters()) as service:
             health = service.health()
             assert health.ready
             assert health.state == "serving"
@@ -554,7 +563,7 @@ class TestPoisonIsolation:
             except Exception as exc:
                 results[key] = exc
 
-        with PredictionService(
+        with make_service(
             model, max_batch=8, max_wait_ms=50.0, counters=counters
         ) as service:
             wedge = threading.Thread(target=call, args=("wedge", zeros))
@@ -588,7 +597,7 @@ class TestWorkerSupervision:
         flaky = FlakyBatchModel(evaluator, faults=[ServiceFault(0, "kill")])
         counters = EngineCounters()
         query = np.zeros(evaluator.dataset.n_items, dtype=bool)
-        with PredictionService(
+        with make_service(
             flaky,
             max_wait_ms=0.0,
             restart_backoff=0.0,
@@ -629,7 +638,7 @@ class TestWorkerSupervision:
             except WorkerCrashed as exc:
                 outcomes[i] = exc
 
-        with PredictionService(
+        with make_service(
             flaky,
             max_batch=4,
             max_wait_ms=20.0,
@@ -673,7 +682,7 @@ class TestCircuitBreaker:
         )
         counters = EngineCounters()
         query = np.zeros(evaluator.dataset.n_items, dtype=bool)
-        with PredictionService(
+        with make_service(
             flaky,
             max_wait_ms=0.0,
             breaker_threshold=2,
@@ -709,7 +718,7 @@ class TestCircuitBreaker:
         )
         counters = EngineCounters()
         query = np.zeros(evaluator.dataset.n_items, dtype=bool)
-        with PredictionService(
+        with make_service(
             flaky,
             max_wait_ms=0.0,
             breaker_threshold=1,
@@ -747,7 +756,7 @@ class TestCloseCrashStress:
                     ServiceFault(6, "kill"),
                 ],
             )
-            service = PredictionService(
+            service = make_service(
                 flaky,
                 max_batch=4,
                 max_wait_ms=0.5,
@@ -840,3 +849,68 @@ class TestEvaluatorCacheConcurrency:
         finally:
             set_evaluator_cache_size(old_capacity)
             clear_evaluator_cache()
+
+
+class TestServeConfigSurface:
+    """The redesigned config surface: one validated ServeConfig, legacy
+    kwargs folded in with a deprecation warning."""
+
+    def test_config_object_is_the_canonical_path(self, evaluator):
+        config = ServeConfig(max_batch=4, max_wait_ms=0.5)
+        with PredictionService(
+            evaluator, config, counters=EngineCounters()
+        ) as service:
+            assert service.config is config
+            assert service.config.max_batch == 4
+            label = service.predict({0, 3, 4})
+        assert label == int(
+            np.argmax(evaluator.classification_values({0, 3, 4}))
+        )
+
+    def test_legacy_kwargs_warn_and_fold(self, evaluator):
+        with pytest.warns(DeprecationWarning, match="ServeConfig"):
+            service = PredictionService(
+                evaluator, max_batch=4, counters=EngineCounters()
+            )
+        try:
+            assert service.config.max_batch == 4
+            # Untouched fields keep their defaults.
+            assert service.config.max_pending == ServeConfig().max_pending
+        finally:
+            service.close()
+
+    def test_legacy_kwargs_override_config(self, evaluator):
+        with pytest.warns(DeprecationWarning):
+            service = PredictionService(
+                evaluator,
+                ServeConfig(max_batch=4, max_wait_ms=7.0),
+                max_batch=9,
+                counters=EngineCounters(),
+            )
+        try:
+            assert service.config.max_batch == 9
+            assert service.config.max_wait_ms == 7.0
+        finally:
+            service.close()
+
+    def test_unknown_kwarg_is_a_type_error(self, evaluator):
+        with pytest.raises(TypeError, match="max_bach"):
+            PredictionService(evaluator, max_bach=4)
+
+    def test_config_is_frozen_and_validated(self):
+        import dataclasses
+
+        config = ServeConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.max_batch = 2
+        with pytest.raises(ValueError):
+            ServeConfig(shed_low=4)  # shed_low needs shed_high
+        with pytest.raises(ValueError):
+            ServeConfig(workers=-1)
+        assert ServeConfig(shed_high=8).shed_low == 4  # hysteresis default
+
+    def test_with_overrides_revalidates(self):
+        config = ServeConfig(max_batch=4)
+        assert config.with_overrides(max_batch=8).max_batch == 8
+        with pytest.raises(ValueError):
+            config.with_overrides(max_batch=0)
