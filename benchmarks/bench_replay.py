@@ -1,0 +1,124 @@
+"""Replay-harness benchmarks: capacity ramp and chaos tail latency.
+
+Where ``bench_micro`` gates the kernel's speedups, this suite gates the
+*serving stack under offered load*: a paced capacity ramp finds the
+saturation QPS against the SLO (p99 + error budget) and a chaos replay
+measures p99 while the circuit breaker is cycling.  The combined payload
+is written to ``BENCH_replay.json`` (schema ``repro.replay-bench/1``)
+next to ``BENCH_micro.json``; CI uploads both, so capacity regressions
+show up as a declining saturation series across commits.
+
+Gating policy mirrors ``bench_micro``: correctness invariants — every
+round's exactly-once reconciliation, trace determinism, finite saturation
+and p99 — always gate; the throughput floor is relaxed under
+``REPRO_BENCH_SMOKE`` (shared CI runners make wall-clock numbers flaky),
+which also shrinks the workload.
+"""
+
+import json
+import math
+import os
+import time
+
+import pytest
+
+from repro.core.classifier import BSTClassifier
+from repro.datasets.discretize import EntropyDiscretizer
+from repro.datasets.profiles import scaled
+from repro.datasets.splits import given_training_split
+from repro.datasets.synthetic import generate_expression_data
+from repro.replay import (
+    ReplayDriver,
+    Slo,
+    TraceConfig,
+    dumps_trace,
+    generate_trace,
+    prepare_inprocess_target,
+    search_capacity,
+)
+
+BENCH_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: The capacity payload collected by the gating benchmarks and written to
+#: BENCH_replay.json at module teardown (CI uploads it as an artifact).
+_BENCH_RECORD = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_record():
+    yield _BENCH_RECORD
+    if not _BENCH_RECORD:
+        return
+    payload = dict(_BENCH_RECORD)
+    payload.setdefault("suite", "bench_replay")
+    payload["smoke"] = BENCH_SMOKE
+    payload["unix_time"] = time.time()
+    out_path = os.environ.get("REPRO_BENCH_REPLAY_JSON", "BENCH_replay.json")
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    """A classifier fitted on the scaled ALL profile — the same model the
+    micro-benchmarks serve, so capacity numbers are comparable."""
+    profile = scaled("ALL", gene_fraction=0.02 if BENCH_SMOKE else 0.05)
+    data = generate_expression_data(profile, seed=1)
+    split = given_training_split(data, profile.given_training, seed=0)
+    train = data.subset(split.train_indices)
+    rel_train = EntropyDiscretizer().fit(train).transform(train)
+    return BSTClassifier().fit(rel_train)
+
+
+def test_unpaced_replay_throughput(served_model, tmp_path):
+    """An unpaced clean replay: every request answered, reconciled, and —
+    outside smoke mode — a conservative throughput floor."""
+    requests = 300 if BENCH_SMOKE else 2000
+    config = TraceConfig(
+        seed=7,
+        requests=requests,
+        rate_qps=1000.0,
+        n_items=served_model.dataset.n_items,
+    )
+    trace = generate_trace(config)
+    assert dumps_trace(trace) == dumps_trace(generate_trace(config))
+    target = prepare_inprocess_target(trace, served_model, tmp_path)
+    try:
+        report = ReplayDriver(target).run(trace, speed=0.0)
+    finally:
+        target.registry.close()
+    assert report.outcomes == {"answered": requests}
+    assert report.reconciled, report.mismatches  # always gates
+    _BENCH_RECORD["unpaced_achieved_qps"] = report.achieved_qps
+    _BENCH_RECORD["unpaced_p99_ms"] = (
+        report.latency.percentile(99.0) * 1000.0
+    )
+    if not BENCH_SMOKE:
+        assert report.achieved_qps >= 50.0
+
+
+def test_capacity_ramp_and_chaos_tail(served_model, tmp_path):
+    """The headline numbers: saturation QPS against the SLO and p99 under
+    breaker trips.  Reconciliation and finiteness always gate."""
+    payload = search_capacity(
+        served_model,
+        TraceConfig(
+            seed=7,
+            requests=100 if BENCH_SMOKE else 400,
+            rate_qps=100.0,
+            n_items=served_model.dataset.n_items,
+        ),
+        tmp_path,
+        slo=Slo(p99_ms=250.0, max_error_rate=0.02),
+        start_qps=50.0,
+        growth=2.0,
+        max_rounds=3 if BENCH_SMOKE else 6,
+    )
+    assert math.isfinite(payload["saturation_qps"])
+    assert math.isfinite(payload["p99_ms_at_saturation"])
+    assert math.isfinite(payload["chaos"]["p99_ms_under_breaker_trips"])
+    assert all(r["reconciled"] for r in payload["rounds"])
+    assert payload["chaos"]["reconciled"]
+    assert payload["chaos"]["breaker_trips"] >= 1
+    _BENCH_RECORD.update(payload)

@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""End-to-end replay smoke: chaos trace against a real ``serve`` process.
+
+CI runs this after the gateway smoke: build a tiny artifact, boot the
+real CLI server in a subprocess, then replay a *seeded* chaos trace over
+HTTP — a deadline storm plus an explain mix against an artifact-only
+slot — and assert the client-side ledger reconciles exactly-once: every
+submitted request got exactly one outcome, storms produced deadline
+rejections, explains produced structured refusals, and nothing was lost
+or double-counted across the wire.
+
+The run also probes the request-guard envelopes (an oversized body must
+come back as a 413 ``RequestTooLarge`` JSON error) and finishes by
+sending SIGTERM, asserting the server drains and exits 0 — the graceful
+shutdown path CI would otherwise never exercise.
+
+The replay report is written to ``BENCH_replay_http.json`` (override
+with ``REPRO_REPLAY_SMOKE_JSON``) so CI can upload it next to the
+capacity report from ``benchmarks/bench_replay.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/replay_smoke.py
+
+Exits 0 on success; any reconciliation or lifecycle violation raises.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.core.classifier import BSTClassifier  # noqa: E402
+from repro.datasets.dataset import running_example  # noqa: E402
+from repro.replay import (  # noqa: E402
+    ChaosMix,
+    HttpTarget,
+    ReplayDriver,
+    TraceConfig,
+    dumps_trace,
+    generate_trace,
+)
+
+SEED = 2026
+REQUESTS = 240
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _request(url, body=None, timeout=5):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _await_ready(base, deadline=30.0):
+    limit = time.monotonic() + deadline
+    while time.monotonic() < limit:
+        try:
+            status, payload = _request(f"{base}/health", timeout=2)
+            if status == 200 and payload.get("ready"):
+                return payload
+        except (urllib.error.URLError, OSError, ConnectionError):
+            pass
+        time.sleep(0.2)
+    raise SystemExit(f"gateway at {base} never became ready")
+
+
+def _expect(condition, message):
+    if not condition:
+        raise SystemExit(f"smoke failure: {message}")
+
+
+def _chaos_trace():
+    """A deterministic HTTP-replayable chaos mix.
+
+    Poison markers and artifact swaps need the in-process fault harness,
+    so over the wire the chaos is what a remote client can actually
+    inflict: a mid-trace deadline storm (deadline_ms=0 — every request in
+    the window expires at admission) riding on an explain mix that an
+    artifact-only slot must refuse with a structured 501.
+    """
+    config = TraceConfig(
+        seed=SEED,
+        requests=REQUESTS,
+        rate_qps=400.0,
+        arrival="burst",
+        n_items=running_example().n_items,
+        models=("replay",),
+        explain_fraction=0.15,
+        chaos=ChaosMix(deadline_storms=((150.0, 350.0, 0.0),)),
+    )
+    trace = generate_trace(config)
+    _expect(
+        dumps_trace(trace) == dumps_trace(generate_trace(config)),
+        "trace generation is not deterministic",
+    )
+    return trace
+
+
+def main() -> int:
+    trace = _chaos_trace()
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = BSTClassifier().fit(running_example()).save(
+            os.path.join(tmp, "model.npz")
+        )
+        port = _free_port()
+        base = f"http://127.0.0.1:{port}"
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--model",
+                f"replay={artifact}",
+                "--port",
+                str(port),
+            ],
+            env={**os.environ, "PYTHONPATH": "src"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        output = ""
+        try:
+            _await_ready(base)
+
+            report = ReplayDriver(HttpTarget(base)).run(trace, speed=0.0)
+            print(report.describe())
+            _expect(report.reconciled, f"mismatches: {report.mismatches}")
+            _expect(
+                report.submitted == REQUESTS,
+                f"submitted {report.submitted} != {REQUESTS}",
+            )
+            _expect(report.answered > 0, "no request was answered")
+            _expect(
+                report.outcomes.get("deadline", 0) > 0,
+                "the deadline storm produced no deadline rejections",
+            )
+            _expect(
+                report.outcomes.get("unsupported", 0) > 0,
+                "explain against an artifact slot did not 501",
+            )
+            _expect(
+                report.outcomes.get("transport", 0) == 0,
+                f"transport failures: {report.outcomes}",
+            )
+
+            # Request guards: a declared-oversized body must bounce as a
+            # JSON 413 before the server reads a single payload byte.  Use
+            # a raw socket — the server hangs up after refusing, so a
+            # client mid-upload would only see EPIPE.
+            with socket.create_connection(
+                ("127.0.0.1", port), timeout=10
+            ) as conn:
+                declared = 4 * 1024 * 1024 + 1
+                conn.sendall(
+                    b"POST /v1/models/replay:predict HTTP/1.1\r\n"
+                    b"Host: localhost\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: " + str(declared).encode() + b"\r\n"
+                    b"\r\n"
+                )
+                chunks = []
+                while True:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            response = b"".join(chunks).decode("utf-8", "replace")
+            _expect(
+                " 413 " in response.splitlines()[0],
+                f"oversized body -> {response.splitlines()[0]!r}",
+            )
+            _expect(
+                "RequestTooLarge" in response,
+                f"no RequestTooLarge envelope in:\n{response}",
+            )
+
+            out_path = os.environ.get(
+                "REPRO_REPLAY_SMOKE_JSON", "BENCH_replay_http.json"
+            )
+            payload = dict(report.to_dict())
+            payload["suite"] = "replay_smoke"
+            payload["seed"] = SEED
+            payload["unix_time"] = time.time()
+            with open(out_path, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        finally:
+            server.send_signal(signal.SIGTERM)
+            try:
+                output, _ = server.communicate(timeout=15)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                raise SystemExit("server ignored SIGTERM; killed")
+        _expect(server.returncode == 0, f"server exited {server.returncode}")
+        _expect(
+            "draining and shutting down" in output,
+            f"no drain message in server output:\n{output}",
+        )
+    print("replay smoke: chaos trace reconciled, server drained cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""``python -m repro`` — the documented entry point for the CLI.
+
+Kept alongside the historical ``python -m repro.cli`` spelling; both run
+:func:`repro.cli.main`.
+"""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

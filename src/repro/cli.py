@@ -32,7 +32,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from .core.arithmetization import COMBINERS
 from .core.bitset import flush_kernel_counters
@@ -52,7 +52,7 @@ from .serving.surface import (
 
 #: The serving subcommands (one per HTTP verb, plus the benchmark); these
 #: share the surface's exit-code mapping and print the counter dump.
-_SERVING_COMMANDS = ("predict", "explain", "serve", "bench")
+_SERVING_COMMANDS = ("predict", "explain", "serve", "bench", "replay")
 
 #: Old command spellings kept working (hidden — not listed in --help).
 _COMMAND_ALIASES = {"serve-bench": "bench"}
@@ -440,6 +440,154 @@ def _build_parser() -> argparse.ArgumentParser:
         help="expressed items per synthetic query (default: n_items/20)",
     )
     bench.add_argument("--seed", type=int, default=1)
+
+    replay = sub.add_parser(
+        "replay",
+        help=(
+            "generate a seeded workload trace and replay it against an"
+            " in-process registry or a live gateway, with exactly-once"
+            " response accounting and counter reconciliation"
+        ),
+    )
+    replay.add_argument("--seed", type=int, default=7)
+    replay.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="request events in the generated trace (default: 1000)",
+    )
+    replay.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="nominal offered load in queries/second (default: 500)",
+    )
+    replay.add_argument(
+        "--arrival",
+        choices=("uniform", "poisson", "diurnal", "burst"),
+        default="poisson",
+        help="open-loop arrival process (default: poisson)",
+    )
+    replay.add_argument(
+        "--chaos",
+        choices=("none", "poison", "storm", "swap", "full"),
+        default="none",
+        help=(
+            "adversarial mix blended into the trace: poison queries,"
+            " deadline storms, mid-run (corrupt) hot swaps, or all of them"
+            " plus a breaker-tripping error window (default: none)"
+        ),
+    )
+    replay.add_argument(
+        "--tenants",
+        type=int,
+        default=0,
+        help="named tenants to spread traffic over (0 = anonymous)",
+    )
+    replay.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        help="per-tenant in-flight quota for the in-process registry",
+    )
+    replay.add_argument(
+        "--explain-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of requests using the explain verb (default: 0)",
+    )
+    replay.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="baseline per-request deadline carried in the trace",
+    )
+    replay.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write the generated trace JSONL here (byte-identical per seed)",
+    )
+    replay.add_argument(
+        "--load",
+        metavar="PATH",
+        help="replay an existing trace file instead of generating one",
+    )
+    replay.add_argument(
+        "--url",
+        metavar="URL",
+        help=(
+            "replay against a live gateway at this base URL instead of an"
+            " in-process registry (chaos controls are skipped; counter"
+            " reconciliation covers the client ledger only)"
+        ),
+    )
+    replay.add_argument(
+        "--speed",
+        type=float,
+        default=0.0,
+        help=(
+            "trace-time to wall-time scale: 1 = real time, 2 = twice as"
+            " fast, 0 = unpaced (default: 0)"
+        ),
+    )
+    replay.add_argument(
+        "--max-workers",
+        type=int,
+        default=64,
+        help="submitter thread pool size (default: 64)",
+    )
+    replay.add_argument(
+        "--capacity",
+        action="store_true",
+        help=(
+            "run the SLO capacity ramp instead of a single replay and"
+            " write BENCH_replay.json (honors REPRO_BENCH_SMOKE)"
+        ),
+    )
+    replay.add_argument(
+        "--report",
+        metavar="PATH",
+        default="BENCH_replay.json",
+        help="capacity report path (default: BENCH_replay.json)",
+    )
+    replay.add_argument(
+        "--start-qps",
+        type=float,
+        default=50.0,
+        help="capacity ramp starting rate (default: 50)",
+    )
+    replay.add_argument(
+        "--rounds",
+        type=int,
+        default=6,
+        help="capacity ramp round cap (default: 6)",
+    )
+    replay.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=250.0,
+        help="capacity SLO: answered p99 ceiling (default: 250)",
+    )
+    replay.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=0.02,
+        help="capacity SLO: unanswered-fraction budget (default: 0.02)",
+    )
+    replay.add_argument(
+        "--artifact", metavar="PATH", help="compiled .npz model artifact"
+    )
+    replay.add_argument(
+        "--train",
+        metavar="PATH",
+        help="relational JSON training dataset to fit the served model on",
+    )
+    replay.add_argument(
+        "--arithmetization",
+        choices=sorted(COMBINERS),
+        default="min",
+        help="per-cell combiner when fitting with --train (default: min)",
+    )
     return parser
 
 
@@ -605,6 +753,8 @@ def _parse_model_specs(args: argparse.Namespace) -> List[tuple]:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .serving import GatewayServer, ModelRegistry, ServeConfig
 
     specs = _parse_model_specs(args)
@@ -644,13 +794,24 @@ def _run_serve(args: argparse.Namespace) -> int:
             )
         gateway = GatewayServer(registry, args.host, args.port)
         print(f"gateway listening on {gateway.url}")
+
+        def _graceful(signum: int, frame: Any) -> None:
+            # SIGTERM (systemd, container runtimes, CI) drains exactly like
+            # Ctrl-C: stop accepting, answer everything admitted, exit 0.
+            raise KeyboardInterrupt
+
+        previous = signal.signal(signal.SIGTERM, _graceful)
         try:
             gateway.serve_forever()
         except KeyboardInterrupt:
-            print("shutting down", file=sys.stderr)
+            print("draining and shutting down", file=sys.stderr)
         finally:
+            signal.signal(signal.SIGTERM, previous)
             gateway.close()
     finally:
+        # Registry close retires every slot: each service queue drains its
+        # admitted requests before the worker stops, so no accepted request
+        # is dropped on the floor by a shutdown signal.
         registry.close()
     return 0
 
@@ -730,6 +891,163 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_preset(name: str, duration_ms: float):
+    """The named chaos mixes, scaled to the trace's nominal length."""
+    from .replay import ChaosMix
+
+    third = round(duration_ms / 3.0, 3)
+    if name == "poison":
+        return ChaosMix(poison_fraction=0.02)
+    if name == "storm":
+        return ChaosMix(deadline_storms=((third, 2 * third, 0.0),))
+    if name == "swap":
+        return ChaosMix(
+            corrupt_swaps_at_ms=(round(duration_ms * 0.25, 3),),
+            swaps_at_ms=(round(duration_ms * 0.6, 3),),
+        )
+    if name == "full":
+        return ChaosMix(
+            poison_fraction=0.02,
+            deadline_storms=((third, round(third * 1.5, 3), 0.0),),
+            corrupt_swaps_at_ms=(round(duration_ms * 0.25, 3),),
+            swaps_at_ms=(round(duration_ms * 0.75, 3),),
+            error_windows=((5, 10),),
+        )
+    return ChaosMix()
+
+
+def _replay_model(args: argparse.Namespace):
+    """The served model: --artifact/--train like the other serving verbs,
+    falling back to the paper's Table 1 running example (tiny, fast, and
+    fully deterministic) so ``python -m repro replay --seed 7`` is
+    self-contained."""
+    if args.artifact or args.train:
+        return _load_model(args)
+    from .core.classifier import BSTClassifier
+    from .datasets.dataset import running_example
+
+    return BSTClassifier(arithmetization=args.arithmetization).fit(
+        running_example()
+    )
+
+
+def _gateway_n_items(url: str, model: str) -> int:
+    import json as _json
+    import urllib.request
+
+    with urllib.request.urlopen(
+        f"{url.rstrip('/')}/v1/models/{model}", timeout=10.0
+    ) as response:
+        return int(_json.loads(response.read().decode("utf-8"))["n_items"])
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    from .replay import (
+        HttpTarget,
+        ReplayDriver,
+        Slo,
+        TraceConfig,
+        config_from_header,
+        generate_trace,
+        load_trace,
+        prepare_inprocess_target,
+        search_capacity,
+        write_bench_report,
+        write_trace,
+    )
+
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    requests = min(args.requests, 120) if smoke else args.requests
+
+    # The workload: an existing trace file, or a fresh seeded generation.
+    classifier = None if args.url else _replay_model(args)
+    if args.load:
+        trace = load_trace(args.load)
+        config = config_from_header(trace.header)
+    else:
+        if args.url:
+            n_items = _gateway_n_items(args.url, "default")
+        else:
+            n_items = classifier.dataset.n_items
+        duration_ms = requests / args.rate * 1000.0
+        config = TraceConfig(
+            seed=args.seed,
+            requests=requests,
+            rate_qps=args.rate,
+            arrival=args.arrival,
+            n_items=n_items,
+            tenants=tuple(f"t{i}" for i in range(args.tenants)),
+            explain_fraction=args.explain_fraction,
+            deadline_ms=args.deadline_ms,
+            chaos=_chaos_preset(args.chaos, duration_ms),
+        )
+        trace = generate_trace(config)
+    if args.trace:
+        print(f"trace written: {write_trace(trace, args.trace)}")
+
+    if args.capacity:
+        if args.url:
+            raise ValueError(
+                "--capacity ramps an in-process registry; it cannot drive"
+                " a remote gateway (drop --url)"
+            )
+        rounds = min(args.rounds, 3) if smoke else args.rounds
+        with tempfile.TemporaryDirectory(prefix="repro-replay-") as workdir:
+            payload = search_capacity(
+                classifier,
+                config,
+                workdir,
+                slo=Slo(
+                    p99_ms=args.slo_p99_ms,
+                    max_error_rate=args.slo_error_rate,
+                ),
+                start_qps=args.start_qps,
+                growth=2.0,
+                max_rounds=rounds,
+                max_workers=args.max_workers,
+                log=print,
+            )
+        payload["smoke"] = smoke
+        print(f"capacity report: {write_bench_report(payload, args.report)}")
+        print(
+            f"saturation: {payload['saturation_qps']:.0f} qps"
+            f" (p99 {payload['p99_ms_at_saturation']:.1f}ms;"
+            f" shed rate at break {payload['shed_rate_at_break']:.3f})"
+        )
+        return 0
+
+    if args.url:
+        target = HttpTarget(args.url)
+        report = ReplayDriver(target, max_workers=args.max_workers).run(
+            trace, speed=args.speed
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-replay-") as workdir:
+            target = prepare_inprocess_target(
+                trace,
+                classifier,
+                workdir,
+                tenant_quota=args.tenant_quota,
+            )
+            try:
+                report = ReplayDriver(
+                    target, max_workers=args.max_workers
+                ).run(trace, speed=args.speed)
+            finally:
+                target.registry.close()
+    print(report.describe())
+    latency = report.latency.to_dict()
+    print(
+        f"latency   : p50 {latency['p50_ms']:.2f}ms"
+        f" p95 {latency['p95_ms']:.2f}ms p99 {latency['p99_ms']:.2f}ms"
+        f" (answered {int(latency['count'])})"
+    )
+    return 0 if report.reconciled else EXIT_ERROR
+
+
 def _run_demo() -> int:
     from .bst.table import BST
     from .core.classifier import BSTClassifier
@@ -770,6 +1088,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "explain": _run_explain,
             "serve": _run_serve,
             "bench": _run_serve_bench,
+            "replay": _run_replay,
         }[args.command]
         try:
             code = handler(args)

@@ -175,6 +175,41 @@ class QueryError(ReproError, ValueError):
     """
 
 
+class RequestTooLarge(QueryError):
+    """An HTTP request body exceeded the gateway's size ceiling.
+
+    Rejected before the body is read, so an oversized (or hostile) payload
+    costs the gateway one header parse, not a buffered read.  Maps to
+    HTTP 413.
+    """
+
+    def __init__(self, length: int, limit: int):
+        super().__init__(
+            f"request body of {length} bytes exceeds the gateway limit of"
+            f" {limit} bytes"
+        )
+        self.length = length
+        self.limit = limit
+
+
+class RequestTimeout(QueryError):
+    """The client stalled while the gateway was reading its request body.
+
+    The socket read timed out before ``Content-Length`` bytes arrived; the
+    worker thread is released instead of hanging on a dribbling client.
+    Maps to HTTP 408.
+    """
+
+
+class TraceError(ReproError, ValueError):
+    """A replay trace file could not be parsed, or its replay failed its
+    reconciliation invariant (a submitted request lost or double-counted).
+
+    Raised by :mod:`repro.replay` — a trace that cannot be trusted fails
+    loudly, exactly like a corrupt checkpoint journal.
+    """
+
+
 class NotSupportedError(ReproError, NotImplementedError):
     """The estimator does not implement this optional protocol operation.
 

@@ -21,6 +21,7 @@ Budgets are monotonic-clock based and cheap to poll (a time read per check).
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -208,20 +209,28 @@ class EngineCounters:
     Parallel CV merges each worker's snapshot back into the parent via
     :meth:`merge`, so the printed totals cover fold work done in
     subprocesses too.
+
+    Updates are lock-protected: the serving stack increments from many
+    submitter threads at once, and the replay harness reconciles its
+    client-side accounting against these values *exactly*, so a lost
+    read-modify-write would show up as a phantom dropped request.
     """
 
     def __init__(self) -> None:
         self._values: Dict[str, float] = {}
+        self._mutex = threading.Lock()
 
     def increment(self, name: str, amount: float = 1.0) -> None:
-        self._values[name] = self._values.get(name, 0.0) + float(amount)
+        with self._mutex:
+            self._values[name] = self._values.get(name, 0.0) + float(amount)
 
     def add_seconds(self, name: str, seconds: float) -> None:
         self.increment(f"{name}_seconds", seconds)
 
     def observe_max(self, name: str, value: float) -> None:
         """Track a running maximum (e.g. the largest batch seen)."""
-        self._values[name] = max(self._values.get(name, 0.0), float(value))
+        with self._mutex:
+            self._values[name] = max(self._values.get(name, 0.0), float(value))
 
     @contextmanager
     def track(self, name: str) -> Iterator[None]:
@@ -233,10 +242,12 @@ class EngineCounters:
             self.add_seconds(name, time.perf_counter() - start)
 
     def get(self, name: str, default: float = 0.0) -> float:
-        return self._values.get(name, default)
+        with self._mutex:
+            return self._values.get(name, default)
 
     def snapshot(self) -> Dict[str, float]:
-        return dict(self._values)
+        with self._mutex:
+            return dict(self._values)
 
     def merge(self, other: Mapping[str, float]) -> None:
         """Fold another snapshot in (max entries keep the larger value)."""
@@ -247,16 +258,18 @@ class EngineCounters:
                 self.increment(name, value)
 
     def reset(self) -> None:
-        self._values.clear()
+        with self._mutex:
+            self._values.clear()
 
     def report(self, title: str = "engine counters") -> str:
         """A human-readable, alphabetized rendering for the CLI."""
-        if not self._values:
+        values = self.snapshot()
+        if not values:
             return f"[{title}] (no activity recorded)"
-        width = max(len(name) for name in self._values)
+        width = max(len(name) for name in values)
         lines = [f"[{title}]"]
-        for name in sorted(self._values):
-            value = self._values[name]
+        for name in sorted(values):
+            value = values[name]
             if name.endswith("_seconds"):
                 lines.append(f"  {name:<{width}}  {value:.3f}")
             else:

@@ -1,0 +1,222 @@
+"""Capacity search: ramp offered load until the SLO breaks, then report.
+
+The question a capacity report answers is operational, not academic: *at
+what offered QPS does this serving stack stop honoring its latency and
+error budget, and how does it fail when it does?*  The searcher answers
+it empirically with a geometric ramp — replay a freshly generated trace
+at ``start_qps``, check the SLO, multiply the rate by ``growth`` and
+repeat with a **fresh registry** each round (so breaker state, shed
+hysteresis, and queue backlogs never leak between rounds) until the SLO
+breaks or the round budget runs out.
+
+Saturation is the last offered rate that passed.  The report also keeps
+the breaking round's shed rate (how the stack failed: load shedding is
+the designed failure mode; deadline misses or breaker trips are not) and
+a separate *chaos phase*: the same nominal load with a breaker-tripping
+error window blended in, reporting p99 under breaker trips — tail
+latency while the stack is actively failing over, which a clean ramp
+never shows.
+
+The emitted payload (``BENCH_replay.json``, schema
+``repro.replay-bench/1``) sits next to ``BENCH_micro.json`` in CI
+artifacts; see ``docs/ROBUSTNESS.md`` ("Capacity & SLOs") for how to
+read it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from .driver import ReplayDriver, prepare_inprocess_target
+from .metrics import ReplayReport
+from .trace import ChaosMix, TraceConfig, generate_trace
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Slo",
+    "search_capacity",
+    "write_bench_report",
+]
+
+BENCH_SCHEMA = "repro.replay-bench/1"
+
+
+@dataclass(frozen=True)
+class Slo:
+    """The service-level objective a capacity search ramps against.
+
+    Attributes:
+        p99_ms: answered-request p99 latency ceiling.
+        max_error_rate: largest tolerable fraction of submitted requests
+            that got anything other than an answer (the error budget;
+            shed responses count against it — shedding is *how* the
+            stack breaks the SLO, not an exemption from it).
+    """
+
+    p99_ms: float = 250.0
+    max_error_rate: float = 0.02
+
+    def check(self, report: ReplayReport) -> List[str]:
+        """The SLO violations a replay report exhibits (empty = passing)."""
+        violations: List[str] = []
+        p99_ms = report.latency.percentile(99.0) * 1000.0
+        if p99_ms > self.p99_ms:
+            violations.append(
+                f"p99 {p99_ms:.1f}ms exceeds the {self.p99_ms:.1f}ms SLO"
+            )
+        if report.error_rate > self.max_error_rate:
+            violations.append(
+                f"error rate {report.error_rate:.3f} exceeds the"
+                f" {self.max_error_rate:.3f} budget"
+            )
+        return violations
+
+
+def _run_round(
+    config: TraceConfig,
+    classifier: Any,
+    workdir: Path,
+    speed: float,
+    max_workers: int,
+    serve_config: Optional[Any],
+) -> ReplayReport:
+    trace = generate_trace(config)
+    target = prepare_inprocess_target(
+        trace, classifier, workdir, config=serve_config
+    )
+    try:
+        return ReplayDriver(target, max_workers=max_workers).run(
+            trace, speed=speed
+        )
+    finally:
+        target.registry.close()
+
+
+def search_capacity(
+    classifier: Any,
+    base_config: TraceConfig,
+    workdir: Union[str, Path],
+    *,
+    slo: Optional[Slo] = None,
+    start_qps: float = 50.0,
+    growth: float = 2.0,
+    max_rounds: int = 8,
+    max_workers: int = 64,
+    serve_config: Optional[Any] = None,
+    chaos_error_window: int = 12,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Ramp offered load until the SLO breaks; return the capacity report.
+
+    ``base_config`` fixes everything about the workload except the rate
+    (each round regenerates the trace at the ramped ``rate_qps`` with the
+    round index folded into the seed, so rounds are independent draws of
+    the same workload shape).  Replays are paced in real time
+    (``speed=1``) — an unpaced replay measures the submitter pool, not
+    the service under offered load.
+
+    The chaos phase replays the *starting* rate with a consecutive-error
+    window long enough to trip the circuit breaker, reporting tail
+    latency and outcome mix while the breaker cycles.
+    """
+    if growth <= 1.0:
+        raise ValueError("growth must be > 1")
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    slo = slo if slo is not None else Slo()
+    workdir = Path(workdir)
+    say = log if log is not None else (lambda message: None)
+
+    rounds: List[Dict[str, Any]] = []
+    saturation_qps = 0.0
+    p99_at_saturation_ms = 0.0
+    shed_rate_at_break = 0.0
+    qps = float(start_qps)
+    for index in range(max_rounds):
+        config = replace(
+            base_config,
+            seed=base_config.seed + index,
+            rate_qps=qps,
+        )
+        report = _run_round(
+            config, classifier, workdir / f"round{index}",
+            speed=1.0, max_workers=max_workers, serve_config=serve_config,
+        )
+        violations = slo.check(report)
+        p99_ms = report.latency.percentile(99.0) * 1000.0
+        rounds.append({
+            "offered_qps": qps,
+            "achieved_qps": report.achieved_qps,
+            "p99_ms": p99_ms,
+            "error_rate": report.error_rate,
+            "shed_rate": report.shed_rate,
+            "outcomes": dict(report.outcomes),
+            "reconciled": report.reconciled,
+            "ok": not violations,
+            "violations": violations,
+        })
+        say(
+            f"round {index}: offered {qps:.0f} qps ->"
+            f" p99 {p99_ms:.1f}ms, error rate {report.error_rate:.3f}"
+            f" ({'ok' if not violations else '; '.join(violations)})"
+        )
+        if violations:
+            shed_rate_at_break = report.shed_rate
+            break
+        saturation_qps = qps
+        p99_at_saturation_ms = p99_ms
+        qps *= growth
+
+    # Chaos phase: nominal load under a breaker-tripping error window.
+    chaos_config = replace(
+        base_config,
+        seed=base_config.seed + 1000,
+        rate_qps=float(start_qps),
+        chaos=ChaosMix(error_windows=((0, chaos_error_window),)),
+    )
+    chaos_report = _run_round(
+        chaos_config, classifier, workdir / "chaos",
+        speed=1.0, max_workers=max_workers, serve_config=serve_config,
+    )
+    chaos_delta = chaos_report.counters_delta or {}
+    say(
+        "chaos phase: p99"
+        f" {chaos_report.latency.percentile(99.0) * 1000.0:.1f}ms with"
+        f" {int(chaos_delta.get('service_breaker_trips', 0))} breaker trips"
+    )
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "workload": base_config.to_dict(),
+        "slo": {"p99_ms": slo.p99_ms, "max_error_rate": slo.max_error_rate},
+        "saturation_qps": saturation_qps,
+        "p99_ms_at_saturation": p99_at_saturation_ms,
+        "shed_rate_at_break": shed_rate_at_break,
+        "slo_broke": bool(rounds and not rounds[-1]["ok"]),
+        "rounds": rounds,
+        "chaos": {
+            "p99_ms_under_breaker_trips": (
+                chaos_report.latency.percentile(99.0) * 1000.0
+            ),
+            "breaker_trips": int(
+                chaos_delta.get("service_breaker_trips", 0)
+            ),
+            "outcomes": dict(chaos_report.outcomes),
+            "reconciled": chaos_report.reconciled,
+        },
+    }
+
+
+def write_bench_report(
+    payload: Dict[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write ``BENCH_replay.json`` the way ``bench_micro`` writes its
+    sibling: indented, key-sorted, newline-terminated."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

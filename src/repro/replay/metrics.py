@@ -1,0 +1,283 @@
+"""Replay metrics: fixed-bucket latency histograms and exact accounting.
+
+Two measurement problems, two tools:
+
+* :class:`LatencyHistogram` — tail latency without storing samples.  A
+  million-query replay cannot keep a million floats around just to read
+  p99 at the end; the histogram buys constant memory with geometric
+  buckets (ratio sqrt(2) from 0.1 ms to ~2 min, ~42 buckets), which
+  bounds every quantile's relative error at ~41% of a bucket width while
+  letting reports from parallel drivers merge by vector addition.
+
+* :class:`ReplayReport` + :func:`reconcile` — *exact* accounting.  The
+  replay driver records one :class:`~repro.replay.driver.Outcome` per
+  submitted request (exactly-once, keyed by request id); the report
+  tallies them per category and, for in-process targets, diffs the
+  service's own ``registry_*``/``service_*`` counters across the run.
+  :func:`reconcile` then cross-checks the two ledgers pair by pair —
+  client-side quota rejections against ``registry_quota_rejections``,
+  shed against ``service_shed``, and so on.  A mismatch means a request
+  the client saw one way and the service recorded another: precisely the
+  lost-or-double-counted bug class this harness exists to catch.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "CATEGORIES",
+    "COUNTER_PAIRS",
+    "LatencyHistogram",
+    "ReplayReport",
+    "reconcile",
+]
+
+#: Every category the driver can assign to a request's outcome.  The sum
+#: over all categories must equal the number of submitted requests — the
+#: exactly-once invariant.
+CATEGORIES = (
+    "answered",      # a real prediction/explanation came back
+    "shed",          # ServiceOverloaded: queue past shed_high
+    "quota",         # QuotaExceeded: tenant over its in-flight cap
+    "breaker",       # CircuitOpen: slot breaker open/half-open busy
+    "deadline",      # DeadlineExceeded: expired at submit or while queued
+    "poison",        # injected per-request evaluation error, bisected out
+    "rejected",      # QueryError: malformed/oversized/ill-typed query
+    "unsupported",   # NotSupportedError: explain on an artifact-only slot
+    "crashed",       # WorkerCrashed: in-flight when a worker died
+    "closed",        # ServiceClosed: target shut down mid-run
+    "failed",        # any other structured (ReproError) failure
+    "transport",     # the request never reached the service (HTTP/socket)
+)
+
+#: (client category, service counter) pairs that must match exactly on an
+#: in-process replay: both sides increment once per affected request.
+COUNTER_PAIRS = (
+    ("shed", "service_shed"),
+    ("quota", "registry_quota_rejections"),
+    ("breaker", "service_breaker_rejections"),
+    ("deadline", "service_deadline_exceeded"),
+    ("poison", "service_poison_queries"),
+    ("rejected", "service_query_rejects"),
+)
+
+
+def _bucket_bounds() -> Tuple[float, ...]:
+    """Geometric upper bounds in seconds: 0.1 ms .. ~2 min, ratio sqrt(2)."""
+    bounds = []
+    value = 1e-4
+    while value < 120.0:
+        bounds.append(value)
+        value *= math.sqrt(2.0)
+    bounds.append(math.inf)
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency accumulator with percentile readout.
+
+    Not thread-safe on its own; the driver records under its accounting
+    lock, which it already holds for the exactly-once outcome map.
+    """
+
+    BOUNDS: Tuple[float, ...] = _bucket_bounds()
+
+    def __init__(self) -> None:
+        self._counts = [0] * len(self.BOUNDS)
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        index = bisect.bisect_left(self.BOUNDS, seconds)
+        self._counts[min(index, len(self._counts) - 1)] += 1
+        self._total += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for i, count in enumerate(other._counts):
+            self._counts[i] += count
+        self._total += other._total
+        self._sum += other._sum
+        self._max = max(self._max, other._max)
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._total if self._total else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """The latency (seconds) at percentile ``p`` in [0, 100].
+
+        Linear interpolation inside the owning bucket; the open-ended top
+        bucket reports the observed maximum instead of infinity.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if self._total == 0:
+            return 0.0
+        target = p / 100.0 * self._total
+        cumulative = 0
+        for i, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            if cumulative + count >= target:
+                lower = self.BOUNDS[i - 1] if i > 0 else 0.0
+                upper = self.BOUNDS[i]
+                if math.isinf(upper):
+                    return self._max
+                fraction = (target - cumulative) / count
+                value = lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+                # A bucket's upper bound can overshoot what was actually
+                # observed; the true maximum caps every quantile.
+                return min(value, self._max)
+            cumulative += count
+        return self._max
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self._total),
+            "mean_ms": self.mean * 1000.0,
+            "p50_ms": self.percentile(50.0) * 1000.0,
+            "p95_ms": self.percentile(95.0) * 1000.0,
+            "p99_ms": self.percentile(99.0) * 1000.0,
+            "max_ms": self._max * 1000.0,
+        }
+
+
+def reconcile(
+    outcomes: Mapping[str, int],
+    counters_delta: Optional[Mapping[str, float]],
+    submitted: int,
+) -> List[str]:
+    """Cross-check the client ledger against itself and the service's.
+
+    Returns human-readable mismatch descriptions (empty = fully
+    reconciled).  The total check runs always; the per-counter pairs only
+    when a counter delta is available (in-process targets — an HTTP
+    replay cannot see the server process's counters).
+    """
+    mismatches: List[str] = []
+    accounted = sum(outcomes.get(c, 0) for c in CATEGORIES)
+    stray = set(outcomes) - set(CATEGORIES)
+    if stray:
+        mismatches.append(f"unknown outcome categories: {sorted(stray)}")
+    if accounted != submitted:
+        mismatches.append(
+            f"accounted {accounted} outcomes for {submitted} submitted"
+            " requests (lost or duplicated responses)"
+        )
+    if counters_delta is None:
+        return mismatches
+    for category, counter in COUNTER_PAIRS:
+        client = outcomes.get(category, 0)
+        service = int(counters_delta.get(counter, 0.0))
+        if client != service:
+            mismatches.append(
+                f"client saw {client} {category!r} outcomes but the service"
+                f" counted {counter}={service}"
+            )
+    return mismatches
+
+
+@dataclass
+class ReplayReport:
+    """Everything a replay run measured, in one serializable bundle."""
+
+    submitted: int
+    outcomes: Dict[str, int]
+    latency: LatencyHistogram
+    wall_s: float
+    trace_duration_ms: float
+    controls: List[Dict[str, Any]] = field(default_factory=list)
+    counters_delta: Optional[Dict[str, float]] = None
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def answered(self) -> int:
+        return self.outcomes.get("answered", 0)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of submitted requests that did not get an answer."""
+        if self.submitted == 0:
+            return 0.0
+        return 1.0 - self.answered / self.submitted
+
+    @property
+    def shed_rate(self) -> float:
+        if self.submitted == 0:
+            return 0.0
+        return self.outcomes.get("shed", 0) / self.submitted
+
+    @property
+    def offered_qps(self) -> float:
+        """The trace's nominal offered rate over its own timeline."""
+        if self.trace_duration_ms <= 0:
+            return 0.0
+        return self.submitted / (self.trace_duration_ms / 1000.0)
+
+    @property
+    def achieved_qps(self) -> float:
+        """Answered requests per wall-clock second of the replay."""
+        return self.answered / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def reconciled(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "outcomes": {
+                c: self.outcomes.get(c, 0)
+                for c in CATEGORIES
+                if self.outcomes.get(c, 0)
+            },
+            "latency": self.latency.to_dict(),
+            "wall_s": self.wall_s,
+            "trace_duration_ms": self.trace_duration_ms,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "error_rate": self.error_rate,
+            "shed_rate": self.shed_rate,
+            "controls": list(self.controls),
+            "counters_delta": self.counters_delta,
+            "mismatches": list(self.mismatches),
+            "reconciled": self.reconciled,
+        }
+
+    def describe(self) -> str:
+        """A deterministic multi-line rendering for the CLI (no wall-clock
+        derived numbers — two runs of the same trace print identical
+        accounting lines)."""
+        lines = [f"submitted : {self.submitted}"]
+        for category in CATEGORIES:
+            count = self.outcomes.get(category, 0)
+            if count:
+                lines.append(f"{category:<10}: {count}")
+        if self.controls:
+            applied = sum(1 for c in self.controls if c.get("applied"))
+            lines.append(
+                f"controls  : {len(self.controls)}"
+                f" ({applied} applied, {len(self.controls) - applied} refused)"
+            )
+        if self.reconciled:
+            lines.append("reconciled: every submitted request accounted"
+                         " exactly once")
+        else:
+            for mismatch in self.mismatches:
+                lines.append(f"MISMATCH  : {mismatch}")
+        return "\n".join(lines)

@@ -1,0 +1,479 @@
+"""Deterministic workload trace generation and the versioned trace format.
+
+A *trace* is the replay harness's unit of reproducibility: a JSONL file
+whose first line is a header (schema version, seed, generator knobs, chaos
+mix) and whose remaining lines are timestamped events — ``request`` events
+(one query each: model, verb, tenant, item ids, deadline) and ``control``
+events (mid-run hot swaps, including deliberately corrupted ones).  The
+whole file is a pure function of its :class:`TraceConfig`: the same config
+produces byte-identical bytes, run to run, machine to machine, because
+
+* all randomness flows through one ``numpy`` generator seeded from
+  ``config.seed``;
+* arrival timestamps are rounded to 3 decimals of a millisecond
+  (microsecond resolution) before serialization, so float formatting can
+  never drift;
+* every line is serialized with ``sort_keys=True`` and fixed separators.
+
+Arrival processes (all open-loop — the trace fixes *when* requests are
+offered; the replay driver never waits for responses before offering the
+next one, exactly like real traffic):
+
+* ``uniform`` — constant spacing at ``rate_qps``;
+* ``poisson`` — exponential inter-arrivals at ``rate_qps``;
+* ``diurnal`` — a Poisson process whose instantaneous rate follows one
+  sinusoidal cycle over the nominal run length (the day/night ramp,
+  compressed);
+* ``burst`` — alternating hot and quiet phases (3.25x the nominal rate
+  for a quarter of each two-second cycle, 0.25x for the rest), averaging
+  ``rate_qps``.
+
+The chaos mix (:class:`ChaosMix`) is part of the trace, not of the
+harness invocation, so a chaos run is exactly as replayable as a clean
+one: poison queries are explicit marker requests (every gene expressed —
+generated normal queries always leave at least one gene unexpressed, so
+the marker is unambiguous), deadline storms rewrite the deadline of every
+request arriving inside their window, and hot-swap control events carry
+their ``at_ms`` like any request.  Model-level fault windows
+(``error_windows``) ride in the header for the in-process harness to arm
+on its :class:`~repro.testing.faults.FlakyBatchModel`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import TraceError
+
+__all__ = [
+    "ARRIVALS",
+    "ChaosMix",
+    "ReplayTrace",
+    "TRACE_SCHEMA",
+    "TraceConfig",
+    "config_from_header",
+    "dumps_trace",
+    "generate_trace",
+    "load_trace",
+    "write_trace",
+]
+
+#: The trace format version; bumped on any incompatible schema change.
+TRACE_SCHEMA = "repro.replay/1"
+
+ARRIVALS = ("uniform", "poisson", "diurnal", "burst")
+
+_VERBS = ("predict", "explain")
+
+
+@dataclass(frozen=True)
+class ChaosMix:
+    """The adversarial ingredients blended into a trace.
+
+    Attributes:
+        poison_fraction: fraction of requests replaced by the poison
+            marker query (all genes expressed) — the batch-bisection path.
+        deadline_storms: ``(start_ms, end_ms, deadline_ms)`` windows; any
+            request arriving inside one gets the storm's (tiny) deadline.
+        swaps_at_ms: offsets of clean hot-swap control events (the model
+            is redeployed mid-traffic; in-flight requests must survive).
+        corrupt_swaps_at_ms: offsets of hot-swap attempts with a corrupted
+            artifact — the registry must refuse them eagerly while the old
+            model keeps serving.
+        error_windows: ``(first_call, n_calls)`` ranges of *consecutive*
+            batch-evaluation call indices on which the in-process flaky
+            model raises.  Consecutive calls matter: the service bisects a
+            failing batch into more calls, so only a contiguous window
+            keeps failing long enough to trip the circuit breaker.
+    """
+
+    poison_fraction: float = 0.0
+    deadline_storms: Tuple[Tuple[float, float, float], ...] = ()
+    swaps_at_ms: Tuple[float, ...] = ()
+    corrupt_swaps_at_ms: Tuple[float, ...] = ()
+    error_windows: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.poison_fraction <= 1.0:
+            raise ValueError("poison_fraction must be within [0, 1]")
+        for start, end, deadline in self.deadline_storms:
+            if end <= start:
+                raise ValueError("deadline storm window must have end > start")
+            if deadline < 0:
+                raise ValueError("deadline storm deadline_ms must be >= 0")
+        for first, count in self.error_windows:
+            if first < 0 or count < 1:
+                raise ValueError(
+                    "error window needs first_call >= 0 and n_calls >= 1"
+                )
+
+    @property
+    def any(self) -> bool:
+        """True when this mix injects anything at all."""
+        return bool(
+            self.poison_fraction
+            or self.deadline_storms
+            or self.swaps_at_ms
+            or self.corrupt_swaps_at_ms
+            or self.error_windows
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "poison_fraction": self.poison_fraction,
+            "deadline_storms": [list(w) for w in self.deadline_storms],
+            "swaps_at_ms": list(self.swaps_at_ms),
+            "corrupt_swaps_at_ms": list(self.corrupt_swaps_at_ms),
+            "error_windows": [list(w) for w in self.error_windows],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "ChaosMix":
+        return ChaosMix(
+            poison_fraction=float(payload.get("poison_fraction", 0.0)),
+            deadline_storms=tuple(
+                tuple(float(x) for x in w)
+                for w in payload.get("deadline_storms", ())
+            ),
+            swaps_at_ms=tuple(
+                float(x) for x in payload.get("swaps_at_ms", ())
+            ),
+            corrupt_swaps_at_ms=tuple(
+                float(x) for x in payload.get("corrupt_swaps_at_ms", ())
+            ),
+            error_windows=tuple(
+                (int(first), int(count))
+                for first, count in payload.get("error_windows", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Everything :func:`generate_trace` needs — and nothing else.
+
+    Args:
+        seed: the only source of randomness.
+        requests: how many request events to emit.
+        rate_qps: nominal offered load (events per second of trace time).
+        arrival: one of :data:`ARRIVALS`.
+        n_items: the served model's gene vocabulary size (queries draw
+            item ids from ``[0, n_items)``); must be >= 2 so normal
+            queries can always leave one gene unexpressed and never
+            collide with the poison marker.
+        items_per_query: expressed genes per normal query (default:
+            ``max(1, n_items // 8)``, capped at ``n_items - 1``).
+        models: slot names traffic is spread over.
+        tenants: named tenants traffic is attributed to; empty means all
+            requests are anonymous (quota-exempt).
+        explain_fraction: fraction of requests using the ``explain`` verb.
+        deadline_ms: baseline per-request deadline (None = no deadline).
+        chaos: the :class:`ChaosMix` to blend in.
+    """
+
+    seed: int = 7
+    requests: int = 1000
+    rate_qps: float = 500.0
+    arrival: str = "poisson"
+    n_items: int = 16
+    items_per_query: Optional[int] = None
+    models: Tuple[str, ...] = ("default",)
+    tenants: Tuple[str, ...] = ()
+    explain_fraction: float = 0.0
+    deadline_ms: Optional[float] = None
+    chaos: ChaosMix = field(default_factory=ChaosMix)
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"arrival must be one of {ARRIVALS}, got {self.arrival!r}"
+            )
+        if self.n_items < 2:
+            raise ValueError("n_items must be >= 2")
+        if self.items_per_query is not None and not (
+            1 <= self.items_per_query < self.n_items
+        ):
+            raise ValueError(
+                "items_per_query must be in [1, n_items) so normal queries"
+                " never collide with the all-genes poison marker"
+            )
+        if not self.models:
+            raise ValueError("at least one model slot is required")
+        if not 0.0 <= self.explain_fraction <= 1.0:
+            raise ValueError("explain_fraction must be within [0, 1]")
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValueError("deadline_ms must be >= 0")
+
+    @property
+    def query_items(self) -> int:
+        if self.items_per_query is not None:
+            return self.items_per_query
+        return min(max(1, self.n_items // 8), self.n_items - 1)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "rate_qps": self.rate_qps,
+            "arrival": self.arrival,
+            "n_items": self.n_items,
+            "items_per_query": self.query_items,
+            "models": list(self.models),
+            "tenants": list(self.tenants),
+            "explain_fraction": self.explain_fraction,
+            "deadline_ms": self.deadline_ms,
+        }
+
+
+@dataclass(frozen=True)
+class ReplayTrace:
+    """A parsed trace: one header plus its time-ordered events."""
+
+    header: Dict[str, Any]
+    events: Tuple[Dict[str, Any], ...]
+
+    @property
+    def chaos(self) -> ChaosMix:
+        return ChaosMix.from_dict(self.header.get("chaos", {}))
+
+    @property
+    def requests(self) -> Tuple[Dict[str, Any], ...]:
+        return tuple(e for e in self.events if e["kind"] == "request")
+
+    @property
+    def controls(self) -> Tuple[Dict[str, Any], ...]:
+        return tuple(e for e in self.events if e["kind"] == "control")
+
+    @property
+    def duration_ms(self) -> float:
+        return max((e["at_ms"] for e in self.events), default=0.0)
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+
+def _arrival_times(config: TraceConfig, rng: np.random.Generator) -> np.ndarray:
+    """Arrival offsets in seconds, one per request, strictly generated
+    from the seed (never from the clock)."""
+    n, rate = config.requests, config.rate_qps
+    if config.arrival == "uniform":
+        return np.arange(n) / rate
+    if config.arrival == "poisson":
+        return np.cumsum(rng.exponential(1.0 / rate, size=n))
+    nominal = n / rate  # the run's nominal length in seconds
+    times = np.empty(n)
+    t = 0.0
+    for i in range(n):
+        if config.arrival == "diurnal":
+            # One sinusoidal day compressed into the nominal run: the rate
+            # swings between 0.1x and 1.9x around the configured mean.
+            instantaneous = rate * (1.0 + 0.9 * math.sin(
+                2.0 * math.pi * t / max(nominal, 1e-9)
+            ))
+        else:  # burst
+            phase = t % 2.0
+            instantaneous = rate * (3.25 if phase < 0.5 else 0.25)
+        t += rng.exponential(1.0 / max(instantaneous, rate * 0.05))
+        times[i] = t
+    return times
+
+
+def _storm_deadline(
+    chaos: ChaosMix, at_ms: float, baseline: Optional[float]
+) -> Optional[float]:
+    for start, end, deadline in chaos.deadline_storms:
+        if start <= at_ms < end:
+            return deadline
+    return baseline
+
+
+def generate_trace(config: TraceConfig) -> ReplayTrace:
+    """Generate the full trace for a config (header first, then events
+    sorted by ``at_ms`` with request/control ids as the tiebreak)."""
+    rng = np.random.default_rng(config.seed)
+    times_ms = np.round(_arrival_times(config, rng) * 1000.0, 3)
+
+    # Draw every stochastic attribute in a fixed order so adding a knob
+    # later cannot silently reshuffle an existing field's stream.
+    model_picks = rng.integers(0, len(config.models), size=config.requests)
+    tenant_picks = (
+        rng.integers(0, len(config.tenants), size=config.requests)
+        if config.tenants
+        else None
+    )
+    verb_draws = rng.random(config.requests)
+    poison_draws = rng.random(config.requests)
+
+    events: List[Dict[str, Any]] = []
+    width = max(6, len(str(config.requests)))
+    for i in range(config.requests):
+        at_ms = float(times_ms[i])
+        poison = bool(poison_draws[i] < config.chaos.poison_fraction)
+        if poison:
+            items = list(range(config.n_items))
+            verb = "predict"  # poison targets the batch path, not explain
+        else:
+            items = sorted(
+                int(x)
+                for x in rng.choice(
+                    config.n_items, size=config.query_items, replace=False
+                )
+            )
+            verb = (
+                "explain"
+                if verb_draws[i] < config.explain_fraction
+                else "predict"
+            )
+        event: Dict[str, Any] = {
+            "kind": "request",
+            "id": f"r{i:0{width}d}",
+            "at_ms": at_ms,
+            "model": config.models[int(model_picks[i])],
+            "verb": verb,
+            "items": items,
+            "poison": poison,
+        }
+        if config.tenants:
+            event["tenant"] = config.tenants[int(tenant_picks[i])]
+        deadline = _storm_deadline(config.chaos, at_ms, config.deadline_ms)
+        if deadline is not None:
+            event["deadline_ms"] = float(deadline)
+        events.append(event)
+
+    controls: List[Tuple[float, str]] = [
+        (float(at), "swap") for at in config.chaos.swaps_at_ms
+    ] + [(float(at), "swap_corrupt") for at in config.chaos.corrupt_swaps_at_ms]
+    for j, (at_ms, action) in enumerate(sorted(controls)):
+        events.append({
+            "kind": "control",
+            "id": f"c{j:04d}",
+            "at_ms": round(at_ms, 3),
+            "action": action,
+            "model": config.models[0],
+        })
+
+    events.sort(key=lambda e: (e["at_ms"], e["id"]))
+    header = {
+        "kind": "header",
+        "schema": TRACE_SCHEMA,
+        "generator": config.to_dict(),
+        "chaos": config.chaos.to_dict(),
+        "events": len(events),
+    }
+    return ReplayTrace(header=header, events=tuple(events))
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def _dump_line(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def dumps_trace(trace: ReplayTrace) -> str:
+    """The canonical byte-identical JSONL serialization of a trace."""
+    lines = [_dump_line(trace.header)]
+    lines.extend(_dump_line(event) for event in trace.events)
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(trace: ReplayTrace, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(dumps_trace(trace), encoding="utf-8")
+    return path
+
+
+def load_trace(source: Union[str, Path]) -> ReplayTrace:
+    """Parse a trace file, validating schema and event structure.
+
+    Raises :class:`~repro.errors.TraceError` on anything malformed: a
+    missing or unsupported header, a non-JSON line, a request without an
+    id, a duplicate id, or an event count that disagrees with the header.
+    """
+    path = Path(source)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise TraceError(f"trace {path} is empty")
+    parsed: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"trace {path} line {lineno} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "kind" not in payload:
+            raise TraceError(
+                f"trace {path} line {lineno} is not a trace event object"
+            )
+        parsed.append(payload)
+    header, events = parsed[0], parsed[1:]
+    if header.get("kind") != "header":
+        raise TraceError(f"trace {path} does not start with a header line")
+    if header.get("schema") != TRACE_SCHEMA:
+        raise TraceError(
+            f"trace {path} has schema {header.get('schema')!r}; this"
+            f" harness reads {TRACE_SCHEMA!r}"
+        )
+    seen: set = set()
+    for event in events:
+        kind = event.get("kind")
+        if kind not in ("request", "control"):
+            raise TraceError(f"trace {path} has unknown event kind {kind!r}")
+        for key in ("id", "at_ms"):
+            if key not in event:
+                raise TraceError(
+                    f"trace {path} {kind} event is missing {key!r}"
+                )
+        if event["id"] in seen:
+            raise TraceError(
+                f"trace {path} repeats event id {event['id']!r}"
+            )
+        seen.add(event["id"])
+        if kind == "request":
+            for key in ("model", "verb", "items"):
+                if key not in event:
+                    raise TraceError(
+                        f"trace {path} request {event['id']} is missing"
+                        f" {key!r}"
+                    )
+            if event["verb"] not in _VERBS:
+                raise TraceError(
+                    f"trace {path} request {event['id']} has unknown verb"
+                    f" {event['verb']!r}"
+                )
+    declared = header.get("events")
+    if declared is not None and declared != len(events):
+        raise TraceError(
+            f"trace {path} declares {declared} events but carries"
+            f" {len(events)}"
+        )
+    return ReplayTrace(header=header, events=tuple(events))
+
+
+def config_from_header(header: Dict[str, Any]) -> TraceConfig:
+    """Rebuild the :class:`TraceConfig` a trace was generated from."""
+    generator = dict(header.get("generator", {}))
+    chaos = ChaosMix.from_dict(header.get("chaos", {}))
+    known = {f.name for f in fields(TraceConfig)}
+    kwargs = {k: v for k, v in generator.items() if k in known}
+    for key in ("models", "tenants"):
+        if key in kwargs:
+            kwargs[key] = tuple(kwargs[key])
+    return TraceConfig(chaos=chaos, **kwargs)

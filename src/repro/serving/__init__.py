@@ -29,6 +29,8 @@ from ..errors import (
     ModelNotFound,
     NotSupportedError,
     QuotaExceeded,
+    RequestTimeout,
+    RequestTooLarge,
 )
 from .config import ServeConfig
 from .http import GatewayServer
@@ -71,6 +73,8 @@ __all__ = [
     "QueryError",
     "QuotaExceeded",
     "RegistryHealth",
+    "RequestTimeout",
+    "RequestTooLarge",
     "ServeConfig",
     "ServiceClosed",
     "ServiceError",

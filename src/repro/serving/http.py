@@ -22,11 +22,19 @@ Request bodies may carry ``tenant`` (quota accounting) and ``deadline_ms``
 :mod:`repro.serving.surface`: the body is :func:`~repro.serving.surface.
 error_body`, the status :func:`~repro.serving.surface.http_status`, and a
 ``Retry-After`` header rides along when the breaker knows its cooldown.
+
+Two request-hardening guards protect the thread-per-connection model from
+hostile or broken clients: a body larger than ``max_body_bytes`` is
+refused with 413 (:class:`~repro.errors.RequestTooLarge`) before a byte of
+it is read, and a client that stalls mid-body past ``read_timeout``
+seconds gets 408 (:class:`~repro.errors.RequestTimeout`) instead of
+pinning a worker thread forever.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -34,7 +42,12 @@ from urllib.parse import urlparse
 
 import numpy as np
 
-from ..errors import QueryError, ReproError
+from ..errors import (
+    QueryError,
+    ReproError,
+    RequestTimeout,
+    RequestTooLarge,
+)
 from ..rules.boolexpr import pretty
 from .registry import ModelInfo, ModelRegistry
 from .surface import error_body, http_status
@@ -109,6 +122,16 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def registry(self) -> ModelRegistry:
         return self.server.registry  # type: ignore[attr-defined]
 
+    def setup(self) -> None:
+        super().setup()
+        # A stalled client may never send its body; the socket timeout
+        # bounds every read so the connection thread cannot be pinned.
+        # (Idle keep-alive timeouts are absorbed by http.server, which
+        # closes the connection; mid-body timeouts surface as 408 below.)
+        read_timeout = getattr(self.server, "read_timeout", None)
+        if read_timeout is not None:
+            self.connection.settimeout(read_timeout)
+
     def log_message(self, format: str, *args: Any) -> None:
         # Observability flows through the shared counters, not stderr.
         pass
@@ -137,7 +160,21 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _read_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
+        max_body = getattr(self.server, "max_body_bytes", None)
+        if max_body is not None and length > max_body:
+            # Refused before reading: the oversized payload never gets
+            # buffered, and the connection is dropped so the client cannot
+            # stream the rest into a half-read socket.
+            self.close_connection = True
+            raise RequestTooLarge(length, max_body)
+        try:
+            raw = self.rfile.read(length) if length else b""
+        except socket.timeout:
+            self.close_connection = True
+            raise RequestTimeout(
+                f"client sent {length}-byte Content-Length but stalled"
+                " mid-body past the gateway read timeout"
+            ) from None
         if not raw:
             raise QueryError("request body must be a JSON object")
         try:
@@ -194,11 +231,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             "state": health.state,
             "ready": health.ready,
             "tenants_in_flight": health.tenants_in_flight,
+            "breakers_open": health.breakers_open,
+            "breaker_retry_after": health.breaker_retry_after,
             "models": {
                 name: {
                     "state": h.state,
                     "ready": h.ready,
                     "breaker": h.breaker,
+                    "breaker_retry_after": h.breaker_retry_after,
+                    "consecutive_failures": h.consecutive_failures,
                     "queue_depth": h.queue_depth,
                     "worker_alive": h.worker_alive,
                     "worker_restarts": h.worker_restarts,
@@ -304,6 +345,20 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         )
 
 
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a listen backlog sized for bursty load.
+
+    socketserver's default backlog of 5 resets connections the moment a
+    few dozen clients connect in the same instant — an open-loop replay
+    at even modest QPS trips it constantly.  128 matches the common
+    ``somaxconn`` floor; beyond that the admission queue (shed/quota)
+    is the intended backpressure, not the kernel's SYN queue.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
+
+
 class GatewayServer:
     """The multi-tenant HTTP gateway over a model registry.
 
@@ -314,22 +369,41 @@ class GatewayServer:
         host: bind address (default loopback).
         port: bind port (default 0 = ephemeral; read :attr:`port` after
             construction).
+        max_body_bytes: request bodies larger than this are refused with
+            413 before being read (``None`` disables the ceiling).
+        read_timeout: seconds a client may stall while the gateway reads
+            its request before it gets 408 and the connection is dropped
+            (``None`` disables the timeout).
 
     ``start()`` serves on a daemon thread (tests, embedding);
     ``serve_forever()`` serves on the calling thread (the CLI).  Usable as
     a context manager.
     """
 
+    #: Default request-body ceiling: far above any legitimate query (a
+    #: dense 100k-gene vector is ~600 KiB of JSON) yet small enough that a
+    #: hostile client cannot balloon a connection thread's memory.
+    DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
+    #: Default per-read socket timeout for request bodies, seconds.
+    DEFAULT_READ_TIMEOUT = 10.0
+
     def __init__(
         self,
         registry: ModelRegistry,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
     ):
+        if max_body_bytes is not None and max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        if read_timeout is not None and read_timeout <= 0:
+            raise ValueError("read_timeout must be positive")
         self._registry = registry
-        self._server = ThreadingHTTPServer((host, port), _GatewayHandler)
+        self._server = _GatewayHTTPServer((host, port), _GatewayHandler)
         self._server.registry = registry  # type: ignore[attr-defined]
-        self._server.daemon_threads = True
+        self._server.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
+        self._server.read_timeout = read_timeout  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._served = False  # BaseServer.shutdown hangs unless it ran
 

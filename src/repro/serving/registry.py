@@ -91,6 +91,20 @@ class RegistryHealth:
             h.ready for h in self.models.values()
         )
 
+    @property
+    def breakers_open(self) -> int:
+        """How many slots currently have a non-closed circuit breaker."""
+        return sum(1 for h in self.models.values() if h.breaker != "closed")
+
+    @property
+    def breaker_retry_after(self) -> float:
+        """The longest remaining breaker cooldown across all slots (0.0
+        when every breaker is closed) — lets an operator or replay driver
+        observe trips without triggering requests."""
+        if not self.models:
+            return 0.0
+        return max(h.breaker_retry_after for h in self.models.values())
+
 
 @dataclass
 class _Slot:
@@ -317,6 +331,22 @@ class ModelRegistry:
         """The named model's gene vocabulary (empty when unavailable)."""
         dataset = getattr(self._slot(name).classifier, "dataset", None)
         return tuple(getattr(dataset, "item_names", ()) or ())
+
+    @property
+    def counters(self) -> EngineCounters:
+        """The counter sink the registry and its slots report into."""
+        return self._counters
+
+    def counters_snapshot(self) -> Dict[str, float]:
+        """The serving-relevant counter state (``registry_*``/``service_*``
+        keys) as a plain dict — the replay harness diffs two of these to
+        reconcile its client-side accounting against what the service
+        believes happened."""
+        return {
+            name: value
+            for name, value in self._counters.snapshot().items()
+            if name.startswith(("registry_", "service_"))
+        }
 
     def health(self) -> RegistryHealth:
         """Aggregate snapshot: registry state + every slot's ServiceHealth."""

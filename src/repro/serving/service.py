@@ -120,6 +120,10 @@ class ServiceHealth:
     consecutive_failures: int
     shedding: bool
     answered: int
+    #: Remaining breaker cooldown in seconds (0.0 unless the breaker is
+    #: open) — the same number :class:`CircuitOpen.retry_after` would carry,
+    #: but observable without submitting a request.
+    breaker_retry_after: float = 0.0
 
     @property
     def ready(self) -> bool:
@@ -289,6 +293,11 @@ class PredictionService:
         return self._model
 
     @property
+    def counters(self) -> EngineCounters:
+        """The counter sink this service reports ``service_*`` keys into."""
+        return self._counters
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -305,6 +314,11 @@ class PredictionService:
         """A readiness snapshot for probes — never blocks on the queue."""
         with self._state_lock:
             worker = self._worker
+            retry_after = 0.0
+            if self._breaker == _BREAKER_OPEN:
+                retry_after = max(
+                    0.0, self._breaker_open_until - time.monotonic()
+                )
             return ServiceHealth(
                 state="closed" if self._closed else "serving",
                 breaker=self._breaker,
@@ -314,6 +328,7 @@ class PredictionService:
                 consecutive_failures=self._failures,
                 shedding=self._shedding,
                 answered=self._answered,
+                breaker_retry_after=retry_after,
             )
 
     # ------------------------------------------------------------------

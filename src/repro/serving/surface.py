@@ -27,9 +27,12 @@ from ..errors import (
     QueryError,
     QuotaExceeded,
     ReproError,
+    RequestTimeout,
+    RequestTooLarge,
     ServiceClosed,
     ServiceError,
     ServiceOverloaded,
+    TraceError,
     WorkerCrashed,
     WorkerError,
 )
@@ -58,9 +61,12 @@ EXIT_OVERLOAD = 5  #: service shed load / circuit breaker open / closed
 ERROR_SURFACE: Dict[Type[BaseException], Tuple[int, int]] = {
     # Caller mistakes: reject, nothing to retry.
     QueryError: (400, EXIT_ERROR),
+    RequestTooLarge: (413, EXIT_ERROR),
+    RequestTimeout: (408, EXIT_ERROR),
     ModelNotFound: (404, EXIT_ERROR),
     NotSupportedError: (501, EXIT_ERROR),
     NotFittedError: (409, EXIT_ERROR),
+    TraceError: (400, EXIT_ERROR),
     # Load and lifecycle: retryable refusals.
     ServiceOverloaded: (429, EXIT_OVERLOAD),
     QuotaExceeded: (429, EXIT_OVERLOAD),
