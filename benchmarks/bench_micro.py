@@ -17,6 +17,7 @@ import json
 import os
 import threading
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -31,11 +32,13 @@ from repro.core.fast import (
     clear_evaluator_cache,
     get_evaluator,
 )
+from repro.core.plan import tables_hot_nbytes
 from repro.datasets.dataset import RelationalDataset
 from repro.datasets.discretize import EntropyDiscretizer
 from repro.datasets.profiles import scaled
 from repro.datasets.splits import given_training_split
 from repro.datasets.synthetic import generate_expression_data
+from repro.replay.metrics import LatencyHistogram
 from repro.serving import ModelRegistry, PredictionService, ServeConfig
 
 BENCH_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
@@ -309,6 +312,87 @@ def test_bitset_closure_speedup(kernel_workload):
 
 
 # ----------------------------------------------------------------------
+# Compiled evaluation plans vs the legacy per-class table kernel
+# ----------------------------------------------------------------------
+
+
+def test_plan_kernel_speedup():
+    """The compiled-plan acceptance bar: the structure-of-arrays arena
+    kernel must deliver >= 1.5x the batched throughput of the legacy
+    ``_ClassTables`` kernel on the sparse serving profile, bit for bit.
+
+    The workload is the regime the plan layer was built for — wide
+    vocabularies (thousands of items) probed by sparse queries (tens of
+    expressed genes each), where the legacy kernel pays full-width
+    matmuls and the plan kernel restricts each inner product to the
+    query's own expressed columns.  Both paths answer the identical
+    batch and the outputs are compared with ``np.array_equal`` (always
+    gating, even under REPRO_BENCH_SMOKE); the timing gate and the
+    profile size relax in smoke mode.
+
+    Two more plan invariants ride along: the arena must be strictly
+    smaller than the per-class tables it replaced (the bytes-per-query
+    reduction the downcast dtypes exist for), and per-batch kernel
+    latency percentiles are recorded into BENCH_micro.json via
+    ``LatencyHistogram`` so tail regressions show up across commits.
+    """
+    if BENCH_SMOKE:
+        n_samples, n_items, n_batches = 150, 600, 4
+    else:
+        n_samples, n_items, n_batches = 500, 3000, 12
+    dataset = _serving_dataset(n_samples, n_items, 3, 0.3, seed=11)
+    legacy = FastBSTCEvaluator(dataset, compile_plan=False)
+    planned = FastBSTCEvaluator(dataset)
+    rng = np.random.default_rng(12)
+    batch = rng.random((64, n_items)) < 30 / n_items  # sparse queries
+
+    legacy_values = legacy.classification_values_batch(batch)
+    plan_values = planned.classification_values_batch(batch)
+    # Bit-identity gate, never relaxed: the plan kernel is a pure
+    # refactoring of the arithmetic, not an approximation of it.
+    assert np.array_equal(plan_values, legacy_values)
+
+    plan_bytes = planned.plan.hot_nbytes()
+    table_bytes = tables_hot_nbytes(legacy._tables)
+    _BENCH_RECORD["plan_hot_bytes_ratio"] = plan_bytes / table_bytes
+    assert plan_bytes < table_bytes, (
+        f"arena ({plan_bytes} B) not smaller than the legacy tables"
+        f" ({table_bytes} B)"
+    )
+
+    histogram = LatencyHistogram()
+
+    def run_planned():
+        for _ in range(n_batches):
+            start = time.perf_counter()
+            planned.classification_values_batch(batch)
+            histogram.record(time.perf_counter() - start)
+
+    legacy_seconds = _best_of(
+        3,
+        lambda: [
+            legacy.classification_values_batch(batch)
+            for _ in range(n_batches)
+        ],
+    )
+    plan_seconds = _best_of(3, run_planned)
+
+    speedup = legacy_seconds / plan_seconds
+    _BENCH_RECORD["plan_kernel_speedup"] = speedup
+    _BENCH_RECORD["plan_kernel_batch_latency_ms"] = histogram.to_dict()
+    print(
+        f"\ncompiled plan: {plan_seconds * 1e3:.1f}ms vs legacy tables"
+        f" {legacy_seconds * 1e3:.1f}ms per {n_batches} batches"
+        f" ({speedup:.1f}x, arena {plan_bytes / table_bytes:.2f}x the"
+        " table bytes)"
+    )
+    if not BENCH_SMOKE:
+        assert speedup >= 1.5, (
+            f"compiled plan kernel only {speedup:.2f}x the legacy tables"
+        )
+
+
+# ----------------------------------------------------------------------
 # Model artifacts and the micro-batching prediction service
 # ----------------------------------------------------------------------
 
@@ -431,7 +515,7 @@ def test_artifact_integrity_overhead(tmp_path):
     # surface as ArtifactCorrupt under eager verification.
     corrupt = tmp_path / "corrupt.npz"
     corrupt.write_bytes(path.read_bytes())
-    corrupt_artifact_member(corrupt, "class0_inside.npy")
+    corrupt_artifact_member(corrupt, "arena_inside_f.npy")
     with pytest.raises(ArtifactCorrupt):
         load_artifact(corrupt, verify="eager", on_corrupt="fail")
 
@@ -446,6 +530,60 @@ def test_artifact_integrity_overhead(tmp_path):
         assert overhead <= 0.20, (
             f"lazy integrity verification adds {overhead * 100:.1f}% to the"
             " cold-start load (gate: 20%)"
+        )
+
+
+def test_artifact_v2_vs_v1_cold_start(tmp_path):
+    """Format v2 (compiled arena) must cold-start no slower than v1.
+
+    v1 artifacts store the raw per-class tables, so loading one pays a
+    full plan recompile (arena build, duplicate culling, downcast
+    guards) before the first answer; v2 memory-maps the arena as-is.
+    Gate: v2 load+first-answer at least matches v1 (best of 3 each;
+    relaxed under REPRO_BENCH_SMOKE, where the profile also shrinks).
+    The two formats must answer bit-identically — that check never
+    relaxes.
+    """
+    if BENCH_SMOKE:
+        n_samples, n_items = 200, 800
+    else:
+        n_samples, n_items = 1000, 4000
+    dataset = _serving_dataset(n_samples, n_items, 3, 0.3, seed=13)
+    rng = np.random.default_rng(14)
+    query = (rng.random(n_items) < 30 / n_items)[None, :]
+    evaluator = FastBSTCEvaluator(dataset)
+    v2_path = save_artifact(evaluator, tmp_path / "v2.npz")
+    v1_path = save_artifact(
+        evaluator, tmp_path / "v1.npz", format_version=1
+    )
+
+    def v1_cold_start():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            loaded = load_artifact(v1_path, verify="off")
+        return loaded.classification_values_batch(query)
+
+    def v2_cold_start():
+        return load_artifact(
+            v2_path, verify="off"
+        ).classification_values_batch(query)
+
+    v1_answer = v1_cold_start()
+    v2_answer = v2_cold_start()
+    assert np.array_equal(v1_answer, v2_answer)  # never relaxed
+
+    v1_seconds = _best_of(3, v1_cold_start)
+    v2_seconds = _best_of(3, v2_cold_start)
+    ratio = v1_seconds / v2_seconds
+    _BENCH_RECORD["artifact_v2_vs_v1_cold_start_speedup"] = ratio
+    print(
+        f"\nartifact v2 cold start: {v2_seconds * 1e3:.1f}ms vs v1"
+        f" recompile {v1_seconds * 1e3:.1f}ms ({ratio:.1f}x)"
+    )
+    if not BENCH_SMOKE:
+        assert ratio >= 1.0, (
+            f"v2 cold start is {1 / ratio:.2f}x slower than the v1"
+            " recompile path"
         )
 
 
@@ -484,12 +622,15 @@ def test_service_threaded_throughput_speedup():
     serial_seconds = time.perf_counter() - start
 
     served = np.empty_like(serial)
+    latencies = np.zeros(n_requests)
     per_thread = n_requests // n_threads
 
     def caller(thread_id):
         lo = thread_id * per_thread
         for i in range(lo, lo + per_thread):
+            begin = time.perf_counter()
             served[i] = service.classification_values(queries[i])
+            latencies[i] = time.perf_counter() - begin
 
     with PredictionService(
         evaluator,
@@ -523,6 +664,12 @@ def test_service_threaded_throughput_speedup():
 
     speedup = serial_seconds / service_seconds
     _BENCH_RECORD["service_threaded_throughput_speedup"] = speedup
+    # LatencyHistogram is not thread-safe, so callers record wall times
+    # into their own slots and the histogram is fed after the join.
+    histogram = LatencyHistogram()
+    for seconds in latencies:
+        histogram.record(float(seconds))
+    _BENCH_RECORD["service_request_latency_ms"] = histogram.to_dict()
     serial_qps = n_requests / serial_seconds
     service_qps = n_requests / service_seconds
     print(

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from .table import BST, BSTCell, ExclusionList
 
 
@@ -73,6 +75,29 @@ def cull_bst(bst: BST) -> BST:
         cells=culled_cells,
         pair_lists=dict(bst._pair_lists),
     )
+
+
+def duplicate_row_keep_mask(matrix: np.ndarray) -> np.ndarray:
+    """Boolean keep-mask over the rows of a boolean matrix: the first
+    occurrence of every distinct row is kept, later exact duplicates are
+    dropped.
+
+    This is the *value-preserving* subset of the cull above, used by the
+    compiled evaluation plans (:mod:`repro.core.plan`): two identical
+    outside rows ``h1 == h2`` produce identical pair exclusion lists
+    against every class row *and* express exactly the same genes, so under
+    the idempotent ``min`` arithmetization dropping the duplicate from
+    every cell's combine leaves each quantized cell value bit-identical —
+    unlike the general implication cull, which can change Algorithm 5's
+    numbers.  Deterministic: ties always keep the lowest row index.
+    """
+    matrix = np.asarray(matrix, dtype=bool)
+    if matrix.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    _, first = np.unique(matrix, axis=0, return_index=True)
+    keep = np.zeros(matrix.shape[0], dtype=bool)
+    keep[first] = True
+    return keep
 
 
 def culling_ratio(original: BST, culled: BST) -> float:

@@ -27,6 +27,10 @@ _EXPORTS = {
     "CellRuleEvidence": "explain",
     "Explanation": "explain",
     "explain_classification": "explain",
+    "EvaluationPlan": "plan",
+    "PlanClass": "plan",
+    "compile_plan_from_tables": "plan",
+    "plan_from_arena": "plan",
     "FastBSTCEvaluator": "fast",
     "clear_evaluator_cache": "fast",
     "evaluator_cache_info": "fast",
@@ -104,3 +108,9 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         set_evaluator_cache_size,
     )
     from .mcbar_classifier import MCBARClassifier, rule_satisfaction  # noqa: F401
+    from .plan import (  # noqa: F401
+        EvaluationPlan,
+        PlanClass,
+        compile_plan_from_tables,
+        plan_from_arena,
+    )

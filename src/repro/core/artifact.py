@@ -5,16 +5,23 @@ but the vectorized engine still pays the full :class:`FastBSTCEvaluator` table
 build (dense per-class matmuls over the whole training matrix) on every cold
 start.  This module removes that cost from the serving path:
 
-* :func:`save_artifact` exports a fitted evaluator's per-class
-  :class:`~repro.core.fast._ClassTables` arrays, the arithmetization, the
-  training-data fingerprint and a format version into a single uncompressed
-  ``.npz`` file;
+* :func:`save_artifact` exports a fitted evaluator's **compiled evaluation
+  plan** (:mod:`repro.core.plan`) — one flat ``arena_<field>`` member per
+  structure-of-arrays field plus a tiny int64 geometry table — alongside
+  the arithmetization, the training-data fingerprint and a format version,
+  in a single uncompressed ``.npz`` file (format v2; ``format_version=1``
+  still writes the legacy per-class ``_ClassTables`` layout);
 * :func:`load_artifact` reconstructs a working evaluator **without rebuilding
   any table**: every stored array is memory-mapped straight out of the zip
   archive (``np.savez`` stores members uncompressed, so each embedded ``.npy``
   payload is a contiguous byte range that :class:`numpy.memmap` can address
-  directly).  Cold start becomes a zip-directory parse plus a few header
-  reads; table pages fault in lazily as the first queries touch them.
+  directly) and the per-class plan views are rebuilt over the mapped arena
+  without copying a byte.  Cold start becomes a zip-directory parse plus a
+  few header reads; arena pages fault in lazily as the first queries touch
+  them.  Legacy v1 artifacts still load — their tables are recompiled into
+  a plan (with a :class:`DeprecationWarning` and an
+  ``artifact_v1_recompiles`` counter), which costs the compile but keeps
+  old files serving until they are re-saved.
 
 A loaded evaluator carries a :class:`DatasetSummary` instead of the full
 training :class:`~repro.datasets.dataset.RelationalDataset`: the evaluation
@@ -50,6 +57,7 @@ import json
 import os
 import struct
 import threading
+import warnings
 import zipfile
 import zlib
 from concurrent.futures import ThreadPoolExecutor
@@ -63,6 +71,7 @@ from ..errors import ReproError
 from ..evaluation.timing import engine_counters
 from .arithmetization import get_combiner
 from .fast import FastBSTCEvaluator, _ClassTables, discard_evaluator
+from .plan import ARENA_FIELDS, compile_plan_from_tables, plan_from_arena
 
 PathLike = Union[str, Path]
 
@@ -77,14 +86,20 @@ __all__ = [
 ]
 
 #: Bumped whenever the stored array layout changes incompatibly.  Loaders
-#: refuse unknown versions instead of guessing.
-ARTIFACT_FORMAT_VERSION = 1
+#: refuse unknown versions instead of guessing; v1 (the per-class
+#: ``_ClassTables`` layout) remains readable via recompilation.
+ARTIFACT_FORMAT_VERSION = 2
 
-#: The per-class arrays an artifact stores, in ``_ClassTables`` field order.
-#: ``inside_f``/``outside_f`` are stored even though they are casts of
-#: ``inside``/``outside``: they are the matmul operands, and storing them
+#: Every format version :func:`load_artifact` can read.
+_READABLE_VERSIONS = (1, 2)
+
+#: The per-class arrays a **v1** artifact stores, in ``_ClassTables`` field
+#: order.  ``inside_f``/``outside_f`` are stored even though they are casts
+#: of ``inside``/``outside``: they are the matmul operands, and storing them
 #: keeps the hot kernels running on memory-mapped pages instead of forcing a
-#: full in-memory cast at load time.
+#: full in-memory cast at load time.  v2 artifacts store the compiled arena
+#: (one ``arena_<field>`` member per :data:`repro.core.plan.ARENA_FIELDS`
+#: entry) instead.
 _TABLE_FIELDS: Tuple[str, ...] = (
     "inside",
     "outside",
@@ -172,16 +187,29 @@ class DatasetSummary:
 # ----------------------------------------------------------------------
 
 
-def save_artifact(evaluator: FastBSTCEvaluator, path: PathLike) -> Path:
+def save_artifact(
+    evaluator: FastBSTCEvaluator,
+    path: PathLike,
+    *,
+    format_version: int = ARTIFACT_FORMAT_VERSION,
+) -> Path:
     """Export a fitted evaluator as a single ``.npz`` model artifact.
 
     The file is written uncompressed (``np.savez``) on purpose: compression
     would defeat the memory-mapped zero-copy load path, and boolean/float32
-    tables are already compact.  Returns the path written.
+    tables are already compact.  By default the compiled evaluation plan is
+    stored (format v2: the flat arena plus its geometry table);
+    ``format_version=1`` writes the legacy per-class layout for consumers
+    pinned to the old reader.  Returns the path written.
     """
+    if format_version not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"format_version must be one of {_READABLE_VERSIONS},"
+            f" got {format_version}"
+        )
     dataset = evaluator.dataset
     arrays: Dict[str, np.ndarray] = {
-        "meta_format_version": np.array(ARTIFACT_FORMAT_VERSION, dtype=np.int64),
+        "meta_format_version": np.array(format_version, dtype=np.int64),
         "meta_arithmetization": np.array(evaluator.arithmetization),
         "meta_fingerprint": np.array(dataset.fingerprint),
         "meta_n_items": np.array(dataset.n_items, dtype=np.int64),
@@ -189,17 +217,27 @@ def save_artifact(evaluator: FastBSTCEvaluator, path: PathLike) -> Path:
         "meta_n_samples": np.array(dataset.n_samples, dtype=np.int64),
         "meta_item_names": np.array(list(dataset.item_names)),
         "meta_class_names": np.array(list(dataset.class_names)),
-        "meta_has_table": np.array(
-            [t is not None for t in evaluator._tables], dtype=bool
-        ),
     }
-    for class_id, tables in enumerate(evaluator._tables):
-        if tables is None:
-            continue
-        for field_name in _TABLE_FIELDS:
-            arrays[f"class{class_id}_{field_name}"] = np.ascontiguousarray(
-                getattr(tables, field_name)
-            )
+    if format_version == 1:
+        legacy = evaluator._legacy_tables()
+        arrays["meta_has_table"] = np.array(
+            [t is not None for t in legacy], dtype=bool
+        )
+        for class_id, tables in enumerate(legacy):
+            if tables is None:
+                continue
+            for field_name in _TABLE_FIELDS:
+                arrays[f"class{class_id}_{field_name}"] = np.ascontiguousarray(
+                    getattr(tables, field_name)
+                )
+    else:
+        plan = evaluator._ensure_plan()
+        arrays["meta_plan_geometry"] = np.ascontiguousarray(plan.geometry)
+        arrays["meta_plan_culled_refs"] = np.array(
+            plan.culled_refs, dtype=np.int64
+        )
+        for name in ARENA_FIELDS:
+            arrays[f"arena_{name}"] = np.ascontiguousarray(plan.arena[name])
     path = Path(path)
     with path.open("wb") as handle:
         np.savez(handle, **arrays)
@@ -311,6 +349,9 @@ def _mmap_member(path: Path, offset: int) -> Optional[np.ndarray]:
 _VERIFY_MODES = ("lazy", "eager", "off")
 _CORRUPT_POLICIES = ("fail", "quarantine")
 _CRC_CHUNK = 1 << 20
+#: Below this many payload bytes a CRC pass runs sequentially — spawning
+#: the verification thread pool costs more than hashing a few megabytes.
+_PARALLEL_VERIFY_BYTES = 4 << 20
 
 
 def _quarantine(path: Path) -> Optional[Path]:
@@ -343,13 +384,21 @@ def _raise_corrupt(
     )
 
 
-def _read_integrity(path: Path) -> Optional[Dict[str, Dict[str, int]]]:
+def _read_integrity(
+    path: Path, archive: Optional[zipfile.ZipFile] = None
+) -> Optional[Dict[str, Dict[str, int]]]:
     """The artifact's member records, or ``None`` for pre-integrity files.
-    Raises ``ValueError`` when the manifest is present but damaged."""
-    with zipfile.ZipFile(path) as archive:
+    Raises ``ValueError`` when the manifest is present but damaged.  Pass
+    an already-open ``archive`` to skip reparsing the central directory."""
+    if archive is not None:
         if _INTEGRITY_MEMBER not in archive.namelist():
             return None
         raw = archive.read(_INTEGRITY_MEMBER)
+    else:
+        with zipfile.ZipFile(path) as owned:
+            if _INTEGRITY_MEMBER not in owned.namelist():
+                return None
+            raw = owned.read(_INTEGRITY_MEMBER)
     try:
         payload = json.loads(raw.decode())
         members = {
@@ -412,12 +461,16 @@ def _verify_members(
         except (OSError, ValueError, zipfile.BadZipFile, zlib.error) as exc:
             return exc
 
+    total_bytes = sum(records[name]["size"] for name in names)
     with engine_counters.track("artifact_verify"):
-        if len(names) > 1:
+        if len(names) > 1 and total_bytes >= _PARALLEL_VERIFY_BYTES:
             workers = min(4, len(names), os.cpu_count() or 1)
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 outcomes = dict(zip(names, pool.map(member_crc, names)))
         else:
+            # Below a few megabytes the pool spawn costs more than the
+            # hashing; metadata-only passes (the lazy cold start) stay
+            # sequential.
             outcomes = {name: member_crc(name) for name in names}
         for name in names:
             outcome = outcomes[name]
@@ -507,6 +560,15 @@ class _ArtifactReader:
     def names(self) -> List[str]:
         return list(self._npz.files)
 
+    def member_names(self) -> List[str]:
+        """Raw zip member names (``.npy`` suffixes intact), served from the
+        archive handle ``np.load`` already holds open — no reparse."""
+        archive = getattr(self._npz, "zip", None)
+        if archive is not None:
+            return archive.namelist()
+        with zipfile.ZipFile(self._path) as fallback:
+            return fallback.namelist()
+
     def eager(self, name: str) -> np.ndarray:
         """In-memory copy (metadata scalars and string vocabularies)."""
         if name not in self._npz.files:
@@ -543,6 +605,119 @@ def _check_shape(
             f" expected {expected}"
         )
     return array
+
+
+def _load_v1_tables(
+    path: Path,
+    reader: "_ArtifactReader",
+    summary: DatasetSummary,
+    arithmetization: str,
+    on_corrupt: str,
+) -> FastBSTCEvaluator:
+    """Read a legacy v1 artifact's per-class tables and recompile them into
+    an evaluation plan.  Costs the compile (unlike the zero-copy v2 path),
+    so the caller is nudged to re-save."""
+    warnings.warn(
+        f"{path}: artifact format v1 is deprecated; the per-class tables"
+        " were recompiled into an evaluation plan at load time — re-save"
+        " the model to store the compiled arena (format v2) and restore"
+        " the zero-rebuild cold start",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    engine_counters.increment("artifact_v1_recompiles")
+    n_items = summary.n_items
+    n_classes = summary.n_classes
+    has_table = reader.eager("meta_has_table")
+    if has_table.shape != (n_classes,):
+        raise ArtifactError(f"{path}: meta_has_table does not cover every class")
+    tables: List[Optional[_ClassTables]] = []
+    for class_id in range(n_classes):
+        if not bool(has_table[class_id]):
+            tables.append(None)
+            continue
+        try:
+            fields = {
+                field_name: reader.array(f"class{class_id}_{field_name}")
+                for field_name in _TABLE_FIELDS
+            }
+        except (zipfile.BadZipFile, zlib.error) as exc:
+            # Eager zipfile reads CRC-check implicitly; translate a
+            # payload mismatch into the structured corruption error.
+            _raise_corrupt(path, str(exc), None, on_corrupt)
+        inside = fields["inside"]
+        if inside.ndim != 2 or inside.shape[1] != n_items:
+            raise ArtifactError(
+                f"{path}: class {class_id} tables disagree with the"
+                f" item vocabulary ({inside.shape} vs {n_items} items)"
+            )
+        n_c, n_o = inside.shape[0], fields["outside"].shape[0]
+        _check_shape(path, "outside", fields["outside"], (n_o, n_items))
+        _check_shape(path, "len_neg", fields["len_neg"], (n_c, n_o))
+        _check_shape(path, "gene_mask", fields["gene_mask"], (n_items,))
+        _check_shape(
+            path,
+            "inside_row_offsets",
+            fields["inside_row_offsets"],
+            (n_items + 1,),
+        )
+        tables.append(_ClassTables(class_id=class_id, **fields))
+    with engine_counters.track("artifact_load"):
+        plan = compile_plan_from_tables(tables, n_items, arithmetization)
+        return FastBSTCEvaluator._from_plan(summary, arithmetization, plan)
+
+
+#: Arena members whose dtype the kernels rely on structurally (the index
+#: and weight members may legitimately vary between the narrow and wide
+#: dtypes, so only their sizes are validated).
+_ARENA_FIXED_DTYPES: Dict[str, np.dtype] = {
+    "inside": np.dtype(bool),
+    "outside": np.dtype(bool),
+    "pair_neg": np.dtype(bool),
+    "gene_mask": np.dtype(bool),
+    "blackdot_mask": np.dtype(bool),
+    "inside_f": np.dtype(np.float32),
+    "outside_f": np.dtype(np.float32),
+}
+
+
+def _load_v2_plan(
+    path: Path,
+    reader: "_ArtifactReader",
+    summary: DatasetSummary,
+    arithmetization: str,
+    on_corrupt: str,
+) -> FastBSTCEvaluator:
+    """Rebuild the compiled plan's per-class views over the stored arena —
+    the zero-copy path: every view is a slice of a (typically memory-mapped)
+    ``arena_<field>`` member."""
+    geometry = reader.eager("meta_plan_geometry")
+    if geometry.ndim != 2 or geometry.shape[0] != summary.n_classes:
+        raise ArtifactError(
+            f"{path}: plan geometry has shape {tuple(geometry.shape)}, which"
+            f" does not cover every class ({summary.n_classes})"
+        )
+    culled_refs = int(reader.eager("meta_plan_culled_refs"))
+    arena: Dict[str, np.ndarray] = {}
+    try:
+        for name in ARENA_FIELDS:
+            arena[name] = reader.array(f"arena_{name}")
+    except (zipfile.BadZipFile, zlib.error) as exc:
+        _raise_corrupt(path, str(exc), None, on_corrupt)
+    for name, expected_dtype in _ARENA_FIXED_DTYPES.items():
+        if arena[name].dtype != expected_dtype:
+            raise ArtifactError(
+                f"{path}: arena member {name!r} has dtype"
+                f" {arena[name].dtype}, expected {expected_dtype}"
+            )
+    with engine_counters.track("artifact_load"):
+        try:
+            plan = plan_from_arena(
+                arena, geometry, summary.n_items, culled_refs=culled_refs
+            )
+        except ValueError as exc:
+            raise ArtifactError(f"{path}: {exc}") from exc
+        return FastBSTCEvaluator._from_plan(summary, arithmetization, plan)
 
 
 def load_artifact(
@@ -599,15 +774,16 @@ def load_artifact(
         deferred: Optional[Tuple[List[str], Dict[str, Dict[str, int]], Optional[Dict[str, int]]]] = None
         if verify != "off":
             try:
-                records = _read_integrity(path)
+                records = _read_integrity(
+                    path, getattr(reader._npz, "zip", None)
+                )
             except (OSError, ValueError, zipfile.BadZipFile) as exc:
                 records = None
                 _raise_corrupt(path, str(exc), _INTEGRITY_MEMBER, on_corrupt)
             if records is None:
                 engine_counters.increment("artifact_unverified_loads")
             else:
-                with zipfile.ZipFile(path) as archive:
-                    present = set(archive.namelist()) - {_INTEGRITY_MEMBER}
+                present = set(reader.member_names()) - {_INTEGRITY_MEMBER}
                 if present != set(records):
                     _raise_corrupt(
                         path,
@@ -615,10 +791,15 @@ def load_artifact(
                         None,
                         on_corrupt,
                     )
-                try:
-                    verify_offsets = _stored_member_offsets(path)
-                except (OSError, zipfile.BadZipFile):
-                    verify_offsets = None
+                # The reader already parsed the offset map for mmap access;
+                # reparse only when it could not (keeps the lazy cold start
+                # at a single central-directory walk).
+                verify_offsets = reader._offsets
+                if verify_offsets is None:
+                    try:
+                        verify_offsets = _stored_member_offsets(path)
+                    except (OSError, zipfile.BadZipFile):
+                        verify_offsets = None
                 meta_names = sorted(
                     n for n in records if n.startswith("meta_")
                 )
@@ -636,10 +817,10 @@ def load_artifact(
                 elif table_names:
                     deferred = (table_names, records, verify_offsets)
         version = int(reader.eager("meta_format_version"))
-        if version != ARTIFACT_FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ArtifactError(
                 f"{path}: artifact format version {version} is not supported"
-                f" (this build reads version {ARTIFACT_FORMAT_VERSION})"
+                f" (this build reads versions {_READABLE_VERSIONS})"
             )
         arithmetization = str(reader.eager("meta_arithmetization"))
         try:
@@ -664,11 +845,8 @@ def load_artifact(
         n_samples = int(reader.eager("meta_n_samples"))
         item_names = tuple(str(s) for s in reader.eager("meta_item_names"))
         class_names = tuple(str(s) for s in reader.eager("meta_class_names"))
-        has_table = reader.eager("meta_has_table")
         if len(item_names) != n_items or len(class_names) != n_classes:
             raise ArtifactError(f"{path}: vocabulary lengths disagree with metadata")
-        if has_table.shape != (n_classes,):
-            raise ArtifactError(f"{path}: meta_has_table does not cover every class")
 
         summary = DatasetSummary(
             n_items=n_items,
@@ -678,40 +856,13 @@ def load_artifact(
             item_names=item_names,
             class_names=class_names,
         )
-        tables: List[Optional[_ClassTables]] = []
-        for class_id in range(n_classes):
-            if not bool(has_table[class_id]):
-                tables.append(None)
-                continue
-            try:
-                fields = {
-                    field_name: reader.array(f"class{class_id}_{field_name}")
-                    for field_name in _TABLE_FIELDS
-                }
-            except (zipfile.BadZipFile, zlib.error) as exc:
-                # Eager zipfile reads CRC-check implicitly; translate a
-                # payload mismatch into the structured corruption error.
-                _raise_corrupt(path, str(exc), None, on_corrupt)
-            inside = fields["inside"]
-            if inside.ndim != 2 or inside.shape[1] != n_items:
-                raise ArtifactError(
-                    f"{path}: class {class_id} tables disagree with the"
-                    f" item vocabulary ({inside.shape} vs {n_items} items)"
-                )
-            n_c, n_o = inside.shape[0], fields["outside"].shape[0]
-            _check_shape(path, "outside", fields["outside"], (n_o, n_items))
-            _check_shape(path, "len_neg", fields["len_neg"], (n_c, n_o))
-            _check_shape(path, "gene_mask", fields["gene_mask"], (n_items,))
-            _check_shape(
-                path,
-                "inside_row_offsets",
-                fields["inside_row_offsets"],
-                (n_items + 1,),
+        if version == 1:
+            evaluator = _load_v1_tables(
+                path, reader, summary, arithmetization, on_corrupt
             )
-            tables.append(_ClassTables(class_id=class_id, **fields))
-        with engine_counters.track("artifact_load"):
-            evaluator = FastBSTCEvaluator._from_tables(
-                summary, arithmetization, tables
+        else:
+            evaluator = _load_v2_plan(
+                path, reader, summary, arithmetization, on_corrupt
             )
         # Lazy mode: the table payloads are checked by the first query that
         # touches the evaluator, before any prediction is produced.

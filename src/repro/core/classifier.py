@@ -115,11 +115,12 @@ class BSTClassifier:
     def save(self, path: Union[str, Path]) -> Path:
         """Export the fitted model as a compiled ``.npz`` artifact.
 
-        The artifact carries the vectorized per-class tables, the
-        arithmetization, and the training-data fingerprint (see
-        :mod:`repro.core.artifact`).  Works under either engine — the
-        vectorized tables are fetched from the evaluator cache (built on
-        demand for a reference-engine fit).  Returns the path written.
+        The artifact carries the compiled evaluation plan — one flat
+        structure-of-arrays arena (:mod:`repro.core.plan`) — plus the
+        arithmetization and the training-data fingerprint (see
+        :mod:`repro.core.artifact`; format v2).  Works under either engine —
+        the compiled evaluator is fetched from the evaluator cache (built
+        on demand for a reference-engine fit).  Returns the path written.
         """
         from .artifact import save_artifact
 

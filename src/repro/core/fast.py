@@ -14,11 +14,23 @@ materializing BST cells, by exploiting the structure of exclusion lists:
 Per query, the dominant cost is one dense matmul per class —
 ``(|C_i| x |G|) @ (|G| x |S - C_i|)`` — plus a chunked masked reduction over
 the query's expressed genes.  :meth:`FastBSTCEvaluator.classification_values_batch`
-amortizes both across a query batch: the per-class pair counts for a block
-of queries collapse into one ``(B·|C_i| x |G|) @ (|G| x |S - C_i|)`` matmul,
-and the masked gene reduction walks each gene chunk once per block instead
-of once per query.  This makes paper-scale datasets (hundreds of samples,
-thousands of items) practical in Python and batched serving fast.
+amortizes both across a query batch.
+
+Two kernel paths share this file:
+
+* the **compiled plan** path (default): per-class state lives in one flat
+  structure-of-arrays arena (:mod:`repro.core.plan`) with fused pair
+  weights, downcast dtypes, duplicate-outside-row culling, and a
+  per-query sparse matmul restriction — sparse serving queries only pay
+  for their own expressed genes;
+* the **legacy tables** path (``compile_plan=False``): the original
+  :class:`_ClassTables` layout, kept as the bit-identity reference the
+  plan kernel is property-tested and benchmarked against.
+
+Both paths produce bit-identical values: every intermediate count is
+small-integer float32 arithmetic (exact below 2**24), so fusing or
+restricting the matmuls cannot change a bit, and the single rounding
+operation — the final ``sat / len`` division — keeps identical operands.
 
 Evaluators are cached process-wide by :func:`get_evaluator`, keyed on the
 ``(dataset fingerprint, arithmetization)`` pair, so repeated CV phases and
@@ -30,13 +42,14 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import AbstractSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import AbstractSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import engine_counters
 from .arithmetization import get_combiner
+from .plan import EvaluationPlan, PlanClass, compile_plan_from_tables
 
 Query = Union[AbstractSet[int], np.ndarray]
 
@@ -48,11 +61,21 @@ _CELL_BUDGET = 1 << 23
 #: Item-count floor for the sparse-column matmul restriction: below this the
 #: pair-value matmuls are dispatch-bound and slicing only adds overhead.
 _SPARSE_MIN_ITEMS = 256
+#: Batch-density ceiling (as ``1 / _PER_QUERY_SPARSITY``) below which the
+#: plan kernel computes each query's pair counts over only *its own*
+#: expressed columns instead of one stacked full-width matmul.  Exact
+#: either way (the skipped terms are exact ``+0.0``); purely a cost model.
+_PER_QUERY_SPARSITY = 8
 
 
 @dataclass
 class _ClassTables:
-    """Per-class precomputed matrices (the vectorized analogue of a BST)."""
+    """Per-class precomputed matrices (the vectorized analogue of a BST).
+
+    The legacy layout the compiled plan replaced; still built under
+    ``compile_plan=False`` as the equivalence/benchmark reference and as
+    the source material for v1 artifacts.
+    """
 
     class_id: int
     inside: np.ndarray       # bool (n_c, n_items): rows of C_i
@@ -73,6 +96,54 @@ class _ClassTables:
     inside_row_offsets: np.ndarray  # int64 (n_items + 1,): CSR offsets
 
 
+def _class_tables_for(
+    class_id: int, inside: np.ndarray, outside: np.ndarray, n_items: int
+) -> _ClassTables:
+    """Build one class's legacy tables from its inside/outside row blocks."""
+    ins = inside.astype(np.float32)
+    outs = outside.astype(np.float32)
+    inter = ins @ outs.T  # |c ∩ h|
+    inside_sizes = ins.sum(axis=1)
+    outside_sizes = outs.sum(axis=1)
+    len_neg = outside_sizes[None, :] - inter
+    len_pos = inside_sizes[:, None] - inter
+    negated = len_neg > 0
+    empty = (len_neg == 0) & (len_pos == 0)
+    gene_mask = inside.any(axis=0)
+    outside_counts = outside.sum(axis=0).astype(np.int64)
+    # Gene-major CSR-style lists of the outside rows expressing each gene,
+    # for the batched segment reduction.
+    gene_ids, h_ids = np.nonzero(outside.T)
+    del gene_ids  # np.nonzero order guarantees gene-major h_ids
+    h_offsets = np.zeros(n_items, dtype=np.int64)
+    np.cumsum(outside_counts[:-1], out=h_offsets[1:])
+    # Gene-major CSR of ``inside`` — which class rows express each gene,
+    # i.e. the non-blank cells the batched segment reduction visits.
+    ins_gene_ids, inside_rows = np.nonzero(inside.T)
+    del ins_gene_ids
+    inside_row_offsets = np.zeros(n_items + 1, dtype=np.int64)
+    np.cumsum(inside.sum(axis=0), out=inside_row_offsets[1:])
+    return _ClassTables(
+        class_id=class_id,
+        inside=inside,
+        outside=outside,
+        inside_f=ins,
+        outside_f=outs,
+        len_neg=len_neg,
+        len_pos=len_pos,
+        negated=negated,
+        empty=empty,
+        inside_sizes=inside_sizes,
+        gene_mask=gene_mask,
+        outside_counts=outside_counts,
+        blackdot_mask=gene_mask & (outside_counts == 0),
+        h_flat=h_ids.astype(np.int64),
+        h_offsets=h_offsets,
+        inside_rows=inside_rows.astype(np.int64),
+        inside_row_offsets=inside_row_offsets,
+    )
+
+
 class FastBSTCEvaluator:
     """Evaluates BSTCE classification values for every class of a dataset.
 
@@ -80,15 +151,26 @@ class FastBSTCEvaluator:
         dataset: the (training) relational dataset.
         arithmetization: per-cell list combiner — ``min`` (Algorithm 5),
             ``product``, or ``mean`` (see :mod:`repro.core.arithmetization`).
+        compile_plan: compile the per-class tables into the
+            structure-of-arrays evaluation plan (the default and the path
+            every artifact stores).  ``False`` keeps the legacy
+            :class:`_ClassTables` layout — the bit-identity reference the
+            plan kernel is tested and benchmarked against.
     """
 
-    def __init__(self, dataset: RelationalDataset, arithmetization: str = "min"):
+    def __init__(
+        self,
+        dataset: RelationalDataset,
+        arithmetization: str = "min",
+        *,
+        compile_plan: bool = True,
+    ):
         get_combiner(arithmetization)  # shared validation + error message
         self.dataset = dataset
         self.arithmetization = arithmetization
         matrix = dataset.bool_matrix
         labels = dataset.label_array
-        self._tables: List[Optional[_ClassTables]] = []
+        tables: List[Optional[_ClassTables]] = []
         with engine_counters.track("tables_build"):
             for class_id in range(dataset.n_classes):
                 member_mask = labels == class_id
@@ -97,75 +179,40 @@ class FastBSTCEvaluator:
                 if inside.shape[0] == 0:
                     # No training sample of this class: its BST is empty and
                     # the classification value is 0 for every query.
-                    self._tables.append(None)
+                    tables.append(None)
                     continue
-                ins = inside.astype(np.float32)
-                outs = outside.astype(np.float32)
-                inter = ins @ outs.T  # |c ∩ h|
-                inside_sizes = ins.sum(axis=1)
-                outside_sizes = outs.sum(axis=1)
-                len_neg = outside_sizes[None, :] - inter
-                len_pos = inside_sizes[:, None] - inter
-                negated = len_neg > 0
-                empty = (len_neg == 0) & (len_pos == 0)
-                gene_mask = inside.any(axis=0)
-                outside_counts = outside.sum(axis=0).astype(np.int64)
-                # Gene-major CSR-style lists of the outside rows expressing
-                # each gene, for the batched segment reduction.
-                gene_ids, h_ids = np.nonzero(outside.T)
-                del gene_ids  # np.nonzero order guarantees gene-major h_ids
-                h_offsets = np.zeros(matrix.shape[1], dtype=np.int64)
-                np.cumsum(outside_counts[:-1], out=h_offsets[1:])
-                # Gene-major CSR of ``inside`` — which class rows express
-                # each gene, i.e. the non-blank cells the batched segment
-                # reduction visits.  Precomputed here (and shipped in model
-                # artifacts) so no query ever pays for it.
-                ins_gene_ids, inside_rows = np.nonzero(inside.T)
-                del ins_gene_ids
-                inside_row_offsets = np.zeros(
-                    matrix.shape[1] + 1, dtype=np.int64
-                )
-                np.cumsum(inside.sum(axis=0), out=inside_row_offsets[1:])
-                self._tables.append(
-                    _ClassTables(
-                        class_id=class_id,
-                        inside=inside,
-                        outside=outside,
-                        inside_f=ins,
-                        outside_f=outs,
-                        len_neg=len_neg,
-                        len_pos=len_pos,
-                        negated=negated,
-                        empty=empty,
-                        inside_sizes=inside_sizes,
-                        gene_mask=gene_mask,
-                        outside_counts=outside_counts,
-                        blackdot_mask=gene_mask & (outside_counts == 0),
-                        h_flat=h_ids.astype(np.int64),
-                        h_offsets=h_offsets,
-                        inside_rows=inside_rows.astype(np.int64),
-                        inside_row_offsets=inside_row_offsets,
+                tables.append(
+                    _class_tables_for(
+                        class_id, inside, outside, matrix.shape[1]
                     )
                 )
+            self._plan: Optional[EvaluationPlan] = None
+            self._tables: Optional[List[Optional[_ClassTables]]] = None
+            if compile_plan:
+                self._plan = compile_plan_from_tables(
+                    tables, matrix.shape[1], arithmetization
+                )
+            else:
+                self._tables = tables
         #: Deferred artifact verification (set by ``load_artifact`` under
         #: ``verify="lazy"``); runs before the first query's kernel work.
         self._integrity_guard = None
         engine_counters.increment("evaluator_builds")
         engine_counters.increment(
-            "class_tables_built", sum(t is not None for t in self._tables)
+            "class_tables_built", sum(t is not None for t in tables)
         )
 
     @classmethod
-    def _from_tables(
+    def _from_plan(
         cls,
         dataset,
         arithmetization: str,
-        tables: List[Optional[_ClassTables]],
+        plan: EvaluationPlan,
     ) -> "FastBSTCEvaluator":
-        """Restore an evaluator around prebuilt per-class tables.
+        """Restore an evaluator around a prebuilt compiled plan.
 
         The zero-rebuild path behind :func:`repro.core.artifact.load_artifact`:
-        nothing is recomputed, the arrays (typically memory-mapped) are
+        nothing is recomputed, the arena views (typically memory-mapped) are
         adopted as-is.  ``dataset`` may be a full
         :class:`~repro.datasets.dataset.RelationalDataset` or the
         :class:`~repro.core.artifact.DatasetSummary` shim — the kernels only
@@ -175,10 +222,59 @@ class FastBSTCEvaluator:
         self = cls.__new__(cls)
         self.dataset = dataset
         self.arithmetization = arithmetization
-        self._tables = list(tables)
+        self._plan = plan
+        self._tables = None
         self._integrity_guard = None
         engine_counters.increment("evaluator_restores")
         return self
+
+    @property
+    def plan(self) -> Optional[EvaluationPlan]:
+        """The compiled evaluation plan (``None`` on a legacy-tables
+        evaluator that has not been asked to compile one)."""
+        return self._plan
+
+    def _ensure_plan(self) -> EvaluationPlan:
+        """The compiled plan, compiling it on demand from the legacy tables
+        (the save path for a ``compile_plan=False`` evaluator).  A legacy
+        evaluator keeps dispatching through its tables afterwards — the
+        plan is only materialized for export."""
+        if self._plan is None:
+            assert self._tables is not None
+            self._plan = compile_plan_from_tables(
+                self._tables, self.dataset.n_items, self.arithmetization
+            )
+        return self._plan
+
+    def _legacy_tables(self) -> List[Optional[_ClassTables]]:
+        """Legacy per-class tables, rebuilt from the plan's row blocks when
+        this evaluator only carries the compiled arena (the v1-artifact
+        export path)."""
+        if self._tables is not None:
+            return self._tables
+        assert self._plan is not None
+        tables: List[Optional[_ClassTables]] = []
+        for pc in self._plan.classes:
+            if pc is None:
+                tables.append(None)
+                continue
+            tables.append(
+                _class_tables_for(
+                    pc.class_id,
+                    np.asarray(pc.inside, dtype=bool),
+                    np.asarray(pc.outside, dtype=bool),
+                    self.dataset.n_items,
+                )
+            )
+        return tables
+
+    def _per_class(self) -> Sequence[Optional[object]]:
+        """The per-class kernel state: legacy tables when this evaluator
+        was built with ``compile_plan=False``, plan views otherwise."""
+        if self._tables is not None:
+            return self._tables
+        assert self._plan is not None
+        return self._plan.classes
 
     # ------------------------------------------------------------------
     def _as_vector(self, query: Query) -> np.ndarray:
@@ -233,6 +329,9 @@ class FastBSTCEvaluator:
             return None
         return cols
 
+    # ------------------------------------------------------------------
+    # Pair values: legacy tables path
+    # ------------------------------------------------------------------
     def _pair_values(self, tables: _ClassTables, qvec: np.ndarray) -> np.ndarray:
         """V[c, h]: satisfied-literal fraction of each shared pair list."""
         cols = self._sparse_columns(qvec)
@@ -300,6 +399,97 @@ class FastBSTCEvaluator:
         values[:, tables.empty] = 0.0
         return values.astype(np.float32)
 
+    # ------------------------------------------------------------------
+    # Pair values: compiled plan path
+    # ------------------------------------------------------------------
+    def _pair_values_plan(self, pc: PlanClass, qvec: np.ndarray) -> np.ndarray:
+        """The fused-weight form of :meth:`_pair_values`: one selection on
+        ``pair_neg`` and one guarded division by ``pair_len``.  Bit-identical
+        — the satisfied-literal counts are exact small-integer float32
+        arithmetic and the division operands are unchanged."""
+        cols = self._sparse_columns(qvec)
+        if cols is not None:
+            q = qvec[cols].astype(np.float32)
+            inside_f = pc.inside_f[:, cols]
+            outside_f = pc.outside_f[:, cols]
+        else:
+            q = qvec.astype(np.float32)
+            inside_f = pc.inside_f
+            outside_f = pc.outside_f
+        hq = outside_f @ q
+        cq = inside_f @ q
+        chq = (inside_f * q[None, :]) @ outside_f.T
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sat = np.where(
+                pc.pair_neg, pc.pair_len - (hq[None, :] - chq),
+                cq[:, None] - chq,
+            )
+            values = np.where(pc.pair_len > 0, sat / pc.pair_len, 0.0)
+        return values.astype(np.float32, copy=False)
+
+    def _pair_values_block_plan(
+        self, pc: PlanClass, qmat: np.ndarray
+    ) -> np.ndarray:
+        """V[c, b, h] for a block of queries, in the plan kernel's native
+        class-major layout (no transpose copy before the flat gather).
+
+        For sparse batches each query's inner products are restricted to
+        *its own* expressed columns — B small matmuls of width ``|Q_b|``
+        instead of one stacked matmul over the batch union — which is
+        exact (the skipped terms are exact ``+0.0``) and, on serving-shaped
+        queries, cuts the dominant matmul cost by the sparsity factor.
+        """
+        n_b = qmat.shape[0]
+        n_c, n_o = pc.inside.shape[0], pc.outside.shape[0]
+        n_items = qmat.shape[1]
+        per_query = (
+            n_items >= _SPARSE_MIN_ITEMS
+            and int(qmat.sum()) * _PER_QUERY_SPARSITY <= n_b * n_items
+        )
+        if per_query:
+            hq = np.empty((n_b, n_o), dtype=np.float32)
+            cq = np.empty((n_b, n_c), dtype=np.float32)
+            chq = np.empty((n_c, n_b, n_o), dtype=np.float32)
+            for b in range(n_b):
+                cols = np.flatnonzero(qmat[b])
+                ins = pc.inside_f[:, cols]
+                outs = pc.outside_f[:, cols]
+                hq[b] = outs.sum(axis=1)
+                cq[b] = ins.sum(axis=1)
+                chq[:, b, :] = ins @ outs.T
+        else:
+            cols = self._sparse_columns(qmat)
+            if cols is not None:
+                Qf = qmat[:, cols].astype(np.float32)
+                inside_f = pc.inside_f[:, cols]
+                outside_f = pc.outside_f[:, cols]
+            else:
+                Qf = qmat.astype(np.float32)
+                inside_f = pc.inside_f
+                outside_f = pc.outside_f
+            hq = Qf @ outside_f.T                           # (B, n_o)
+            cq = Qf @ inside_f.T                            # (B, n_c)
+            n_width = Qf.shape[1]
+            masked = inside_f[:, None, :] * Qf[None, :, :]  # (n_c, B, w)
+            chq = (masked.reshape(n_c * n_b, n_width) @ outside_f.T).reshape(
+                n_c, n_b, n_o
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sat = np.where(
+                pc.pair_neg[:, None, :],
+                pc.pair_len[:, None, :] - (hq[None, :, :] - chq),
+                cq.T[:, :, None] - chq,
+            )
+            values = np.where(
+                pc.pair_len[:, None, :] > 0,
+                sat / pc.pair_len[:, None, :],
+                0.0,
+            )
+        return values.astype(np.float32, copy=False)
+
+    # ------------------------------------------------------------------
+    # Cell combination
+    # ------------------------------------------------------------------
     def _combine_chunk(
         self,
         pair_values: np.ndarray,  # (n_c, n_o)
@@ -343,29 +533,33 @@ class FastBSTCEvaluator:
         """BSTCE(T(class_id), Q) — Algorithm 5's classification value."""
         if self._integrity_guard is not None:
             self._integrity_guard()
-        tables = self._tables[class_id]
-        if tables is None:
+        entry = self._per_class()[class_id]
+        if entry is None:
             return 0.0
-        return self._class_value_from_vec(tables, self._as_vector(query))
+        return self._class_value_from_vec(entry, self._as_vector(query))
 
-    def _class_value_from_vec(
-        self, tables: _ClassTables, qvec: np.ndarray
-    ) -> float:
+    def _class_value_from_vec(self, entry, qvec: np.ndarray) -> float:
         """:meth:`class_value` on an already-converted indicator vector, so
         the per-class loop of :meth:`classification_values` converts the
-        query once instead of once per class."""
-        genes = np.flatnonzero(qvec & tables.gene_mask)
+        query once instead of once per class.  ``entry`` is a
+        :class:`_ClassTables` or a :class:`~repro.core.plan.PlanClass` —
+        the single-query combine only touches their shared row blocks, plus
+        the matching pair-value kernel."""
+        genes = np.flatnonzero(qvec & entry.gene_mask)
         if genes.size == 0:
             return 0.0
-        pair_values = self._pair_values(tables, qvec)
-        n_c = tables.inside.shape[0]
+        if isinstance(entry, PlanClass):
+            pair_values = self._pair_values_plan(entry, qvec)
+        else:
+            pair_values = self._pair_values(entry, qvec)
+        n_c = entry.inside.shape[0]
         col_sum = np.zeros(n_c, dtype=np.float64)
         col_count = np.zeros(n_c, dtype=np.float64)
         for start in range(0, genes.size, _GENE_CHUNK):
             chunk = genes[start : start + _GENE_CHUNK]
-            outside_mask = tables.outside[:, chunk]  # (n_o, b)
+            outside_mask = entry.outside[:, chunk]  # (n_o, b)
             cells = self._combine_chunk(pair_values, outside_mask)  # (n_c, b)
-            exists = tables.inside[:, chunk]  # (n_c, b): cell non-blank
+            exists = entry.inside[:, chunk]  # (n_c, b): cell non-blank
             col_sum += (cells * exists).sum(axis=1)
             col_count += exists.sum(axis=1)
         nonblank = col_count > 0
@@ -374,6 +568,9 @@ class FastBSTCEvaluator:
         column_means = col_sum[nonblank] / col_count[nonblank]
         return float(column_means.mean())
 
+    # ------------------------------------------------------------------
+    # Batched kernels
+    # ------------------------------------------------------------------
     def _class_values_block(
         self, tables: _ClassTables, qmat: np.ndarray
     ) -> np.ndarray:
@@ -386,7 +583,11 @@ class FastBSTCEvaluator:
         flat gathered pair-value stream, combined with a single ``reduceat``
         per chunk.  Blank cells (inside row lacks the gene) never enter the
         stream, so the reduction work scales with the matrix density instead
-        of the full ``n_c`` height.
+        of the full ``n_c`` height.  Cell values accumulate through one
+        final ``bincount`` over the whole block (not one per chunk), so the
+        result is invariant to where the stream-budget chunking lands — the
+        property that keeps this path bit-identical to the plan kernel,
+        whose culled stream chunks at different boundaries.
         """
         n_b = qmat.shape[0]
         values = np.zeros(n_b, dtype=np.float64)
@@ -423,6 +624,8 @@ class FastBSTCEvaluator:
             seg_stream = rows_per_seg * seg_lengths
             cum_stream = np.cumsum(seg_stream)
             n_segs = g_idx.size
+            code_chunks: List[np.ndarray] = []
+            val_chunks: List[np.ndarray] = []
             # Chunk segments so the flat stream (values + index temporaries)
             # respects the element budget.
             stream_budget = max(1, _CELL_BUDGET >> 2)
@@ -463,13 +666,130 @@ class FastBSTCEvaluator:
                 cell_vals = self._reduce_segments(
                     flat1[flat_idx], e_starts, cell_len.astype(np.float32)
                 ).astype(np.float64)
-                # Accumulate each cell onto its (query, class) column sum.
-                col_sum += np.bincount(
-                    b_ch[cell_seg] * n_c + cell_row,
-                    weights=cell_vals,
-                    minlength=n_b * n_c,
-                ).reshape(n_b, n_c)
+                code_chunks.append(b_ch[cell_seg] * n_c + cell_row)
+                val_chunks.append(cell_vals)
                 start_seg = end_seg
+            codes = (
+                code_chunks[0]
+                if len(code_chunks) == 1
+                else np.concatenate(code_chunks)
+            )
+            vals = (
+                val_chunks[0]
+                if len(val_chunks) == 1
+                else np.concatenate(val_chunks)
+            )
+            # Accumulate each cell onto its (query, class) column sum.
+            col_sum += np.bincount(
+                codes, weights=vals, minlength=n_b * n_c
+            ).reshape(n_b, n_c)
+        nonblank = col_count > 0
+        safe_count = np.where(nonblank, col_count, 1.0)
+        column_means = np.where(nonblank, col_sum / safe_count, 0.0)
+        n_cols = nonblank.sum(axis=1)
+        has_cols = n_cols > 0
+        values[has_cols] = column_means.sum(axis=1)[has_cols] / n_cols[has_cols]
+        return values
+
+    def _class_values_block_plan(
+        self, pc: PlanClass, qmat: np.ndarray
+    ) -> np.ndarray:
+        """The plan-kernel form of :meth:`_class_values_block`.
+
+        Same cell enumeration over the inside CSR, but the pair values come
+        out class-major (no transpose copy), the outside stream is the
+        plan's duplicate-culled CSR (bit-identical under ``min``; the
+        stream is uncully for ``product``/``mean``), and the gathers run on
+        the arena's downcast index dtypes (widened to int64 only for the
+        flat-address arithmetic, which can exceed int32).
+        """
+        n_b = qmat.shape[0]
+        values = np.zeros(n_b, dtype=np.float64)
+        relevant = qmat & pc.gene_mask[None, :]  # (B, n_items)
+        if not relevant.any():
+            return values
+        rel_f = relevant.astype(np.float32)
+        col_count = (rel_f @ pc.inside_f.T).astype(np.float64)  # (B, n_c)
+        col_sum = (
+            (relevant & pc.blackdot_mask).astype(np.float32)
+            @ pc.inside_f.T
+        ).astype(np.float64)
+        n_c, n_o = pc.inside.shape[0], pc.outside.shape[0]
+        b_idx, g_idx = np.nonzero(relevant & (pc.outside_counts > 0))
+        if b_idx.size:
+            pair_values = self._pair_values_block_plan(pc, qmat)  # (n_c, B, n_o)
+            flat1 = pair_values.ravel()
+            ins_c = pc.inside_rows
+            ins_offsets = pc.inside_row_offsets
+            rows_per_seg = (
+                ins_offsets[g_idx + 1] - ins_offsets[g_idx]
+            ).astype(np.int64)
+            keep = rows_per_seg > 0
+            if not keep.all():
+                b_idx = b_idx[keep]
+                g_idx = g_idx[keep]
+                rows_per_seg = rows_per_seg[keep]
+        if b_idx.size:
+            seg_lengths = pc.outside_counts[g_idx].astype(np.int64)
+            seg_stream = rows_per_seg * seg_lengths
+            cum_stream = np.cumsum(seg_stream)
+            n_segs = g_idx.size
+            code_chunks: List[np.ndarray] = []
+            val_chunks: List[np.ndarray] = []
+            stream_budget = max(1, _CELL_BUDGET >> 2)
+            start_seg = 0
+            while start_seg < n_segs:
+                base = int(cum_stream[start_seg]) - int(seg_stream[start_seg])
+                end_seg = int(
+                    np.searchsorted(cum_stream, base + stream_budget, "left")
+                ) + 1
+                end_seg = min(max(end_seg, start_seg + 1), n_segs)
+                g_ch = g_idx[start_seg:end_seg]
+                b_ch = b_idx[start_seg:end_seg]
+                rc_ch = rows_per_seg[start_seg:end_seg]
+                len_ch = seg_lengths[start_seg:end_seg]
+                cum_rc = np.cumsum(rc_ch)
+                n_cells = int(cum_rc[-1])
+                cell_seg = np.repeat(np.arange(end_seg - start_seg), rc_ch)
+                cell_row = ins_c[
+                    np.arange(n_cells, dtype=np.int64)
+                    - np.repeat(cum_rc - rc_ch, rc_ch)
+                    + np.repeat(
+                        ins_offsets[g_ch].astype(np.int64), rc_ch
+                    )
+                ].astype(np.int64)
+                cell_len = len_ch[cell_seg]
+                cum_e = np.cumsum(cell_len)
+                e_starts = cum_e - cell_len
+                total_e = int(cum_e[-1])
+                h_base = pc.h_offsets[g_ch].astype(np.int64)[cell_seg]
+                pos = np.arange(total_e, dtype=np.int64) + np.repeat(
+                    h_base - e_starts, cell_len
+                )
+                # Class-major flat layout: cell (c, b, h) lives at
+                # c·(B·n_o) + b·n_o + h — the same formula the legacy path
+                # reaches only after a transpose copy.
+                cell_base = cell_row * (n_b * n_o) + b_ch[cell_seg] * n_o
+                flat_idx = np.repeat(cell_base, cell_len) + pc.h_flat[pos]
+                cell_vals = self._reduce_segments(
+                    flat1[flat_idx], e_starts, cell_len.astype(np.float32)
+                ).astype(np.float64)
+                code_chunks.append(b_ch[cell_seg] * n_c + cell_row)
+                val_chunks.append(cell_vals)
+                start_seg = end_seg
+            codes = (
+                code_chunks[0]
+                if len(code_chunks) == 1
+                else np.concatenate(code_chunks)
+            )
+            vals = (
+                val_chunks[0]
+                if len(val_chunks) == 1
+                else np.concatenate(val_chunks)
+            )
+            col_sum += np.bincount(
+                codes, weights=vals, minlength=n_b * n_c
+            ).reshape(n_b, n_c)
         nonblank = col_count > 0
         safe_count = np.where(nonblank, col_count, 1.0)
         column_means = np.where(nonblank, col_sum / safe_count, 0.0)
@@ -488,9 +808,9 @@ class FastBSTCEvaluator:
             return np.array(
                 [
                     0.0
-                    if tables is None
-                    else self._class_value_from_vec(tables, qvec)
-                    for tables in self._tables
+                    if entry is None
+                    else self._class_value_from_vec(entry, qvec)
+                    for entry in self._per_class()
                 ],
                 dtype=np.float64,
             )
@@ -519,12 +839,14 @@ class FastBSTCEvaluator:
             engine_counters.observe_max("max_batch_size", n_q)
             for start in range(0, n_q, _BATCH_BLOCK):
                 block = qmat[start : start + _BATCH_BLOCK]
-                for class_id, tables in enumerate(self._tables):
-                    if tables is None:
+                for class_id, entry in enumerate(self._per_class()):
+                    if entry is None:
                         continue
-                    out[start : start + _BATCH_BLOCK, class_id] = (
-                        self._class_values_block(tables, block)
-                    )
+                    if isinstance(entry, PlanClass):
+                        rows = self._class_values_block_plan(entry, block)
+                    else:
+                        rows = self._class_values_block(entry, block)
+                    out[start : start + _BATCH_BLOCK, class_id] = rows
         return out
 
 

@@ -1,0 +1,371 @@
+"""Ahead-of-time compiled evaluation plans: one structure-of-arrays arena.
+
+The batched BSTCE kernel used to walk 16 loosely related per-class arrays
+(:class:`repro.core.fast._ClassTables`) with int64/float64-heavy dtypes.
+This module fuses them, at fit/save time, into a single flat
+**structure-of-arrays arena** the kernel evaluates from directly:
+
+* **Fused pair weights** — the four per-pair arrays ``len_neg`` /
+  ``len_pos`` / ``negated`` / ``empty`` (10 bytes per pair) collapse into
+  ``pair_len`` (the selected list's length; ``0`` marks the empty list)
+  and ``pair_neg`` (which form was selected) — 5 bytes per pair.  The
+  selection is bit-identical to the legacy where-chains because every
+  satisfied-literal count is small-integer float32 arithmetic (exact below
+  2**24) and the single rounding operation, the final ``sat / len``
+  division, keeps exactly the same operands.
+* **Downcast dtypes** — index arrays (CSR offsets, row ids, counts) store
+  as int32 and pair lengths as float32 *when the ranges permit*, with
+  explicit overflow guards: a value past :data:`INT32_MAX` /
+  :data:`FLOAT32_EXACT_MAX` falls back to the wide dtype and increments
+  ``plan_wide_index_fallbacks`` / ``plan_wide_float_fallbacks`` — never a
+  silent wrap.
+* **Serving-time culling** — under the ``min`` arithmetization the
+  gene-major outside-row stream drops exact-duplicate outside rows
+  (:func:`repro.bst.culling.duplicate_row_keep_mask`): duplicates carry
+  identical pair values in every cell, and ``min`` is idempotent, so the
+  culled segment reduction is bit-identical while skipping the dropped
+  references entirely (``plan_culled_refs`` counts them).  The general
+  Section 8 implication cull is *not* applied here — it changes quantized
+  values — and ``product``/``mean`` plans keep the full stream.
+
+Every per-class array is a **view** into one flat arena member per field,
+so a model artifact stores one contiguous payload per field
+(``arena_<field>``) plus a tiny int64 geometry table, and a memory-mapped
+load rebuilds all views without copying a byte
+(:func:`plan_from_arena`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bst.culling import duplicate_row_keep_mask
+from ..evaluation.timing import engine_counters
+
+__all__ = [
+    "ARENA_FIELDS",
+    "EvaluationPlan",
+    "FLOAT32_EXACT_MAX",
+    "INT32_MAX",
+    "PlanClass",
+    "compile_plan_from_tables",
+    "plan_from_arena",
+    "tables_hot_nbytes",
+]
+
+#: Largest index an int32 arena can address; anything larger falls back to
+#: int64 (counted under ``plan_wide_index_fallbacks``).
+INT32_MAX = 2**31 - 1
+
+#: Largest integer float32 represents exactly (2**24; 2**24 + 1 is the
+#: first gap).  Pair-list lengths past it fall back to float64 (counted
+#: under ``plan_wide_float_fallbacks``) instead of silently rounding.
+FLOAT32_EXACT_MAX = 2**24
+
+#: Every arena member, in storage order.  Dtypes: ``inside``/``outside``/
+#: ``pair_neg``/``gene_mask``/``blackdot_mask`` are bool; ``inside_f``/
+#: ``outside_f`` float32; ``pair_len`` the plan's weight dtype; the rest
+#: the plan's index dtype.
+ARENA_FIELDS: Tuple[str, ...] = (
+    "inside",
+    "outside",
+    "inside_f",
+    "outside_f",
+    "pair_len",
+    "pair_neg",
+    "gene_mask",
+    "outside_counts",
+    "blackdot_mask",
+    "h_flat",
+    "h_offsets",
+    "inside_rows",
+    "inside_row_offsets",
+)
+
+#: ``geometry`` columns: per class ``(n_c, n_o, h_flat_len,
+#: inside_rows_len)``; a row of zeros marks an absent class (no training
+#: samples).  Every other member shape derives from these plus ``n_items``.
+GEOMETRY_COLUMNS = 4
+
+
+@dataclass
+class PlanClass:
+    """One class's slice of the arena — every array a view, never a copy."""
+
+    class_id: int
+    inside: np.ndarray       # bool (n_c, n_items): rows of C_i
+    outside: np.ndarray      # bool (n_o, n_items): rows of S - C_i
+    inside_f: np.ndarray     # float32 matmul operand
+    outside_f: np.ndarray    # float32 matmul operand
+    pair_len: np.ndarray     # (n_c, n_o): selected list length, 0 = empty
+    pair_neg: np.ndarray     # bool (n_c, n_o): negated form selected
+    gene_mask: np.ndarray    # bool (n_items,): genes some inside row expresses
+    outside_counts: np.ndarray  # (n_items,): culled outside rows per gene
+    blackdot_mask: np.ndarray   # bool (n_items,)
+    h_flat: np.ndarray       # (h_len,): culled outside-row ids, gene-major
+    h_offsets: np.ndarray    # (n_items,): start of each gene in h_flat
+    inside_rows: np.ndarray  # (ir_len,): inside rows per gene, gene-major
+    inside_row_offsets: np.ndarray  # (n_items + 1,): CSR offsets
+
+
+@dataclass
+class EvaluationPlan:
+    """The compiled arena plus the per-class views over it."""
+
+    n_items: int
+    n_classes: int
+    index_dtype: np.dtype
+    weight_dtype: np.dtype
+    culled_refs: int
+    arena: Dict[str, np.ndarray]
+    geometry: np.ndarray  # int64 (n_classes, GEOMETRY_COLUMNS)
+    classes: List[Optional[PlanClass]] = field(default_factory=list)
+
+    def hot_nbytes(self) -> int:
+        """Bytes the batched kernel can touch per query block — the whole
+        arena (every member is kernel-hot; there is no cold field)."""
+        return sum(int(a.nbytes) for a in self.arena.values())
+
+
+def tables_hot_nbytes(tables: Sequence[Optional[object]]) -> int:
+    """The legacy ``_ClassTables`` equivalent of
+    :meth:`EvaluationPlan.hot_nbytes`, for the bytes-per-query comparison
+    gated in ``bench_micro``."""
+    legacy_fields = (
+        "inside", "outside", "inside_f", "outside_f",
+        "len_neg", "len_pos", "negated", "empty", "inside_sizes",
+        "gene_mask", "outside_counts", "blackdot_mask",
+        "h_flat", "h_offsets", "inside_rows", "inside_row_offsets",
+    )
+    total = 0
+    for t in tables:
+        if t is None:
+            continue
+        total += sum(int(getattr(t, name).nbytes) for name in legacy_fields)
+    return total
+
+
+def _empty(dtype: np.dtype) -> np.ndarray:
+    return np.zeros(0, dtype=dtype)
+
+
+def _concat(pieces: List[np.ndarray], dtype: np.dtype) -> np.ndarray:
+    if not pieces:
+        return _empty(dtype)
+    return np.concatenate([np.ascontiguousarray(p.ravel()) for p in pieces])
+
+
+def compile_plan_from_tables(
+    tables: Sequence[Optional[object]],
+    n_items: int,
+    arithmetization: str = "min",
+) -> EvaluationPlan:
+    """Fuse legacy per-class tables into one compiled arena.
+
+    ``tables`` is a sequence of ``_ClassTables``-shaped objects (duck
+    typed: ``inside``/``outside``/``len_neg``/``len_pos``/``negated``/
+    ``h_flat`` attributes) or ``None`` for absent classes.  Deterministic:
+    the same tables always compile to byte-identical arenas.
+    """
+    n_classes = len(tables)
+    geometry = np.zeros((n_classes, GEOMETRY_COLUMNS), dtype=np.int64)
+    raw: List[Optional[Dict[str, np.ndarray]]] = []
+    culled_refs = 0
+    max_index = 0
+    max_weight = 0.0
+    for class_id, t in enumerate(tables):
+        if t is None:
+            raw.append(None)
+            continue
+        inside = np.asarray(t.inside, dtype=bool)
+        outside = np.asarray(t.outside, dtype=bool)
+        n_c, n_o = inside.shape[0], outside.shape[0]
+        # Value-preserving duplicate cull (min only; see module docstring).
+        if arithmetization == "min" and n_o:
+            keep = duplicate_row_keep_mask(outside)
+        else:
+            keep = np.ones(n_o, dtype=bool)
+        culled_outside = outside & keep[:, None]
+        counts = culled_outside.sum(axis=0).astype(np.int64)
+        gene_ids, h_ids = np.nonzero(culled_outside.T)
+        del gene_ids  # np.nonzero order guarantees gene-major h_ids
+        culled_refs += int(np.asarray(t.h_flat).size) - int(h_ids.size)
+        h_offsets = np.zeros(n_items, dtype=np.int64)
+        if n_items > 1:
+            np.cumsum(counts[:-1], out=h_offsets[1:])
+        negated = np.asarray(t.negated)
+        # Keep the source precision here; the cast to the plan's weight
+        # dtype happens once, at arena build, after the overflow guard has
+        # seen the true maximum.
+        pair_len = np.where(
+            negated, np.asarray(t.len_neg), np.asarray(t.len_pos)
+        )
+        inside_rows = np.asarray(t.inside_rows, dtype=np.int64)
+        inside_row_offsets = np.asarray(t.inside_row_offsets, dtype=np.int64)
+        geometry[class_id] = (n_c, n_o, h_ids.size, inside_rows.size)
+        max_index = max(
+            max_index,
+            n_c,
+            n_o,
+            int(h_ids.size),
+            int(inside_rows.size),
+            int(counts.max()) if counts.size else 0,
+        )
+        if pair_len.size:
+            max_weight = max(max_weight, float(pair_len.max()))
+        raw.append(
+            {
+                "inside": inside,
+                "outside": outside,
+                "inside_f": np.asarray(t.inside_f, dtype=np.float32),
+                "outside_f": np.asarray(t.outside_f, dtype=np.float32),
+                "pair_len": pair_len,
+                "pair_neg": negated.astype(bool, copy=False),
+                "gene_mask": np.asarray(t.gene_mask, dtype=bool),
+                "outside_counts": counts,
+                "blackdot_mask": np.asarray(t.blackdot_mask, dtype=bool),
+                "h_flat": h_ids.astype(np.int64),
+                "h_offsets": h_offsets,
+                "inside_rows": inside_rows,
+                "inside_row_offsets": inside_row_offsets,
+            }
+        )
+    # Overflow guards: downcast only when the observed ranges permit.
+    if max_index <= INT32_MAX:
+        index_dtype = np.dtype(np.int32)
+    else:
+        index_dtype = np.dtype(np.int64)
+        engine_counters.increment("plan_wide_index_fallbacks")
+    if max_weight <= FLOAT32_EXACT_MAX:
+        weight_dtype = np.dtype(np.float32)
+    else:
+        weight_dtype = np.dtype(np.float64)
+        engine_counters.increment("plan_wide_float_fallbacks")
+    index_fields = (
+        "outside_counts", "h_flat", "h_offsets",
+        "inside_rows", "inside_row_offsets",
+    )
+    arena: Dict[str, np.ndarray] = {}
+    for name in ARENA_FIELDS:
+        pieces = [r[name] for r in raw if r is not None]
+        if name in index_fields:
+            dtype = index_dtype
+            pieces = [p.astype(dtype, copy=False) for p in pieces]
+        elif name == "pair_len":
+            dtype = weight_dtype
+            pieces = [p.astype(dtype, copy=False) for p in pieces]
+        elif name in ("inside_f", "outside_f"):
+            dtype = np.dtype(np.float32)
+        else:
+            dtype = np.dtype(bool)
+        arena[name] = _concat(pieces, dtype)
+    engine_counters.increment("plan_compiles")
+    if culled_refs:
+        engine_counters.increment("plan_culled_refs", culled_refs)
+    return plan_from_arena(
+        arena, geometry, n_items, culled_refs=culled_refs
+    )
+
+
+def _field_size(name: str, n_c: int, n_o: int, h_len: int, ir_len: int,
+                n_items: int) -> int:
+    if name in ("inside", "inside_f"):
+        return n_c * n_items
+    if name in ("outside", "outside_f"):
+        return n_o * n_items
+    if name in ("pair_len", "pair_neg"):
+        return n_c * n_o
+    if name in ("gene_mask", "outside_counts", "blackdot_mask", "h_offsets"):
+        return n_items
+    if name == "h_flat":
+        return h_len
+    if name == "inside_rows":
+        return ir_len
+    if name == "inside_row_offsets":
+        return n_items + 1
+    raise KeyError(name)
+
+
+def _field_shape(name: str, n_c: int, n_o: int, n_items: int
+                 ) -> Optional[Tuple[int, int]]:
+    if name in ("inside", "inside_f"):
+        return (n_c, n_items)
+    if name in ("outside", "outside_f"):
+        return (n_o, n_items)
+    if name in ("pair_len", "pair_neg"):
+        return (n_c, n_o)
+    return None  # already flat
+
+
+def plan_from_arena(
+    arena: Dict[str, np.ndarray],
+    geometry: np.ndarray,
+    n_items: int,
+    *,
+    culled_refs: int = 0,
+) -> EvaluationPlan:
+    """Rebuild the per-class views over a (possibly memory-mapped) arena.
+
+    The inverse of the flattening in :func:`compile_plan_from_tables` and
+    the zero-copy load path behind artifact format v2: every
+    :class:`PlanClass` array is a slice of the corresponding arena member,
+    so memmapped members stay memmapped all the way into the kernels.
+
+    Raises :class:`ValueError` when the arena member lengths disagree with
+    the geometry table — the artifact loader wraps that into a structured
+    ``ArtifactError``.
+    """
+    geometry = np.asarray(geometry, dtype=np.int64)
+    if geometry.ndim != 2 or geometry.shape[1] != GEOMETRY_COLUMNS:
+        raise ValueError(
+            f"plan geometry must be (n_classes, {GEOMETRY_COLUMNS}),"
+            f" got {tuple(geometry.shape)}"
+        )
+    if (geometry < 0).any():
+        raise ValueError("plan geometry entries must be non-negative")
+    missing = [name for name in ARENA_FIELDS if name not in arena]
+    if missing:
+        raise ValueError(f"plan arena is missing members: {missing}")
+    n_classes = geometry.shape[0]
+    totals = {name: 0 for name in ARENA_FIELDS}
+    for class_id in range(n_classes):
+        n_c, n_o, h_len, ir_len = (int(v) for v in geometry[class_id])
+        if n_c == 0:
+            continue
+        for name in ARENA_FIELDS:
+            totals[name] += _field_size(name, n_c, n_o, h_len, ir_len,
+                                        n_items)
+    for name in ARENA_FIELDS:
+        if int(arena[name].size) != totals[name]:
+            raise ValueError(
+                f"plan arena member {name!r} holds {int(arena[name].size)}"
+                f" elements, geometry requires {totals[name]}"
+            )
+    offsets = {name: 0 for name in ARENA_FIELDS}
+    classes: List[Optional[PlanClass]] = []
+    for class_id in range(n_classes):
+        n_c, n_o, h_len, ir_len = (int(v) for v in geometry[class_id])
+        if n_c == 0:
+            classes.append(None)
+            continue
+        views: Dict[str, np.ndarray] = {}
+        for name in ARENA_FIELDS:
+            size = _field_size(name, n_c, n_o, h_len, ir_len, n_items)
+            flat = arena[name][offsets[name]:offsets[name] + size]
+            offsets[name] += size
+            shape = _field_shape(name, n_c, n_o, n_items)
+            views[name] = flat if shape is None else flat.reshape(shape)
+        classes.append(PlanClass(class_id=class_id, **views))
+    return EvaluationPlan(
+        n_items=n_items,
+        n_classes=n_classes,
+        index_dtype=arena["h_flat"].dtype,
+        weight_dtype=arena["pair_len"].dtype,
+        culled_refs=culled_refs,
+        arena=arena,
+        geometry=geometry,
+        classes=classes,
+    )

@@ -49,6 +49,14 @@ class ServeConfig:
         validate_queries: reject malformed queries at submission time with
             :class:`~repro.errors.QueryError` instead of letting them reach
             the worker.
+        adaptive_batch: let the worker tune its *effective* batch ceiling
+            between 1 and ``max_batch`` from observed batch compute latency:
+            batches costing more than the ``max_wait_ms`` straggler budget
+            shrink the ceiling (halving), comfortably cheap ones grow it
+            back (one step).  Keeps tail latency near the configured wait
+            budget when model cost drifts, without retuning ``max_batch``
+            by hand.  Requires ``max_wait_ms > 0`` (the budget being
+            adapted against).
         workers: registry-only — size of the optional multi-process worker
             pool behind an artifact-backed model slot (``0`` evaluates in
             the service thread; the memmapped artifact format lets N
@@ -66,6 +74,7 @@ class ServeConfig:
     breaker_cooldown: float = 1.0
     restart_backoff: float = 0.05
     validate_queries: bool = True
+    adaptive_batch: bool = False
     workers: int = 0
 
     def __post_init__(self) -> None:
@@ -92,6 +101,8 @@ class ServeConfig:
             raise ValueError("breaker_cooldown must be >= 0")
         if self.restart_backoff < 0:
             raise ValueError("restart_backoff must be >= 0")
+        if self.adaptive_batch and self.max_wait_ms <= 0:
+            raise ValueError("adaptive_batch requires max_wait_ms > 0")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
 

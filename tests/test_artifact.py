@@ -79,14 +79,16 @@ class TestRoundTrip:
         assert summary.class_names == example.class_names
         assert loaded.arithmetization == evaluator.arithmetization
 
-    def test_tables_are_memory_mapped(self, tmp_path, example):
+    def test_plan_views_are_memory_mapped(self, tmp_path, example):
         evaluator = FastBSTCEvaluator(example)
         loaded = load_artifact(save_artifact(evaluator, tmp_path / "m.npz"))
         mapped = [
-            t.inside_f
-            for t in loaded._tables
-            if t is not None and t.inside_f.size
+            pc.inside_f
+            for pc in loaded.plan.classes
+            if pc is not None and pc.inside_f.size
         ]
+        # Per-class views slice the flat arena members; np.memmap survives
+        # slicing/reshaping, so every view is still a map of the file.
         assert mapped and all(isinstance(a, np.memmap) for a in mapped)
 
     def test_eager_load(self, tmp_path, example):
@@ -94,9 +96,9 @@ class TestRoundTrip:
         path = save_artifact(evaluator, tmp_path / "m.npz")
         loaded = load_artifact(path, mmap=False)
         assert not any(
-            isinstance(t.inside_f, np.memmap)
-            for t in loaded._tables
-            if t is not None
+            isinstance(pc.inside_f, np.memmap)
+            for pc in loaded.plan.classes
+            if pc is not None
         )
         query = np.zeros(example.n_items, dtype=bool)
         query[:2] = True
@@ -116,7 +118,7 @@ class TestRoundTrip:
         )
         evaluator = FastBSTCEvaluator(dataset)
         loaded = load_artifact(save_artifact(evaluator, tmp_path / "m.npz"))
-        assert loaded._tables[1] is None
+        assert loaded.plan.classes[1] is None
         queries = np.eye(3, dtype=bool)
         assert np.array_equal(
             evaluator.classification_values_batch(queries),
@@ -168,16 +170,33 @@ class TestValidation:
         with pytest.raises(ArtifactError, match="stale"):
             load_artifact(path, expected_fingerprint="0" * 40)
 
-    def test_shape_mismatch(self, tmp_path, example):
+    def test_geometry_mismatch(self, tmp_path, example):
+        # The geometry table says how long each arena member must be; a
+        # disagreement (truncated member, mangled geometry) must be a
+        # structured error, not a garbage evaluator.
         evaluator = FastBSTCEvaluator(example)
         path = save_artifact(evaluator, tmp_path / "m.npz")
         with np.load(path) as npz:
             arrays = {k: npz[k] for k in npz.files}
-        arrays["class0_len_neg"] = arrays["class0_len_neg"][:, :-1]
+        geometry = arrays["meta_plan_geometry"].copy()
+        geometry[0, 2] += 1  # claim one more h_flat reference than stored
+        arrays["meta_plan_geometry"] = geometry
         bad = tmp_path / "bad.npz"
         with bad.open("wb") as handle:
             np.savez(handle, **arrays)
-        with pytest.raises(ArtifactError, match="shape"):
+        with pytest.raises(ArtifactError, match="geometry"):
+            load_artifact(bad)
+
+    def test_arena_dtype_mismatch(self, tmp_path, example):
+        evaluator = FastBSTCEvaluator(example)
+        path = save_artifact(evaluator, tmp_path / "m.npz")
+        with np.load(path) as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        arrays["arena_inside"] = arrays["arena_inside"].astype(np.int8)
+        bad = tmp_path / "bad.npz"
+        with bad.open("wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ArtifactError, match="dtype"):
             load_artifact(bad)
 
 
@@ -227,7 +246,7 @@ class TestIntegrity:
             table_info = next(
                 info
                 for info in archive.infolist()
-                if info.filename.startswith("class") and info.file_size > 128
+                if info.filename.startswith("arena_") and info.file_size > 128
             )
         # Flip a data byte (not the npy header) so the member still maps
         # cleanly — only the deferred CRC check can catch it.
@@ -259,7 +278,7 @@ class TestIntegrity:
             table_info = next(
                 info
                 for info in archive.infolist()
-                if info.filename.startswith("class") and info.file_size > 8
+                if info.filename.startswith("arena_") and info.file_size > 8
             )
         # Flip the payload's last byte (past the npy header) so the archive
         # still parses; verify="off" must load without complaint.
@@ -359,9 +378,9 @@ class TestReaderFallbacks:
         packed = self._recompress(source, tmp_path / "packed.npz")
         loaded = load_artifact(packed, verify="eager")
         assert not any(
-            isinstance(t.inside_f, np.memmap)
-            for t in loaded._tables
-            if t is not None
+            isinstance(pc.inside_f, np.memmap)
+            for pc in loaded.plan.classes
+            if pc is not None
         )
         queries = np.eye(example.n_items, dtype=bool)
         assert np.array_equal(
@@ -379,7 +398,7 @@ class TestReaderFallbacks:
         # byte in the middle of it.
         with zipfile.ZipFile(packed) as archive:
             info = next(
-                i for i in archive.infolist() if i.filename.startswith("class")
+                i for i in archive.infolist() if i.filename.startswith("arena_")
             )
         data = bytearray(packed.read_bytes())
         name_len, extra_len = struct.unpack_from("<HH", data, info.header_offset + 26)
@@ -401,9 +420,9 @@ class TestReaderFallbacks:
         )
         loaded = load_artifact(path)
         assert not any(
-            isinstance(t.inside_f, np.memmap)
-            for t in loaded._tables
-            if t is not None
+            isinstance(pc.inside_f, np.memmap)
+            for pc in loaded.plan.classes
+            if pc is not None
         )
         queries = np.eye(example.n_items, dtype=bool)
         assert np.array_equal(

@@ -1,0 +1,376 @@
+"""Compiled evaluation plans: bit-identity vs the legacy kernel, the
+duplicate-row cull, dtype-downcast overflow guards, arena structure, and the
+v1 artifact fallback."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from conftest import random_relational
+from repro.bst.culling import duplicate_row_keep_mask
+from repro.core.arithmetization import COMBINERS
+from repro.core.artifact import load_artifact, save_artifact
+from repro.core.classifier import BSTClassifier
+from repro.core.fast import FastBSTCEvaluator, _class_tables_for, clear_evaluator_cache
+from repro.core import plan as plan_module
+from repro.core.plan import (
+    ARENA_FIELDS,
+    FLOAT32_EXACT_MAX,
+    compile_plan_from_tables,
+    tables_hot_nbytes,
+)
+from repro.datasets.dataset import RelationalDataset
+from repro.evaluation.timing import engine_counters
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_evaluator_cache()
+    yield
+    clear_evaluator_cache()
+
+
+def _with_duplicates(rng, n_samples=10, n_items=16, n_classes=3):
+    """A random dataset whose outside blocks contain exact-duplicate rows,
+    so the min-plan cull has something to drop."""
+    while True:
+        matrix = rng.random((n_samples, n_items)) < rng.uniform(0.2, 0.7)
+        matrix[1] = matrix[0]
+        matrix[2] = matrix[0]
+        labels = rng.integers(0, n_classes, n_samples)
+        labels[0] = labels[1] = labels[2] = 0
+        if len(set(labels.tolist())) == n_classes:
+            return RelationalDataset.from_bool_matrix(
+                matrix,
+                labels.tolist(),
+                class_names=[f"c{i}" for i in range(n_classes)],
+            )
+
+
+class TestBitIdentity:
+    """The compiled plan must reproduce the legacy kernel bit for bit —
+    not approximately — across arithmetizations, batch sizes, sparsity
+    regimes, and culled duplicate rows."""
+
+    @pytest.mark.parametrize("arithmetization", sorted(COMBINERS))
+    def test_random_datasets(self, arithmetization):
+        rng = np.random.default_rng(42)
+        for _ in range(8):
+            dataset = random_relational(rng)
+            legacy = FastBSTCEvaluator(
+                dataset, arithmetization, compile_plan=False
+            )
+            planned = FastBSTCEvaluator(dataset, arithmetization)
+            queries = rng.random((17, dataset.n_items)) < rng.uniform(0.1, 0.7)
+            assert np.array_equal(
+                legacy.classification_values_batch(queries),
+                planned.classification_values_batch(queries),
+            )
+            for query in queries[:3]:
+                assert np.array_equal(
+                    legacy.classification_values(query),
+                    planned.classification_values(query),
+                )
+
+    @pytest.mark.parametrize("arithmetization", sorted(COMBINERS))
+    def test_duplicate_rows(self, arithmetization):
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            dataset = _with_duplicates(rng)
+            legacy = FastBSTCEvaluator(
+                dataset, arithmetization, compile_plan=False
+            )
+            planned = FastBSTCEvaluator(dataset, arithmetization)
+            queries = rng.random((9, dataset.n_items)) < 0.5
+            assert np.array_equal(
+                legacy.classification_values_batch(queries),
+                planned.classification_values_batch(queries),
+            )
+
+    def test_sparse_serving_queries(self):
+        # Wide vocabulary + sparse queries drives the per-query restricted
+        # matmul path; the skipped zero terms must not change a bit.
+        rng = np.random.default_rng(3)
+        matrix = rng.random((24, 600)) < 0.15
+        labels = rng.integers(0, 3, 24)
+        labels[:3] = (0, 1, 2)
+        dataset = RelationalDataset.from_bool_matrix(
+            matrix, labels.tolist(), class_names=["a", "b", "c"]
+        )
+        legacy = FastBSTCEvaluator(dataset, compile_plan=False)
+        planned = FastBSTCEvaluator(dataset)
+        queries = rng.random((32, 600)) < 0.02  # ~12 genes per query
+        assert np.array_equal(
+            legacy.classification_values_batch(queries),
+            planned.classification_values_batch(queries),
+        )
+        # Dense batch takes the stacked path; also bit-identical.
+        dense = rng.random((8, 600)) < 0.6
+        assert np.array_equal(
+            legacy.classification_values_batch(dense),
+            planned.classification_values_batch(dense),
+        )
+
+
+class TestCulling:
+    def test_duplicate_row_keep_mask(self):
+        matrix = np.array(
+            [[1, 0], [1, 0], [0, 1], [1, 0], [0, 0]], dtype=bool
+        )
+        keep = duplicate_row_keep_mask(matrix)
+        assert keep.tolist() == [True, False, True, False, True]
+        assert duplicate_row_keep_mask(np.zeros((0, 3), dtype=bool)).size == 0
+
+    def test_min_plan_culls_duplicates(self):
+        rng = np.random.default_rng(11)
+        dataset = _with_duplicates(rng)
+        planned = FastBSTCEvaluator(dataset, "min")
+        assert planned.plan.culled_refs > 0
+        # The culled stream must still produce bit-identical values.
+        legacy = FastBSTCEvaluator(dataset, "min", compile_plan=False)
+        queries = rng.random((8, dataset.n_items)) < 0.5
+        assert np.array_equal(
+            legacy.classification_values_batch(queries),
+            planned.classification_values_batch(queries),
+        )
+
+    @pytest.mark.parametrize("arithmetization", ["product", "mean"])
+    def test_non_idempotent_arithmetizations_keep_full_stream(
+        self, arithmetization
+    ):
+        # Dropping a duplicate changes a product/mean; those plans must not
+        # cull anything.
+        rng = np.random.default_rng(13)
+        dataset = _with_duplicates(rng)
+        planned = FastBSTCEvaluator(dataset, arithmetization)
+        assert planned.plan.culled_refs == 0
+
+    def test_culled_refs_counter(self):
+        rng = np.random.default_rng(17)
+        dataset = _with_duplicates(rng)
+        before = engine_counters.get("plan_culled_refs")
+        planned = FastBSTCEvaluator(dataset, "min")
+        assert (
+            engine_counters.get("plan_culled_refs")
+            == before + planned.plan.culled_refs
+        )
+
+    def test_explain_identical_under_culling(self):
+        # The satellite check: a culled plan serves the same classification
+        # values, so the explanation machinery reports identical evidence.
+        rng = np.random.default_rng(19)
+        dataset = _with_duplicates(rng)
+        clf = BSTClassifier().fit(dataset)
+        assert clf._fast.plan.culled_refs > 0
+        query = frozenset(
+            int(i) for i in np.flatnonzero(rng.random(dataset.n_items) < 0.5)
+        )
+        explained_plan = clf.explain(query)
+        legacy = FastBSTCEvaluator(dataset, compile_plan=False)
+        original_fast = clf._fast
+        try:
+            clf._fast = legacy
+            explained_legacy = clf.explain(query)
+        finally:
+            clf._fast = original_fast
+        assert explained_plan == explained_legacy
+
+
+class TestDowncastGuards:
+    def test_small_data_downcasts(self):
+        rng = np.random.default_rng(23)
+        dataset = random_relational(rng)
+        planned = FastBSTCEvaluator(dataset)
+        assert planned.plan.index_dtype == np.dtype(np.int32)
+        assert planned.plan.weight_dtype == np.dtype(np.float32)
+        assert planned.plan.arena["h_flat"].dtype == np.dtype(np.int32)
+        assert planned.plan.arena["pair_len"].dtype == np.dtype(np.float32)
+
+    def test_boundary_values_stay_exact_in_float32(self):
+        # Every representable pair length at or below 2**24 must survive
+        # the downcast exactly.
+        lengths = np.array(
+            [1, 2, FLOAT32_EXACT_MAX - 1, FLOAT32_EXACT_MAX], dtype=np.float64
+        )
+        assert np.array_equal(
+            lengths.astype(np.float32).astype(np.float64), lengths
+        )
+
+    def test_wide_index_fallback(self, monkeypatch):
+        # Force the guard: with the int32 ceiling lowered to zero, every
+        # index lands in the wide dtype (counted), and the kernel output is
+        # still bit-identical — the fallback is a widening, never a wrap.
+        rng = np.random.default_rng(29)
+        dataset = random_relational(rng)
+        monkeypatch.setattr(plan_module, "INT32_MAX", 0)
+        before = engine_counters.get("plan_wide_index_fallbacks")
+        planned = FastBSTCEvaluator(dataset)
+        assert planned.plan.index_dtype == np.dtype(np.int64)
+        assert engine_counters.get("plan_wide_index_fallbacks") == before + 1
+        monkeypatch.undo()
+        legacy = FastBSTCEvaluator(dataset, compile_plan=False)
+        queries = rng.random((9, dataset.n_items)) < 0.4
+        assert np.array_equal(
+            legacy.classification_values_batch(queries),
+            planned.classification_values_batch(queries),
+        )
+
+    def test_wide_weight_fallback_preserves_large_lengths(self):
+        # Pair lengths past 2**24 would silently round in float32; the
+        # compiler must store them in float64 instead, exactly.
+        rng = np.random.default_rng(31)
+        dataset = random_relational(rng)
+        matrix = dataset.bool_matrix
+        labels = dataset.label_array
+        tables = []
+        big = float(FLOAT32_EXACT_MAX) + 3.0  # not float32-representable
+        for class_id in range(dataset.n_classes):
+            member = labels == class_id
+            t = _class_tables_for(
+                class_id, matrix[member], matrix[~member], dataset.n_items
+            )
+            t.len_pos = t.len_pos.astype(np.float64) + big
+            t.len_neg = t.len_neg.astype(np.float64) + big
+            tables.append(t)
+        before = engine_counters.get("plan_wide_float_fallbacks")
+        plan = compile_plan_from_tables(tables, dataset.n_items, "min")
+        assert plan.weight_dtype == np.dtype(np.float64)
+        assert engine_counters.get("plan_wide_float_fallbacks") == before + 1
+        pc = plan.classes[0]
+        expected = np.where(
+            tables[0].negated, tables[0].len_neg, tables[0].len_pos
+        )
+        assert np.array_equal(np.asarray(pc.pair_len), expected)
+        # The same values forced through float32 would NOT round-trip —
+        # i.e. the narrow dtype really would have been lossy here.
+        assert not np.array_equal(
+            expected.astype(np.float32).astype(np.float64), expected
+        )
+
+    @pytest.mark.parametrize("arithmetization", sorted(COMBINERS))
+    def test_fused_pair_weights_match_legacy(self, arithmetization):
+        # pair_len/pair_neg must encode exactly the legacy selection:
+        # negated -> len_neg, positive -> len_pos, empty -> 0.
+        rng = np.random.default_rng(37)
+        dataset = random_relational(rng)
+        legacy = FastBSTCEvaluator(
+            dataset, arithmetization, compile_plan=False
+        )
+        planned = FastBSTCEvaluator(dataset, arithmetization)
+        for t, pc in zip(legacy._tables, planned.plan.classes):
+            if t is None:
+                assert pc is None
+                continue
+            expected = np.where(t.negated, t.len_neg, t.len_pos)
+            expected[t.empty] = 0.0
+            assert np.array_equal(np.asarray(pc.pair_len), expected)
+            assert np.array_equal(np.asarray(pc.pair_neg), t.negated)
+
+
+class TestArenaStructure:
+    def test_views_share_arena_memory(self):
+        rng = np.random.default_rng(41)
+        dataset = random_relational(rng)
+        plan = FastBSTCEvaluator(dataset).plan
+        for pc in plan.classes:
+            if pc is None:
+                continue
+            for name in ARENA_FIELDS:
+                view = getattr(pc, name)
+                if view.size:
+                    assert np.shares_memory(view, plan.arena[name])
+
+    def test_geometry_covers_every_class(self):
+        dataset = RelationalDataset(
+            item_names=("a", "b", "c"),
+            class_names=("x", "y", "z"),
+            samples=(frozenset({0, 1}), frozenset({2})),
+            labels=(0, 2),
+        )
+        plan = FastBSTCEvaluator(dataset).plan
+        assert plan.geometry.shape == (3, 4)
+        assert plan.classes[1] is None
+        assert tuple(plan.geometry[1]) == (0, 0, 0, 0)
+
+    def test_plan_is_smaller_than_tables(self):
+        # The bytes-per-query reduction the bench gates: fused pair weights
+        # + downcast indices + the dropped inside_sizes field must shrink
+        # the kernel-hot footprint.
+        rng = np.random.default_rng(43)
+        matrix = rng.random((40, 300)) < 0.3
+        labels = rng.integers(0, 3, 40)
+        labels[:3] = (0, 1, 2)
+        dataset = RelationalDataset.from_bool_matrix(
+            matrix, labels.tolist(), class_names=["a", "b", "c"]
+        )
+        legacy = FastBSTCEvaluator(dataset, compile_plan=False)
+        planned = FastBSTCEvaluator(dataset)
+        assert planned.plan.hot_nbytes() < tables_hot_nbytes(legacy._tables)
+
+    def test_legacy_evaluator_compiles_plan_on_demand(self):
+        rng = np.random.default_rng(47)
+        dataset = random_relational(rng)
+        legacy = FastBSTCEvaluator(dataset, compile_plan=False)
+        assert legacy.plan is None
+        compiled = legacy._ensure_plan()
+        assert legacy.plan is compiled
+        # Dispatch still prefers the legacy tables (the bench baseline must
+        # not silently switch kernels after a save).
+        assert legacy._per_class() is legacy._tables
+
+
+class TestArtifactV1Fallback:
+    def test_v1_round_trip_warns_and_recompiles(self, tmp_path):
+        rng = np.random.default_rng(53)
+        dataset = _with_duplicates(rng)
+        evaluator = FastBSTCEvaluator(dataset)
+        path = save_artifact(evaluator, tmp_path / "m1.npz", format_version=1)
+        before = engine_counters.get("artifact_v1_recompiles")
+        with pytest.warns(DeprecationWarning, match="format v1"):
+            loaded = load_artifact(path)
+        assert engine_counters.get("artifact_v1_recompiles") == before + 1
+        assert loaded.plan is not None
+        queries = rng.random((8, dataset.n_items)) < 0.4
+        assert np.array_equal(
+            evaluator.classification_values_batch(queries),
+            loaded.classification_values_batch(queries),
+        )
+
+    def test_v2_round_trip_does_not_warn(self, tmp_path):
+        rng = np.random.default_rng(59)
+        dataset = random_relational(rng)
+        evaluator = FastBSTCEvaluator(dataset)
+        path = save_artifact(evaluator, tmp_path / "m2.npz")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            loaded = load_artifact(path)
+        assert loaded.plan.culled_refs == evaluator.plan.culled_refs
+
+    def test_v1_from_plan_only_evaluator(self, tmp_path):
+        # A plan-only (artifact-loaded) evaluator can still export v1: the
+        # legacy tables are rebuilt from the arena's row blocks.
+        rng = np.random.default_rng(61)
+        dataset = random_relational(rng)
+        first = save_artifact(
+            FastBSTCEvaluator(dataset), tmp_path / "a.npz"
+        )
+        loaded = load_artifact(first)
+        assert loaded._tables is None
+        second = save_artifact(loaded, tmp_path / "b.npz", format_version=1)
+        with pytest.warns(DeprecationWarning):
+            reloaded = load_artifact(second)
+        queries = rng.random((6, dataset.n_items)) < 0.4
+        assert np.array_equal(
+            loaded.classification_values_batch(queries),
+            reloaded.classification_values_batch(queries),
+        )
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        rng = np.random.default_rng(67)
+        dataset = random_relational(rng)
+        with pytest.raises(ValueError, match="format_version"):
+            save_artifact(
+                FastBSTCEvaluator(dataset), tmp_path / "x.npz",
+                format_version=3,
+            )

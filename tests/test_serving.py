@@ -914,3 +914,74 @@ class TestServeConfigSurface:
         assert config.with_overrides(max_batch=8).max_batch == 8
         with pytest.raises(ValueError):
             config.with_overrides(max_batch=0)
+
+
+class TestAdaptiveBatching:
+    """The AIMD batch-ceiling controller behind adaptive_batch=True."""
+
+    def test_requires_wait_budget(self):
+        with pytest.raises(ValueError, match="adaptive_batch"):
+            ServeConfig(adaptive_batch=True, max_wait_ms=0)
+
+    def test_disabled_by_default(self, evaluator):
+        counters = EngineCounters()
+        with make_service(
+            evaluator, max_batch=8, counters=counters
+        ) as service:
+            service.predict({0, 1})
+            health = service.health()
+            assert health.effective_max_batch == 8
+            # The controller never moves when adaptive_batch is off.
+            service._adapt(100.0)
+            assert service.health().effective_max_batch == 8
+        assert counters.get("service_adaptive_shrinks") == 0
+        assert counters.get("service_adaptive_grows") == 0
+
+    def test_controller_shrinks_and_regrows(self, evaluator):
+        # Drive the controller directly: deterministic, no sleeps.
+        counters = EngineCounters()
+        config = ServeConfig(max_batch=8, max_wait_ms=10.0, adaptive_batch=True)
+        with make_service(evaluator, config, counters=counters) as service:
+            budget = 10.0 / 1000.0
+            # Over 2x the budget: multiplicative decrease 8 -> 4 -> 2 -> 1.
+            for expected in (4, 2, 1, 1):
+                service._adapt(3.0 * budget)
+                assert service.health().effective_max_batch == expected
+            assert counters.get("service_adaptive_shrinks") == 3
+            # Under half the budget: additive increase back to the cap.
+            for expected in (2, 3, 4):
+                service._adapt(0.1 * budget)
+                assert service.health().effective_max_batch == expected
+            for _ in range(10):
+                service._adapt(0.1 * budget)
+            assert service.health().effective_max_batch == 8  # capped
+            assert counters.get("service_adaptive_grows") == 7  # 1 -> 8
+            # In the comfort band (between 0.5x and 2x): no move.
+            service._adapt(1.0 * budget)
+            assert service.health().effective_max_batch == 8
+
+    def test_slow_model_shrinks_under_load(self, evaluator):
+        class _SlowModel:
+            def __init__(self, inner, delay):
+                self.inner = inner
+                self.delay = delay
+
+            @property
+            def dataset(self):
+                return self.inner.dataset
+
+            def classification_values_batch(self, queries):
+                time.sleep(self.delay)
+                return self.inner.classification_values_batch(queries)
+
+        counters = EngineCounters()
+        config = ServeConfig(
+            max_batch=8, max_wait_ms=2.0, adaptive_batch=True
+        )
+        slow = _SlowModel(evaluator, delay=0.02)  # 5x the 4ms shrink bar
+        with make_service(slow, config, counters=counters) as service:
+            for _ in range(4):
+                service.predict({0, 1})
+            health = service.health()
+            assert health.effective_max_batch == 1
+        assert counters.get("service_adaptive_shrinks") >= 3
