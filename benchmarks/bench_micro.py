@@ -38,7 +38,7 @@ from repro.datasets.discretize import EntropyDiscretizer
 from repro.datasets.profiles import scaled
 from repro.datasets.splits import given_training_split
 from repro.datasets.synthetic import generate_expression_data
-from repro.replay.metrics import LatencyHistogram
+from repro.evaluation.latency import LatencyHistogram
 from repro.serving import ModelRegistry, PredictionService, ServeConfig
 
 BENCH_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
@@ -807,3 +807,160 @@ def test_registry_aggregate_throughput_speedup():
             f"registry aggregate throughput only {speedup:.2f}x the shared"
             " single-service path"
         )
+
+
+# ----------------------------------------------------------------------
+# Incremental training data plane: delta recompile and chunked ingestion
+# ----------------------------------------------------------------------
+
+
+def test_incremental_append_speedup():
+    """Delta plan recompile after a <=5% row append vs a cold rebuild.
+
+    The incremental training data plane's core gate: a serving process
+    holding a compiled evaluator receives a small batch of new labeled
+    rows (drift retraining).  The cold path rebuilds everything — derived
+    dataset state, per-class tables, plan compile — over all rows; the
+    delta path (``FastBSTCEvaluator.append_rows`` →
+    ``recompile_delta``) reuses every block the new rows do not touch and
+    runs matmuls only over the appended slice.  Gate: the delta path must
+    be >= 5x faster (best of 3 each; relaxed under REPRO_BENCH_SMOKE).
+    The bit-identity checks — identical arena bytes, geometry, dtypes and
+    predictions versus the cold rebuild — always gate.
+    """
+    from repro.core.plan import ARENA_FIELDS
+
+    if BENCH_SMOKE:
+        n_samples, n_items = 240, 800
+    else:
+        n_samples, n_items = 1500, 4000
+    full = _serving_dataset(n_samples, n_items, 3, 0.3, seed=30)
+    old_n = n_samples - max(1, n_samples // 20)  # a 5% append
+    base = full.subset(range(old_n))
+    grown = base.append_samples(full.samples[old_n:], full.labels[old_n:])
+
+    clear_evaluator_cache()
+    base_eval = FastBSTCEvaluator(base)
+    base_eval._ensure_plan()  # precompiled, as in a live serving process
+
+    def cold_rebuild():
+        # A genuinely cold rebuild: a fresh dataset object (no memoized
+        # derived state) and an empty evaluator cache.
+        fresh = RelationalDataset(
+            grown.item_names, grown.class_names, grown.samples, grown.labels
+        )
+        clear_evaluator_cache()
+        return get_evaluator(fresh)
+
+    def delta_append():
+        return base_eval.append_rows(grown)
+
+    cold_eval = cold_rebuild()
+    delta_eval = delta_append()
+    cold_plan = cold_eval._ensure_plan()
+    delta_plan = delta_eval._ensure_plan()
+    # Bit-identity gates, never relaxed: same plan bytes, same answers.
+    assert np.array_equal(cold_plan.geometry, delta_plan.geometry)
+    for name in ARENA_FIELDS:
+        cold_arr = cold_plan.arena[name]
+        delta_arr = delta_plan.arena[name]
+        assert cold_arr.dtype == delta_arr.dtype, name
+        assert np.array_equal(cold_arr, delta_arr), name
+    rng = np.random.default_rng(31)
+    batch = rng.random((32, n_items)) < 0.3
+    assert np.array_equal(
+        cold_eval.classification_values_batch(batch),
+        delta_eval.classification_values_batch(batch),
+    )
+
+    cold_seconds = _best_of(3, cold_rebuild)
+    delta_seconds = _best_of(3, delta_append)
+    clear_evaluator_cache()
+
+    speedup = cold_seconds / delta_seconds
+    _BENCH_RECORD["incremental_append_speedup"] = speedup
+    appended = grown.n_samples - base.n_samples
+    print(
+        f"\nincremental append ({appended} rows on {base.n_samples}):"
+        f" delta {delta_seconds * 1e3:.1f}ms vs cold rebuild"
+        f" {cold_seconds * 1e3:.1f}ms ({speedup:.1f}x)"
+    )
+    if not BENCH_SMOKE:
+        assert speedup >= 5.0, (
+            f"delta recompile only {speedup:.2f}x faster than a cold"
+            " rebuild for a 5% row append"
+        )
+
+
+def test_chunked_ingest_memory_flat(tmp_path):
+    """Chunked TSV ingestion peak memory must stay flat as rows grow 10x.
+
+    A streaming consumer (running per-gene reduction over
+    ``iter_expression_tsv`` blocks, nothing retained) is traced with
+    ``tracemalloc`` on a tall profile and on one 10x taller; the peak may
+    not even double.  The whole-file loader is traced on the tall profile
+    for contrast — its peak necessarily scales with the row count.
+    Memory flatness is deterministic (allocation sizes, not wall clock),
+    so these gates hold under REPRO_BENCH_SMOKE too.
+    """
+    import tracemalloc
+
+    from repro.datasets.dataset import ExpressionMatrix
+    from repro.datasets.io import iter_expression_tsv, load_expression_tsv, \
+        save_expression_tsv
+
+    n_genes = 120 if BENCH_SMOKE else 200
+    base_rows = 150 if BENCH_SMOKE else 400
+
+    def write_profile(rows, seed):
+        rng = np.random.default_rng(seed)
+        data = ExpressionMatrix(
+            gene_names=tuple(f"g{j}" for j in range(n_genes)),
+            values=rng.random((rows, n_genes)),
+            labels=tuple(int(x) for x in rng.integers(0, 3, size=rows)),
+            class_names=("A", "B", "C"),
+        )
+        path = tmp_path / f"tall_{rows}.tsv"
+        save_expression_tsv(data, path)
+        return path
+
+    def chunked_peak(path):
+        tracemalloc.start()
+        total = np.zeros(n_genes)
+        rows = 0
+        for chunk in iter_expression_tsv(path, chunk_rows=64):
+            total += chunk.values.sum(axis=0)
+            rows += chunk.values.shape[0]
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak, rows, total
+
+    small = write_profile(base_rows, 40)
+    tall = write_profile(base_rows * 10, 41)
+    peak_small, rows_small, _ = chunked_peak(small)
+    peak_tall, rows_tall, sum_tall = chunked_peak(tall)
+    assert rows_small == base_rows and rows_tall == base_rows * 10
+
+    tracemalloc.start()
+    whole = load_expression_tsv(tall)
+    _, peak_whole = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    np.testing.assert_allclose(whole.values.sum(axis=0), sum_tall)
+
+    ratio = peak_tall / peak_small
+    _BENCH_RECORD["chunked_ingest_peak_ratio_10x"] = ratio
+    _BENCH_RECORD["chunked_ingest_peak_bytes"] = float(peak_tall)
+    _BENCH_RECORD["whole_file_ingest_peak_bytes"] = float(peak_whole)
+    print(
+        f"\nchunked ingest peak: {peak_small / 1e6:.2f}MB at"
+        f" {rows_small} rows vs {peak_tall / 1e6:.2f}MB at {rows_tall}"
+        f" rows ({ratio:.2f}x); whole-file load peaks at"
+        f" {peak_whole / 1e6:.2f}MB"
+    )
+    assert ratio <= 2.0, (
+        f"chunked ingest peak grew {ratio:.2f}x for a 10x taller profile"
+    )
+    assert peak_whole >= 3.0 * peak_tall, (
+        "whole-file load should dominate chunked peak memory"
+        f" ({peak_whole / 1e6:.2f}MB vs {peak_tall / 1e6:.2f}MB)"
+    )

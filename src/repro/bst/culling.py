@@ -91,13 +91,39 @@ def duplicate_row_keep_mask(matrix: np.ndarray) -> np.ndarray:
     unlike the general implication cull, which can change Algorithm 5's
     numbers.  Deterministic: ties always keep the lowest row index.
     """
-    matrix = np.asarray(matrix, dtype=bool)
-    if matrix.shape[0] == 0:
+    return duplicate_row_keep_mask_blocks((matrix,))
+
+
+def duplicate_row_keep_mask_blocks(
+    blocks: Tuple[np.ndarray, ...]
+) -> np.ndarray:
+    """:func:`duplicate_row_keep_mask` over the virtual row-stack of
+    ``blocks`` (same column count each) without materializing the stack —
+    the delta recompile holds the old and appended outside rows as
+    separate arrays and must not pay an O(rows × genes) copy to ask which
+    appended rows are duplicates.
+    """
+    # Hash-based first-occurrence scan: one packed-row hash per row beats
+    # np.unique's lexicographic row sort by an order of magnitude on wide
+    # matrices, and byte-keyed set membership is exact (no collision
+    # risk — equal keys mean equal rows).  Equal column counts give equal
+    # packbits padding, so keys compare identically across blocks.
+    seen = set()
+    keeps = []
+    for block in blocks:
+        block = np.asarray(block, dtype=bool)
+        keep = np.zeros(block.shape[0], dtype=bool)
+        if block.shape[0]:
+            packed = np.packbits(block, axis=1)
+            for i in range(block.shape[0]):
+                key = packed[i].tobytes()
+                if key not in seen:
+                    seen.add(key)
+                    keep[i] = True
+        keeps.append(keep)
+    if not keeps:
         return np.zeros(0, dtype=bool)
-    _, first = np.unique(matrix, axis=0, return_index=True)
-    keep = np.zeros(matrix.shape[0], dtype=bool)
-    keep[first] = True
-    return keep
+    return np.concatenate(keeps)
 
 
 def culling_ratio(original: BST, culled: BST) -> float:

@@ -201,6 +201,108 @@ class BST:
                     cells[(gene, c)] = BSTCell(gene, c, False, lists)
         return BST(dataset, class_id, columns, outside, cells, pair_lists)
 
+    def append_rows(self, grown: RelationalDataset) -> "BST":
+        """The BST for ``grown`` — this table's dataset plus appended rows —
+        built incrementally from this table.
+
+        ``grown`` must extend ``self.dataset`` append-only (same items and
+        classes, identical sample prefix; what
+        :meth:`RelationalDataset.append_samples` produces).  Appended rows
+        take the highest indices, so existing column order, outside order,
+        and each cell's ascending exclusion-list order are all stable; the
+        result is **identical** to ``BST.build(grown, class_id)`` — same
+        cells, same shared pair lists — at O(new rows × genes) pair-list
+        cost instead of a full O(all rows × genes) rebuild:
+
+        * old ``(c, h)`` pair lists depend only on the two rows' contents,
+          never on dataset size, and are reused verbatim;
+        * an old cell changes only when a *new outside* row expresses its
+          gene (a black dot degrades to a list cell; a list cell appends
+          the new pairs at its tail);
+        * new class columns are built exactly as Algorithm 1 does.
+        """
+        base = self.dataset
+        old_n = base.n_samples
+        if (
+            grown.item_names != base.item_names
+            or grown.class_names != base.class_names
+        ):
+            raise ValueError("grown dataset has different vocabularies")
+        if (
+            grown.n_samples < old_n
+            or grown.samples[:old_n] != base.samples
+            or grown.labels[:old_n] != base.labels
+        ):
+            raise ValueError(
+                "grown dataset is not an append-only extension of the base"
+            )
+        class_id = self.class_id
+        new_columns = tuple(
+            i for i in range(old_n, grown.n_samples)
+            if grown.labels[i] == class_id
+        )
+        new_outside = tuple(
+            i for i in range(old_n, grown.n_samples)
+            if grown.labels[i] != class_id
+        )
+        columns = self.columns + new_columns
+        outside = self.outside + new_outside
+        cells = dict(self._cells)
+        pair_lists = dict(self._pair_lists)
+
+        def pair_list(c: int, h: int) -> ExclusionList:
+            key = (c, h)
+            found = pair_lists.get(key)
+            if found is not None:
+                return found
+            c_items = grown.sample_bits(c)
+            h_items = grown.sample_bits(h)
+            negatives = (h_items - c_items).members()
+            if negatives:
+                elist = ExclusionList(h, negatives, negated=True)
+            else:
+                positives = (c_items - h_items).members()
+                elist = ExclusionList(h, positives, negated=not positives)
+            pair_lists[key] = elist
+            return elist
+
+        class_bits = grown.class_bits(class_id)
+
+        # Old columns: only genes expressed by a new outside row change.
+        # New outside rows have the highest indices, so appending their
+        # lists keeps each cell's ascending outside order.
+        gene_to_new_h: Dict[int, List[int]] = {}
+        for h in new_outside:
+            for gene in grown.samples[h]:
+                gene_to_new_h.setdefault(gene, []).append(h)
+        for gene, new_hs in gene_to_new_h.items():
+            for c in (grown.item_bits(gene) & class_bits).members():
+                if c >= old_n:
+                    continue  # new class columns are built in full below
+                old_cell = cells[(gene, c)]
+                extra = tuple(pair_list(c, h) for h in new_hs)
+                cells[(gene, c)] = BSTCell(
+                    gene, c, False, old_cell.exclusion_lists + extra
+                )
+
+        # New class columns: Algorithm 1 verbatim, over the grown dataset.
+        outside_bits = grown.outside_bits(class_id)
+        outside_expressing: Dict[int, Tuple[int, ...]] = {}
+        for c in new_columns:
+            for gene in grown.sample_bits(c).members():
+                expressing = outside_expressing.get(gene)
+                if expressing is None:
+                    expressing = (
+                        grown.item_bits(gene) & outside_bits
+                    ).members()
+                    outside_expressing[gene] = expressing
+                if not expressing:
+                    cells[(gene, c)] = BSTCell(gene, c, True, ())
+                else:
+                    lists = tuple(pair_list(c, h) for h in expressing)
+                    cells[(gene, c)] = BSTCell(gene, c, False, lists)
+        return BST(grown, class_id, columns, outside, cells, pair_lists)
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -298,6 +400,19 @@ class BST:
         return "\n".join(lines)
 
 
-def build_all_bsts(dataset: RelationalDataset) -> List[BST]:
-    """Construct the BSTs ``T(1), ..., T(N)`` for every class (Section 5.3)."""
+def build_all_bsts(
+    dataset: RelationalDataset, base: Optional[Sequence[BST]] = None
+) -> List[BST]:
+    """Construct the BSTs ``T(1), ..., T(N)`` for every class (Section 5.3).
+
+    With ``base`` — the tables previously built for a prefix of ``dataset``
+    — each class's table is extended via :meth:`BST.append_rows` instead of
+    rebuilt, identical output at incremental cost.
+    """
+    if base is not None:
+        if len(base) != dataset.n_classes:
+            raise ValueError(
+                f"base has {len(base)} tables for {dataset.n_classes} classes"
+            )
+        return [table.append_rows(dataset) for table in base]
     return [BST.build(dataset, class_id) for class_id in range(dataset.n_classes)]

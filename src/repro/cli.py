@@ -16,6 +16,7 @@ Usage::
     python -m repro.cli explain --train train.json --data queries.json
     python -m repro.cli serve --model tumor=model.npz --port 8000
     python -m repro.cli bench --artifact model.npz --threads 8
+    python -m repro.cli refresh --artifact model.npz --train grown.json
 
 The model-serving subcommands mirror the HTTP gateway's verbs —
 ``predict``, ``explain``, ``serve`` — and share its error surface: exit
@@ -52,7 +53,7 @@ from .serving.surface import (
 
 #: The serving subcommands (one per HTTP verb, plus the benchmark); these
 #: share the surface's exit-code mapping and print the counter dump.
-_SERVING_COMMANDS = ("predict", "explain", "serve", "bench", "replay")
+_SERVING_COMMANDS = ("predict", "explain", "serve", "bench", "refresh", "replay")
 
 #: Old command spellings kept working (hidden — not listed in --help).
 _COMMAND_ALIASES = {"serve-bench": "bench"}
@@ -441,6 +442,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=1)
 
+    refresh = sub.add_parser(
+        "refresh",
+        help=(
+            "delta-refresh a compiled artifact against grown training data"
+            " (only the plan blocks the appended rows touch are recomputed)"
+        ),
+        description=(
+            "Recompile a saved .npz model against an append-only grown"
+            " training dataset: per-class state covering the original rows"
+            " is copied verbatim, only the blocks the new rows touch run"
+            " fresh matmuls, and the result is bit-identical to a cold"
+            " refit + save.  The input file is replaced atomically unless"
+            " --out redirects the refreshed artifact elsewhere."
+        ),
+    )
+    refresh.add_argument(
+        "--artifact",
+        required=True,
+        metavar="PATH",
+        help="compiled .npz model artifact to refresh",
+    )
+    refresh.add_argument(
+        "--train",
+        required=True,
+        metavar="PATH",
+        help=(
+            "relational JSON of the GROWN training dataset; its first rows"
+            " must be exactly the artifact's original training data"
+        ),
+    )
+    refresh.add_argument(
+        "--out",
+        metavar="PATH",
+        help=(
+            "write the refreshed artifact here instead of replacing"
+            " --artifact in place"
+        ),
+    )
+    refresh.add_argument(
+        "--expect-fingerprint",
+        metavar="HEX",
+        help=(
+            "require the input artifact to carry this training-data"
+            " fingerprint before refreshing"
+        ),
+    )
+
     replay = sub.add_parser(
         "replay",
         help=(
@@ -699,6 +747,21 @@ def _run_predict(args: argparse.Namespace) -> int:
             data.sample_names[i] if data.sample_names is not None else f"q{i}"
         )
         print(f"{name}\t{class_names[int(label)]}")
+    return 0
+
+
+def _run_refresh(args: argparse.Namespace) -> int:
+    from .core.artifact import refresh_artifact
+    from .datasets.io import load_relational_json
+
+    dataset = load_relational_json(args.train)
+    target = refresh_artifact(
+        args.artifact,
+        dataset,
+        out_path=args.out,
+        expected_fingerprint=args.expect_fingerprint,
+    )
+    print(f"artifact refreshed: {target}")
     return 0
 
 
@@ -1088,6 +1151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "explain": _run_explain,
             "serve": _run_serve,
             "bench": _run_serve_bench,
+            "refresh": _run_refresh,
             "replay": _run_replay,
         }[args.command]
         try:

@@ -82,6 +82,7 @@ __all__ = [
     "ArtifactStale",
     "DatasetSummary",
     "load_artifact",
+    "refresh_artifact",
     "save_artifact",
 ]
 
@@ -277,6 +278,62 @@ def _append_integrity(path: Path) -> None:
     }
     with zipfile.ZipFile(path, "a", zipfile.ZIP_STORED) as archive:
         archive.writestr(_INTEGRITY_MEMBER, json.dumps(payload, sort_keys=True))
+
+
+def refresh_artifact(
+    path: PathLike,
+    dataset,
+    *,
+    out_path: Optional[PathLike] = None,
+    expected_fingerprint: Optional[str] = None,
+) -> Path:
+    """Delta-refresh a saved artifact against an append-only grown dataset.
+
+    The incremental counterpart of save-after-refit: the stored plan is
+    loaded (eagerly verified — corrupt or stale bytes are refused before
+    anything is written) and recompiled via
+    :func:`repro.core.plan.recompile_delta`, so only the blocks that touch
+    the appended rows run fresh matmuls while every class the new rows never
+    reach is copied verbatim.  ``dataset`` must be the grown
+    :class:`~repro.datasets.dataset.RelationalDataset` whose first
+    ``n_samples`` rows are the artifact's original training data (e.g. the
+    result of :meth:`~repro.datasets.dataset.RelationalDataset.append_samples`);
+    the recompile checks that prefix against the stored plan's row blocks and
+    raises :class:`ArtifactStale` — leaving the file untouched — when the
+    dataset does not extend the artifact's training data.
+
+    When ``out_path`` is omitted the refreshed artifact replaces ``path``
+    atomically: the new file is written to a temporary sibling and renamed
+    over the original, so a serving process that memory-mapped the old bytes
+    keeps its pages while every later load sees the refreshed model.  The
+    resulting file is bit-compatible with a cold ``fit`` + ``save_artifact``
+    on the grown dataset (same arena bytes, same predictions).  Returns the
+    path written.
+    """
+    path = Path(path)
+    evaluator = load_artifact(
+        path,
+        expected_fingerprint=expected_fingerprint,
+        verify="eager",
+        on_corrupt="fail",
+    )
+    try:
+        refreshed = evaluator.append_rows(dataset)
+    except ValueError as exc:
+        # The delta recompile validates that the dataset's first rows
+        # reproduce the stored plan's training blocks; any mismatch means
+        # this artifact answers for different training data.
+        raise ArtifactStale(f"{path}: {exc}") from exc
+    target = Path(out_path) if out_path is not None else path
+    tmp = target.with_name(target.name + ".refresh.tmp")
+    try:
+        save_artifact(refreshed, tmp)
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    engine_counters.increment("artifact_refreshes")
+    return target
 
 
 # ----------------------------------------------------------------------

@@ -319,6 +319,24 @@ class BitSet:
         words[index >> 6] |= _U64(1) << _U64(index & 63)
         return BitSet(words, self._n)
 
+    def grow(self, universe: int) -> "BitSet":
+        """The same members re-homed in a larger universe ``[0, universe)``.
+
+        Bit positions are stable under growth (bit ``k`` stays in word
+        ``k >> 6``), so this only pads zero words — O(words), no repacking.
+        The incremental dataset-append path uses it to extend sample-indexed
+        sets when new training rows arrive.
+        """
+        if universe < self._n:
+            raise ValueError(
+                f"cannot shrink universe {self._n} to {universe}"
+            )
+        if universe == self._n:
+            return self
+        words = np.zeros(_n_words(universe), dtype=_U64)
+        words[: self._words.size] = self._words
+        return BitSet(words, universe)
+
     def issubset(self, other: "BitSet") -> bool:
         self._check(other)
         _stats.set_ops += 1
@@ -462,6 +480,58 @@ class BitMatrix:
 
     def transpose(self) -> "BitMatrix":
         return BitMatrix.from_bool(self.to_bool().T)
+
+    # ------------------------------------------------------------------
+    # Incremental growth (append-only dataset maintenance)
+    # ------------------------------------------------------------------
+    def append_rows(self, rows: np.ndarray) -> "BitMatrix":
+        """A new matrix with extra rows packed from a boolean block of
+        shape ``(n_new, n_cols)`` — same universe, O(new rows) work."""
+        rows = np.ascontiguousarray(rows, dtype=bool)
+        if rows.ndim != 2 or rows.shape[1] != self._n_cols:
+            raise ValueError(
+                f"expected (*, {self._n_cols}) boolean block, "
+                f"got {rows.shape}"
+            )
+        _stats.matrix_builds += 1
+        return BitMatrix(
+            np.vstack([self._words, _pack_bool_rows(rows)]), self._n_cols
+        )
+
+    def append_universe(self, extra: np.ndarray) -> "BitMatrix":
+        """Grow every row's universe by appending new bit-columns.
+
+        ``extra`` is a boolean block of shape ``(n_rows, n_extra)`` giving
+        the appended bits of each row.  Existing bit positions are stable
+        (bit ``k`` stays at word ``k >> 6``), so only the old tail word can
+        receive new bits: the extra block is packed at the tail's bit
+        offset and OR-ed in — O(n_rows × n_extra / 64) words touched, no
+        repacking of the existing columns.
+        """
+        extra = np.ascontiguousarray(extra, dtype=bool)
+        if extra.ndim != 2 or extra.shape[0] != self.n_rows:
+            raise ValueError(
+                f"expected ({self.n_rows}, *) boolean block, "
+                f"got {extra.shape}"
+            )
+        n_extra = extra.shape[1]
+        if n_extra == 0:
+            return self
+        new_universe = self._n_cols + n_extra
+        tail_word = self._n_cols >> 6
+        bit_offset = self._n_cols & 63
+        padded = np.zeros((self.n_rows, bit_offset + n_extra), dtype=bool)
+        padded[:, bit_offset:] = extra
+        packed_tail = _pack_bool_rows(padded)
+        words = np.zeros(
+            (self.n_rows, _n_words(new_universe)), dtype=_U64
+        )
+        words[:, : self._words.shape[1]] = self._words
+        words[:, tail_word] |= packed_tail[:, 0]
+        if packed_tail.shape[1] > 1:
+            words[:, tail_word + 1 :] = packed_tail[:, 1:]
+        _stats.matrix_builds += 1
+        return BitMatrix(words, new_universe)
 
     # ------------------------------------------------------------------
     # Bulk reductions — the shared closure/intersection primitive

@@ -87,6 +87,72 @@ class BSTClassifier:
             self._fast = None
         return self
 
+    def append_fit(
+        self,
+        samples,
+        labels: Optional[Sequence[int]] = None,
+        *,
+        sample_names: Optional[Sequence[str]] = None,
+    ) -> "BSTClassifier":
+        """Extend the fitted model with new training rows — incrementally.
+
+        Accepts either raw ``(samples, labels[, sample_names])`` — appended
+        to the fitted dataset via
+        :meth:`~repro.datasets.dataset.RelationalDataset.append_samples` —
+        or a single pre-grown :class:`RelationalDataset` whose first rows
+        are exactly the fitted training data.  Per-class state covering the
+        old rows is reused: the fast engine recompiles only the plan blocks
+        the new rows touch (:func:`repro.core.plan.recompile_delta`), the
+        reference engine extends its BSTs in place
+        (:meth:`repro.bst.table.BST.append_rows`).  The result is
+        bit-identical to a cold ``fit`` on the grown dataset.
+        """
+        if self._dataset is None:
+            raise NotFittedError("call fit() before appending training rows")
+        if not isinstance(self._dataset, RelationalDataset):
+            raise ValueError(
+                "cannot append rows to an artifact-loaded classifier: the"
+                " training samples are not stored in the artifact; use"
+                " repro.core.artifact.refresh_artifact with the grown"
+                " dataset instead"
+            )
+        if isinstance(samples, RelationalDataset):
+            if labels is not None or sample_names is not None:
+                raise ValueError(
+                    "pass either a grown dataset or (samples, labels),"
+                    " not both"
+                )
+            grown = samples
+            old = self._dataset
+            old_n = old.n_samples
+            if (
+                grown.item_names != old.item_names
+                or grown.class_names != old.class_names
+                or grown.n_samples < old_n
+                or grown.samples[:old_n] != old.samples
+                or grown.labels[:old_n] != old.labels
+            ):
+                raise ValueError(
+                    "grown dataset is not an append-only extension of the"
+                    " fitted training data"
+                )
+        else:
+            if labels is None:
+                raise ValueError(
+                    "labels are required when appending raw samples"
+                )
+            grown = self._dataset.append_samples(
+                samples, labels, sample_names=sample_names
+            )
+        if grown.n_samples == self._dataset.n_samples:
+            return self
+        if self._fast is not None:
+            self._fast = register_evaluator(self._fast.append_rows(grown))
+        if self._bsts is not None:
+            self._bsts = build_all_bsts(grown, base=self._bsts)
+        self._dataset = grown
+        return self
+
     @property
     def dataset(self) -> RelationalDataset:
         if self._dataset is None:

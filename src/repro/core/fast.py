@@ -49,7 +49,12 @@ import numpy as np
 from ..datasets.dataset import RelationalDataset
 from ..evaluation.timing import engine_counters
 from .arithmetization import get_combiner
-from .plan import EvaluationPlan, PlanClass, compile_plan_from_tables
+from .plan import (
+    EvaluationPlan,
+    PlanClass,
+    compile_plan_from_tables,
+    recompile_delta,
+)
 
 Query = Union[AbstractSet[int], np.ndarray]
 
@@ -245,6 +250,28 @@ class FastBSTCEvaluator:
                 self._tables, self.dataset.n_items, self.arithmetization
             )
         return self._plan
+
+    def append_rows(self, dataset: RelationalDataset) -> "FastBSTCEvaluator":
+        """An evaluator for ``dataset`` — this evaluator's training data
+        plus rows appended at the end — via a delta plan recompile.
+
+        The incremental-training entry point: old pair weights are copied
+        from this evaluator's arena and only the blocks involving appended
+        rows run fresh matmuls (:func:`repro.core.plan.recompile_delta`),
+        so a small append costs O(n × Δ × genes) instead of the cold
+        O(n² × genes) rebuild while producing a byte-identical plan.
+        """
+        if self._integrity_guard is not None:
+            self._integrity_guard()
+        plan = recompile_delta(
+            self._ensure_plan(),
+            dataset,
+            int(self.dataset.n_samples),
+            self.arithmetization,
+        )
+        return FastBSTCEvaluator._from_plan(
+            dataset, self.arithmetization, plan
+        )
 
     def _legacy_tables(self) -> List[Optional[_ClassTables]]:
         """Legacy per-class tables, rebuilt from the plan's row blocks when

@@ -42,7 +42,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..bst.culling import duplicate_row_keep_mask
+from ..bst.culling import (
+    duplicate_row_keep_mask,
+    duplicate_row_keep_mask_blocks,
+)
 from ..evaluation.timing import engine_counters
 
 __all__ = [
@@ -53,6 +56,7 @@ __all__ = [
     "PlanClass",
     "compile_plan_from_tables",
     "plan_from_arena",
+    "recompile_delta",
     "tables_hot_nbytes",
 ]
 
@@ -158,81 +162,211 @@ def _concat(pieces: List[np.ndarray], dtype: np.dtype) -> np.ndarray:
     return np.concatenate([np.ascontiguousarray(p.ravel()) for p in pieces])
 
 
-def compile_plan_from_tables(
-    tables: Sequence[Optional[object]],
+def _raw_for_class(
+    class_id: int,
+    inside: np.ndarray,
+    outside: np.ndarray,
+    pair_len: np.ndarray,
+    pair_neg: np.ndarray,
     n_items: int,
-    arithmetization: str = "min",
-) -> EvaluationPlan:
-    """Fuse legacy per-class tables into one compiled arena.
+    arithmetization: str,
+) -> Tuple[Dict[str, np.ndarray], Tuple[int, int, int, int], int, float, int]:
+    """One class's raw arena pieces from its row blocks and pair weights.
 
-    ``tables`` is a sequence of ``_ClassTables``-shaped objects (duck
-    typed: ``inside``/``outside``/``len_neg``/``len_pos``/``negated``/
-    ``h_flat`` attributes) or ``None`` for absent classes.  Deterministic:
-    the same tables always compile to byte-identical arenas.
+    Returns ``(raw, geometry_row, max_index, max_weight, culled_refs)``.
+    Shared by the cold compile and the delta recompile, so both produce
+    byte-identical per-class members from identical inputs.
     """
-    n_classes = len(tables)
-    geometry = np.zeros((n_classes, GEOMETRY_COLUMNS), dtype=np.int64)
-    raw: List[Optional[Dict[str, np.ndarray]]] = []
-    culled_refs = 0
-    max_index = 0
-    max_weight = 0.0
-    for class_id, t in enumerate(tables):
-        if t is None:
-            raw.append(None)
-            continue
-        inside = np.asarray(t.inside, dtype=bool)
-        outside = np.asarray(t.outside, dtype=bool)
-        n_c, n_o = inside.shape[0], outside.shape[0]
-        # Value-preserving duplicate cull (min only; see module docstring).
-        if arithmetization == "min" and n_o:
-            keep = duplicate_row_keep_mask(outside)
-        else:
-            keep = np.ones(n_o, dtype=bool)
-        culled_outside = outside & keep[:, None]
-        counts = culled_outside.sum(axis=0).astype(np.int64)
-        gene_ids, h_ids = np.nonzero(culled_outside.T)
-        del gene_ids  # np.nonzero order guarantees gene-major h_ids
-        culled_refs += int(np.asarray(t.h_flat).size) - int(h_ids.size)
-        h_offsets = np.zeros(n_items, dtype=np.int64)
+    n_c, n_o = inside.shape[0], outside.shape[0]
+    # Value-preserving duplicate cull (min only; see module docstring).
+    if arithmetization == "min" and n_o:
+        keep = duplicate_row_keep_mask(outside)
+    else:
+        keep = np.ones(n_o, dtype=bool)
+    culled_outside = outside & keep[:, None]
+    counts = culled_outside.sum(axis=0).astype(np.int64)
+    gene_ids, h_ids = np.nonzero(culled_outside.T)
+    del gene_ids  # np.nonzero order guarantees gene-major h_ids
+    uncull_counts = outside.sum(axis=0).astype(np.int64)
+    culled_refs = int(uncull_counts.sum()) - int(h_ids.size)
+    h_offsets = np.zeros(n_items, dtype=np.int64)
+    if n_items > 1:
+        np.cumsum(counts[:-1], out=h_offsets[1:])
+    gene_mask = inside.any(axis=0)
+    ins_gene_ids, inside_rows = np.nonzero(inside.T)
+    del ins_gene_ids
+    inside_rows = inside_rows.astype(np.int64)
+    inside_row_offsets = np.zeros(n_items + 1, dtype=np.int64)
+    np.cumsum(inside.sum(axis=0), out=inside_row_offsets[1:])
+    geometry_row = (n_c, n_o, int(h_ids.size), int(inside_rows.size))
+    max_index = max(
+        n_c,
+        n_o,
+        int(h_ids.size),
+        int(inside_rows.size),
+        int(counts.max()) if counts.size else 0,
+    )
+    max_weight = float(pair_len.max()) if pair_len.size else 0.0
+    raw = {
+        "inside": inside,
+        "outside": outside,
+        "inside_f": inside.astype(np.float32),
+        "outside_f": outside.astype(np.float32),
+        "pair_len": pair_len,
+        "pair_neg": pair_neg.astype(bool, copy=False),
+        "gene_mask": gene_mask,
+        "outside_counts": counts,
+        "blackdot_mask": gene_mask & (uncull_counts == 0),
+        "h_flat": h_ids.astype(np.int64),
+        "h_offsets": h_offsets,
+        "inside_rows": inside_rows,
+        "inside_row_offsets": inside_row_offsets,
+    }
+    return raw, geometry_row, max_index, max_weight, culled_refs
+
+
+def _gene_major_merge(
+    old_flat: np.ndarray,
+    old_counts: np.ndarray,
+    new_flat: np.ndarray,
+    new_counts: np.ndarray,
+    n_items: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge two gene-major CSR id lists into one, per gene: old ids first
+    (they are smaller — appended rows take the highest indices), then new.
+
+    Returns ``(flat, counts, offsets)`` with int64 entries; byte-identical
+    to rebuilding the list from the stacked boolean blocks, at O(total
+    entries) scatter cost instead of an O(rows × genes) ``np.nonzero``.
+    """
+    counts = old_counts + new_counts
+    offsets = np.zeros(n_items, dtype=np.int64)
+    if n_items > 1:
+        np.cumsum(counts[:-1], out=offsets[1:])
+    flat = np.empty(old_flat.size + new_flat.size, dtype=np.int64)
+    if old_flat.size:
+        old_offsets = np.zeros(n_items, dtype=np.int64)
         if n_items > 1:
-            np.cumsum(counts[:-1], out=h_offsets[1:])
-        negated = np.asarray(t.negated)
-        # Keep the source precision here; the cast to the plan's weight
-        # dtype happens once, at arena build, after the overflow guard has
-        # seen the true maximum.
-        pair_len = np.where(
-            negated, np.asarray(t.len_neg), np.asarray(t.len_pos)
-        )
-        inside_rows = np.asarray(t.inside_rows, dtype=np.int64)
-        inside_row_offsets = np.asarray(t.inside_row_offsets, dtype=np.int64)
-        geometry[class_id] = (n_c, n_o, h_ids.size, inside_rows.size)
-        max_index = max(
-            max_index,
-            n_c,
-            n_o,
-            int(h_ids.size),
-            int(inside_rows.size),
-            int(counts.max()) if counts.size else 0,
-        )
-        if pair_len.size:
-            max_weight = max(max_weight, float(pair_len.max()))
-        raw.append(
-            {
-                "inside": inside,
-                "outside": outside,
-                "inside_f": np.asarray(t.inside_f, dtype=np.float32),
-                "outside_f": np.asarray(t.outside_f, dtype=np.float32),
-                "pair_len": pair_len,
-                "pair_neg": negated.astype(bool, copy=False),
-                "gene_mask": np.asarray(t.gene_mask, dtype=bool),
-                "outside_counts": counts,
-                "blackdot_mask": np.asarray(t.blackdot_mask, dtype=bool),
-                "h_flat": h_ids.astype(np.int64),
-                "h_offsets": h_offsets,
-                "inside_rows": inside_rows,
-                "inside_row_offsets": inside_row_offsets,
-            }
-        )
+            np.cumsum(old_counts[:-1], out=old_offsets[1:])
+        dest = np.arange(old_flat.size, dtype=np.int64)
+        dest += np.repeat(offsets - old_offsets, old_counts)
+        flat[dest] = old_flat
+    if new_flat.size:
+        new_offsets = np.zeros(n_items, dtype=np.int64)
+        if n_items > 1:
+            np.cumsum(new_counts[:-1], out=new_offsets[1:])
+        dest = np.arange(new_flat.size, dtype=np.int64)
+        dest += np.repeat(offsets + old_counts - new_offsets, new_counts)
+        flat[dest] = new_flat
+    return flat, counts, offsets
+
+
+def _raw_for_class_delta(
+    base: PlanClass,
+    new_inside: np.ndarray,
+    new_outside: np.ndarray,
+    pair_len: np.ndarray,
+    pair_neg: np.ndarray,
+    n_items: int,
+    arithmetization: str,
+) -> Tuple[Dict[str, np.ndarray], Tuple[int, int, int, int], int, float, int]:
+    """The delta counterpart of :func:`_raw_for_class`: rebuild one class's
+    raw arena pieces from the base class views plus the appended row blocks.
+
+    Appended rows take the highest indices, so the base per-gene CSR lists
+    (culled outside ids, inside rows) are prefixes of the grown ones and
+    merge in O(entries); only the appended blocks are scanned with
+    ``np.nonzero``/``astype``, and the row-block fields are returned as
+    ``(base view, new block)`` piece pairs so the stacked arrays are never
+    materialized — :func:`_build_arena` copies each piece once, straight
+    into the arena.  Byte-identical to :func:`_raw_for_class` over the
+    stacked blocks (equivalence-gated in tests and bench_micro).
+
+    The returned ``culled_refs`` is the *delta* contribution (references
+    culled from the appended rows only); the caller adds the base plan's
+    total, which the prefix-stable keep mask leaves unchanged.
+    """
+    n_c_old = int(base.inside.shape[0])
+    n_o_old = int(base.outside.shape[0])
+    n_c = n_c_old + int(new_inside.shape[0])
+    n_o = n_o_old + int(new_outside.shape[0])
+    # The duplicate cull keeps first occurrences, so the grown keep mask
+    # restricted to the old rows equals the base cull — which is what
+    # makes reusing the base CSR lists below sound.  Only the new rows'
+    # mask is needed; the old rows merely charge the seen-set.
+    if arithmetization == "min" and n_o:
+        keep_new = duplicate_row_keep_mask_blocks(
+            (base.outside, new_outside)
+        )[n_o_old:]
+    else:
+        keep_new = np.ones(new_outside.shape[0], dtype=bool)
+    culled_new = new_outside & keep_new[:, None]
+    counts_new = culled_new.sum(axis=0).astype(np.int64)
+    gene_ids, h_new = np.nonzero(culled_new.T)
+    del gene_ids
+    h_flat, counts, h_offsets = _gene_major_merge(
+        base.h_flat,
+        base.outside_counts.astype(np.int64),
+        h_new.astype(np.int64) + n_o_old,
+        counts_new,
+        n_items,
+    )
+    culled_refs = int(new_outside.sum()) - int(counts_new.sum())
+    gene_mask = base.gene_mask | new_inside.any(axis=0)
+    ins_gene_ids, ins_new = np.nonzero(new_inside.T)
+    del ins_gene_ids
+    old_ins_counts = np.diff(base.inside_row_offsets).astype(np.int64)
+    new_ins_counts = new_inside.sum(axis=0).astype(np.int64)
+    inside_rows, ins_counts, _ = _gene_major_merge(
+        base.inside_rows,
+        old_ins_counts,
+        ins_new.astype(np.int64) + n_c_old,
+        new_ins_counts,
+        n_items,
+    )
+    inside_row_offsets = np.zeros(n_items + 1, dtype=np.int64)
+    np.cumsum(ins_counts, out=inside_row_offsets[1:])
+    geometry_row = (n_c, n_o, int(h_flat.size), int(inside_rows.size))
+    max_index = max(
+        n_c,
+        n_o,
+        int(h_flat.size),
+        int(inside_rows.size),
+        int(counts.max()) if counts.size else 0,
+    )
+    max_weight = float(pair_len.max()) if pair_len.size else 0.0
+    # A gene's culled count is zero iff its uncull count is zero: every
+    # culled row duplicates a kept row expressing the same genes, so the
+    # cull never empties a gene's list — the blackdot test can read the
+    # merged culled counts directly.
+    raw = {
+        "inside": (base.inside, new_inside),
+        "outside": (base.outside, new_outside),
+        "inside_f": (base.inside_f, new_inside.astype(np.float32)),
+        "outside_f": (base.outside_f, new_outside.astype(np.float32)),
+        "pair_len": pair_len,
+        "pair_neg": pair_neg.astype(bool, copy=False),
+        "gene_mask": gene_mask,
+        "outside_counts": counts,
+        "blackdot_mask": gene_mask & (counts == 0),
+        "h_flat": h_flat,
+        "h_offsets": h_offsets,
+        "inside_rows": inside_rows,
+        "inside_row_offsets": inside_row_offsets,
+    }
+    return raw, geometry_row, max_index, max_weight, culled_refs
+
+
+def _build_arena(
+    raw: Sequence[Optional[Dict[str, np.ndarray]]],
+    geometry: np.ndarray,
+    n_items: int,
+    culled_refs: int,
+    max_index: int,
+    max_weight: float,
+) -> EvaluationPlan:
+    """Dtype guards + per-field concatenation: the shared arena-assembly
+    tail of the cold compile and the delta recompile."""
     # Overflow guards: downcast only when the observed ranges permit.
     if max_index <= INT32_MAX:
         index_dtype = np.dtype(np.int32)
@@ -250,7 +384,18 @@ def compile_plan_from_tables(
     )
     arena: Dict[str, np.ndarray] = {}
     for name in ARENA_FIELDS:
-        pieces = [r[name] for r in raw if r is not None]
+        # The delta path hands row-block fields over as (base, new) piece
+        # tuples so the stacked array is never built twice: flattened
+        # here, each block is copied exactly once — into the arena.
+        pieces = []
+        for r in raw:
+            if r is None:
+                continue
+            value = r[name]
+            if isinstance(value, tuple):
+                pieces.extend(value)
+            else:
+                pieces.append(value)
         if name in index_fields:
             dtype = index_dtype
             pieces = [p.astype(dtype, copy=False) for p in pieces]
@@ -267,6 +412,234 @@ def compile_plan_from_tables(
         engine_counters.increment("plan_culled_refs", culled_refs)
     return plan_from_arena(
         arena, geometry, n_items, culled_refs=culled_refs
+    )
+
+
+def compile_plan_from_tables(
+    tables: Sequence[Optional[object]],
+    n_items: int,
+    arithmetization: str = "min",
+) -> EvaluationPlan:
+    """Fuse legacy per-class tables into one compiled arena.
+
+    ``tables`` is a sequence of ``_ClassTables``-shaped objects (duck
+    typed: ``inside``/``outside``/``len_neg``/``len_pos``/``negated``
+    attributes) or ``None`` for absent classes.  Deterministic: the same
+    tables always compile to byte-identical arenas.
+    """
+    n_classes = len(tables)
+    geometry = np.zeros((n_classes, GEOMETRY_COLUMNS), dtype=np.int64)
+    raw: List[Optional[Dict[str, np.ndarray]]] = []
+    culled_refs = 0
+    max_index = 0
+    max_weight = 0.0
+    for class_id, t in enumerate(tables):
+        if t is None:
+            raw.append(None)
+            continue
+        inside = np.asarray(t.inside, dtype=bool)
+        outside = np.asarray(t.outside, dtype=bool)
+        negated = np.asarray(t.negated)
+        # Keep the source precision here; the cast to the plan's weight
+        # dtype happens once, at arena build, after the overflow guard has
+        # seen the true maximum.
+        pair_len = np.where(
+            negated, np.asarray(t.len_neg), np.asarray(t.len_pos)
+        )
+        pieces, geometry_row, cls_index, cls_weight, cls_culled = (
+            _raw_for_class(
+                class_id, inside, outside, pair_len,
+                negated.astype(bool, copy=False), n_items, arithmetization,
+            )
+        )
+        geometry[class_id] = geometry_row
+        max_index = max(max_index, cls_index)
+        max_weight = max(max_weight, cls_weight)
+        culled_refs += cls_culled
+        raw.append(pieces)
+    return _build_arena(
+        raw, geometry, n_items, culled_refs, max_index, max_weight
+    )
+
+
+def recompile_delta(
+    base_plan: EvaluationPlan,
+    dataset,
+    base_n_samples: int,
+    arithmetization: str = "min",
+) -> EvaluationPlan:
+    """Recompile a plan for ``dataset`` — the base plan's training data
+    plus rows appended at the end — reusing the base arena's pair weights.
+
+    The pair values for an old ``(c, h)`` pair depend only on the two
+    rows' contents, never on dataset size, so the base plan's
+    ``pair_len``/``pair_neg`` blocks are copied verbatim; only the
+    ``old_c × new_h`` and ``new_c × all_h`` blocks run fresh matmuls.
+    The dominant cost drops from O(n² × genes) to O(n × Δ × genes) for a
+    Δ-row append, and the result is **byte-identical** to
+    :func:`compile_plan_from_tables` over cold-built tables of the grown
+    dataset (equivalence-gated in tests and ``bench_micro``): appended
+    rows take the highest indices, so class member order, outside order,
+    gene-major CSR order, and the duplicate-cull keep mask of old rows
+    are all stable.
+
+    ``dataset`` must extend the base plan's training data append-only —
+    the first ``base_n_samples`` rows and the class vocabulary unchanged
+    (what :meth:`RelationalDataset.append_samples` produces).  Both
+    geometry and row *contents* are validated against the base arena's
+    stored blocks (``ValueError`` on any mismatch), so a reordered or
+    edited dataset cannot silently inherit the base weights.  A class
+    absent from the base plan that gains its first samples is built cold
+    — its matmul is already delta-sized.
+    """
+    matrix = dataset.bool_matrix
+    labels = dataset.label_array
+    n_items = int(matrix.shape[1])
+    n_samples = int(matrix.shape[0])
+    old_n = int(base_n_samples)
+    if n_items != base_plan.n_items:
+        raise ValueError(
+            f"dataset has {n_items} items, base plan {base_plan.n_items}"
+        )
+    if dataset.n_classes != base_plan.n_classes:
+        raise ValueError(
+            f"dataset has {dataset.n_classes} classes, base plan"
+            f" {base_plan.n_classes}"
+        )
+    if not 0 <= old_n <= n_samples:
+        raise ValueError(
+            f"base_n_samples {old_n} outside [0, {n_samples}]"
+        )
+    old_labels = labels[:old_n]
+    new_rows = matrix[old_n:]
+    new_labels = labels[old_n:]
+    geometry = np.zeros(
+        (base_plan.n_classes, GEOMETRY_COLUMNS), dtype=np.int64
+    )
+    raw: List[Optional[Dict[str, np.ndarray]]] = []
+    # Delta classes report only the references culled from their appended
+    # rows (the prefix-stable cull leaves the base contribution intact);
+    # cold classes — absent from the base plan, so charged 0 there — still
+    # report their full count.
+    culled_refs = base_plan.culled_refs
+    max_index = 0
+    max_weight = 0.0
+    for class_id in range(base_plan.n_classes):
+        pc = base_plan.classes[class_id]
+        member_mask = new_labels == class_id
+        new_inside = new_rows[member_mask]
+        new_outside = new_rows[~member_mask]
+        if pc is None:
+            if (old_labels == class_id).any():
+                raise ValueError(
+                    f"class {class_id}: absent from the base plan but"
+                    f" present in the first {old_n} dataset rows — dataset"
+                    " is not an append-only extension of the plan's"
+                    " training data"
+                )
+            inside = new_inside
+            if inside.shape[0] == 0:
+                raw.append(None)
+                continue
+            # First samples of a previously-absent class: cold build, but
+            # the matmul is (Δ_c × genes) @ (genes × n_o) — delta-sized.
+            outside = matrix[labels != class_id]
+            ins_f = inside.astype(np.float32)
+            outs_f = outside.astype(np.float32)
+            inter = ins_f @ outs_f.T
+            len_neg = outs_f.sum(axis=1)[None, :] - inter
+            len_pos = ins_f.sum(axis=1)[:, None] - inter
+            pair_neg = len_neg > 0
+            pair_len = np.where(pair_neg, len_neg, len_pos)
+        else:
+            n_c_old = int(pc.inside.shape[0])
+            n_o_old = int(pc.outside.shape[0])
+            if (
+                n_c_old != int((old_labels == class_id).sum())
+                or n_o_old != old_n - n_c_old
+            ):
+                raise ValueError(
+                    f"class {class_id}: base plan geometry does not match"
+                    f" the first {old_n} rows of the dataset"
+                )
+            # Content check: every class's stored member rows must equal
+            # the dataset's prefix members verbatim (which, across all
+            # classes, pins every old row and label — the outside blocks
+            # follow).  One O(old rows × genes) memcmp-speed pass; without
+            # it a reordered or edited dataset would silently inherit the
+            # base arena's weights.
+            if not np.array_equal(
+                pc.inside, matrix[:old_n][old_labels == class_id]
+            ):
+                raise ValueError(
+                    f"class {class_id}: the first {old_n} dataset rows do"
+                    " not reproduce the base plan's training rows — dataset"
+                    " is not an append-only extension of the plan's"
+                    " training data"
+                )
+            n_c = n_c_old + int(new_inside.shape[0])
+            n_o = n_o_old + int(new_outside.shape[0])
+            pair_len = np.empty((n_c, n_o), dtype=np.float32)
+            pair_neg = np.empty((n_c, n_o), dtype=bool)
+            # Old block: verbatim reuse.  A float64 (wide) base arena holds
+            # exactly the float32-computed source values upcast, so the
+            # round trip back to float32 is lossless.
+            pair_len[:n_c_old, :n_o_old] = pc.pair_len
+            pair_neg[:n_c_old, :n_o_old] = pc.pair_neg
+            new_outs_f = new_outside.astype(np.float32)
+            if n_o > n_o_old:
+                # old_c × new_h: the base class rows against appended
+                # outside rows.
+                inter = pc.inside_f @ new_outs_f.T
+                len_neg = new_outs_f.sum(axis=1)[None, :] - inter
+                len_pos = pc.inside_f.sum(axis=1)[:, None] - inter
+                neg = len_neg > 0
+                pair_len[:n_c_old, n_o_old:] = np.where(
+                    neg, len_neg, len_pos
+                )
+                pair_neg[:n_c_old, n_o_old:] = neg
+            if n_c > n_c_old:
+                # new_c × all_h, one GEMM per outside block so the stacked
+                # outside never materializes.  Splitting the product along
+                # its columns is bit-identical to the fused form: every
+                # accumulated value is a small integer (< 2**24), exact in
+                # float32 under any summation order.
+                new_ins_f = new_inside.astype(np.float32)
+                ins_sizes = new_ins_f.sum(axis=1)[:, None]
+                col0 = 0
+                for outs_f in (pc.outside_f, new_outs_f):
+                    col1 = col0 + int(outs_f.shape[0])
+                    inter = new_ins_f @ outs_f.T
+                    len_neg = outs_f.sum(axis=1)[None, :] - inter
+                    len_pos = ins_sizes - inter
+                    neg = len_neg > 0
+                    pair_len[n_c_old:, col0:col1] = np.where(
+                        neg, len_neg, len_pos
+                    )
+                    pair_neg[n_c_old:, col0:col1] = neg
+                    col0 = col1
+        if pc is None:
+            pieces, geometry_row, cls_index, cls_weight, cls_culled = (
+                _raw_for_class(
+                    class_id, inside, outside, pair_len, pair_neg,
+                    n_items, arithmetization,
+                )
+            )
+        else:
+            pieces, geometry_row, cls_index, cls_weight, cls_culled = (
+                _raw_for_class_delta(
+                    pc, new_inside, new_outside, pair_len, pair_neg,
+                    n_items, arithmetization,
+                )
+            )
+        geometry[class_id] = geometry_row
+        max_index = max(max_index, cls_index)
+        max_weight = max(max_weight, cls_weight)
+        culled_refs += cls_culled
+        raw.append(pieces)
+    engine_counters.increment("plan_delta_recompiles")
+    return _build_arena(
+        raw, geometry, n_items, culled_refs, max_index, max_weight
     )
 
 

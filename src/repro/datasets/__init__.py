@@ -2,6 +2,13 @@
 
 from .dataset import DatasetError, ExpressionMatrix, RelationalDataset, running_example
 from .discretize import EntropyDiscretizer, GenePartition, mdlp_cut_points
+from .io import (
+    DEFAULT_CHUNK_ROWS,
+    concat_expression_chunks,
+    iter_expression_tsv,
+    load_expression_tsv,
+    save_expression_tsv,
+)
 from .profiles import MULTICLASS_PROFILE, PAPER_PROFILES, DatasetProfile, profile, scaled
 from .splits import TrainTestSplit, count_split, fraction_split, given_training_split
 from .synthetic import generate_expression_data
@@ -9,6 +16,8 @@ from .synthetic import generate_expression_data
 __all__ = [
     "DatasetError", "ExpressionMatrix", "RelationalDataset", "running_example",
     "EntropyDiscretizer", "GenePartition", "mdlp_cut_points",
+    "DEFAULT_CHUNK_ROWS", "concat_expression_chunks", "iter_expression_tsv",
+    "load_expression_tsv", "save_expression_tsv",
     "DatasetProfile", "PAPER_PROFILES", "MULTICLASS_PROFILE", "profile", "scaled",
     "TrainTestSplit", "count_split", "fraction_split", "given_training_split",
     "generate_expression_data",

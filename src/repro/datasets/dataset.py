@@ -184,6 +184,89 @@ class RelationalDataset:
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
+    def append_samples(
+        self,
+        samples: Sequence[FrozenSet[int]],
+        labels: Sequence[int],
+        sample_names: Optional[Sequence[str]] = None,
+    ) -> "RelationalDataset":
+        """A new dataset with extra samples appended at the end.
+
+        The append-only entry point of the incremental training plane: new
+        rows take indices ``n_samples..n_samples+k-1``, so every existing
+        sample keeps its index and every class keeps its member order — the
+        invariant that lets :meth:`~repro.bst.table.BST.append_rows` and
+        :func:`~repro.core.plan.recompile_delta` reuse old state verbatim.
+
+        Already-computed derived caches (dense matrix, packed incidence
+        views, class bitsets) are extended in O(new rows × items) via the
+        bitset grow/append kernels instead of being recomputed from
+        scratch; the result is indistinguishable from a cold construction.
+        Labels must reference existing classes.
+        """
+        new_samples = tuple(frozenset(int(i) for i in s) for s in samples)
+        new_labels = tuple(int(lab) for lab in labels)
+        if not new_samples:
+            return self
+        if self.sample_names is not None:
+            if sample_names is None:
+                sample_names = tuple(
+                    f"s{self.n_samples + k}" for k in range(len(new_samples))
+                )
+            appended_names: Optional[Tuple[str, ...]] = (
+                self.sample_names + tuple(str(n) for n in sample_names)
+            )
+        elif sample_names is not None:
+            raise DatasetError(
+                "cannot append named samples to an unnamed dataset"
+            )
+        else:
+            appended_names = None
+        grown = RelationalDataset(
+            item_names=self.item_names,
+            class_names=self.class_names,
+            samples=self.samples + new_samples,
+            labels=self.labels + new_labels,
+            sample_names=appended_names,
+        )
+
+        # Seed the derived caches incrementally.  ``cached_property`` writes
+        # straight into the instance ``__dict__`` (bypassing the frozen
+        # dataclass's __setattr__), so pre-populating the same slots here is
+        # exactly equivalent to a cold first access.
+        old_n, new_n = self.n_samples, grown.n_samples
+        new_bool = np.zeros((len(new_samples), self.n_items), dtype=bool)
+        for row, sample in enumerate(new_samples):
+            if sample:
+                new_bool[row, list(sample)] = True
+        seeded = grown.__dict__
+        if "bool_matrix" in self.__dict__:
+            seeded["bool_matrix"] = np.vstack([self.bool_matrix, new_bool])
+        if "label_array" in self.__dict__:
+            seeded["label_array"] = np.concatenate(
+                [self.label_array, np.asarray(new_labels, dtype=np.int64)]
+            )
+        if "sample_rows" in self.__dict__:
+            seeded["sample_rows"] = self.sample_rows.append_rows(new_bool)
+        if "item_columns" in self.__dict__:
+            seeded["item_columns"] = self.item_columns.append_universe(
+                new_bool.T
+            )
+        if "_class_bits" in self.__dict__:
+            grown_bits = []
+            for c, bits in enumerate(self._class_bits):
+                extended = bits.grow(new_n)
+                idx = [
+                    old_n + k
+                    for k, lab in enumerate(new_labels)
+                    if lab == c
+                ]
+                if idx:
+                    extended = extended | BitSet.from_indices(new_n, idx)
+                grown_bits.append(extended)
+            seeded["_class_bits"] = tuple(grown_bits)
+        return grown
+
     def subset(self, indices: Sequence[int]) -> "RelationalDataset":
         """A new dataset containing only the given sample indices (in order)."""
         return RelationalDataset(

@@ -13,6 +13,7 @@ from .crossval import (
     paper_training_sizes,
 )
 from .journal import ResultJournal, result_from_dict, result_to_dict
+from .latency import LatencyHistogram
 from .metrics import accuracy, confusion_matrix, error_direction, mean_accuracy
 from .resilience import (
     RetryPolicy,
@@ -36,6 +37,7 @@ __all__ = [
     "TrainingSize", "CVTest", "PhaseRecord", "TestResult", "StudyResult",
     "make_test", "paper_training_sizes", "derive_seed",
     "ResultJournal", "result_to_dict", "result_from_dict",
+    "LatencyHistogram",
     "RetryPolicy", "TaskOutcome", "supervised_map",
     "multiprocessing_available",
 ]

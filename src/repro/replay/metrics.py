@@ -2,12 +2,13 @@
 
 Two measurement problems, two tools:
 
-* :class:`LatencyHistogram` — tail latency without storing samples.  A
-  million-query replay cannot keep a million floats around just to read
-  p99 at the end; the histogram buys constant memory with geometric
-  buckets (ratio sqrt(2) from 0.1 ms to ~2 min, ~42 buckets), which
-  bounds every quantile's relative error at ~41% of a bucket width while
-  letting reports from parallel drivers merge by vector addition.
+* :class:`LatencyHistogram` — tail latency without storing samples.
+  The class itself lives in :mod:`repro.evaluation.latency` (it is shared
+  with the benchmark suite, which must not import the replay stack) and
+  is re-exported here so existing ``repro.replay.metrics`` imports keep
+  working: constant memory with geometric buckets (ratio sqrt(2) from
+  0.1 ms to ~2 min, ~42 buckets), quantile relative error bounded at
+  ~41% of a bucket width, parallel reports merge by vector addition.
 
 * :class:`ReplayReport` + :func:`reconcile` — *exact* accounting.  The
   replay driver records one :class:`~repro.replay.driver.Outcome` per
@@ -23,10 +24,10 @@ Two measurement problems, two tools:
 
 from __future__ import annotations
 
-import bisect
-import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..evaluation.latency import LatencyHistogram
 
 __all__ = [
     "CATEGORIES",
@@ -64,97 +65,6 @@ COUNTER_PAIRS = (
     ("poison", "service_poison_queries"),
     ("rejected", "service_query_rejects"),
 )
-
-
-def _bucket_bounds() -> Tuple[float, ...]:
-    """Geometric upper bounds in seconds: 0.1 ms .. ~2 min, ratio sqrt(2)."""
-    bounds = []
-    value = 1e-4
-    while value < 120.0:
-        bounds.append(value)
-        value *= math.sqrt(2.0)
-    bounds.append(math.inf)
-    return tuple(bounds)
-
-
-class LatencyHistogram:
-    """Fixed-bucket latency accumulator with percentile readout.
-
-    Not thread-safe on its own; the driver records under its accounting
-    lock, which it already holds for the exactly-once outcome map.
-    """
-
-    BOUNDS: Tuple[float, ...] = _bucket_bounds()
-
-    def __init__(self) -> None:
-        self._counts = [0] * len(self.BOUNDS)
-        self._total = 0
-        self._sum = 0.0
-        self._max = 0.0
-
-    def record(self, seconds: float) -> None:
-        index = bisect.bisect_left(self.BOUNDS, seconds)
-        self._counts[min(index, len(self._counts) - 1)] += 1
-        self._total += 1
-        self._sum += seconds
-        if seconds > self._max:
-            self._max = seconds
-
-    def merge(self, other: "LatencyHistogram") -> None:
-        for i, count in enumerate(other._counts):
-            self._counts[i] += count
-        self._total += other._total
-        self._sum += other._sum
-        self._max = max(self._max, other._max)
-
-    def __len__(self) -> int:
-        return self._total
-
-    @property
-    def mean(self) -> float:
-        return self._sum / self._total if self._total else 0.0
-
-    @property
-    def max(self) -> float:
-        return self._max
-
-    def percentile(self, p: float) -> float:
-        """The latency (seconds) at percentile ``p`` in [0, 100].
-
-        Linear interpolation inside the owning bucket; the open-ended top
-        bucket reports the observed maximum instead of infinity.
-        """
-        if not 0.0 <= p <= 100.0:
-            raise ValueError("percentile must be within [0, 100]")
-        if self._total == 0:
-            return 0.0
-        target = p / 100.0 * self._total
-        cumulative = 0
-        for i, count in enumerate(self._counts):
-            if count == 0:
-                continue
-            if cumulative + count >= target:
-                lower = self.BOUNDS[i - 1] if i > 0 else 0.0
-                upper = self.BOUNDS[i]
-                if math.isinf(upper):
-                    return self._max
-                fraction = (target - cumulative) / count
-                value = lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
-                # A bucket's upper bound can overshoot what was actually
-                # observed; the true maximum caps every quantile.
-                return min(value, self._max)
-            cumulative += count
-        return self._max
-
-    def to_dict(self) -> Dict[str, float]:
-        return {
-            "count": float(self._total),
-            "mean_ms": self.mean * 1000.0,
-            "p50_ms": self.percentile(50.0) * 1000.0,
-            "p95_ms": self.percentile(95.0) * 1000.0,
-            "p99_ms": self.percentile(99.0) * 1000.0,
-            "max_ms": self._max * 1000.0,
-        }
 
 
 def reconcile(

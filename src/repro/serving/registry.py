@@ -204,6 +204,53 @@ class ModelRegistry:
             supports_explain=False,
         )
 
+    def refresh(
+        self,
+        name: str,
+        dataset: Any,
+        *,
+        config: Optional[ServeConfig] = None,
+        out_path: Optional[PathLike] = None,
+    ) -> ModelInfo:
+        """Delta-refresh a deployed artifact slot against grown training
+        data and hot-swap the result — the drift-aware retrain loop.
+
+        ``dataset`` must be an append-only extension of the slot's original
+        training data (e.g. the result of
+        :meth:`~repro.datasets.dataset.RelationalDataset.append_samples`).
+        The slot's artifact is recompiled via
+        :func:`repro.core.artifact.refresh_artifact` — only the plan blocks
+        the appended rows touch are recomputed, not the full O(rows²)
+        rebuild — and the refreshed file is redeployed through
+        :meth:`deploy`, inheriting its zero-downtime swap semantics: the old
+        version keeps serving until the new one is verified and live, and
+        in-flight requests are answered by whichever version accepted them.
+        ``out_path`` redirects the refreshed artifact to a new file
+        (default: atomic in-place replacement).
+        """
+        from ..core.artifact import refresh_artifact
+
+        slot = self._slot(name)
+        artifact_path = slot.info.artifact_path
+        if artifact_path is None:
+            raise NotSupportedError(
+                f"model {name!r} cannot be delta-refreshed: it was deployed"
+                " from an in-memory estimator, not an artifact"
+            )
+        target = refresh_artifact(
+            artifact_path,
+            dataset,
+            out_path=out_path,
+            expected_fingerprint=slot.info.fingerprint or None,
+        )
+        self._counters.increment("registry_refreshes")
+        return self.deploy(
+            name,
+            target,
+            config=config,
+            expected_fingerprint=dataset.fingerprint,
+        )
+
     def deploy_model(
         self,
         name: str,
