@@ -2,8 +2,10 @@
 
 Where ``bench_micro`` gates the kernel's speedups, this suite gates the
 *serving stack under offered load*: a paced capacity ramp finds the
-saturation QPS against the SLO (p99 + error budget) and a chaos replay
-measures p99 while the circuit breaker is cycling.  The combined payload
+saturation QPS against the SLO (p99 + error budget), a chaos replay
+measures p99 while the circuit breaker is cycling, and a kill-chaos run
+SIGKILLs a supervised gateway mid-replay to measure MTTR (kill to first
+answered response off the restarted process).  The combined payload
 is written to ``BENCH_replay.json`` (schema ``repro.replay-bench/1``)
 next to ``BENCH_micro.json``; CI uploads both, so capacity regressions
 show up as a declining saturation series across commits.
@@ -34,6 +36,7 @@ from repro.replay import (
     dumps_trace,
     generate_trace,
     prepare_inprocess_target,
+    run_kill_chaos,
     search_capacity,
 )
 
@@ -122,3 +125,28 @@ def test_capacity_ramp_and_chaos_tail(served_model, tmp_path):
     assert payload["chaos"]["reconciled"]
     assert payload["chaos"]["breaker_trips"] >= 1
     _BENCH_RECORD.update(payload)
+
+
+def test_kill_chaos_mttr(served_model, tmp_path):
+    """Process-level chaos: SIGKILL a supervised gateway mid-replay.
+
+    Always gates: the supervisor restarted the child, every submitted
+    request is accounted exactly once across the restart (in-flight ones
+    as ``interrupted``, never lost or duplicated), and the measured MTTR
+    is sane.  The MTTR lands in the record as ``kill_mttr_s`` for the
+    trend gate — a recovery-time regression fails the build like a
+    saturation regression does.
+    """
+    payload = run_kill_chaos(
+        served_model,
+        tmp_path,
+        requests=60 if BENCH_SMOKE else 150,
+        rate_qps=10.0 if BENCH_SMOKE else 25.0,
+    )
+    assert payload["reconciled"], payload["mismatches"]
+    assert payload["restarts"] >= 1
+    assert payload["interrupted"] >= 1
+    assert payload["kill_mttr_s"] is not None
+    assert 0.0 < payload["kill_mttr_s"] < 30.0
+    _BENCH_RECORD["kill_mttr_s"] = payload["kill_mttr_s"]
+    _BENCH_RECORD["kill_chaos"] = payload

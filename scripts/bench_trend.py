@@ -48,6 +48,8 @@ GATES = {
     "BENCH_replay.json": {
         "saturation_qps": "up",
         "unpaced_achieved_qps": "up",
+        "chaos.p99_ms_under_breaker_trips": "down",
+        "kill_mttr_s": "down",
     },
 }
 
@@ -77,10 +79,17 @@ def load_baseline(name: str, ref: str):
 
 def gated_value(record, key):
     """A gated number lives under ``results`` (bench_micro) or at the top
-    level (bench_replay); anything non-scalar is treated as absent."""
+    level (bench_replay); dots descend into nested sections (``chaos.p99``)
+    and anything non-scalar — including booleans — is treated as absent."""
     container = record.get("results", record)
-    value = container.get(key)
-    return value if isinstance(value, (int, float)) else None
+    value = container
+    for part in key.split("."):
+        if not isinstance(value, dict):
+            return None
+        value = value.get(part)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return value
 
 
 def compare_suite(name: str, gates, ref: str, tolerance: float):

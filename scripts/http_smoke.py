@@ -2,10 +2,11 @@
 """End-to-end HTTP smoke: boot ``repro.cli serve``, probe it, tear it down.
 
 CI runs this as its gateway smoke job: build a tiny artifact, start the
-real CLI server in a subprocess, wait for ``/health`` to go ready, then
+real CLI server in a subprocess with ``--ready-file``, wait for the
+readiness file (the same signal the process supervisor uses), then
 assert the JSON schema of every public endpoint — predict, explain-refusal,
 model listing, and the error envelope — before shutting the server down
-and checking it exits cleanly.
+and checking it exits cleanly and revokes its readiness file.
 
 Usage::
 
@@ -53,17 +54,27 @@ def _request(url, body=None, timeout=5):
         return error.code, json.loads(error.read())
 
 
-def _await_ready(base, deadline=30.0):
+def _await_ready(ready_file, server, deadline=30.0):
+    """Readiness via the gateway's --ready-file: wait for the file, read
+    the base URL out of it, then confirm with one /health probe (no
+    poll-the-socket guesswork)."""
     limit = time.monotonic() + deadline
     while time.monotonic() < limit:
-        try:
-            status, payload = _request(f"{base}/health", timeout=2)
-            if status == 200 and payload.get("ready"):
-                return payload
-        except (urllib.error.URLError, OSError, ConnectionError):
-            pass
-        time.sleep(0.2)
-    raise SystemExit(f"gateway at {base} never became ready")
+        if os.path.exists(ready_file):
+            base = open(ready_file).read().strip()
+            if base:
+                status, payload = _request(f"{base}/health", timeout=5)
+                _expect(
+                    status == 200 and payload.get("ready"),
+                    f"ready file up but /health said {status}: {payload}",
+                )
+                return base, payload
+        if server.poll() is not None:
+            raise SystemExit(
+                f"server exited {server.returncode} before becoming ready"
+            )
+        time.sleep(0.05)
+    raise SystemExit("gateway never wrote its ready file")
 
 
 def _expect(condition, message):
@@ -79,7 +90,7 @@ def main() -> int:
             os.path.join(tmp, "model.npz")
         )
         port = _free_port()
-        base = f"http://127.0.0.1:{port}"
+        ready_file = os.path.join(tmp, "gateway.ready")
         server = subprocess.Popen(
             [
                 sys.executable,
@@ -90,6 +101,8 @@ def main() -> int:
                 f"smoke={artifact}",
                 "--port",
                 str(port),
+                "--ready-file",
+                ready_file,
             ],
             env={**os.environ, "PYTHONPATH": "src"},
             stdout=subprocess.PIPE,
@@ -97,7 +110,7 @@ def main() -> int:
             text=True,
         )
         try:
-            health = _await_ready(base)
+            base, health = _await_ready(ready_file, server)
             _expect(
                 health["models"]["smoke"]["state"] == "serving",
                 f"unexpected health payload: {health}",
@@ -170,6 +183,10 @@ def main() -> int:
                 server.kill()
                 raise SystemExit("server ignored SIGINT; killed")
         _expect(code == 0, f"server exited {code}")
+        _expect(
+            not os.path.exists(ready_file),
+            "ready file survived the drain: readiness was never revoked",
+        )
     print("http smoke: all endpoints healthy")
     return 0
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""End-to-end kill-chaos smoke: SIGKILL a supervised gateway mid-replay.
+
+CI runs this after the replay chaos smoke.  It exercises the whole
+process-resilience loop with real processes and real sockets:
+
+1. fit the paper's running example and save it as a compiled artifact;
+2. boot ``repro.cli serve`` as a **supervised child** (readiness file,
+   state file, admin token) via :class:`~repro.serving.GatewaySupervisor`;
+3. replay a paced trace whose chaos mix carries one ``kill`` control —
+   the driver SIGKILLs the gateway process mid-traffic through the
+   supervisor handle;
+4. assert the supervision contract held: the supervisor restarted the
+   child at least once, every submitted request is accounted exactly
+   once (in-flight ones as ``interrupted``, never lost or duplicated),
+   and MTTR — SIGKILL to the first answered response off the restarted
+   process — is finite and sane.
+
+The report is written to ``BENCH_replay_kill.json`` (override with
+``REPRO_KILL_SMOKE_JSON``) and uploaded next to the other bench
+artifacts, so recovery time is a per-commit series like saturation QPS.
+
+Usage::
+
+    PYTHONPATH=src python scripts/kill_chaos_smoke.py
+
+Exits 0 on success; any reconciliation or supervision violation raises.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.core.classifier import BSTClassifier  # noqa: E402
+from repro.datasets.dataset import running_example  # noqa: E402
+from repro.replay import run_kill_chaos  # noqa: E402
+
+
+def _expect(condition, message):
+    if not condition:
+        raise SystemExit(f"smoke failure: {message}")
+
+
+def main() -> int:
+    classifier = BSTClassifier().fit(running_example())
+    with tempfile.TemporaryDirectory(prefix="repro-kill-smoke-") as workdir:
+        payload = run_kill_chaos(
+            classifier,
+            workdir,
+            requests=60,
+            rate_qps=10.0,
+            log=lambda message: print(f"  {message}"),
+        )
+
+    _expect(payload["reconciled"], f"mismatches: {payload['mismatches']}")
+    _expect(
+        payload["restarts"] >= 1,
+        "the supervisor never restarted the killed gateway",
+    )
+    _expect(
+        payload["interrupted"] >= 1,
+        f"no in-flight request saw the outage: {payload['outcomes']}",
+    )
+    _expect(
+        payload["outcomes"].get("answered", 0) >= 1,
+        "nothing was answered after the restart",
+    )
+    kill_control = next(
+        (c for c in payload["controls"] if c["action"] == "kill"), None
+    )
+    _expect(
+        kill_control is not None and kill_control["applied"],
+        f"the kill control was not applied: {payload['controls']}",
+    )
+    _expect(
+        payload["kill_mttr_s"] is not None
+        and 0.0 < payload["kill_mttr_s"] < 30.0,
+        f"implausible MTTR: {payload['kill_mttr_s']}",
+    )
+
+    out_path = os.environ.get(
+        "REPRO_KILL_SMOKE_JSON", "BENCH_replay_kill.json"
+    )
+    record = dict(payload)
+    record["suite"] = "kill_chaos_smoke"
+    record["unix_time"] = time.time()
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        "kill chaos smoke: gateway SIGKILLed and restarted"
+        f" ({payload['restarts']} restart(s)),"
+        f" {payload['interrupted']} interrupted,"
+        f" ledger reconciled, MTTR {payload['kill_mttr_s']:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

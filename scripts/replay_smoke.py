@@ -75,17 +75,26 @@ def _request(url, body=None, timeout=5):
         return error.code, json.loads(error.read())
 
 
-def _await_ready(base, deadline=30.0):
+def _await_ready(ready_file, server, deadline=30.0):
+    """Readiness via --ready-file (the supervisor's signal), confirmed
+    with one /health probe."""
     limit = time.monotonic() + deadline
     while time.monotonic() < limit:
-        try:
-            status, payload = _request(f"{base}/health", timeout=2)
-            if status == 200 and payload.get("ready"):
-                return payload
-        except (urllib.error.URLError, OSError, ConnectionError):
-            pass
-        time.sleep(0.2)
-    raise SystemExit(f"gateway at {base} never became ready")
+        if os.path.exists(ready_file):
+            base = open(ready_file).read().strip()
+            if base:
+                status, payload = _request(f"{base}/health", timeout=5)
+                _expect(
+                    status == 200 and payload.get("ready"),
+                    f"ready file up but /health said {status}: {payload}",
+                )
+                return base
+        if server.poll() is not None:
+            raise SystemExit(
+                f"server exited {server.returncode} before becoming ready"
+            )
+        time.sleep(0.05)
+    raise SystemExit("gateway never wrote its ready file")
 
 
 def _expect(condition, message):
@@ -127,7 +136,7 @@ def main() -> int:
             os.path.join(tmp, "model.npz")
         )
         port = _free_port()
-        base = f"http://127.0.0.1:{port}"
+        ready_file = os.path.join(tmp, "gateway.ready")
         server = subprocess.Popen(
             [
                 sys.executable,
@@ -138,6 +147,8 @@ def main() -> int:
                 f"replay={artifact}",
                 "--port",
                 str(port),
+                "--ready-file",
+                ready_file,
             ],
             env={**os.environ, "PYTHONPATH": "src"},
             stdout=subprocess.PIPE,
@@ -146,7 +157,7 @@ def main() -> int:
         )
         output = ""
         try:
-            _await_ready(base)
+            base = _await_ready(ready_file, server)
 
             report = ReplayDriver(HttpTarget(base)).run(trace, speed=0.0)
             print(report.describe())

@@ -15,8 +15,12 @@ Usage::
     python -m repro.cli predict --artifact model.npz --data queries.json
     python -m repro.cli explain --train train.json --data queries.json
     python -m repro.cli serve --model tumor=model.npz --port 8000
+    python -m repro.cli serve --model tumor=model.npz --port 8000 \
+        --supervise --admin-token secret --max-restarts 3
     python -m repro.cli bench --artifact model.npz --threads 8
     python -m repro.cli refresh --artifact model.npz --train grown.json
+    python -m repro.cli replay --url http://127.0.0.1:8000 --drivers 4 \
+        --admin-token secret --speed 1
 
 The model-serving subcommands mirror the HTTP gateway's verbs —
 ``predict``, ``explain``, ``serve`` — and share its error surface: exit
@@ -379,6 +383,63 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="queue depth that trips load shedding (default: disabled)",
     )
+    serve.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the gateway's base URL here the moment the socket is"
+            " listening, and remove the file on drain — the supervisor's"
+            " (and smoke scripts') readiness signal"
+        ),
+    )
+    serve.add_argument(
+        "--admin-token",
+        metavar="TOKEN",
+        default=None,
+        help=(
+            "enable the token-gated /admin/v1 control plane (deploy,"
+            " refresh, counters); defaults to $REPRO_ADMIN_TOKEN, and the"
+            " admin plane stays disabled when neither is set"
+        ),
+    )
+    serve.add_argument(
+        "--state-file",
+        metavar="PATH",
+        default=None,
+        help=(
+            "persist the artifact deployment set here after every deploy"
+            " and restore it on boot — how a supervised restart comes back"
+            " with the last-known-good models"
+        ),
+    )
+    serve.add_argument(
+        "--supervise",
+        action="store_true",
+        help=(
+            "run the gateway as a supervised child process: readiness"
+            " file, liveness probes, crash restarts with deterministic"
+            " backoff, and a restart budget that escalates to exit code 6"
+        ),
+    )
+    serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help=(
+            "crash recoveries the supervisor performs before escalating"
+            " (default: 3; only with --supervise)"
+        ),
+    )
+    serve.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.25,
+        help=(
+            "base of the supervisor's exponential restart delay in seconds"
+            " (default: 0.25; only with --supervise)"
+        ),
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -518,12 +579,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--chaos",
-        choices=("none", "poison", "storm", "swap", "full"),
+        choices=("none", "poison", "storm", "swap", "kill", "full"),
         default="none",
         help=(
             "adversarial mix blended into the trace: poison queries,"
-            " deadline storms, mid-run (corrupt) hot swaps, or all of them"
-            " plus a breaker-tripping error window (default: none)"
+            " deadline storms, mid-run (corrupt) hot swaps, a process"
+            " kill, or all of poison/storm/swap plus a breaker-tripping"
+            " error window (default: none)"
         ),
     )
     replay.add_argument(
@@ -565,8 +627,30 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="URL",
         help=(
             "replay against a live gateway at this base URL instead of an"
-            " in-process registry (chaos controls are skipped; counter"
-            " reconciliation covers the client ledger only)"
+            " in-process registry; with --admin-token the gateway's"
+            " control plane drives hot swaps and counter reconciliation"
+            " over the wire (without it, controls are skipped and the"
+            " client ledger reconciles alone)"
+        ),
+    )
+    replay.add_argument(
+        "--admin-token",
+        metavar="TOKEN",
+        default=None,
+        help=(
+            "the gateway's admin token for --url replays: unlocks"
+            " GET /admin/v1/counters reconciliation and swap controls"
+            " (defaults to $REPRO_ADMIN_TOKEN)"
+        ),
+    )
+    replay.add_argument(
+        "--drivers",
+        type=int,
+        default=1,
+        help=(
+            "shard the trace across this many replay driver processes"
+            " (requires --url; requests split deterministically by id,"
+            " reports merge into one exactly-once ledger; default: 1)"
         ),
     )
     replay.add_argument(
@@ -815,23 +899,151 @@ def _parse_model_specs(args: argparse.Namespace) -> List[tuple]:
     return specs
 
 
+def _admin_token_from(args: argparse.Namespace) -> Optional[str]:
+    """``--admin-token`` with the ``REPRO_ADMIN_TOKEN`` env fallback."""
+    import os
+
+    return args.admin_token or os.environ.get("REPRO_ADMIN_TOKEN") or None
+
+
+def _write_ready_file(path: str, url: str) -> None:
+    """Atomically publish the gateway's base URL (the readiness signal)."""
+    import os
+    from pathlib import Path
+
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(url + "\n", encoding="utf-8")
+    os.replace(tmp, target)
+
+
+def _run_serve_supervised(args: argparse.Namespace) -> int:
+    """``serve --supervise``: run the gateway as a supervised child.
+
+    The child is this same CLI minus the supervise flags; crashes restart
+    it with deterministic backoff, reloading the last-known-good artifact
+    set from the state file, until the restart budget escalates to exit
+    code :data:`~repro.serving.surface.EXIT_SUPERVISOR`.
+    """
+    import signal
+    import tempfile
+    from pathlib import Path
+
+    from .serving import GatewaySupervisor, gateway_env, serve_command
+
+    specs = _parse_model_specs(args)
+    if not specs:
+        raise ValueError(
+            "--supervise serves artifact deployments: pass --model"
+            " NAME=PATH or --artifact PATH (a --train fit cannot be"
+            " reloaded identically after a crash)"
+        )
+    if args.port == 0:
+        raise ValueError(
+            "--supervise needs a fixed --port: a restarted gateway must"
+            " rebind the address its clients already hold"
+        )
+    admin_token = _admin_token_from(args)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-supervise-"))
+    ready_file = (
+        Path(args.ready_file) if args.ready_file else workdir / "ready"
+    )
+    state_file = (
+        Path(args.state_file)
+        if args.state_file
+        else workdir / "serve-state.json"
+    )
+    extra: List[str] = [
+        "--workers", str(args.workers),
+        "--max-batch", str(args.max_batch),
+        "--max-wait-ms", str(args.max_wait_ms),
+    ]
+    if args.tenant_quota is not None:
+        extra += ["--tenant-quota", str(args.tenant_quota)]
+    if args.deadline_ms is not None:
+        extra += ["--deadline-ms", str(args.deadline_ms)]
+    if args.shed_high is not None:
+        extra += ["--shed-high", str(args.shed_high)]
+    command = serve_command(
+        dict(specs),
+        port=args.port,
+        host=args.host,
+        ready_file=ready_file,
+        state_file=state_file,
+        admin_token=admin_token,
+        extra_args=extra,
+    )
+    supervisor = GatewaySupervisor(
+        command,
+        ready_file=ready_file,
+        max_restarts=args.max_restarts,
+        backoff_base=args.restart_backoff,
+        env=gateway_env(),
+        log=lambda message: print(f"supervisor: {message}", file=sys.stderr),
+    )
+
+    def _graceful(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _graceful)
+    try:
+        supervisor.start()
+        print(
+            f"supervised gateway serving at {supervisor.url}"
+            f" (child pid {supervisor.pid},"
+            f" restart budget {args.max_restarts})"
+        )
+        # Raises RestartBudgetExhausted -> exit code EXIT_SUPERVISOR via
+        # the shared error surface in main().
+        return supervisor.run_forever()
+    except KeyboardInterrupt:
+        print("stopping supervised gateway", file=sys.stderr)
+        return supervisor.stop()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        supervisor.stop()
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import signal
 
-    from .serving import GatewayServer, ModelRegistry, ServeConfig
+    from .serving import (
+        GatewayServer,
+        ModelRegistry,
+        ServeConfig,
+        read_state_file,
+        write_state_file,
+    )
 
+    if args.supervise:
+        return _run_serve_supervised(args)
     specs = _parse_model_specs(args)
+    if args.state_file:
+        restored = read_state_file(args.state_file)
+        if restored:
+            # The last-known-good deployment set wins over the boot argv:
+            # an admin-plane deploy that happened after launch must survive
+            # a supervised restart.
+            merged = dict(specs)
+            merged.update(restored)
+            specs = sorted(merged.items())
+            print(
+                f"restored {len(restored)} deployment(s) from"
+                f" {args.state_file}"
+            )
     if not specs and not args.train:
         raise ValueError(
             "nothing to serve: pass --model NAME=PATH, --artifact PATH,"
             " or --train PATH"
         )
+    admin_token = _admin_token_from(args)
     config = ServeConfig(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         default_deadline_ms=args.deadline_ms,
         shed_high=args.shed_high,
         workers=args.workers,
+        admin_token=admin_token,
     )
     registry = ModelRegistry(config, tenant_quota=args.tenant_quota)
     try:
@@ -855,8 +1067,20 @@ def _run_serve(args: argparse.Namespace) -> int:
                 f"deployed {info.name} v{info.version} (fitted in-memory,"
                 " explain-capable)"
             )
-        gateway = GatewayServer(registry, args.host, args.port)
+        if args.state_file:
+            write_state_file(registry.artifact_map(), args.state_file)
+        gateway = GatewayServer(
+            registry,
+            args.host,
+            args.port,
+            admin_token=admin_token,
+            state_file=args.state_file,
+        )
         print(f"gateway listening on {gateway.url}")
+        if admin_token:
+            print("admin control plane enabled at /admin/v1 (token-gated)")
+        if args.ready_file:
+            _write_ready_file(args.ready_file, gateway.url)
 
         def _graceful(signum: int, frame: Any) -> None:
             # SIGTERM (systemd, container runtimes, CI) drains exactly like
@@ -870,6 +1094,15 @@ def _run_serve(args: argparse.Namespace) -> int:
             print("draining and shutting down", file=sys.stderr)
         finally:
             signal.signal(signal.SIGTERM, previous)
+            if args.ready_file:
+                # Readiness is revoked before the drain starts, so a
+                # supervisor never routes to a gateway that is going away.
+                try:
+                    import os
+
+                    os.unlink(args.ready_file)
+                except OSError:
+                    pass
             gateway.close()
     finally:
         # Registry close retires every slot: each service queue drains its
@@ -968,6 +1201,11 @@ def _chaos_preset(name: str, duration_ms: float):
             corrupt_swaps_at_ms=(round(duration_ms * 0.25, 3),),
             swaps_at_ms=(round(duration_ms * 0.6, 3),),
         )
+    if name == "kill":
+        # One SIGKILL early enough that the trace outlives the restart;
+        # applied only by HTTP targets holding a supervisor handle (the
+        # canned end-to-end run is repro.replay.run_kill_chaos).
+        return ChaosMix(kills_at_ms=(round(duration_ms * 0.3, 3),))
     if name == "full":
         return ChaosMix(
             poison_fraction=0.02,
@@ -1017,6 +1255,7 @@ def _run_replay(args: argparse.Namespace) -> int:
         generate_trace,
         load_trace,
         prepare_inprocess_target,
+        run_sharded,
         search_capacity,
         write_bench_report,
         write_trace,
@@ -1024,6 +1263,14 @@ def _run_replay(args: argparse.Namespace) -> int:
 
     smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
     requests = min(args.requests, 120) if smoke else args.requests
+    if args.drivers < 1:
+        raise ValueError("--drivers must be >= 1")
+    if args.drivers > 1 and not args.url:
+        raise ValueError(
+            "--drivers shards an HTTP replay across processes; pass --url"
+            " (an in-process registry cannot be shared between driver"
+            " processes)"
+        )
 
     # The workload: an existing trace file, or a fresh seeded generation.
     classifier = None if args.url else _replay_model(args)
@@ -1083,10 +1330,19 @@ def _run_replay(args: argparse.Namespace) -> int:
         return 0
 
     if args.url:
-        target = HttpTarget(args.url)
-        report = ReplayDriver(target, max_workers=args.max_workers).run(
-            trace, speed=args.speed
-        )
+        target = HttpTarget(args.url, admin_token=_admin_token_from(args))
+        if args.drivers > 1:
+            report = run_sharded(
+                trace,
+                target,
+                drivers=args.drivers,
+                speed=args.speed,
+                max_workers=args.max_workers,
+            )
+        else:
+            report = ReplayDriver(target, max_workers=args.max_workers).run(
+                trace, speed=args.speed
+            )
     else:
         with tempfile.TemporaryDirectory(prefix="repro-replay-") as workdir:
             target = prepare_inprocess_target(
@@ -1108,6 +1364,8 @@ def _run_replay(args: argparse.Namespace) -> int:
         f" p95 {latency['p95_ms']:.2f}ms p99 {latency['p99_ms']:.2f}ms"
         f" (answered {int(latency['count'])})"
     )
+    for i, mttr in enumerate(report.mttr_s):
+        print(f"mttr      : kill {i} -> first answer {mttr:.2f}s")
     return 0 if report.reconciled else EXIT_ERROR
 
 

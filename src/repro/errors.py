@@ -201,6 +201,62 @@ class RequestTimeout(QueryError):
     """
 
 
+class AdminError(ReproError):
+    """An HTTP admin-plane request was refused before touching the registry.
+
+    The admin control plane (``/admin/v1/...``) mutates serving state over
+    the wire — deploys, refreshes, counter snapshots — so it is gated on a
+    shared-secret token.  Both refusal modes derive from here so a client
+    can catch one type.
+    """
+
+
+class AdminDisabled(AdminError):
+    """An admin endpoint was called on a gateway with no admin token.
+
+    The control plane is opt-in: a gateway started without
+    ``--admin-token`` (or ``REPRO_ADMIN_TOKEN``) exposes only the data
+    plane, and every ``/admin/v1/...`` request is refused with HTTP 403.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "the admin control plane is disabled: start the gateway with"
+            " --admin-token (or REPRO_ADMIN_TOKEN) to enable it"
+        )
+
+
+class AdminAuthError(AdminError):
+    """An admin request carried a missing or wrong token (HTTP 401)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "admin request rejected: missing or wrong admin token (send"
+            " 'Authorization: Bearer <token>' or 'X-Admin-Token: <token>')"
+        )
+
+
+class SupervisorError(ReproError, RuntimeError):
+    """The gateway supervisor could not start or keep its child serving."""
+
+
+class RestartBudgetExhausted(SupervisorError):
+    """The supervised gateway kept dying until the restart budget ran out.
+
+    Escalation is deliberate: a child that cannot hold a deploy (bad
+    artifact, poisoned state file, port conflict) must surface as a clean
+    nonzero supervisor exit, not an infinite crash loop.
+    """
+
+    def __init__(self, restarts: int, budget: int):
+        super().__init__(
+            f"gateway died {restarts + 1} times; restart budget of"
+            f" {budget} exhausted — escalating instead of crash-looping"
+        )
+        self.restarts = restarts
+        self.budget = budget
+
+
 class TraceError(ReproError, ValueError):
     """A replay trace file could not be parsed, or its replay failed its
     reconciliation invariant (a submitted request lost or double-counted).

@@ -104,6 +104,38 @@ class LatencyHistogram:
             cumulative += count
         return self._max
 
+    def to_state(self) -> Dict[str, object]:
+        """The full accumulator state as plain JSON-safe types.
+
+        Unlike :meth:`to_dict` (a lossy percentile summary), the state
+        round-trips: :meth:`from_state` rebuilds an identical histogram,
+        which is how sharded replay drivers ship their histograms across
+        process boundaries to be merged by vector addition.
+        """
+        return {
+            "counts": list(self._counts),
+            "total": self._total,
+            "sum": self._sum,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`to_state` output."""
+        histogram = cls()
+        counts = [int(c) for c in state["counts"]]
+        if len(counts) != len(histogram._counts):
+            raise ValueError(
+                "histogram state has a different bucket layout"
+                f" ({len(counts)} buckets, expected"
+                f" {len(histogram._counts)})"
+            )
+        histogram._counts = counts
+        histogram._total = int(state["total"])
+        histogram._sum = float(state["sum"])
+        histogram._max = float(state["max"])
+        return histogram
+
     def to_dict(self) -> Dict[str, float]:
         return {
             "count": float(self._total),

@@ -14,21 +14,32 @@ makes those promises *measurable at scale*:
 * :mod:`~repro.replay.metrics` — constant-memory latency histograms and
   the reconciliation that diffs the client's ledger against the service's
   own counters;
+* :mod:`~repro.replay.sharding` — multi-process replay: one trace split
+  deterministically across N driver processes (``replay --drivers N``),
+  merged back into a single exactly-once report;
 * :mod:`~repro.replay.capacity` — the SLO ramp that finds saturation QPS
-  and emits ``BENCH_replay.json``.
+  and emits ``BENCH_replay.json``, plus the canned kill-chaos run that
+  measures MTTR through the supervisor.
 
 CLI: ``python -m repro replay --seed 7 --requests 500`` (twice gives
 byte-identical traces and identical accounting).  See
 ``docs/ROBUSTNESS.md`` ("Capacity & SLOs").
 """
 
-from .capacity import BENCH_SCHEMA, Slo, search_capacity, write_bench_report
+from .capacity import (
+    BENCH_SCHEMA,
+    Slo,
+    run_kill_chaos,
+    search_capacity,
+    write_bench_report,
+)
 from .driver import (
     HttpTarget,
     InProcessTarget,
     Outcome,
     ReplayDriver,
     classify_exception,
+    prepare_http_target,
     prepare_inprocess_target,
 )
 from .metrics import (
@@ -38,8 +49,11 @@ from .metrics import (
     ReplayReport,
     reconcile,
 )
+from .sharding import run_sharded, shard_index, shard_trace
 from .trace import (
     ARRIVALS,
+    COMPATIBLE_SCHEMAS,
+    CONTROL_ACTIONS,
     TRACE_SCHEMA,
     ChaosMix,
     ReplayTrace,
@@ -55,6 +69,8 @@ __all__ = [
     "ARRIVALS",
     "BENCH_SCHEMA",
     "CATEGORIES",
+    "COMPATIBLE_SCHEMAS",
+    "CONTROL_ACTIONS",
     "COUNTER_PAIRS",
     "ChaosMix",
     "HttpTarget",
@@ -72,9 +88,14 @@ __all__ = [
     "dumps_trace",
     "generate_trace",
     "load_trace",
+    "prepare_http_target",
     "prepare_inprocess_target",
     "reconcile",
+    "run_kill_chaos",
+    "run_sharded",
     "search_capacity",
+    "shard_index",
+    "shard_trace",
     "write_bench_report",
     "write_trace",
 ]

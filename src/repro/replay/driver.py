@@ -27,13 +27,22 @@ Two targets implement the same small surface:
 * :class:`HttpTarget` — a live :class:`~repro.serving.GatewayServer`
   (possibly another process) over plain ``urllib``.  Failure categories
   come from the gateway's JSON error envelope (the ``error.type`` field
-  carries the same class names the in-process path sees); the server's
-  counters are out of reach, so reconciliation covers the client ledger
-  only.
+  carries the same class names the in-process path sees).  With an admin
+  token, this path is chaos-capable too: ``swap``/``swap_corrupt``
+  controls drive ``POST /admin/v1/models/{name}:deploy`` over the wire,
+  counter reconciliation reads ``GET /admin/v1/counters`` (the same
+  pair-by-pair ledger checks as in-process), and — given a
+  :class:`~repro.serving.supervisor.GatewaySupervisor` handle — ``kill``
+  controls SIGKILL the gateway process mid-replay.  Requests in flight
+  during a kill resolve to the ``interrupted`` category (connection
+  refused/reset), never lost or duplicated, and the report measures MTTR
+  (kill to first answered response).
 """
 
 from __future__ import annotations
 
+import bisect
+import http.client
 import json
 import threading
 import time
@@ -72,6 +81,7 @@ __all__ = [
     "Outcome",
     "ReplayDriver",
     "classify_exception",
+    "prepare_http_target",
     "prepare_inprocess_target",
 ]
 
@@ -84,6 +94,9 @@ class Outcome:
     category: str
     detail: str
     latency_s: float
+    #: When the outcome landed, seconds from replay start — what MTTR is
+    #: measured against (0.0 on targets that predate the field).
+    finished_s: float = 0.0
 
 
 #: Exception class name -> outcome category.  Order-independent: the
@@ -212,6 +225,12 @@ class InProcessTarget:
         """Apply one control event; returns its outcome record."""
         action = event.get("action")
         record = {"id": event["id"], "action": action, "applied": False}
+        if action == "kill":
+            record["detail"] = (
+                "skipped: kill chaos needs the process supervisor"
+                " (HTTP target)"
+            )
+            return record
         path = (
             self._corrupt_artifact
             if action == "swap_corrupt"
@@ -234,14 +253,73 @@ class InProcessTarget:
 
 
 class HttpTarget:
-    """Replay against a live gateway over HTTP (no third-party client)."""
+    """Replay against a live gateway over HTTP (no third-party client).
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    Args:
+        base_url: the gateway base URL (``http://host:port``).
+        timeout: per-request socket timeout, seconds.
+        admin_token: the gateway's admin token.  Unlocks the control
+            plane: ``counters_snapshot`` reads ``GET /admin/v1/counters``
+            (so reconciliation gets the same pair-by-pair checks as
+            in-process) and swap controls drive real hot deploys over the
+            wire.  ``None`` keeps the target data-plane-only (counters
+            unavailable, swaps skipped).
+        clean_artifact: *server-readable* artifact path ``swap`` controls
+            deploy.
+        corrupt_artifact: server-readable artifact path ``swap_corrupt``
+            controls attempt — the gateway must refuse it (an
+            ``Artifact*`` error envelope) and keep the old model serving.
+        supervisor: a :class:`~repro.serving.supervisor.GatewaySupervisor`
+            handle for ``kill`` controls (SIGKILL the gateway process;
+            the supervisor restarts it).  ``None`` skips kills.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        admin_token: Optional[str] = None,
+        clean_artifact: Optional[Union[str, Path]] = None,
+        corrupt_artifact: Optional[Union[str, Path]] = None,
+        supervisor: Optional[Any] = None,
+    ):
         self._base = base_url.rstrip("/")
         self._timeout = timeout
+        self._admin_token = admin_token
+        self._clean_artifact = clean_artifact
+        self._corrupt_artifact = corrupt_artifact
+        self._supervisor = supervisor
+
+    def _admin_headers(self) -> Dict[str, str]:
+        return {
+            "Content-Type": "application/json",
+            "Authorization": f"Bearer {self._admin_token}",
+        }
 
     def counters_snapshot(self) -> Optional[Dict[str, float]]:
-        return None  # the server process's counters are not reachable
+        """The gateway's counter snapshot via the admin plane.
+
+        ``None`` without an admin token, and ``None`` when the gateway is
+        unreachable (mid-restart during kill chaos) — reconciliation then
+        falls back to the client-ledger-only checks.
+        """
+        if self._admin_token is None:
+            return None
+        request = urllib.request.Request(
+            f"{self._base}/admin/v1/counters", headers=self._admin_headers()
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self._timeout
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except Exception:
+            return None
+        counters = payload.get("counters")
+        if not isinstance(counters, dict):
+            return None
+        return {str(k): float(v) for k, v in counters.items()}
 
     def request(self, event: Dict[str, Any]) -> Tuple[str, str]:
         body: Dict[str, Any] = {"items": list(event["items"])}
@@ -265,15 +343,79 @@ class HttpTarget:
                 return "transport", f"HTTP {exc.code} (unparseable body)"
             return _classify_name(type_name), type_name
         except (urllib.error.URLError, OSError) as exc:
+            # urllib wraps connection-level errnos in URLError(reason=...);
+            # unwrap so a killed/restarting server classifies the same way
+            # whether the refusal came before or during the exchange.
+            reason = exc.reason if isinstance(exc, urllib.error.URLError) else exc
+            if isinstance(reason, ConnectionError):
+                return "interrupted", f"{type(reason).__name__}: {reason}"
             return "transport", f"{type(exc).__name__}: {exc}"
+        except http.client.HTTPException as exc:
+            # The server hung up mid-response (e.g. BadStatusLine from a
+            # SIGKILL between accept and reply): interrupted, not lost.
+            return "interrupted", f"{type(exc).__name__}: {exc}"
 
     def control(self, event: Dict[str, Any]) -> Dict[str, Any]:
-        return {
-            "id": event["id"],
-            "action": event.get("action"),
-            "applied": False,
-            "detail": "skipped: hot swap is not reachable over HTTP",
+        """Apply one control event over the admin plane (or supervisor)."""
+        action = event.get("action")
+        record: Dict[str, Any] = {
+            "id": event["id"], "action": action, "applied": False,
         }
+        if action == "kill":
+            if self._supervisor is None:
+                record["detail"] = (
+                    "skipped: kill chaos needs a supervisor handle"
+                )
+                return record
+            self._supervisor.kill()
+            record["applied"] = True
+            record["detail"] = "SIGKILL delivered to the gateway process"
+            return record
+        if action not in ("swap", "swap_corrupt"):
+            record["detail"] = f"skipped: unknown control action {action!r}"
+            return record
+        if self._admin_token is None:
+            record["detail"] = (
+                "skipped: hot swap over HTTP needs the admin plane"
+                " (pass admin_token)"
+            )
+            return record
+        path = (
+            self._corrupt_artifact
+            if action == "swap_corrupt"
+            else self._clean_artifact
+        )
+        if path is None:
+            record["detail"] = "skipped: no artifact configured"
+            return record
+        request = urllib.request.Request(
+            f"{self._base}/admin/v1/models/{event['model']}:deploy",
+            data=json.dumps({"artifact": str(path)}).encode("utf-8"),
+            headers=self._admin_headers(),
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self._timeout
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            record["applied"] = True
+            version = payload.get("deployed", {}).get("version", "?")
+            record["detail"] = f"deployed v{version}"
+        except urllib.error.HTTPError as exc:
+            try:
+                envelope = json.loads(exc.read().decode("utf-8"))
+                type_name = envelope["error"]["type"]
+            except Exception:
+                type_name = f"HTTP {exc.code}"
+            # Parity with the in-process target: a corrupt artifact must
+            # be an eager refusal, old model untouched.
+            prefix = "refused" if "Artifact" in type_name else "failed"
+            record["detail"] = f"{prefix}: {type_name}"
+        except (
+            urllib.error.URLError, OSError, http.client.HTTPException
+        ) as exc:
+            record["detail"] = f"failed: {type(exc).__name__}"
+        return record
 
 
 # ----------------------------------------------------------------------
@@ -313,12 +455,16 @@ class ReplayDriver:
         lock = threading.Lock()
         histogram = LatencyHistogram()
         controls: List[Dict[str, Any]] = []
+        kill_times: List[float] = []
 
         def execute(event: Dict[str, Any]) -> None:
             started = time.perf_counter()
             category, detail = self._target.request(event)
-            latency = time.perf_counter() - started
-            outcome = Outcome(event["id"], category, detail, latency)
+            finished = time.perf_counter()
+            latency = finished - started
+            outcome = Outcome(
+                event["id"], category, detail, latency, finished - start
+            )
             with lock:
                 if event["id"] in outcomes:
                     raise TraceError(
@@ -348,7 +494,12 @@ class ReplayDriver:
                     # Controls run on the dispatcher thread: a hot swap
                     # drains the old slot, and that pause is part of the
                     # scenario being replayed.
-                    controls.append(self._target.control(event))
+                    record = self._target.control(event)
+                    controls.append(record)
+                    if record.get("action") == "kill" and record.get(
+                        "applied"
+                    ):
+                        kill_times.append(time.perf_counter() - start)
                     continue
                 submitted_ids.append(event["id"])
                 futures.append(pool.submit(execute, event))
@@ -374,6 +525,24 @@ class ReplayDriver:
                 for name in sorted(set(before) | set(after))
                 if after.get(name, 0.0) != before.get(name, 0.0)
             }
+
+        # MTTR: for each applied kill, time to the first answered
+        # response that *finished* after the kill landed.
+        answered_times = sorted(
+            o.finished_s
+            for o in outcomes.values()
+            if o.category == "answered"
+        )
+        mttr: List[float] = []
+        for kill_at in sorted(kill_times):
+            index = bisect.bisect_right(answered_times, kill_at)
+            if index < len(answered_times):
+                mttr.append(answered_times[index] - kill_at)
+        if kill_times:
+            # The server process restarted mid-replay, so its counters
+            # reset: a before/after delta is meaningless.  The client-side
+            # exactly-once ledger stays fully enforced.
+            delta = None
         report = ReplayReport(
             submitted=len(submitted_ids),
             outcomes=tally,
@@ -382,7 +551,13 @@ class ReplayDriver:
             trace_duration_ms=trace.duration_ms,
             controls=controls,
             counters_delta=delta,
-            mismatches=reconcile(tally, delta, len(submitted_ids)),
+            mismatches=reconcile(
+                tally,
+                delta,
+                len(submitted_ids),
+                counters_reset=bool(kill_times),
+            ),
+            mttr_s=mttr,
         )
         return report
 
@@ -468,4 +643,49 @@ def prepare_inprocess_target(
         registry,
         clean_artifact=clean_path,
         corrupt_artifact=corrupt_path,
+    )
+
+
+def prepare_http_target(
+    trace: ReplayTrace,
+    base_url: str,
+    workdir: Union[str, Path],
+    *,
+    classifier: Optional[Any] = None,
+    admin_token: Optional[str] = None,
+    supervisor: Optional[Any] = None,
+    timeout: float = 30.0,
+) -> HttpTarget:
+    """Assemble a chaos-armed HTTP target for a trace.
+
+    The HTTP analogue of :func:`prepare_inprocess_target`: when the
+    trace's chaos mix has swap controls and a ``classifier`` is supplied,
+    the classifier is saved to ``workdir/clean.npz`` (byte-flipped into
+    ``workdir/corrupt.npz`` for corrupt swaps) so the admin plane has
+    real, *server-readable* artifacts to deploy — the gateway and the
+    replay driver must therefore share a filesystem.  ``admin_token``
+    unlocks the swaps and counter reconciliation; ``supervisor`` arms
+    ``kill`` controls.
+    """
+    from ..testing.faults import corrupt_artifact_member
+
+    chaos = trace.chaos
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    clean_path: Optional[Path] = None
+    corrupt_path: Optional[Path] = None
+    wants_swaps = bool(chaos.swaps_at_ms or chaos.corrupt_swaps_at_ms)
+    if wants_swaps and classifier is not None:
+        clean_path = Path(classifier.save(workdir / "clean.npz"))
+        if chaos.corrupt_swaps_at_ms:
+            corrupt_path = workdir / "corrupt.npz"
+            corrupt_path.write_bytes(clean_path.read_bytes())
+            corrupt_artifact_member(corrupt_path, "arena_inside_f.npy")
+    return HttpTarget(
+        base_url,
+        timeout,
+        admin_token=admin_token,
+        clean_artifact=clean_path,
+        corrupt_artifact=corrupt_path,
+        supervisor=supervisor,
     )

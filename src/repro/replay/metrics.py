@@ -13,8 +13,10 @@ Two measurement problems, two tools:
 * :class:`ReplayReport` + :func:`reconcile` — *exact* accounting.  The
   replay driver records one :class:`~repro.replay.driver.Outcome` per
   submitted request (exactly-once, keyed by request id); the report
-  tallies them per category and, for in-process targets, diffs the
-  service's own ``registry_*``/``service_*`` counters across the run.
+  tallies them per category and diffs the service's own
+  ``registry_*``/``service_*`` counters across the run (in-process targets
+  snapshot their private sink; HTTP targets read the gateway's
+  ``GET /admin/v1/counters`` when an admin token is configured).
   :func:`reconcile` then cross-checks the two ledgers pair by pair —
   client-side quota rejections against ``registry_quota_rejections``,
   shed against ``service_shed``, and so on.  A mismatch means a request
@@ -53,10 +55,13 @@ CATEGORIES = (
     "closed",        # ServiceClosed: target shut down mid-run
     "failed",        # any other structured (ReproError) failure
     "transport",     # the request never reached the service (HTTP/socket)
+    "interrupted",   # connection refused/dropped: the server process was
+                     # killed or restarting (kill chaos) — never lost
 )
 
-#: (client category, service counter) pairs that must match exactly on an
-#: in-process replay: both sides increment once per affected request.
+#: (client category, service counter) pairs that must match exactly on any
+#: replay that can see the service's counters (in-process, or HTTP with
+#: the admin plane): both sides increment once per affected request.
 COUNTER_PAIRS = (
     ("shed", "service_shed"),
     ("quota", "registry_quota_rejections"),
@@ -71,13 +76,20 @@ def reconcile(
     outcomes: Mapping[str, int],
     counters_delta: Optional[Mapping[str, float]],
     submitted: int,
+    *,
+    counters_reset: bool = False,
 ) -> List[str]:
     """Cross-check the client ledger against itself and the service's.
 
     Returns human-readable mismatch descriptions (empty = fully
     reconciled).  The total check runs always; the per-counter pairs only
-    when a counter delta is available (in-process targets — an HTTP
-    replay cannot see the server process's counters).
+    when a counter delta is available — in-process targets snapshot their
+    own sink, HTTP targets read ``GET /admin/v1/counters`` when an admin
+    token is configured (without one the delta is ``None`` and the pairs
+    are skipped).  ``counters_reset`` skips the pairs too: a kill-chaos
+    run restarts the server process mid-replay, so its counters reset and
+    a cross-restart delta is meaningless — the client-side exactly-once
+    total remains fully enforced.
     """
     mismatches: List[str] = []
     accounted = sum(outcomes.get(c, 0) for c in CATEGORIES)
@@ -89,7 +101,7 @@ def reconcile(
             f"accounted {accounted} outcomes for {submitted} submitted"
             " requests (lost or duplicated responses)"
         )
-    if counters_delta is None:
+    if counters_delta is None or counters_reset:
         return mismatches
     for category, counter in COUNTER_PAIRS:
         client = outcomes.get(category, 0)
@@ -114,6 +126,10 @@ class ReplayReport:
     controls: List[Dict[str, Any]] = field(default_factory=list)
     counters_delta: Optional[Dict[str, float]] = None
     mismatches: List[str] = field(default_factory=list)
+    #: Per applied ``kill`` control: seconds from the kill to the first
+    #: *answered* response finishing after it — MTTR, kill to recovery.
+    #: Empty when no kill was applied (or none was followed by an answer).
+    mttr_s: List[float] = field(default_factory=list)
 
     @property
     def answered(self) -> int:
@@ -167,6 +183,7 @@ class ReplayReport:
             "counters_delta": self.counters_delta,
             "mismatches": list(self.mismatches),
             "reconciled": self.reconciled,
+            "mttr_s": list(self.mttr_s),
         }
 
     def describe(self) -> str:

@@ -1,0 +1,251 @@
+"""Multi-process replay: shard one trace across driver processes.
+
+A single Python replay driver tops out well below a gateway's capacity —
+the GIL serializes response parsing, so the measured "saturation" is the
+*client's*, not the server's.  ``run_sharded`` removes that ceiling by
+splitting one trace across N OS processes, each running its own
+:class:`~repro.replay.driver.ReplayDriver` against the same gateway:
+
+* requests are sharded **deterministically by request id**
+  (``crc32(id) % drivers``) so the same trace always splits the same way
+  and every id lands in exactly one shard — the exactly-once ledger
+  survives the fan-out;
+* **control events all ride shard 0, which runs in the parent process**:
+  the supervisor handle (for ``kill`` chaos) and the admin token are not
+  picklable/shareable, and serializing controls through one dispatcher
+  preserves their trace ordering.  MTTR is therefore measured from the
+  parent shard's answered responses only;
+* drivers start together behind a barrier, and the parent brackets the
+  *whole* window with its own admin-plane counter snapshots — per-child
+  deltas would race each other, so children run tokenless and the merged
+  report reconciles the combined tally against the parent's single delta;
+* per-shard :class:`~repro.evaluation.latency.LatencyHistogram`\\ s cross
+  the process boundary as plain state dicts and merge by vector addition;
+  tallies merge by addition; wall time is the slowest shard's.
+
+The fork start method is preferred (no re-import cost); spawn is the
+fallback where fork is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import TraceError
+from ..evaluation.latency import LatencyHistogram
+from .driver import HttpTarget, ReplayDriver
+from .metrics import ReplayReport, reconcile
+from .trace import ReplayTrace
+
+__all__ = ["run_sharded", "shard_index", "shard_trace"]
+
+#: Generous per-child collection timeout on top of the trace's own
+#: nominal duration — a shard that exceeds it is considered hung.
+_CHILD_GRACE_S = 300.0
+
+
+def shard_index(request_id: str, drivers: int) -> int:
+    """The shard a request id deterministically belongs to."""
+    return zlib.crc32(request_id.encode("utf-8")) % drivers
+
+
+def shard_trace(trace: ReplayTrace, drivers: int) -> List[ReplayTrace]:
+    """Split a trace into ``drivers`` disjoint sub-traces.
+
+    Requests go to ``crc32(id) % drivers``; every control event goes to
+    shard 0.  Event order (time-sorted) is preserved within each shard,
+    and the union of all shards' request ids is exactly the trace's.
+    """
+    if drivers < 1:
+        raise ValueError("drivers must be >= 1")
+    buckets: List[List[Dict[str, Any]]] = [[] for _ in range(drivers)]
+    for event in trace.events:
+        if event["kind"] == "control":
+            buckets[0].append(event)
+        else:
+            buckets[shard_index(event["id"], drivers)].append(event)
+    shards = []
+    for events in buckets:
+        header = dict(trace.header)
+        header["events"] = len(events)
+        shards.append(ReplayTrace(header=header, events=tuple(events)))
+    return shards
+
+
+def _run_child_shard(
+    index: int,
+    shard: ReplayTrace,
+    base_url: str,
+    speed: float,
+    max_workers: int,
+    timeout: float,
+    barrier: Any,
+    queue: Any,
+) -> None:
+    """Child-process entry point: replay one shard, ship the state back.
+
+    Children are data-plane only (no admin token, no supervisor): their
+    counter snapshots are ``None`` by construction, so the only service
+    delta in the merged report is the parent's — taken once around the
+    whole window instead of racing per-child.
+    """
+    try:
+        target = HttpTarget(base_url, timeout)
+        driver = ReplayDriver(target, max_workers=max_workers)
+        barrier.wait(timeout=60.0)
+        report = driver.run(shard, speed=speed)
+        queue.put({
+            "index": index,
+            "error": None,
+            "submitted": report.submitted,
+            "outcomes": report.outcomes,
+            "latency_state": report.latency.to_state(),
+            "wall_s": report.wall_s,
+        })
+    except BaseException as exc:  # ship the failure, never hang the parent
+        try:
+            queue.put({
+                "index": index,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+        finally:
+            if isinstance(exc, KeyboardInterrupt):
+                raise
+
+
+def _mp_context() -> Any:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def run_sharded(
+    trace: ReplayTrace,
+    target: HttpTarget,
+    *,
+    drivers: int,
+    speed: float = 1.0,
+    max_workers: int = 64,
+    timeout: float = 30.0,
+) -> ReplayReport:
+    """Replay one trace through ``drivers`` processes against a gateway.
+
+    ``target`` is the **parent's** target: it carries the admin token,
+    chaos artifacts, and supervisor handle, runs shard 0 (all controls),
+    and brackets the run with the only counter snapshots used for
+    reconciliation.  ``drivers - 1`` child processes replay the remaining
+    shards data-plane-only against the same base URL.
+
+    Returns one merged :class:`~repro.replay.metrics.ReplayReport`:
+    summed tallies, vector-added histograms, slowest-shard wall time, and
+    a reconciliation of the combined ledger against the parent's counter
+    delta (skipped when a kill reset the server's counters).  A child
+    that loses or duplicates a response raises
+    :class:`~repro.errors.TraceError` here, same as in-process.
+    """
+    if drivers < 1:
+        raise ValueError("drivers must be >= 1")
+    if drivers == 1:
+        return ReplayDriver(target, max_workers=max_workers).run(
+            trace, speed=speed
+        )
+
+    shards = shard_trace(trace, drivers)
+    context = _mp_context()
+    barrier = context.Barrier(drivers)
+    queue = context.Queue()
+    children = []
+    base_url = target._base  # children rebuild their own tokenless target
+    for index in range(1, drivers):
+        process = context.Process(
+            target=_run_child_shard,
+            args=(
+                index, shards[index], base_url, speed, max_workers,
+                timeout, barrier, queue,
+            ),
+            daemon=True,
+        )
+        process.start()
+        children.append(process)
+
+    before = target.counters_snapshot()
+    driver = ReplayDriver(target, max_workers=max_workers)
+    try:
+        # A child that dies before reaching the barrier (import failure,
+        # bad URL) must not hang the parent forever.
+        barrier.wait(timeout=60.0)
+    except Exception:
+        for process in children:
+            process.terminate()
+        raise TraceError(
+            "sharded replay failed: a driver shard never reached the"
+            " start barrier"
+        )
+    parent_report = driver.run(shards[0], speed=speed)
+
+    nominal_s = trace.duration_ms / 1000.0 / speed if speed > 0 else 0.0
+    deadline = nominal_s + _CHILD_GRACE_S
+    results: List[Dict[str, Any]] = []
+    errors: List[str] = []
+    for _ in children:
+        try:
+            payload = queue.get(timeout=deadline)
+        except Exception:
+            errors.append("a driver shard never reported back (hung?)")
+            break
+        if payload.get("error"):
+            errors.append(
+                f"driver shard {payload['index']}: {payload['error']}"
+            )
+        else:
+            results.append(payload)
+    for process in children:
+        process.join(timeout=30.0)
+        if process.is_alive():
+            process.terminate()
+    after = target.counters_snapshot()
+    if errors:
+        raise TraceError(
+            "sharded replay failed: " + "; ".join(sorted(errors))
+        )
+
+    # Merge: addition for ledgers and histograms, max for wall time.
+    submitted = parent_report.submitted
+    tally: Dict[str, int] = dict(parent_report.outcomes)
+    histogram = LatencyHistogram()
+    histogram.merge(parent_report.latency)
+    wall = parent_report.wall_s
+    for payload in results:
+        submitted += payload["submitted"]
+        for category, count in payload["outcomes"].items():
+            tally[category] = tally.get(category, 0) + count
+        histogram.merge(LatencyHistogram.from_state(payload["latency_state"]))
+        wall = max(wall, payload["wall_s"])
+
+    kills_applied = any(
+        c.get("action") == "kill" and c.get("applied")
+        for c in parent_report.controls
+    )
+    delta: Optional[Dict[str, float]] = None
+    if before is not None and after is not None and not kills_applied:
+        delta = {
+            name: after.get(name, 0.0) - before.get(name, 0.0)
+            for name in sorted(set(before) | set(after))
+            if after.get(name, 0.0) != before.get(name, 0.0)
+        }
+    return ReplayReport(
+        submitted=submitted,
+        outcomes=tally,
+        latency=histogram,
+        wall_s=wall,
+        trace_duration_ms=trace.duration_ms,
+        controls=list(parent_report.controls),
+        counters_delta=delta,
+        mismatches=reconcile(
+            tally, delta, submitted, counters_reset=kills_applied
+        ),
+        mttr_s=list(parent_report.mttr_s),
+    )

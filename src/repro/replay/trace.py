@@ -33,10 +33,10 @@ harness invocation, so a chaos run is exactly as replayable as a clean
 one: poison queries are explicit marker requests (every gene expressed —
 generated normal queries always leave at least one gene unexpressed, so
 the marker is unambiguous), deadline storms rewrite the deadline of every
-request arriving inside their window, and hot-swap control events carry
-their ``at_ms`` like any request.  Model-level fault windows
-(``error_windows``) ride in the header for the in-process harness to arm
-on its :class:`~repro.testing.faults.FlakyBatchModel`.
+request arriving inside their window, and hot-swap and process-kill
+control events carry their ``at_ms`` like any request.  Model-level fault
+windows (``error_windows``) ride in the header for the in-process harness
+to arm on its :class:`~repro.testing.faults.FlakyBatchModel`.
 """
 
 from __future__ import annotations
@@ -53,6 +53,8 @@ from ..errors import TraceError
 
 __all__ = [
     "ARRIVALS",
+    "COMPATIBLE_SCHEMAS",
+    "CONTROL_ACTIONS",
     "ChaosMix",
     "ReplayTrace",
     "TRACE_SCHEMA",
@@ -65,7 +67,19 @@ __all__ = [
 ]
 
 #: The trace format version; bumped on any incompatible schema change.
-TRACE_SCHEMA = "repro.replay/1"
+#: v2 added ``kill`` control events (process-level chaos); v1 traces are
+#: a strict subset and still load.
+TRACE_SCHEMA = "repro.replay/2"
+
+#: Schemas :func:`load_trace` accepts: the current one plus every older
+#: version whose events are still a valid subset of it.
+COMPATIBLE_SCHEMAS = ("repro.replay/1", "repro.replay/2")
+
+#: Every control action a trace may carry.  ``swap``/``swap_corrupt``
+#: target the registry (hot redeploys); ``kill`` targets the *process*
+#: (SIGKILL via the supervisor — the gateway must restart and the ledger
+#: must still account every request exactly once).
+CONTROL_ACTIONS = ("swap", "swap_corrupt", "kill")
 
 ARRIVALS = ("uniform", "poisson", "diurnal", "burst")
 
@@ -86,6 +100,11 @@ class ChaosMix:
         corrupt_swaps_at_ms: offsets of hot-swap attempts with a corrupted
             artifact — the registry must refuse them eagerly while the old
             model keeps serving.
+        kills_at_ms: offsets of ``kill`` control events — the serving
+            *process* is SIGKILLed mid-traffic (HTTP targets with a
+            supervisor handle); the supervisor must restart it, in-flight
+            requests resolve to the ``interrupted`` category, and the
+            ledger still accounts every request exactly once.
         error_windows: ``(first_call, n_calls)`` ranges of *consecutive*
             batch-evaluation call indices on which the in-process flaky
             model raises.  Consecutive calls matter: the service bisects a
@@ -97,6 +116,7 @@ class ChaosMix:
     deadline_storms: Tuple[Tuple[float, float, float], ...] = ()
     swaps_at_ms: Tuple[float, ...] = ()
     corrupt_swaps_at_ms: Tuple[float, ...] = ()
+    kills_at_ms: Tuple[float, ...] = ()
     error_windows: Tuple[Tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
@@ -107,6 +127,8 @@ class ChaosMix:
                 raise ValueError("deadline storm window must have end > start")
             if deadline < 0:
                 raise ValueError("deadline storm deadline_ms must be >= 0")
+        if any(at < 0 for at in self.kills_at_ms):
+            raise ValueError("kills_at_ms offsets must be >= 0")
         for first, count in self.error_windows:
             if first < 0 or count < 1:
                 raise ValueError(
@@ -121,6 +143,7 @@ class ChaosMix:
             or self.deadline_storms
             or self.swaps_at_ms
             or self.corrupt_swaps_at_ms
+            or self.kills_at_ms
             or self.error_windows
         )
 
@@ -130,6 +153,7 @@ class ChaosMix:
             "deadline_storms": [list(w) for w in self.deadline_storms],
             "swaps_at_ms": list(self.swaps_at_ms),
             "corrupt_swaps_at_ms": list(self.corrupt_swaps_at_ms),
+            "kills_at_ms": list(self.kills_at_ms),
             "error_windows": [list(w) for w in self.error_windows],
         }
 
@@ -146,6 +170,10 @@ class ChaosMix:
             ),
             corrupt_swaps_at_ms=tuple(
                 float(x) for x in payload.get("corrupt_swaps_at_ms", ())
+            ),
+            # Absent in v1 headers: default to no kill chaos.
+            kills_at_ms=tuple(
+                float(x) for x in payload.get("kills_at_ms", ())
             ),
             error_windows=tuple(
                 (int(first), int(count))
@@ -352,9 +380,14 @@ def generate_trace(config: TraceConfig) -> ReplayTrace:
             event["deadline_ms"] = float(deadline)
         events.append(event)
 
-    controls: List[Tuple[float, str]] = [
-        (float(at), "swap") for at in config.chaos.swaps_at_ms
-    ] + [(float(at), "swap_corrupt") for at in config.chaos.corrupt_swaps_at_ms]
+    controls: List[Tuple[float, str]] = (
+        [(float(at), "swap") for at in config.chaos.swaps_at_ms]
+        + [
+            (float(at), "swap_corrupt")
+            for at in config.chaos.corrupt_swaps_at_ms
+        ]
+        + [(float(at), "kill") for at in config.chaos.kills_at_ms]
+    )
     for j, (at_ms, action) in enumerate(sorted(controls)):
         events.append({
             "kind": "control",
@@ -426,10 +459,10 @@ def load_trace(source: Union[str, Path]) -> ReplayTrace:
     header, events = parsed[0], parsed[1:]
     if header.get("kind") != "header":
         raise TraceError(f"trace {path} does not start with a header line")
-    if header.get("schema") != TRACE_SCHEMA:
+    if header.get("schema") not in COMPATIBLE_SCHEMAS:
         raise TraceError(
             f"trace {path} has schema {header.get('schema')!r}; this"
-            f" harness reads {TRACE_SCHEMA!r}"
+            f" harness reads {', '.join(repr(s) for s in COMPATIBLE_SCHEMAS)}"
         )
     seen: set = set()
     for event in events:
@@ -457,6 +490,13 @@ def load_trace(source: Union[str, Path]) -> ReplayTrace:
                 raise TraceError(
                     f"trace {path} request {event['id']} has unknown verb"
                     f" {event['verb']!r}"
+                )
+        else:
+            action = event.get("action")
+            if action is not None and action not in CONTROL_ACTIONS:
+                raise TraceError(
+                    f"trace {path} control {event['id']} has unknown action"
+                    f" {action!r}"
                 )
     declared = header.get("events")
     if declared is not None and declared != len(events):

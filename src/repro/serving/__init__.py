@@ -16,7 +16,12 @@ up:
   memmapped tables;
 * :class:`GatewayServer` puts a stdlib HTTP front end on the registry
   (``POST /v1/models/{name}:predict`` / ``:explain``, ``GET /v1/models``,
-  ``GET /health``) — ``python -m repro.cli serve`` from the command line.
+  ``GET /health``, plus a token-gated ``/admin/v1/...`` control plane) —
+  ``python -m repro.cli serve`` from the command line;
+* :class:`GatewaySupervisor` runs that gateway as a supervised child
+  process: readiness file, liveness probes, deterministic-backoff crash
+  restarts that reload the last-known-good artifact set, and a restart
+  budget that escalates cleanly (``serve --supervise``).
 
 Failures surface uniformly: one table in :mod:`repro.serving.surface`
 maps every serving exception onto its HTTP status and CLI exit code.
@@ -26,11 +31,16 @@ See ``docs/SERVING.md`` for the artifact format and service internals and
 """
 
 from ..errors import (
+    AdminAuthError,
+    AdminDisabled,
+    AdminError,
     ModelNotFound,
     NotSupportedError,
     QuotaExceeded,
     RequestTimeout,
     RequestTooLarge,
+    RestartBudgetExhausted,
+    SupervisorError,
 )
 from .config import ServeConfig
 from .http import GatewayServer
@@ -45,18 +55,30 @@ from .service import (
     ServiceHealth,
     ServiceOverloaded,
 )
+from .supervisor import (
+    GatewaySupervisor,
+    STATE_SCHEMA,
+    gateway_env,
+    read_state_file,
+    serve_command,
+    write_state_file,
+)
 from .surface import (
     ERROR_SURFACE,
     EXIT_CORRUPT,
     EXIT_ERROR,
     EXIT_OVERLOAD,
     EXIT_STALE,
+    EXIT_SUPERVISOR,
     error_body,
     exit_code,
     http_status,
 )
 
 __all__ = [
+    "AdminAuthError",
+    "AdminDisabled",
+    "AdminError",
     "CircuitOpen",
     "DeadlineExceeded",
     "ERROR_SURFACE",
@@ -64,7 +86,9 @@ __all__ = [
     "EXIT_ERROR",
     "EXIT_OVERLOAD",
     "EXIT_STALE",
+    "EXIT_SUPERVISOR",
     "GatewayServer",
+    "GatewaySupervisor",
     "ModelInfo",
     "ModelNotFound",
     "ModelRegistry",
@@ -75,12 +99,19 @@ __all__ = [
     "RegistryHealth",
     "RequestTimeout",
     "RequestTooLarge",
+    "RestartBudgetExhausted",
+    "STATE_SCHEMA",
     "ServeConfig",
     "ServiceClosed",
     "ServiceError",
     "ServiceHealth",
     "ServiceOverloaded",
+    "SupervisorError",
     "error_body",
     "exit_code",
+    "gateway_env",
     "http_status",
+    "read_state_file",
+    "serve_command",
+    "write_state_file",
 ]

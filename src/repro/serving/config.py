@@ -62,6 +62,10 @@ class ServeConfig:
             the service thread; the memmapped artifact format lets N
             processes share table pages, so aggregate throughput scales
             past the GIL).
+        admin_token: gateway-only — shared-secret bearer token that
+            enables the HTTP admin control plane (``/admin/v1/...``);
+            ``None`` (the default) leaves the control plane disabled and
+            the gateway data-plane-only.
     """
 
     max_batch: int = 32
@@ -76,6 +80,7 @@ class ServeConfig:
     validate_queries: bool = True
     adaptive_batch: bool = False
     workers: int = 0
+    admin_token: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -105,6 +110,8 @@ class ServeConfig:
             raise ValueError("adaptive_batch requires max_wait_ms > 0")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.admin_token is not None and not self.admin_token:
+            raise ValueError("admin_token must be a non-empty string or None")
 
     def with_overrides(self, **overrides: Any) -> "ServeConfig":
         """A copy with the given fields replaced (and re-validated)."""

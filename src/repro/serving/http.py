@@ -16,12 +16,27 @@ Endpoints (all JSON)::
     POST /v1/models/{name}:predict     {"vector": [...]} or {"items": [...]}
     POST /v1/models/{name}:explain     same query + explanation knobs
 
+and, when an admin token is configured, the admin control plane::
+
+    GET  /admin/v1/counters            registry_*/service_* counter snapshot
+    POST /admin/v1/models/{n}:deploy   {"artifact": path} hot swap
+    POST /admin/v1/models/{n}:refresh  {"train": path} delta refresh + swap
+
 Request bodies may carry ``tenant`` (quota accounting) and ``deadline_ms``
 (per-request staleness bound); ``:explain`` adds ``min_satisfaction``,
 ``class_id`` and ``limit``.  Failures map onto the shared error surface of
 :mod:`repro.serving.surface`: the body is :func:`~repro.serving.surface.
 error_body`, the status :func:`~repro.serving.surface.http_status`, and a
 ``Retry-After`` header rides along when the breaker knows its cooldown.
+
+The admin plane is opt-in and token-gated: without ``admin_token`` every
+``/admin/v1/...`` request gets 403 (:class:`~repro.errors.AdminDisabled`);
+with one, requests must present it via ``Authorization: Bearer <token>``
+or ``X-Admin-Token`` (compared in constant time) or get 401
+(:class:`~repro.errors.AdminAuthError`).  Paths are server-side: the
+admin plane deploys artifacts the *gateway host* can read — it does not
+upload bytes.  Successful deploys/refreshes rewrite the ``state_file``
+(the last-known-good artifact set a supervisor restart reloads).
 
 Two request-hardening guards protect the thread-per-connection model from
 hostile or broken clients: a body larger than ``max_body_bytes`` is
@@ -33,16 +48,20 @@ pinning a worker thread forever.
 
 from __future__ import annotations
 
+import hmac
 import json
 import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
 from urllib.parse import urlparse
 
 import numpy as np
 
 from ..errors import (
+    AdminAuthError,
+    AdminDisabled,
     QueryError,
     ReproError,
     RequestTimeout,
@@ -197,6 +216,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 return self._get_models()
             if path.startswith("/v1/models/"):
                 return self._get_model(path[len("/v1/models/") :])
+            if path == "/admin/v1/counters":
+                return self._get_admin_counters()
             self._send_json(404, {"error": {
                 "type": "NotFound",
                 "message": f"no route for GET {path}",
@@ -214,6 +235,12 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     return self._post_predict(name)
                 if verb == "explain":
                     return self._post_explain(name)
+            if path.startswith("/admin/v1/models/") and ":" in path:
+                name, _, verb = path[len("/admin/v1/models/") :].rpartition(":")
+                if verb == "deploy":
+                    return self._post_admin_deploy(name)
+                if verb == "refresh":
+                    return self._post_admin_refresh(name)
             self._send_json(404, {"error": {
                 "type": "NotFound",
                 "message": f"no route for POST {path}",
@@ -345,6 +372,82 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         )
 
 
+    # ------------------------------------------------------------------
+    # Admin control plane
+    # ------------------------------------------------------------------
+    def _check_admin(self) -> None:
+        """Gate an ``/admin/v1/...`` route on the configured token."""
+        token = getattr(self.server, "admin_token", None)
+        if not token:
+            raise AdminDisabled()
+        supplied = self.headers.get("X-Admin-Token")
+        if supplied is None:
+            authorization = self.headers.get("Authorization", "")
+            if authorization.startswith("Bearer "):
+                supplied = authorization[len("Bearer ") :]
+        # Constant-time comparison: the token is a shared secret, and a
+        # timing oracle on == would leak it byte by byte.
+        if supplied is None or not hmac.compare_digest(supplied, token):
+            raise AdminAuthError()
+
+    def _write_state(self) -> None:
+        """Persist the last-known-good artifact set after an admin swap."""
+        state_file = getattr(self.server, "state_file", None)
+        if state_file is None:
+            return
+        from .supervisor import write_state_file
+
+        write_state_file(self.registry.artifact_map(), state_file)
+
+    def _get_admin_counters(self) -> None:
+        try:
+            self._check_admin()
+        except ReproError as exc:
+            return self._send_error_json(exc)
+        self._send_json(200, {"counters": self.registry.counters_snapshot()})
+
+    def _post_admin_deploy(self, name: str) -> None:
+        try:
+            self._check_admin()
+            body = self._read_body()
+            artifact = body.get("artifact")
+            if not isinstance(artifact, str) or not artifact:
+                raise QueryError(
+                    "'artifact' must be a server-side .npz artifact path"
+                )
+            expected = body.get("expected_fingerprint")
+            if expected is not None and not isinstance(expected, str):
+                raise QueryError("'expected_fingerprint' must be a string")
+            info = self.registry.deploy(
+                name, artifact, expected_fingerprint=expected
+            )
+            self._write_state()
+        except ReproError as exc:
+            return self._send_error_json(exc)
+        self._send_json(200, {"deployed": _model_info_json(info)})
+
+    def _post_admin_refresh(self, name: str) -> None:
+        from ..datasets.io import load_relational_json
+
+        try:
+            self._check_admin()
+            body = self._read_body()
+            train = body.get("train")
+            if not isinstance(train, str) or not train:
+                raise QueryError(
+                    "'train' must be a server-side relational JSON path"
+                )
+            out = body.get("out")
+            if out is not None and not isinstance(out, str):
+                raise QueryError("'out' must be a string path")
+            dataset = load_relational_json(train)
+            info = self.registry.refresh(name, dataset, out_path=out)
+            self._write_state()
+        except ReproError as exc:
+            return self._send_error_json(exc)
+        self._send_json(200, {"deployed": _model_info_json(info)})
+
+
 class _GatewayHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer with a listen backlog sized for bursty load.
 
@@ -374,6 +477,12 @@ class GatewayServer:
         read_timeout: seconds a client may stall while the gateway reads
             its request before it gets 408 and the connection is dropped
             (``None`` disables the timeout).
+        admin_token: shared secret enabling the ``/admin/v1/...`` control
+            plane (``None`` = admin plane disabled, data plane only).
+        state_file: path the gateway rewrites with its artifact-backed
+            deployment map after every successful admin deploy/refresh —
+            the last-known-good set a supervisor restart reloads (``None``
+            disables persistence).
 
     ``start()`` serves on a daemon thread (tests, embedding);
     ``serve_forever()`` serves on the calling thread (the CLI).  Usable as
@@ -394,16 +503,24 @@ class GatewayServer:
         port: int = 0,
         max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES,
         read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
+        admin_token: Optional[str] = None,
+        state_file: Optional[Union[str, Path]] = None,
     ):
         if max_body_bytes is not None and max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
         if read_timeout is not None and read_timeout <= 0:
             raise ValueError("read_timeout must be positive")
+        if admin_token is not None and not admin_token:
+            raise ValueError("admin_token must be a non-empty string or None")
         self._registry = registry
         self._server = _GatewayHTTPServer((host, port), _GatewayHandler)
         self._server.registry = registry  # type: ignore[attr-defined]
         self._server.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
         self._server.read_timeout = read_timeout  # type: ignore[attr-defined]
+        self._server.admin_token = admin_token  # type: ignore[attr-defined]
+        self._server.state_file = (  # type: ignore[attr-defined]
+            Path(state_file) if state_file is not None else None
+        )
         self._thread: Optional[threading.Thread] = None
         self._served = False  # BaseServer.shutdown hangs unless it ran
 

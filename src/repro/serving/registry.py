@@ -374,6 +374,20 @@ class ModelRegistry:
     def model_info(self, name: str) -> ModelInfo:
         return self._slot(name).info
 
+    def artifact_map(self) -> Dict[str, str]:
+        """``name -> artifact path`` for every artifact-backed slot.
+
+        This is the registry's last-known-good deployment set: what a
+        supervisor restart (or a fresh ``serve --state-file``) redeploys to
+        come back exactly as it was.  In-memory deployments have no file to
+        reload and are deliberately absent."""
+        with self._lock:
+            return {
+                name: slot.info.artifact_path
+                for name, slot in sorted(self._slots.items())
+                if slot.info.artifact_path is not None
+            }
+
     def item_names(self, name: str) -> Tuple[str, ...]:
         """The named model's gene vocabulary (empty when unavailable)."""
         dataset = getattr(self._slot(name).classifier, "dataset", None)

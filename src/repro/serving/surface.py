@@ -20,6 +20,9 @@ from typing import Any, Dict, Optional, Tuple, Type
 from ..core.artifact import ArtifactCorrupt, ArtifactError, ArtifactStale
 from ..core.estimator import NotFittedError
 from ..errors import (
+    AdminAuthError,
+    AdminDisabled,
+    AdminError,
     CircuitOpen,
     DeadlineExceeded,
     ModelNotFound,
@@ -29,9 +32,11 @@ from ..errors import (
     ReproError,
     RequestTimeout,
     RequestTooLarge,
+    RestartBudgetExhausted,
     ServiceClosed,
     ServiceError,
     ServiceOverloaded,
+    SupervisorError,
     TraceError,
     WorkerCrashed,
     WorkerError,
@@ -43,6 +48,7 @@ __all__ = [
     "EXIT_ERROR",
     "EXIT_OVERLOAD",
     "EXIT_STALE",
+    "EXIT_SUPERVISOR",
     "error_body",
     "exit_code",
     "http_status",
@@ -54,6 +60,7 @@ EXIT_ERROR = 2  #: generic failure (bad arguments, I/O, malformed data)
 EXIT_CORRUPT = 3  #: artifact failed integrity verification (ArtifactCorrupt)
 EXIT_STALE = 4  #: artifact fingerprint mismatch (ArtifactStale)
 EXIT_OVERLOAD = 5  #: service shed load / circuit breaker open / closed
+EXIT_SUPERVISOR = 6  #: supervised gateway exhausted its restart budget
 
 #: exception class -> (HTTP status, CLI exit code).  Resolution walks the
 #: exception's MRO, so a subclass without its own row inherits its parent's
@@ -67,6 +74,13 @@ ERROR_SURFACE: Dict[Type[BaseException], Tuple[int, int]] = {
     NotSupportedError: (501, EXIT_ERROR),
     NotFittedError: (409, EXIT_ERROR),
     TraceError: (400, EXIT_ERROR),
+    # Admin control plane: opt-in and token-gated.
+    AdminDisabled: (403, EXIT_ERROR),
+    AdminAuthError: (401, EXIT_ERROR),
+    AdminError: (403, EXIT_ERROR),
+    # Process supervision: a crash-looping gateway escalates cleanly.
+    RestartBudgetExhausted: (503, EXIT_SUPERVISOR),
+    SupervisorError: (500, EXIT_SUPERVISOR),
     # Load and lifecycle: retryable refusals.
     ServiceOverloaded: (429, EXIT_OVERLOAD),
     QuotaExceeded: (429, EXIT_OVERLOAD),

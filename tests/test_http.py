@@ -30,14 +30,12 @@ def gateway(tmp_path, example):
     registry.close()
 
 
-def _request(url, body=None):
+def _request(url, body=None, headers=None):
     """(status, parsed-json) for a GET, or a POST when body is given."""
     data = json.dumps(body).encode() if body is not None else None
-    request = urllib.request.Request(
-        url,
-        data=data,
-        headers={"Content-Type": "application/json"} if data else {},
-    )
+    all_headers = {"Content-Type": "application/json"} if data else {}
+    all_headers.update(headers or {})
+    request = urllib.request.Request(url, data=data, headers=all_headers)
     try:
         with urllib.request.urlopen(request, timeout=10) as response:
             return response.status, json.loads(response.read())
@@ -231,3 +229,171 @@ class TestLifecycle:
         assert after["version"] == 2
         assert status == 200
         assert payload["version"] == 2
+
+
+ADMIN_TOKEN = "test-admin-token"
+
+
+@pytest.fixture
+def admin_gateway(tmp_path, example):
+    """An admin-enabled gateway over one artifact-backed slot, yielding
+    (server, artifact path, state-file path)."""
+    artifact = BSTClassifier().fit(example).save(tmp_path / "model.npz")
+    registry = ModelRegistry(ServeConfig(), counters=EngineCounters())
+    registry.deploy("exp", artifact)
+    state_file = tmp_path / "state.json"
+    server = GatewayServer(
+        registry, admin_token=ADMIN_TOKEN, state_file=state_file
+    )
+    with server:
+        yield server, artifact, state_file
+    registry.close()
+
+
+def _bearer(token):
+    return {"Authorization": f"Bearer {token}"}
+
+
+class TestAdminPlane:
+    def test_disabled_without_token_is_403(self, gateway):
+        # The plain fixture configures no admin token: the whole admin
+        # plane answers 403 regardless of what the client presents.
+        status, payload = _request(
+            f"{gateway.url}/admin/v1/counters",
+            headers=_bearer("anything"),
+        )
+        assert status == 403
+        assert payload["error"]["type"] == "AdminDisabled"
+
+    def test_missing_or_wrong_token_is_401(self, admin_gateway):
+        server, _, _ = admin_gateway
+        status, payload = _request(f"{server.url}/admin/v1/counters")
+        assert status == 401
+        assert payload["error"]["type"] == "AdminAuthError"
+        status, _ = _request(
+            f"{server.url}/admin/v1/counters", headers=_bearer("wrong")
+        )
+        assert status == 401
+
+    def test_both_auth_header_forms_accepted(self, admin_gateway):
+        server, _, _ = admin_gateway
+        status, payload = _request(
+            f"{server.url}/admin/v1/counters",
+            headers=_bearer(ADMIN_TOKEN),
+        )
+        assert status == 200
+        # Only touched counters appear; the fixture's deploy is one.
+        assert payload["counters"].get("registry_deploys") == 1.0
+        status, via_header = _request(
+            f"{server.url}/admin/v1/counters",
+            headers={"X-Admin-Token": ADMIN_TOKEN},
+        )
+        assert status == 200
+        assert set(via_header["counters"]) == set(payload["counters"])
+
+    def test_counters_reflect_served_traffic(self, admin_gateway):
+        server, _, _ = admin_gateway
+        _, before = _request(
+            f"{server.url}/admin/v1/counters", headers=_bearer(ADMIN_TOKEN)
+        )
+        status, _ = _request(
+            f"{server.url}/v1/models/exp:predict", {"items": Q_ITEMS}
+        )
+        assert status == 200
+        _, after = _request(
+            f"{server.url}/admin/v1/counters", headers=_bearer(ADMIN_TOKEN)
+        )
+        delta = after["counters"]["registry_requests"] - before[
+            "counters"
+        ].get("registry_requests", 0)
+        assert delta == 1
+
+    def test_deploy_bumps_version_and_persists_state(self, admin_gateway):
+        from repro.serving import read_state_file
+
+        server, artifact, state_file = admin_gateway
+        status, payload = _request(
+            f"{server.url}/admin/v1/models/exp:deploy",
+            {"artifact": str(artifact)},
+            headers=_bearer(ADMIN_TOKEN),
+        )
+        assert status == 200
+        assert payload["deployed"]["version"] == 2
+        assert read_state_file(state_file) == {"exp": str(artifact)}
+        status, model = _request(f"{server.url}/v1/models/exp")
+        assert status == 200
+        assert model["version"] == 2
+
+    def test_deploy_requires_artifact_path(self, admin_gateway):
+        server, _, _ = admin_gateway
+        status, payload = _request(
+            f"{server.url}/admin/v1/models/exp:deploy",
+            {"artifact": 7},
+            headers=_bearer(ADMIN_TOKEN),
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "QueryError"
+
+    def test_corrupt_deploy_refused_old_model_serves(
+        self, admin_gateway, tmp_path, example
+    ):
+        from repro.testing.faults import corrupt_artifact_member
+
+        server, _, _ = admin_gateway
+        bad = BSTClassifier().fit(example).save(tmp_path / "bad.npz")
+        corrupt_artifact_member(bad, "arena_inside_f.npy")
+        status, payload = _request(
+            f"{server.url}/admin/v1/models/exp:deploy",
+            {"artifact": str(bad)},
+            headers=_bearer(ADMIN_TOKEN),
+        )
+        assert status >= 400
+        assert "Artifact" in payload["error"]["type"]
+        # The refused swap never touched the serving slot.
+        status, model = _request(f"{server.url}/v1/models/exp")
+        assert status == 200
+        assert model["version"] == 1
+        status, _ = _request(
+            f"{server.url}/v1/models/exp:predict", {"items": Q_ITEMS}
+        )
+        assert status == 200
+
+    def test_refresh_retrains_from_relational_json(
+        self, admin_gateway, tmp_path, example
+    ):
+        from repro.datasets.io import save_relational_json
+
+        server, _, _ = admin_gateway
+        train = tmp_path / "train.json"
+        save_relational_json(example, train)
+        status, payload = _request(
+            f"{server.url}/admin/v1/models/exp:refresh",
+            {"train": str(train)},
+            headers=_bearer(ADMIN_TOKEN),
+        )
+        assert status == 200, payload
+        assert payload["deployed"]["version"] == 2
+
+    def test_hot_swap_under_load_is_lossless(self, admin_gateway):
+        import concurrent.futures
+
+        server, artifact, _ = admin_gateway
+
+        def hit(_):
+            return _request(
+                f"{server.url}/v1/models/exp:predict", {"items": Q_ITEMS}
+            )
+
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            futures = [pool.submit(hit, i) for i in range(48)]
+            status, _ = _request(
+                f"{server.url}/admin/v1/models/exp:deploy",
+                {"artifact": str(artifact)},
+                headers=_bearer(ADMIN_TOKEN),
+            )
+            assert status == 200
+            results = [f.result() for f in futures]
+        # Parity with the in-process deploy guarantee: no request is
+        # dropped or errored by a swap racing the data plane.
+        assert all(code == 200 for code, _ in results)
+        assert {payload["version"] for _, payload in results} <= {1, 2}

@@ -156,6 +156,28 @@ class TestTraceGeneration:
         assert tenants == {"a", "b"}
         assert verbs == {"predict", "explain"}
 
+    def test_kill_controls_and_v2_schema(self):
+        from repro.replay import TRACE_SCHEMA
+
+        config = TraceConfig(
+            seed=5,
+            requests=40,
+            rate_qps=400,
+            n_items=6,
+            chaos=ChaosMix(kills_at_ms=(50.0,)),
+        )
+        trace = generate_trace(config)
+        assert trace.header["schema"] == TRACE_SCHEMA == "repro.replay/2"
+        kills = [
+            e
+            for e in trace.events
+            if e["kind"] == "control" and e["action"] == "kill"
+        ]
+        assert [k["at_ms"] for k in kills] == [50.0]
+        rebuilt = config_from_header(trace.header)
+        assert rebuilt.chaos.kills_at_ms == (50.0,)
+        assert dumps_trace(generate_trace(rebuilt)) == dumps_trace(trace)
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             TraceConfig(requests=0)
@@ -171,6 +193,8 @@ class TestTraceGeneration:
             ChaosMix(deadline_storms=((5.0, 5.0, 1.0),))
         with pytest.raises(ValueError):
             ChaosMix(error_windows=((0, 0),))
+        with pytest.raises(ValueError):
+            ChaosMix(kills_at_ms=(-1.0,))
 
 
 class TestTraceIO:
@@ -232,6 +256,29 @@ class TestTraceIO:
             + '{"kind":"request","id":"r0","at_ms":0,"model":"m","verb":"dance","items":[]}\n'
         )
         with pytest.raises(TraceError, match="verb"):
+            load_trace(path)
+
+    def test_v1_trace_still_loads(self, tmp_path):
+        # Traces recorded before the kill-control schema bump must keep
+        # replaying byte for byte.
+        path = tmp_path / "v1.jsonl"
+        path.write_text(
+            '{"kind":"header","schema":"repro.replay/1","events":2}\n'
+            '{"kind":"request","id":"r0","at_ms":0,"model":"m",'
+            '"verb":"predict","items":[0]}\n'
+            '{"kind":"control","id":"c0","at_ms":5,"action":"swap"}\n'
+        )
+        trace = load_trace(path)
+        assert trace.header["schema"] == "repro.replay/1"
+        assert len(trace.events) == 2
+
+    def test_unknown_control_action_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind":"header","schema":"repro.replay/2","events":1}\n'
+            '{"kind":"control","id":"c0","at_ms":5,"action":"dance"}\n'
+        )
+        with pytest.raises(TraceError, match="action"):
             load_trace(path)
 
     def test_declared_event_count_enforced(self, tmp_path):
@@ -496,6 +543,218 @@ class TestHttpReplay:
         assert report.outcomes == {"rejected": 1, "failed": 1}
 
 
+ADMIN_TOKEN = "replay-admin-token"
+
+
+@pytest.fixture()
+def admin_gateway(classifier, tmp_path):
+    """An admin-enabled gateway over an artifact-backed ``default`` slot,
+    so HTTP replays get counter reconciliation and real hot swaps."""
+    artifact = classifier.save(tmp_path / "served.npz")
+    registry = ModelRegistry(ServeConfig(), counters=EngineCounters())
+    registry.deploy("default", artifact)
+    server = GatewayServer(registry, admin_token=ADMIN_TOKEN)
+    with server:
+        yield server
+    registry.close()
+
+
+class TestHttpAdminReplay:
+    def test_counters_reconcile_over_the_wire(self, admin_gateway):
+        # The satellite fix: with the admin plane, HTTP replays get the
+        # same pair-by-pair counter ledger as in-process targets instead
+        # of a silent None.
+        config = TraceConfig(seed=7, requests=40, rate_qps=400, n_items=6)
+        trace = generate_trace(config)
+        target = HttpTarget(admin_gateway.url, admin_token=ADMIN_TOKEN)
+        report = ReplayDriver(target, max_workers=8).run(trace, speed=0.0)
+        assert report.outcomes == {"answered": 40}
+        assert report.counters_delta is not None
+        assert report.counters_delta["registry_requests"] == 40
+        assert report.counters_delta["service_requests"] == 40
+        assert report.reconciled, report.mismatches
+
+    def test_swaps_applied_corrupt_refused_over_http(
+        self, admin_gateway, classifier, tmp_path
+    ):
+        from repro.replay import prepare_http_target
+
+        config = TraceConfig(
+            seed=29,
+            requests=80,
+            rate_qps=800,
+            n_items=6,
+            chaos=ChaosMix(
+                corrupt_swaps_at_ms=(20.0,), swaps_at_ms=(50.0,)
+            ),
+        )
+        trace = generate_trace(config)
+        target = prepare_http_target(
+            trace,
+            admin_gateway.url,
+            tmp_path / "swap",
+            classifier=classifier,
+            admin_token=ADMIN_TOKEN,
+        )
+        report = ReplayDriver(target, max_workers=8).run(trace, speed=0.0)
+        by_action = {c["action"]: c for c in report.controls}
+        assert by_action["swap"]["applied"]
+        assert "deployed v" in by_action["swap"]["detail"]
+        assert not by_action["swap_corrupt"]["applied"]
+        assert "refused" in by_action["swap_corrupt"]["detail"]
+        # Lossless under the swap, and the counter ledger still matches.
+        assert sum(report.outcomes.values()) == 80
+        assert report.reconciled, report.mismatches
+        assert report.counters_delta.get("registry_swaps", 0) >= 1
+
+    def test_swaps_skipped_without_admin_token(self, admin_gateway):
+        config = TraceConfig(
+            seed=3,
+            requests=20,
+            rate_qps=400,
+            n_items=6,
+            chaos=ChaosMix(swaps_at_ms=(10.0,)),
+        )
+        trace = generate_trace(config)
+        report = ReplayDriver(
+            HttpTarget(admin_gateway.url), max_workers=4
+        ).run(trace, speed=0.0)
+        (control,) = report.controls
+        assert not control["applied"]
+        assert "admin plane" in control["detail"]
+        assert report.reconciled
+
+
+class TestKillChaos:
+    def test_kill_skipped_in_process(self, classifier, tmp_path):
+        config = TraceConfig(
+            seed=11,
+            requests=20,
+            rate_qps=400,
+            n_items=6,
+            chaos=ChaosMix(kills_at_ms=(10.0,)),
+        )
+        report = _replay(generate_trace(config), classifier, tmp_path)
+        (control,) = report.controls
+        assert control["action"] == "kill"
+        assert not control["applied"]
+        assert "supervisor" in control["detail"]
+        assert report.reconciled
+
+    def test_kill_skipped_without_supervisor_handle(self, admin_gateway):
+        config = TraceConfig(
+            seed=11,
+            requests=20,
+            rate_qps=400,
+            n_items=6,
+            chaos=ChaosMix(kills_at_ms=(10.0,)),
+        )
+        report = ReplayDriver(
+            HttpTarget(admin_gateway.url, admin_token=ADMIN_TOKEN),
+            max_workers=4,
+        ).run(generate_trace(config), speed=0.0)
+        (control,) = report.controls
+        assert not control["applied"]
+        assert "supervisor" in control["detail"]
+        assert report.reconciled
+
+    @pytest.mark.faults
+    def test_sigkill_mid_replay_accounts_exactly_once(
+        self, classifier, tmp_path
+    ):
+        """Satellite (d): SIGKILL mid-batch through the supervisor.  The
+        ledger must show connection-failure (``interrupted``) outcomes and
+        zero lost or duplicated request ids across the restart."""
+        from repro.replay import run_kill_chaos
+
+        payload = run_kill_chaos(
+            classifier, tmp_path, requests=60, rate_qps=10.0
+        )
+        assert payload["reconciled"], payload["mismatches"]
+        assert payload["restarts"] >= 1
+        assert payload["interrupted"] >= 1
+        assert payload["outcomes"].get("answered", 0) >= 1
+        assert sum(payload["outcomes"].values()) == 60
+        (kill,) = [
+            c for c in payload["controls"] if c["action"] == "kill"
+        ]
+        assert kill["applied"]
+        assert payload["kill_mttr_s"] is not None
+        assert 0.0 < payload["kill_mttr_s"] < 30.0
+
+
+class TestShardedReplay:
+    def test_shard_partition_is_total_and_deterministic(self):
+        from repro.replay import shard_index, shard_trace
+
+        config = TraceConfig(
+            seed=7,
+            requests=90,
+            rate_qps=900,
+            n_items=6,
+            chaos=ChaosMix(swaps_at_ms=(30.0,)),
+        )
+        trace = generate_trace(config)
+        shards = shard_trace(trace, 3)
+        assert len(shards) == 3
+        all_ids = sorted(e["id"] for e in trace.requests)
+        sharded_ids = sorted(
+            e["id"] for s in shards for e in s.requests
+        )
+        assert sharded_ids == all_ids  # nothing lost, nothing duplicated
+        for index, shard in enumerate(shards):
+            assert shard.header["events"] == len(shard.events)
+            for event in shard.requests:
+                assert shard_index(event["id"], 3) == index
+        # Controls run once, on shard 0 only.
+        assert [e["action"] for e in shards[0].controls] == ["swap"]
+        assert not shards[1].controls and not shards[2].controls
+
+    def test_run_sharded_merges_exactly_once(self, admin_gateway):
+        from repro.replay import run_sharded
+
+        config = TraceConfig(seed=7, requests=60, rate_qps=600, n_items=6)
+        trace = generate_trace(config)
+        target = HttpTarget(admin_gateway.url, admin_token=ADMIN_TOKEN)
+        report = run_sharded(trace, target, drivers=3, speed=0.0)
+        assert report.submitted == 60
+        assert report.outcomes == {"answered": 60}
+        assert len(report.latency) == 60  # histograms merged by addition
+        assert report.reconciled, report.mismatches
+        # The parent brackets the whole sharded window with one counter
+        # snapshot pair, so the ledger still reconciles pair by pair.
+        assert report.counters_delta is not None
+        assert report.counters_delta["registry_requests"] == 60
+
+    def test_single_driver_short_circuits(self, admin_gateway):
+        from repro.replay import run_sharded
+
+        config = TraceConfig(seed=7, requests=20, rate_qps=400, n_items=6)
+        trace = generate_trace(config)
+        target = HttpTarget(admin_gateway.url, admin_token=ADMIN_TOKEN)
+        report = run_sharded(trace, target, drivers=1, speed=0.0)
+        assert report.outcomes == {"answered": 20}
+        assert report.reconciled
+
+
+class TestHistogramState:
+    def test_round_trip_preserves_percentiles(self):
+        histogram = LatencyHistogram()
+        for ms in range(1, 51):
+            histogram.record(ms / 1000.0)
+        rebuilt = LatencyHistogram.from_state(histogram.to_state())
+        assert len(rebuilt) == len(histogram)
+        assert rebuilt.max == histogram.max
+        for q in (50.0, 90.0, 99.0):
+            assert rebuilt.percentile(q) == histogram.percentile(q)
+
+    def test_rejects_wrong_bucket_count(self):
+        state = LatencyHistogram().to_state()
+        state["counts"] = state["counts"][:-1]
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_state(state)
+
+
 class TestGatewayHardening:
     def test_oversized_body_gets_413(self, gateway):
         body = json.dumps(
@@ -658,6 +917,24 @@ class TestReplayCli:
         capsys.readouterr()
         assert main(["replay", "--load", str(path)]) == 0
         assert "answered  : 40" in capsys.readouterr().out
+
+    def test_drivers_shard_needs_a_url(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["replay", "--seed", "1", "--requests", "10", "--drivers", "2"]
+        )
+        assert code != 0
+        assert "--url" in capsys.readouterr().err
+
+    def test_drivers_must_be_positive(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["replay", "--seed", "1", "--requests", "10", "--drivers", "0"]
+        )
+        assert code != 0
+        assert "--drivers" in capsys.readouterr().err
 
     def test_python_dash_m_repro_entry_point(self):
         result = subprocess.run(
